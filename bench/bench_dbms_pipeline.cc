@@ -1,0 +1,106 @@
+// The Section 4 scenario, fully paged: stored relations on heap files,
+// decomposition scanning through the buffer pool, spatial join, and
+// projection — with the I/O of every stage accounted.
+//
+//   R(p@, zr, ...) := Decompose(P(p@, ...))      -- P is a heap file
+//   S(q@, zs, ...) := Decompose(Q(q@, ...))      -- Q is a heap file
+//   RS := R [zr <> zs] S
+//   Result := RS[p@, q@]
+//
+// Scaling the stored relations shows where the work goes: base-table scan
+// I/O grows linearly, decomposition output grows with total object
+// surface, and the join's merge is linear in the element sequences.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "geometry/primitives.h"
+#include "relational/catalog.h"
+#include "relational/heap_file.h"
+#include "relational/operators.h"
+#include "relational/spatial_join.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace probe;
+  using Clock = std::chrono::steady_clock;
+  const zorder::GridSpec grid{2, 9};  // 512 x 512 map
+
+  std::printf("=== DBMS pipeline: heap-file relations -> Decompose -> "
+              "spatial join -> project ===\n\n");
+  util::Table table({"parcels", "zones", "scan pages", "R elems", "S elems",
+                     "join pairs", "result rows", "total ms"});
+
+  for (const int n_parcels : {50, 200, 800}) {
+    storage::MemPager pager;
+    storage::BufferPool pool(&pager, 64);
+    relational::ObjectCatalog catalog;
+    util::Rng rng(9000 + n_parcels);
+
+    // Stored relation P: parcels with ids and areas.
+    relational::HeapFile parcels(
+        &pool, relational::Schema({{"p_id", relational::ValueType::kInt},
+                                   {"p_name", relational::ValueType::kString},
+                                   {"p_value", relational::ValueType::kReal}}));
+    for (int i = 0; i < n_parcels; ++i) {
+      const uint32_t x = static_cast<uint32_t>(rng.NextBelow(460));
+      const uint32_t y = static_cast<uint32_t>(rng.NextBelow(460));
+      const uint64_t id = catalog.Register(
+          std::make_shared<geometry::BoxObject>(geometry::GridBox::Make2D(
+              x, x + 4 + static_cast<uint32_t>(rng.NextBelow(40)), y,
+              y + 4 + static_cast<uint32_t>(rng.NextBelow(40)))));
+      parcels.Append({static_cast<int64_t>(id),
+                      "parcel-" + std::to_string(i), rng.NextDouble() * 1e6});
+    }
+
+    // Stored relation Q: zones (one per ~10 parcels).
+    const int n_zones = std::max(2, n_parcels / 10);
+    relational::HeapFile zones(
+        &pool, relational::Schema({{"q_id", relational::ValueType::kInt},
+                                   {"q_kind", relational::ValueType::kString}}));
+    for (int i = 0; i < n_zones; ++i) {
+      const double cx = rng.NextDouble() * 512.0;
+      const double cy = rng.NextDouble() * 512.0;
+      const uint64_t id = catalog.Register(std::make_shared<
+                                           geometry::BallObject>(
+          std::vector<double>{cx, cy}, 20.0 + rng.NextDouble() * 60.0));
+      zones.Append({static_cast<int64_t>(id),
+                    i % 2 == 0 ? "flood" : "protected"});
+    }
+
+    const auto t0 = Clock::now();
+    uint64_t p_pages = 0;
+    uint64_t q_pages = 0;
+    const auto r =
+        DecomposeHeapFile(grid, parcels, "p_id", catalog, "zr", {}, &p_pages);
+    const auto s =
+        DecomposeHeapFile(grid, zones, "q_id", catalog, "zs", {}, &q_pages);
+    relational::SpatialJoinStats join_stats;
+    const auto rs = SpatialJoin(r, "zr", s, "zs", &join_stats);
+    const std::string cols[] = {"p_id", "q_id"};
+    const auto result = Project(rs, cols, /*deduplicate=*/true);
+    const auto t1 = Clock::now();
+
+    table.AddRow();
+    table.Cell(static_cast<int64_t>(n_parcels));
+    table.Cell(static_cast<int64_t>(n_zones));
+    table.Cell(static_cast<int64_t>(p_pages + q_pages));
+    table.Cell(static_cast<int64_t>(r.size()));
+    table.Cell(static_cast<int64_t>(s.size()));
+    table.Cell(static_cast<int64_t>(join_stats.pairs));
+    table.Cell(static_cast<int64_t>(result.size()));
+    table.Cell(std::chrono::duration<double, std::milli>(t1 - t0).count(), 1);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nThe whole spatial pipeline runs on stock DBMS machinery: heap\n"
+      "scans, one sort per decomposed relation, a sort-merge join on the\n"
+      "element domain, and a projection — nothing spatial inside the\n"
+      "engine but the element object class, which is the paper's thesis.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// The paper's headline comparison: z-order range search "comparable to
+// performance of the kd tree" [BENT75].
+//
+// Three contenders over the same workloads:
+//   * zkd B+-tree  — this paper's structure (pages of 20 points, z order);
+//   * bucket kd-tree — kd-style brick-wall partitioning with the same page
+//     capacity, so leaf visits are directly comparable page accesses;
+//   * classic kd tree — one point per node; reported in node visits.
+//
+// The shapes to verify: page accesses of the zkd tree track the bucket kd
+// tree within a small factor across distributions, volumes and shapes
+// (the crossover claim), and both obey the same O(vN) growth.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/bucket_kdtree.h"
+#include "baseline/kdtree.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+#include "workload/querygen.h"
+
+int main() {
+  using namespace probe;
+  using workload::Distribution;
+  const zorder::GridSpec grid{2, 10};
+
+  std::printf("=== zkd B+-tree vs kd trees (5000 points, 20 per page) ===\n");
+
+  for (const auto dist : {Distribution::kUniform, Distribution::kClustered,
+                          Distribution::kDiagonal}) {
+    workload::DataGenConfig data;
+    data.distribution = dist;
+    data.count = 5000;
+    data.seed = 41;
+    const auto points = GeneratePoints(grid, data);
+
+    auto built = workload::BuildZkdIndex(grid, points, 20, 64);
+    const auto bucket = baseline::BucketKdTree::Build(2, points, 20);
+    const auto kd = baseline::KdTree::Build(2, points);
+
+    std::printf("\n--- distribution %s: zkd pages=%llu, bucket-kd pages=%llu "
+                "---\n\n",
+                DistributionName(dist).c_str(),
+                static_cast<unsigned long long>(built.leaf_pages),
+                static_cast<unsigned long long>(bucket.leaf_count()));
+
+    util::Table table({"volume", "aspect", "zkd pages", "bkd pages",
+                       "zkd/bkd", "zkd eff", "bkd eff", "kd nodes",
+                       "results"});
+    util::Summary ratio_all;
+    util::Rng rng(4141);
+    for (const double volume : {0.01, 0.02, 0.05, 0.10}) {
+      for (const double aspect : {1.0, 4.0, 16.0}) {
+        util::Summary zkd_pages, bkd_pages, zkd_eff, bkd_eff, kd_nodes,
+            results;
+        for (const auto& box :
+             workload::MakeQueryBoxes2D(grid, volume, aspect, 5, rng)) {
+          index::QueryStats zs;
+          built.index->RangeSearch(box, &zs);
+          baseline::BucketKdStats bs;
+          bucket.RangeSearch(box, &bs);
+          baseline::KdStats ks;
+          kd.RangeSearch(box, &ks);
+          zkd_pages.Add(static_cast<double>(zs.leaf_pages));
+          bkd_pages.Add(static_cast<double>(bs.leaf_pages));
+          zkd_eff.Add(zs.Efficiency());
+          bkd_eff.Add(bs.Efficiency());
+          kd_nodes.Add(static_cast<double>(ks.nodes_visited));
+          results.Add(static_cast<double>(zs.results));
+          if (zs.results != bs.results || zs.results != ks.results) {
+            std::printf("!! result mismatch\n");
+            return 1;
+          }
+        }
+        const double ratio = zkd_pages.Mean() / bkd_pages.Mean();
+        ratio_all.Add(ratio);
+        table.AddRow();
+        table.Cell(volume, 3);
+        table.Cell(aspect, 1);
+        table.Cell(zkd_pages.Mean(), 1);
+        table.Cell(bkd_pages.Mean(), 1);
+        table.Cell(ratio, 2);
+        table.Cell(zkd_eff.Mean(), 3);
+        table.Cell(bkd_eff.Mean(), 3);
+        table.Cell(kd_nodes.Mean(), 0);
+        table.Cell(results.Mean(), 0);
+      }
+    }
+    table.Print(std::cout);
+    std::printf("\nzkd/bucket-kd page ratio: mean %.2f, min %.2f, max %.2f\n",
+                ratio_all.Mean(), ratio_all.Min(), ratio_all.Max());
+  }
+
+  std::printf("\nThe zkd tree stays within a small constant of the bucket kd\n"
+              "tree across every cell ('comparable to the kd tree') while\n"
+              "needing only a standard B+-tree: no special structure, plain\n"
+              "sort order, ordinary buffering — the paper's integration\n"
+              "argument. Unlike the static kd build, it also supports\n"
+              "incremental inserts and deletes.\n");
+  return 0;
+}

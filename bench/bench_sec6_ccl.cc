@@ -1,0 +1,146 @@
+// Section 6 (connected components): labelling on element sequences.
+//
+// "How many black objects are in a given picture? What is the area of each
+// object?" — the global-property queries of Section 6, answered by a
+// union-find over the z-ordered element sequence instead of the
+// "extremely complicated" direct quadtree algorithm. Correctness is
+// checked against a pixel flood fill; the work comparison shows the AG
+// algorithm's probes growing with element adjacencies (surface), not
+// pixels (volume).
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <queue>
+
+#include "ag/connected.h"
+#include "decompose/decomposer.h"
+#include "geometry/csg.h"
+#include "geometry/primitives.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace probe;
+using Clock = std::chrono::steady_clock;
+
+double Ms(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// Pixel-level flood fill reference. Returns component count; black cell
+// count via out-param.
+int FloodFill(const zorder::GridSpec& grid,
+              const geometry::SpatialObject& picture, uint64_t* black_cells) {
+  const uint32_t side = static_cast<uint32_t>(grid.side());
+  std::vector<bool> black(static_cast<size_t>(side) * side, false);
+  uint64_t count = 0;
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      if (picture.ContainsCell(geometry::GridPoint({x, y}))) {
+        black[static_cast<size_t>(x) * side + y] = true;
+        ++count;
+      }
+    }
+  }
+  *black_cells = count;
+  std::vector<bool> seen(black.size(), false);
+  int components = 0;
+  for (uint32_t sx = 0; sx < side; ++sx) {
+    for (uint32_t sy = 0; sy < side; ++sy) {
+      const size_t start = static_cast<size_t>(sx) * side + sy;
+      if (!black[start] || seen[start]) continue;
+      ++components;
+      std::queue<std::pair<uint32_t, uint32_t>> frontier;
+      frontier.push({sx, sy});
+      seen[start] = true;
+      while (!frontier.empty()) {
+        const auto [x, y] = frontier.front();
+        frontier.pop();
+        const int dx[4] = {-1, 1, 0, 0};
+        const int dy[4] = {0, 0, -1, 1};
+        for (int dir = 0; dir < 4; ++dir) {
+          const int64_t nx = static_cast<int64_t>(x) + dx[dir];
+          const int64_t ny = static_cast<int64_t>(y) + dy[dir];
+          if (nx < 0 || ny < 0 || nx >= side || ny >= side) continue;
+          const size_t idx = static_cast<size_t>(nx) * side + ny;
+          if (black[idx] && !seen[idx]) {
+            seen[idx] = true;
+            frontier.push({static_cast<uint32_t>(nx),
+                           static_cast<uint32_t>(ny)});
+          }
+        }
+      }
+    }
+  }
+  return components;
+}
+
+// A picture of scattered blobs scaled to the grid.
+std::shared_ptr<geometry::UnionObject> MakePicture(
+    const zorder::GridSpec& grid, int blobs, uint64_t seed) {
+  util::Rng rng(seed);
+  const double side = static_cast<double>(grid.side());
+  std::vector<std::shared_ptr<const geometry::SpatialObject>> parts;
+  for (int i = 0; i < blobs; ++i) {
+    const double cx = rng.NextDouble() * side;
+    const double cy = rng.NextDouble() * side;
+    const double r = (0.02 + 0.06 * rng.NextDouble()) * side;
+    parts.push_back(std::make_shared<geometry::BallObject>(
+        std::vector<double>{cx, cy}, r));
+  }
+  return std::make_shared<geometry::UnionObject>(parts);
+}
+
+}  // namespace
+
+int main() {
+  using namespace probe;
+  std::printf("=== Section 6: connected component labelling on element "
+              "sequences ===\n\n");
+  util::Table table({"grid", "blobs", "elements", "components", "flood-fill",
+                     "match", "probes", "black cells", "AG ms", "flood ms"});
+  for (const int d : {5, 6, 7, 8, 9}) {
+    const zorder::GridSpec grid{2, d};
+    const auto picture = MakePicture(grid, 14, 60 + d);
+
+    const auto t0 = Clock::now();
+    const auto elements = decompose::Decompose(grid, *picture);
+    const auto result = ag::LabelComponents(grid, elements);
+    const auto t1 = Clock::now();
+
+    uint64_t black_cells = 0;
+    const int reference = FloodFill(grid, *picture, &black_cells);
+    const auto t2 = Clock::now();
+
+    // Total area must also agree.
+    uint64_t ag_area = 0;
+    for (uint64_t a : result.component_areas) ag_area += a;
+
+    table.AddRow();
+    table.Cell(std::to_string(grid.side()) + "^2");
+    table.Cell(static_cast<int64_t>(14));
+    table.Cell(static_cast<int64_t>(elements.size()));
+    table.Cell(static_cast<int64_t>(result.component_count));
+    table.Cell(static_cast<int64_t>(reference));
+    table.Cell(std::string(result.component_count == reference &&
+                                   ag_area == black_cells
+                               ? "yes"
+                               : "NO"));
+    table.Cell(static_cast<int64_t>(result.probes));
+    table.Cell(static_cast<int64_t>(black_cells));
+    table.Cell(Ms(t0, t1), 2);
+    table.Cell(Ms(t1, t2), 2);
+    if (result.component_count != reference || ag_area != black_cells) {
+      table.Print(std::cout);
+      return 1;
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nComponent counts and areas match the pixel flood fill at "
+              "every\nresolution while the AG probes track the element count "
+              "(~2x per\nstep), not the pixel count (~4x per step).\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Section 6 (CAD): interference detection via the spatial-join machinery.
+//
+// An assembly of parts is tested pairwise for interference. The AG
+// algorithm decomposes each part and merges the element sequences with
+// early exit on the first interior-interior overlap, re-expressing the
+// localized set operations of [MANT83] as a spatial join. The bench shows
+// (a) correctness against a pixel-level reference, (b) the early-exit
+// effect: interpenetrating pairs resolve after a tiny fraction of the
+// merge, and (c) the resolution/verdict trade of coarse decomposition.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "ag/interference.h"
+#include "geometry/csg.h"
+#include "geometry/point.h"
+#include "geometry/primitives.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace probe;
+
+const char* VerdictName(ag::Interference v) {
+  switch (v) {
+    case ag::Interference::kDisjoint:
+      return "disjoint";
+    case ag::Interference::kBoundaryContact:
+      return "boundary";
+    case ag::Interference::kSolidOverlap:
+      return "OVERLAP";
+  }
+  return "?";
+}
+
+bool PixelOverlap(const zorder::GridSpec& grid,
+                  const geometry::SpatialObject& a,
+                  const geometry::SpatialObject& b) {
+  for (uint32_t x = 0; x < grid.side(); ++x) {
+    for (uint32_t y = 0; y < grid.side(); ++y) {
+      const geometry::GridPoint p({x, y});
+      if (a.ContainsCell(p) && b.ContainsCell(p)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 6: interference detection for mechanical CAD "
+              "===\n\n");
+  const zorder::GridSpec grid{2, 8};  // 256x256 work envelope
+  const double s = 256.0;
+
+  // The assembly: a plate with a hole, a shaft through the hole (fits),
+  // a bracket overlapping the plate (collision), and a fastener far away.
+  auto plate_body = std::make_shared<geometry::BoxObject>(
+      geometry::GridBox::Make2D(40, 180, 40, 120));
+  auto hole = std::make_shared<geometry::BallObject>(
+      std::vector<double>{110.0, 80.0}, 20.0);
+  auto plate =
+      std::make_shared<geometry::DifferenceObject>(plate_body, hole);
+  auto shaft = std::make_shared<geometry::BallObject>(
+      std::vector<double>{110.0, 80.0}, 14.0);
+  auto bracket = std::make_shared<geometry::BoxObject>(
+      geometry::GridBox::Make2D(150, 220, 100, 160));
+  auto fastener = std::make_shared<geometry::BallObject>(
+      std::vector<double>{0.9 * s, 0.15 * s}, 12.0);
+
+  struct Part {
+    const char* name;
+    std::shared_ptr<const geometry::SpatialObject> object;
+  };
+  const std::vector<Part> parts = {{"plate", plate},
+                                   {"shaft", shaft},
+                                   {"bracket", bracket},
+                                   {"fastener", fastener}};
+
+  util::Table table({"pair", "verdict", "pixel ref", "match", "elems A",
+                     "elems B", "merge steps", "steps/total"});
+  for (size_t i = 0; i < parts.size(); ++i) {
+    for (size_t j = i + 1; j < parts.size(); ++j) {
+      const auto result =
+          ag::DetectInterference(grid, *parts[i].object, *parts[j].object);
+      const bool reference =
+          PixelOverlap(grid, *parts[i].object, *parts[j].object);
+      const bool got_overlap =
+          result.verdict == ag::Interference::kSolidOverlap;
+      // At full depth the verdict is exact for these center-sampled parts.
+      const bool match = got_overlap == reference;
+      table.AddRow();
+      table.Cell(std::string(parts[i].name) + "-" + parts[j].name);
+      table.Cell(std::string(VerdictName(result.verdict)));
+      table.Cell(std::string(reference ? "overlap" : "clear"));
+      table.Cell(std::string(match ? "yes" : "NO"));
+      table.Cell(static_cast<int64_t>(result.a_elements));
+      table.Cell(static_cast<int64_t>(result.b_elements));
+      table.Cell(static_cast<int64_t>(result.merge_steps));
+      table.Cell(static_cast<double>(result.merge_steps) /
+                     static_cast<double>(result.a_elements +
+                                         result.b_elements),
+                 3);
+      if (!match) {
+        table.Print(std::cout);
+        return 1;
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  std::printf("\nresolution sweep for the colliding pair (plate-bracket):\n\n");
+  util::Table sweep({"max depth", "verdict", "elems A+B", "merge steps"});
+  for (const int depth : {4, 6, 8, 10, 12, -1}) {
+    const auto result = ag::DetectInterference(grid, *plate, *bracket, depth);
+    sweep.AddRow();
+    sweep.Cell(static_cast<int64_t>(depth));
+    sweep.Cell(std::string(VerdictName(result.verdict)));
+    sweep.Cell(static_cast<int64_t>(result.a_elements + result.b_elements));
+    sweep.Cell(static_cast<int64_t>(result.merge_steps));
+  }
+  sweep.Print(std::cout);
+  std::printf("\nDeep interpenetration is confirmed after a handful of merge\n"
+              "steps even at coarse depth — the early exit that makes the\n"
+              "spatial-join formulation effective for CAD checks.\n");
+  return 0;
+}

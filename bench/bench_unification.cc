@@ -1,0 +1,142 @@
+// The unification claim (contribution 1): published structures are
+// special cases of one framework.
+//
+// "A large number of published data structures and algorithms are special
+// cases of the AG techniques described here." Concretely: the split
+// schedule is the only degree of freedom. This bench instantiates three
+// published orderings as schedules —
+//   * strict alternation        -> z order (this paper, [OREN82/84, ...]);
+//   * all-x-then-all-y          -> the conventional composite-key B-tree;
+//   * x twice, then alternate   -> a "brick wall" pattern [LIOU77, SCHE82];
+// — and runs the *same* code (same B+-tree, same decomposer, same merge)
+// over the same data with each. Element counts and page accesses fall out
+// of the schedule alone.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "decompose/analysis.h"
+#include "index/zkd_index.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+#include "workload/querygen.h"
+
+namespace {
+
+using namespace probe;
+
+zorder::GridSpec BrickWall(int bits) {
+  std::vector<int> schedule = {0, 0};
+  int x_left = bits - 2;
+  int y_left = bits;
+  bool turn_y = true;
+  while (x_left + y_left > 0) {
+    if ((turn_y && y_left > 0) || x_left == 0) {
+      schedule.push_back(1);
+      --y_left;
+    } else {
+      schedule.push_back(0);
+      --x_left;
+    }
+    turn_y = !turn_y;
+  }
+  return zorder::GridSpec::WithSchedule(2, bits, schedule);
+}
+
+}  // namespace
+
+int main() {
+  const int bits = 10;
+  struct NamedGrid {
+    const char* name;
+    zorder::GridSpec grid;
+  };
+  const std::vector<NamedGrid> grids = {
+      {"z order (alternate)", zorder::GridSpec{2, bits}},
+      {"composite (x then y)", zorder::GridSpec::Composite(2, bits)},
+      {"brick wall (xx, alt)", BrickWall(bits)},
+  };
+
+  std::printf("=== Unification: one framework, three published orderings "
+              "===\n\n");
+
+  // --- Element counts of the same query boxes. --------------------------
+  std::printf("E(U,V): elements needed to cover an anchored U x V box\n\n");
+  {
+    util::Table table({"U", "V", "z order", "composite", "brick wall"});
+    for (const auto& [u, v] : std::vector<std::pair<uint64_t, uint64_t>>{
+             {256, 256}, {100, 100}, {33, 777}, {777, 33}, {513, 513}}) {
+      table.AddRow();
+      table.Cell(static_cast<int64_t>(u));
+      table.Cell(static_cast<int64_t>(v));
+      for (const auto& g : grids) {
+        table.Cell(static_cast<int64_t>(
+            decompose::ElementCountUV(g.grid, u, v)));
+      }
+    }
+    table.Print(std::cout);
+  }
+
+  // --- Page accesses of the same workload under each ordering. ----------
+  std::printf("\nrange-search page accesses (5000 uniform points, 20/page, "
+              "identical code):\n\n");
+  {
+    util::Table table({"volume", "aspect", "z order", "composite",
+                       "brick wall"});
+    workload::DataGenConfig data;
+    data.count = 5000;
+    data.seed = 121;
+    // Note: point records are grid-independent; each index shuffles them
+    // with its own schedule.
+    const zorder::GridSpec plain{2, bits};
+    const auto points = GeneratePoints(plain, data);
+
+    std::vector<workload::BuiltIndex> indexes;
+    for (const auto& g : grids) {
+      indexes.push_back(workload::BuildZkdIndex(g.grid, points, 20, 64));
+    }
+    for (const double volume : {0.01, 0.05}) {
+      for (const double aspect : {0.0625, 1.0, 16.0}) {
+        table.AddRow();
+        table.Cell(volume, 3);
+        table.Cell(aspect, 4);
+        util::Rng rng(123);  // same query boxes for every ordering
+        const auto boxes =
+            workload::MakeQueryBoxes2D(plain, volume, aspect, 5, rng);
+        std::vector<uint64_t> first_results;
+        for (size_t g = 0; g < grids.size(); ++g) {
+          util::Summary pages;
+          uint64_t results = 0;
+          for (const auto& box : boxes) {
+            index::QueryStats stats;
+            indexes[g].index->RangeSearch(box, &stats);
+            pages.Add(static_cast<double>(stats.leaf_pages));
+            results += stats.results;
+          }
+          if (g == 0) {
+            first_results.push_back(results);
+          } else if (results != first_results[0]) {
+            std::printf("!! result mismatch between orderings\n");
+            return 1;
+          }
+          table.Cell(pages.Mean(), 1);
+        }
+      }
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf(
+      "\nEverything above ran through the same decomposer, B+-tree and\n"
+      "merge; only GridSpec's split schedule changed. Note element counts\n"
+      "alone can favor the composite order (its unit columns are cheap to\n"
+      "name) — but those columns scatter across the key space, so its page\n"
+      "accesses explode on squares. The brick wall sits between; strict\n"
+      "alternation is the only schedule good across shapes — which is why\n"
+      "the paper distills the field to it.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// CAD: approximate interference checking for a 2-d assembly (Section 6).
+//
+// A gearbox cross-section: housing with two bores, two gears, a spacer.
+// Every part pair is checked for interference at increasing grid
+// resolutions, showing the coarse-to-fine workflow a solid modeller would
+// use: cheap coarse passes clear most pairs; only near-contact pairs need
+// refinement; a true collision is confirmed early at any resolution.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "ag/interference.h"
+#include "geometry/csg.h"
+#include "geometry/primitives.h"
+
+int main() {
+  using namespace probe;
+
+  // Parts in a 1024-unit work envelope (coordinates in grid cells at the
+  // finest resolution; coarser grids reuse the same continuous geometry
+  // scaled down by Classify on coarser cell boxes — we rebuild per grid).
+  struct Part {
+    const char* name;
+    std::shared_ptr<const geometry::SpatialObject> shape;
+  };
+
+  auto make_parts = [](double s) -> std::vector<Part> {
+    auto housing_body = std::make_shared<geometry::BoxObject>(
+        geometry::GridBox::Make2D(
+            static_cast<uint32_t>(0.10 * s), static_cast<uint32_t>(0.90 * s),
+            static_cast<uint32_t>(0.30 * s), static_cast<uint32_t>(0.70 * s)));
+    auto bore1 = std::make_shared<geometry::BallObject>(
+        std::vector<double>{0.35 * s, 0.50 * s}, 0.130 * s);
+    auto bore2 = std::make_shared<geometry::BallObject>(
+        std::vector<double>{0.65 * s, 0.50 * s}, 0.130 * s);
+    auto bores = std::make_shared<geometry::UnionObject>(
+        std::vector<std::shared_ptr<const geometry::SpatialObject>>{bore1,
+                                                                    bore2});
+    auto housing =
+        std::make_shared<geometry::DifferenceObject>(housing_body, bores);
+    auto gear1 = std::make_shared<geometry::BallObject>(
+        std::vector<double>{0.35 * s, 0.50 * s}, 0.120 * s);
+    // The second gear is mis-assembled: its center is nudged so it grazes
+    // the bore wall.
+    auto gear2 = std::make_shared<geometry::BallObject>(
+        std::vector<double>{0.66 * s, 0.515 * s}, 0.120 * s);
+    auto spacer = std::make_shared<geometry::BoxObject>(
+        geometry::GridBox::Make2D(
+            static_cast<uint32_t>(0.47 * s), static_cast<uint32_t>(0.53 * s),
+            static_cast<uint32_t>(0.40 * s), static_cast<uint32_t>(0.60 * s)));
+    return {{"housing", housing},
+            {"gear1", gear1},
+            {"gear2", gear2},
+            {"spacer", spacer}};
+  };
+
+  auto verdict_name = [](ag::Interference v) {
+    switch (v) {
+      case ag::Interference::kDisjoint:
+        return "clear";
+      case ag::Interference::kBoundaryContact:
+        return "near-contact";
+      case ag::Interference::kSolidOverlap:
+        return "COLLISION";
+    }
+    return "?";
+  };
+
+  for (const int bits : {6, 8, 10}) {
+    const zorder::GridSpec grid{2, bits};
+    const double s = static_cast<double>(grid.side());
+    const auto parts = make_parts(s);
+    std::printf("=== resolution %llu x %llu ===\n",
+                static_cast<unsigned long long>(grid.side()),
+                static_cast<unsigned long long>(grid.side()));
+    for (size_t i = 0; i < parts.size(); ++i) {
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        const auto result =
+            ag::DetectInterference(grid, *parts[i].shape, *parts[j].shape);
+        std::printf("  %-8s vs %-8s : %-12s (elements %llu+%llu, merge "
+                    "steps %llu)\n",
+                    parts[i].name, parts[j].name, verdict_name(result.verdict),
+                    static_cast<unsigned long long>(result.a_elements),
+                    static_cast<unsigned long long>(result.b_elements),
+                    static_cast<unsigned long long>(result.merge_steps));
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "gear1 sits inside its bore with clearance (clear at high resolution);\n"
+      "the mis-assembled gear2 collides with the housing, and the spacer is\n"
+      "press-fit into the web between the bores — both flagged, the deep\n"
+      "overlap after a fraction of the merge. Coarse grids report\n"
+      "near-contact for snug fits; refining the grid (or handing the pair\n"
+      "to an exact processor, as PROBE intends) resolves them.\n");
+  return 0;
+}

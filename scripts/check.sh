@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run tests, run every bench.
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+for b in "$BUILD"/bench/*; do
+  echo "=== running $b ==="
+  "$b"
+done
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,134 @@
+#include "ag/connected.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "zorder/shuffle.h"
+
+namespace probe::ag {
+
+namespace {
+
+using zorder::DimRange;
+using zorder::GridSpec;
+using zorder::ZValue;
+
+// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+// Locates the element whose z range contains the cell (x, y); -1 if the
+// cell is white. `range_lo` holds each element's zlo in ascending order.
+int LocateElement(const GridSpec& grid, std::span<const ZValue> elements,
+                  const std::vector<uint64_t>& range_lo, uint32_t x,
+                  uint32_t y) {
+  const uint64_t z = Shuffle2D(grid, x, y).ToInteger();
+  // Last element with zlo <= z.
+  auto it = std::upper_bound(range_lo.begin(), range_lo.end(), z);
+  if (it == range_lo.begin()) return -1;
+  const size_t idx = static_cast<size_t>(it - range_lo.begin()) - 1;
+  if (elements[idx].RangeHi(grid.total_bits()) < z) return -1;
+  return static_cast<int>(idx);
+}
+
+}  // namespace
+
+ComponentResult LabelComponents(const GridSpec& grid,
+                                std::span<const ZValue> elements) {
+  assert(grid.dims == 2);
+  ComponentResult result;
+  const size_t n = elements.size();
+  std::vector<uint64_t> range_lo(n);
+  for (size_t i = 0; i < n; ++i) {
+    range_lo[i] = elements[i].RangeLo(grid.total_bits());
+    assert(i == 0 || range_lo[i] > range_lo[i - 1]);
+  }
+
+  UnionFind uf(n);
+  const uint32_t side = static_cast<uint32_t>(grid.side());
+  for (size_t i = 0; i < n; ++i) {
+    const auto ranges = UnshuffleRegion(grid, elements[i]);
+    const DimRange& xr = ranges[0];
+    const DimRange& yr = ranges[1];
+    // Probe the west face (x = xr.lo - 1) and the south face
+    // (y = yr.lo - 1); east/north adjacencies are discovered by the
+    // neighbor itself, so every edge is examined once.
+    if (xr.lo > 0) {
+      uint32_t y = yr.lo;
+      while (y <= yr.hi) {
+        ++result.probes;
+        const int neighbor =
+            LocateElement(grid, elements, range_lo, xr.lo - 1, y);
+        uint32_t jump_to = y + 1;
+        if (neighbor >= 0) {
+          uf.Union(i, static_cast<size_t>(neighbor));
+          const auto nr = UnshuffleRegion(grid, elements[neighbor]);
+          jump_to = nr[1].hi + 1;  // skip the rest of that neighbor's face
+        }
+        if (jump_to <= y) break;  // guard against wrap at the grid edge
+        y = jump_to;
+      }
+    }
+    if (yr.lo > 0) {
+      uint32_t x = xr.lo;
+      while (x <= xr.hi) {
+        ++result.probes;
+        const int neighbor =
+            LocateElement(grid, elements, range_lo, x, yr.lo - 1);
+        uint32_t jump_to = x + 1;
+        if (neighbor >= 0) {
+          uf.Union(i, static_cast<size_t>(neighbor));
+          const auto nr = UnshuffleRegion(grid, elements[neighbor]);
+          jump_to = nr[0].hi + 1;
+        }
+        if (jump_to <= x) break;
+        x = jump_to;
+      }
+    }
+    (void)side;
+  }
+
+  // Assign dense component ids in order of first appearance.
+  result.component_of.assign(n, -1);
+  std::vector<int> root_to_component(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = uf.Find(i);
+    if (root_to_component[root] < 0) {
+      root_to_component[root] = result.component_count++;
+      result.component_areas.push_back(0);
+    }
+    const int comp = root_to_component[root];
+    result.component_of[i] = comp;
+    result.component_areas[comp] +=
+        1ULL << (grid.total_bits() - elements[i].length());
+  }
+  return result;
+}
+
+}  // namespace probe::ag

@@ -1,0 +1,43 @@
+#include "ag/interference.h"
+
+#include <vector>
+
+#include "ag/merge.h"
+
+namespace probe::ag {
+
+InterferenceResult DetectInterference(const zorder::GridSpec& grid,
+                                      const geometry::SpatialObject& a,
+                                      const geometry::SpatialObject& b,
+                                      int max_depth) {
+  decompose::DecomposeOptions options;
+  options.max_depth = max_depth;
+  const auto a_tagged = DecomposeTagged(grid, a, options);
+  const auto b_tagged = DecomposeTagged(grid, b, options);
+
+  std::vector<zorder::ZValue> a_z(a_tagged.size()), b_z(b_tagged.size());
+  for (size_t i = 0; i < a_tagged.size(); ++i) a_z[i] = a_tagged[i].z;
+  for (size_t j = 0; j < b_tagged.size(); ++j) b_z[j] = b_tagged[j].z;
+
+  InterferenceResult result;
+  result.a_elements = a_tagged.size();
+  result.b_elements = b_tagged.size();
+
+  result.merge_steps =
+      MergeOverlappingElements(a_z, b_z, [&](size_t i, size_t j) {
+        const bool solid = !a_tagged[i].boundary && !b_tagged[j].boundary;
+        if (solid) {
+          result.verdict = Interference::kSolidOverlap;
+          result.witness = {a_z[i], b_z[j]};
+          return false;  // early exit: definite interference
+        }
+        if (result.verdict == Interference::kDisjoint) {
+          result.verdict = Interference::kBoundaryContact;
+          result.witness = {a_z[i], b_z[j]};
+        }
+        return true;  // keep looking for a solid pair
+      });
+  return result;
+}
+
+}  // namespace probe::ag

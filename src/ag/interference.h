@@ -1,0 +1,60 @@
+#ifndef PROBE_AG_INTERFERENCE_H_
+#define PROBE_AG_INTERFERENCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "decompose/decomposer.h"
+#include "geometry/object.h"
+#include "zorder/grid.h"
+
+/// \file
+/// Interference detection for mechanical CAD (Section 6).
+///
+/// "Very recently, IPV researchers have been using quadtrees to support
+/// approximate algorithms for interference detection [MANT83, SAME85b].
+/// AG, the spatial join in particular, can be of use here." Two parts
+/// interfere when their decompositions share space. Boundary elements are
+/// the approximation fringe, so the verdict is three-valued:
+///
+///   * kSolidOverlap   — two interior elements overlap: the parts
+///                       definitely intersect (at grid resolution).
+///   * kBoundaryContact — only pairs involving a boundary element overlap:
+///                       the parts are within one element of touching;
+///                       a finer grid (or an exact processor) must decide.
+///   * kDisjoint        — no elements overlap: the parts are separated.
+///
+/// The merge stops at the first interior-interior pair, so deeply
+/// interpenetrating parts are detected after a handful of elements.
+
+namespace probe::ag {
+
+/// Three-valued interference verdict.
+enum class Interference { kDisjoint, kBoundaryContact, kSolidOverlap };
+
+/// Outcome of one interference test.
+struct InterferenceResult {
+  Interference verdict = Interference::kDisjoint;
+  /// A witnessing element pair (a's element, b's element) for non-disjoint
+  /// verdicts: an interior-interior pair for kSolidOverlap, otherwise the
+  /// first boundary-involved pair seen.
+  std::optional<std::pair<zorder::ZValue, zorder::ZValue>> witness;
+  /// Elements generated for each object (work measure).
+  uint64_t a_elements = 0;
+  uint64_t b_elements = 0;
+  /// Merge steps executed before the verdict.
+  uint64_t merge_steps = 0;
+};
+
+/// Tests two parts for interference on `grid`. `max_depth` caps the
+/// decomposition depth (-1 = pixel resolution); coarser caps are faster
+/// but report kBoundaryContact for a wider fringe.
+InterferenceResult DetectInterference(const zorder::GridSpec& grid,
+                                      const geometry::SpatialObject& a,
+                                      const geometry::SpatialObject& b,
+                                      int max_depth = -1);
+
+}  // namespace probe::ag
+
+#endif  // PROBE_AG_INTERFERENCE_H_

@@ -1,0 +1,71 @@
+#ifndef PROBE_AG_MERGE_H_
+#define PROBE_AG_MERGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "zorder/zvalue.h"
+
+/// \file
+/// The generic overlap merge over two z-ordered element sequences.
+///
+/// Every Section 6 algorithm — overlay, interference, and the spatial join
+/// itself — reduces to the same scan: walk two sorted element sequences in
+/// z order maintaining, per side, the stack of elements whose z range still
+/// covers the current position, and pair each arriving element with the
+/// other side's open stack. Correctness rests on Section 3.2's structural
+/// theorem: elements either nest or are disjoint, so the open set is a
+/// chain of prefixes.
+
+namespace probe::ag {
+
+/// Calls `visit(i, j)` exactly once for every pair (a[i], b[j]) whose
+/// elements overlap (one z value contains the other). Both spans must be
+/// sorted in z order. `visit` returns false to stop the merge early (used
+/// by interference detection). Returns the number of merge steps taken.
+template <typename Visit>
+uint64_t MergeOverlappingElements(std::span<const zorder::ZValue> a,
+                                  std::span<const zorder::ZValue> b,
+                                  Visit&& visit) {
+  std::vector<size_t> a_stack, b_stack;
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t steps = 0;
+  while (i < a.size() || j < b.size()) {
+    ++steps;
+    bool take_a;
+    if (i >= a.size()) {
+      take_a = false;
+    } else if (j >= b.size()) {
+      take_a = true;
+    } else {
+      take_a = !(b[j] < a[i]);  // ties to A; equal elements nest either way
+    }
+    const zorder::ZValue& z = take_a ? a[i] : b[j];
+    while (!a_stack.empty() && !a[a_stack.back()].Contains(z)) {
+      a_stack.pop_back();
+    }
+    while (!b_stack.empty() && !b[b_stack.back()].Contains(z)) {
+      b_stack.pop_back();
+    }
+    if (take_a) {
+      for (size_t open : b_stack) {
+        if (!visit(i, open)) return steps;
+      }
+      a_stack.push_back(i);
+      ++i;
+    } else {
+      for (size_t open : a_stack) {
+        if (!visit(open, j)) return steps;
+      }
+      b_stack.push_back(j);
+      ++j;
+    }
+  }
+  return steps;
+}
+
+}  // namespace probe::ag
+
+#endif  // PROBE_AG_MERGE_H_

@@ -1,0 +1,88 @@
+#include "ag/overlay.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ag/merge.h"
+#include "ag/setops.h"
+
+namespace probe::ag {
+
+std::vector<OverlayPiece> OverlayElements(std::span<const LabeledElement> a,
+                                          std::span<const LabeledElement> b) {
+  std::vector<zorder::ZValue> a_z(a.size()), b_z(b.size());
+  for (size_t i = 0; i < a.size(); ++i) a_z[i] = a[i].z;
+  for (size_t j = 0; j < b.size(); ++j) b_z[j] = b[j].z;
+
+  std::vector<OverlayPiece> pieces;
+  MergeOverlappingElements(a_z, b_z, [&](size_t i, size_t j) {
+    OverlayPiece piece;
+    // The deeper (longer) element of the pair is contained in the other,
+    // so it *is* the intersection region.
+    piece.region = a_z[i].length() >= b_z[j].length() ? a_z[i] : b_z[j];
+    piece.a_label = a[i].label;
+    piece.b_label = b[j].label;
+    pieces.push_back(piece);
+    return true;
+  });
+  return pieces;
+}
+
+std::vector<OverlayArea> AggregateOverlay(
+    const zorder::GridSpec& grid, std::span<const OverlayPiece> pieces) {
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> areas;
+  for (const OverlayPiece& piece : pieces) {
+    const uint64_t cells = 1ULL
+                           << (grid.total_bits() - piece.region.length());
+    areas[{piece.a_label, piece.b_label}] += cells;
+  }
+  std::vector<OverlayArea> out;
+  out.reserve(areas.size());
+  for (const auto& [key, cells] : areas) {
+    out.push_back(OverlayArea{key.first, key.second, cells});
+  }
+  return out;
+}
+
+CoverageReport OverlayCoverage(const zorder::GridSpec& grid,
+                               std::span<const LabeledElement> a,
+                               std::span<const LabeledElement> b) {
+  CoverageReport report;
+  report.intersections = AggregateOverlay(grid, OverlayElements(a, b));
+
+  // Per-label element subsequences (z order is preserved by filtering) and
+  // the union footprint of each layer.
+  auto split_by_label = [](std::span<const LabeledElement> layer) {
+    std::map<uint64_t, std::vector<zorder::ZValue>> by_label;
+    for (const LabeledElement& e : layer) by_label[e.label].push_back(e.z);
+    return by_label;
+  };
+  const auto a_by_label = split_by_label(a);
+  const auto b_by_label = split_by_label(b);
+
+  auto footprint = [&grid](
+                       const std::map<uint64_t, std::vector<zorder::ZValue>>&
+                           by_label) {
+    std::vector<zorder::ZValue> all;
+    for (const auto& [label, elements] : by_label) {
+      all = UnionOf(grid, all, elements);
+    }
+    return all;
+  };
+  const auto a_footprint = footprint(a_by_label);
+  const auto b_footprint = footprint(b_by_label);
+
+  for (const auto& [label, elements] : a_by_label) {
+    report.a_only.emplace_back(
+        label,
+        SequenceVolume(grid, DifferenceOf(grid, elements, b_footprint)));
+  }
+  for (const auto& [label, elements] : b_by_label) {
+    report.b_only.emplace_back(
+        label,
+        SequenceVolume(grid, DifferenceOf(grid, elements, a_footprint)));
+  }
+  return report;
+}
+
+}  // namespace probe::ag

@@ -1,0 +1,192 @@
+#include "ag/setops.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.h"
+
+namespace probe::ag {
+
+namespace {
+
+using zorder::GridSpec;
+using zorder::ZValue;
+
+// A maximal run of consecutive full-resolution z values, inclusive.
+struct Run {
+  uint64_t lo;
+  uint64_t hi;
+};
+
+// Elements (disjoint, sorted) -> coalesced runs.
+std::vector<Run> RunsFromElements(const GridSpec& grid,
+                                  std::span<const ZValue> elements) {
+  const int total = grid.total_bits();
+  std::vector<Run> runs;
+  for (const ZValue& e : elements) {
+    const uint64_t lo = e.RangeLo(total);
+    const uint64_t hi = e.RangeHi(total);
+    assert(runs.empty() || lo > runs.back().hi);
+    if (!runs.empty() && runs.back().hi + 1 == lo) {
+      runs.back().hi = hi;
+    } else {
+      runs.push_back(Run{lo, hi});
+    }
+  }
+  return runs;
+}
+
+// Runs -> canonical elements: greedy maximal aligned blocks. A z-aligned
+// block of size 2^s is exactly the range of a (total - s)-bit prefix, so
+// this is the unique coarsest element cover of the run set.
+std::vector<ZValue> ElementsFromRuns(const GridSpec& grid,
+                                     const std::vector<Run>& runs) {
+  const int total = grid.total_bits();
+  std::vector<ZValue> elements;
+  for (const Run& run : runs) {
+    uint64_t lo = run.lo;
+    while (lo <= run.hi) {
+      const uint64_t remaining = run.hi - lo + 1;
+      // Largest power of two that divides lo (alignment) and fits.
+      int log_size = lo == 0 ? total : std::min(total, util::LowestSetBit(lo));
+      while ((1ULL << log_size) > remaining) --log_size;
+      elements.push_back(
+          ZValue::FromInteger(lo >> log_size, total - log_size));
+      lo += 1ULL << log_size;
+      if (lo == 0) break;  // wrapped: the run ended at the space's last cell
+    }
+  }
+  return elements;
+}
+
+std::vector<Run> UnionRuns(const std::vector<Run>& a,
+                           const std::vector<Run>& b) {
+  std::vector<Run> merged;
+  size_t i = 0;
+  size_t j = 0;
+  auto push = [&](const Run& r) {
+    if (merged.empty()) {
+      merged.push_back(r);
+      return;
+    }
+    Run& back = merged.back();
+    if (back.hi == ~0ULL) return;  // already covers to the end of space
+    if (r.lo > back.hi + 1) {
+      merged.push_back(r);
+      return;
+    }
+    back.hi = std::max(back.hi, r.hi);  // adjacent or overlapping: extend
+  };
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].lo <= b[j].lo)) {
+      push(a[i++]);
+    } else {
+      push(b[j++]);
+    }
+  }
+  return merged;
+}
+
+std::vector<Run> IntersectRuns(const std::vector<Run>& a,
+                               const std::vector<Run>& b) {
+  std::vector<Run> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const uint64_t lo = std::max(a[i].lo, b[j].lo);
+    const uint64_t hi = std::min(a[i].hi, b[j].hi);
+    if (lo <= hi) out.push_back(Run{lo, hi});
+    if (a[i].hi < b[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<Run> SubtractRuns(const std::vector<Run>& a,
+                              const std::vector<Run>& b) {
+  std::vector<Run> out;
+  size_t j = 0;
+  for (const Run& run : a) {
+    uint64_t lo = run.lo;
+    bool tail_alive = true;
+    while (j < b.size() && b[j].hi < run.lo) ++j;  // blockers before the run
+    size_t k = j;
+    while (k < b.size() && b[k].lo <= run.hi) {
+      // Invariant: b[k].hi >= lo (earlier blockers were consumed), so the
+      // uncovered span before this blocker, if any, is [lo, b[k].lo - 1].
+      if (b[k].lo > lo) out.push_back(Run{lo, b[k].lo - 1});
+      if (b[k].hi >= run.hi) {
+        tail_alive = false;  // blocker runs past the end of this run
+        break;
+      }
+      lo = b[k].hi + 1;
+      ++k;
+    }
+    if (tail_alive && lo <= run.hi) out.push_back(Run{lo, run.hi});
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsDisjointSorted(const GridSpec& grid, std::span<const ZValue> elements) {
+  const int total = grid.total_bits();
+  for (size_t i = 1; i < elements.size(); ++i) {
+    if (elements[i - 1].RangeHi(total) >= elements[i].RangeLo(total)) {
+      return false;
+    }
+  }
+  for (const ZValue& e : elements) {
+    if (e.length() > total) return false;
+  }
+  return true;
+}
+
+std::vector<ZValue> Canonicalize(const GridSpec& grid,
+                                 std::span<const ZValue> elements) {
+  assert(IsDisjointSorted(grid, elements));
+  return ElementsFromRuns(grid, RunsFromElements(grid, elements));
+}
+
+std::vector<ZValue> UnionOf(const GridSpec& grid, std::span<const ZValue> a,
+                            std::span<const ZValue> b) {
+  assert(IsDisjointSorted(grid, a) && IsDisjointSorted(grid, b));
+  return ElementsFromRuns(grid, UnionRuns(RunsFromElements(grid, a),
+                                          RunsFromElements(grid, b)));
+}
+
+std::vector<ZValue> IntersectionOf(const GridSpec& grid,
+                                   std::span<const ZValue> a,
+                                   std::span<const ZValue> b) {
+  assert(IsDisjointSorted(grid, a) && IsDisjointSorted(grid, b));
+  return ElementsFromRuns(grid, IntersectRuns(RunsFromElements(grid, a),
+                                              RunsFromElements(grid, b)));
+}
+
+std::vector<ZValue> DifferenceOf(const GridSpec& grid,
+                                 std::span<const ZValue> a,
+                                 std::span<const ZValue> b) {
+  assert(IsDisjointSorted(grid, a) && IsDisjointSorted(grid, b));
+  return ElementsFromRuns(grid, SubtractRuns(RunsFromElements(grid, a),
+                                             RunsFromElements(grid, b)));
+}
+
+bool Covers(const GridSpec& grid, std::span<const ZValue> a,
+            std::span<const ZValue> b) {
+  return SubtractRuns(RunsFromElements(grid, b), RunsFromElements(grid, a))
+      .empty();
+}
+
+uint64_t SequenceVolume(const GridSpec& grid,
+                        std::span<const ZValue> elements) {
+  uint64_t volume = 0;
+  for (const ZValue& e : elements) {
+    volume += 1ULL << (grid.total_bits() - e.length());
+  }
+  return volume;
+}
+
+}  // namespace probe::ag

@@ -1,0 +1,64 @@
+#ifndef PROBE_AG_SETOPS_H_
+#define PROBE_AG_SETOPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "zorder/grid.h"
+#include "zorder/zvalue.h"
+
+/// \file
+/// Set algebra on element sequences — the algebraic core of the Section 6
+/// algorithms.
+///
+/// A decomposed spatial object *is* a set of cells represented as a
+/// z-ordered sequence of disjoint elements. Union, intersection and
+/// difference of objects then reduce to merges of their sequences
+/// (overlay is intersection with labels; interference is emptiness of
+/// intersection; containment is emptiness of difference). All operations
+/// cost O(|A| + |B| + |output|) merge steps — surface, not volume — and
+/// produce *canonical* sequences: disjoint, z-sorted, with sibling pairs
+/// coalesced into their parent, so equal cell sets have equal sequences.
+
+namespace probe::ag {
+
+/// True iff `elements` is sorted in z order and pairwise disjoint (the
+/// decomposer's output contract; inputs to the set operations).
+bool IsDisjointSorted(const zorder::GridSpec& grid,
+                      std::span<const zorder::ZValue> elements);
+
+/// Canonicalizes a disjoint sorted sequence: coalesces complete sibling
+/// pairs bottom-up until no two adjacent elements merge. The result
+/// represents the same cell set; equal cell sets canonicalize to the same
+/// sequence.
+std::vector<zorder::ZValue> Canonicalize(
+    const zorder::GridSpec& grid, std::span<const zorder::ZValue> elements);
+
+/// Cells covered by a or b (canonical).
+std::vector<zorder::ZValue> UnionOf(const zorder::GridSpec& grid,
+                                    std::span<const zorder::ZValue> a,
+                                    std::span<const zorder::ZValue> b);
+
+/// Cells covered by both a and b (canonical).
+std::vector<zorder::ZValue> IntersectionOf(const zorder::GridSpec& grid,
+                                           std::span<const zorder::ZValue> a,
+                                           std::span<const zorder::ZValue> b);
+
+/// Cells covered by a but not b (canonical).
+std::vector<zorder::ZValue> DifferenceOf(const zorder::GridSpec& grid,
+                                         std::span<const zorder::ZValue> a,
+                                         std::span<const zorder::ZValue> b);
+
+/// True iff every cell of b is covered by a (the containment query of
+/// Section 6: "containment implies overlap but not vice versa").
+bool Covers(const zorder::GridSpec& grid, std::span<const zorder::ZValue> a,
+            std::span<const zorder::ZValue> b);
+
+/// Number of cells a sequence covers.
+uint64_t SequenceVolume(const zorder::GridSpec& grid,
+                        std::span<const zorder::ZValue> elements);
+
+}  // namespace probe::ag
+
+#endif  // PROBE_AG_SETOPS_H_

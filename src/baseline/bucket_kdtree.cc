@@ -1,0 +1,89 @@
+#include "baseline/bucket_kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace probe::baseline {
+
+BucketKdTree BucketKdTree::Build(int dims,
+                                 std::span<const index::PointRecord> points,
+                                 int bucket_capacity) {
+  assert(dims >= 1 && dims <= geometry::GridPoint::kMaxDims);
+  assert(bucket_capacity >= 1);
+  BucketKdTree tree;
+  tree.dims_ = dims;
+  tree.size_ = points.size();
+  std::vector<index::PointRecord> working(points.begin(), points.end());
+  tree.points_.reserve(working.size());
+  tree.root_ = tree.BuildRec(working, 0, static_cast<int>(working.size()), 0,
+                             bucket_capacity);
+  return tree;
+}
+
+int32_t BucketKdTree::BuildRec(std::vector<index::PointRecord>& working,
+                               int lo, int hi, int depth,
+                               int bucket_capacity) {
+  if (lo >= hi) return -1;
+  Node node;
+  if (hi - lo <= bucket_capacity) {
+    node.first = static_cast<uint32_t>(points_.size());
+    node.count = static_cast<uint32_t>(hi - lo);
+    for (int i = lo; i < hi; ++i) points_.push_back(working[i]);
+    ++leaf_count_;
+    nodes_.push_back(node);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+  const int axis = depth % dims_;
+  const int mid = (lo + hi) / 2;
+  std::nth_element(
+      working.begin() + lo, working.begin() + mid, working.begin() + hi,
+      [axis](const index::PointRecord& a, const index::PointRecord& b) {
+        if (a.point[axis] != b.point[axis]) {
+          return a.point[axis] < b.point[axis];
+        }
+        return a.id < b.id;
+      });
+  node.axis = static_cast<int8_t>(axis);
+  node.value = working[mid].point[axis];
+  const int32_t self = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  const int32_t left = BuildRec(working, lo, mid, depth + 1, bucket_capacity);
+  const int32_t right = BuildRec(working, mid, hi, depth + 1, bucket_capacity);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+std::vector<uint64_t> BucketKdTree::RangeSearch(const geometry::GridBox& box,
+                                                BucketKdStats* stats) const {
+  assert(box.dims() == dims_);
+  std::vector<uint64_t> out;
+  SearchRec(root_, box, out, stats);
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+void BucketKdTree::SearchRec(int32_t node_idx, const geometry::GridBox& box,
+                             std::vector<uint64_t>& out,
+                             BucketKdStats* stats) const {
+  if (node_idx < 0) return;
+  const Node& node = nodes_[node_idx];
+  if (node.axis < 0) {
+    if (stats != nullptr) {
+      ++stats->leaf_pages;
+      stats->entries_on_touched_pages += node.count;
+    }
+    for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+      if (box.ContainsPoint(points_[i].point)) out.push_back(points_[i].id);
+    }
+    return;
+  }
+  if (stats != nullptr) ++stats->internal_nodes;
+  const auto& range = box.range(node.axis);
+  // Coordinates in the left partition are <= value (ties broken by record
+  // id may land on either side), so the left test must be inclusive.
+  if (range.lo <= node.value) SearchRec(node.left, box, out, stats);
+  if (range.hi >= node.value) SearchRec(node.right, box, out, stats);
+}
+
+}  // namespace probe::baseline

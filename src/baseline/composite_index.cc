@@ -1,0 +1,140 @@
+#include "baseline/composite_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace probe::baseline {
+
+namespace {
+
+using btree::LeafEntry;
+using btree::ZKey;
+
+}  // namespace
+
+CompositeIndex::CompositeIndex(const zorder::GridSpec& grid,
+                               storage::BufferPool* pool,
+                               const btree::BTreeConfig& config)
+    : grid_(grid), tree_(pool, config) {
+  assert(grid_.Valid());
+}
+
+ZKey CompositeIndex::EncodeKey(std::span<const uint32_t> coords) const {
+  assert(coords.size() == static_cast<size_t>(grid_.dims));
+  const int d = grid_.bits_per_dim;
+  uint64_t value = 0;
+  for (int i = 0; i < grid_.dims; ++i) {
+    assert(coords[i] < grid_.side());
+    value = (value << d) | coords[i];
+  }
+  return ZKey::FromZValue(
+      zorder::ZValue::FromInteger(value, grid_.total_bits()));
+}
+
+std::vector<uint32_t> CompositeIndex::DecodeKey(const ZKey& key) const {
+  const int d = grid_.bits_per_dim;
+  uint64_t value = key.ToZValue().ToInteger();
+  std::vector<uint32_t> coords(grid_.dims);
+  for (int i = grid_.dims - 1; i >= 0; --i) {
+    coords[i] = static_cast<uint32_t>(value & ((1ULL << d) - 1));
+    value >>= d;
+  }
+  return coords;
+}
+
+CompositeIndex CompositeIndex::Build(const zorder::GridSpec& grid,
+                                     storage::BufferPool* pool,
+                                     std::span<const index::PointRecord> points,
+                                     const btree::BTreeConfig& config,
+                                     double fill) {
+  CompositeIndex index(grid, pool, config);
+  std::vector<LeafEntry> entries;
+  entries.reserve(points.size());
+  for (const auto& record : points) {
+    entries.push_back(
+        LeafEntry{index.EncodeKey(record.point.coords()), record.id});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const LeafEntry& a, const LeafEntry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.payload < b.payload;
+            });
+  index.tree_ = btree::BTree::BulkLoad(pool, entries, config, fill);
+  return index;
+}
+
+void CompositeIndex::Insert(const geometry::GridPoint& point, uint64_t id) {
+  tree_.Insert(EncodeKey(point.coords()), id);
+}
+
+bool CompositeIndex::Delete(const geometry::GridPoint& point, uint64_t id) {
+  return tree_.Delete(EncodeKey(point.coords()), id);
+}
+
+std::vector<uint64_t> CompositeIndex::RangeSearch(
+    const geometry::GridBox& box, CompositeStats* stats) const {
+  assert(box.dims() == grid_.dims);
+  const int k = grid_.dims;
+  std::vector<uint64_t> results;
+  btree::BTree::Cursor cursor(&tree_);
+  uint64_t points_scanned = 0;
+  uint64_t seeks = 0;
+
+  // Start at the box's low corner.
+  std::vector<uint32_t> target(k);
+  for (int i = 0; i < k; ++i) target[i] = box.range(i).lo;
+  ++seeks;
+  bool have = cursor.Seek(EncodeKey(target));
+
+  while (have) {
+    const std::vector<uint32_t> coords = DecodeKey(cursor.entry().key);
+    ++points_scanned;
+    // First dimension (most significant in the key) that leaves the box.
+    int violated = -1;
+    bool below = false;
+    for (int i = 0; i < k; ++i) {
+      if (coords[i] < box.range(i).lo) {
+        violated = i;
+        below = true;
+        break;
+      }
+      if (coords[i] > box.range(i).hi) {
+        violated = i;
+        break;
+      }
+    }
+    if (violated < 0) {
+      results.push_back(cursor.entry().payload);
+      have = cursor.Next();
+      continue;
+    }
+    // Skip scan: jump to the smallest key prefix that can re-enter.
+    std::vector<uint32_t> next = coords;
+    if (below) {
+      // Raise the violated dimension (and everything after) to the box's
+      // low corner; earlier dimensions stay.
+      for (int i = violated; i < k; ++i) next[i] = box.range(i).lo;
+    } else {
+      // The violated dimension overshot: carry into the previous one.
+      int carry = violated - 1;
+      while (carry >= 0 && next[carry] >= box.range(carry).hi) --carry;
+      if (carry < 0) break;  // no prefix can re-enter: done
+      ++next[carry];
+      for (int i = carry + 1; i < k; ++i) next[i] = box.range(i).lo;
+    }
+    ++seeks;
+    have = cursor.Seek(EncodeKey(next));
+  }
+
+  if (stats != nullptr) {
+    stats->leaf_pages = cursor.leaf_loads();
+    stats->internal_pages = cursor.internal_loads();
+    stats->points_scanned = points_scanned;
+    stats->seeks = seeks;
+    stats->results = results.size();
+    stats->entries_on_touched_pages = cursor.leaf_entries_seen();
+  }
+  return results;
+}
+
+}  // namespace probe::baseline

@@ -1,0 +1,110 @@
+#include "baseline/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace probe::baseline {
+
+KdTree::KdTree(int dims) : dims_(dims) {
+  assert(dims_ >= 1 && dims_ <= geometry::GridPoint::kMaxDims);
+}
+
+KdTree KdTree::Build(int dims, std::span<const index::PointRecord> points) {
+  KdTree tree(dims);
+  std::vector<index::PointRecord> working(points.begin(), points.end());
+  tree.nodes_.reserve(working.size());
+  tree.root_ = tree.BuildRec(working, 0, static_cast<int>(working.size()), 0);
+  return tree;
+}
+
+int32_t KdTree::BuildRec(std::vector<index::PointRecord>& points, int lo,
+                         int hi, int depth) {
+  if (lo >= hi) return -1;
+  const int axis = depth % dims_;
+  const int mid = (lo + hi) / 2;
+  std::nth_element(points.begin() + lo, points.begin() + mid,
+                   points.begin() + hi,
+                   [axis](const index::PointRecord& a,
+                          const index::PointRecord& b) {
+                     if (a.point[axis] != b.point[axis]) {
+                       return a.point[axis] < b.point[axis];
+                     }
+                     return a.id < b.id;
+                   });
+  Node node;
+  node.point = points[mid].point;
+  node.id = points[mid].id;
+  node.axis = static_cast<int8_t>(axis);
+  const int32_t self = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  const int32_t left = BuildRec(points, lo, mid, depth + 1);
+  const int32_t right = BuildRec(points, mid + 1, hi, depth + 1);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+void KdTree::Insert(const geometry::GridPoint& point, uint64_t id) {
+  assert(point.dims() == dims_);
+  Node fresh;
+  fresh.point = point;
+  fresh.id = id;
+  if (root_ < 0) {
+    fresh.axis = 0;
+    root_ = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(fresh);
+    return;
+  }
+  int32_t current = root_;
+  int depth = 0;
+  for (;;) {
+    Node& node = nodes_[current];
+    const int axis = depth % dims_;
+    int32_t& branch =
+        point[axis] < node.point[axis] ? node.left : node.right;
+    if (branch < 0) {
+      fresh.axis = static_cast<int8_t>((depth + 1) % dims_);
+      branch = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back(fresh);
+      return;
+    }
+    current = branch;
+    ++depth;
+  }
+}
+
+std::vector<uint64_t> KdTree::RangeSearch(const geometry::GridBox& box,
+                                          KdStats* stats) const {
+  assert(box.dims() == dims_);
+  std::vector<uint64_t> out;
+  SearchRec(root_, box, out, stats);
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+void KdTree::SearchRec(int32_t node_idx, const geometry::GridBox& box,
+                       std::vector<uint64_t>& out, KdStats* stats) const {
+  if (node_idx < 0) return;
+  const Node& node = nodes_[node_idx];
+  if (stats != nullptr) {
+    ++stats->nodes_visited;
+    ++stats->points_checked;
+  }
+  if (box.ContainsPoint(node.point)) out.push_back(node.id);
+  const int axis = node.axis;
+  const auto& range = box.range(axis);
+  // Prune subtrees whose half-space cannot meet the query interval. The
+  // left test is <= (not <) because the balanced Build breaks coordinate
+  // ties by record id, which can leave equal coordinates on the left.
+  if (range.lo <= node.point[axis]) SearchRec(node.left, box, out, stats);
+  if (range.hi >= node.point[axis]) SearchRec(node.right, box, out, stats);
+}
+
+int KdTree::Depth() const { return DepthRec(root_); }
+
+int KdTree::DepthRec(int32_t node) const {
+  if (node < 0) return 0;
+  return 1 + std::max(DepthRec(nodes_[node].left), DepthRec(nodes_[node].right));
+}
+
+}  // namespace probe::baseline

@@ -1,0 +1,78 @@
+#ifndef PROBE_BASELINE_KDTREE_H_
+#define PROBE_BASELINE_KDTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "index/zkd_index.h"
+
+/// \file
+/// The kd tree of Bentley [BENT75] — the paper's comparison point.
+///
+/// Section 5.3.1 notes that the z-order analysis "matches the performance
+/// predicted for kd trees", and the abstract claims performance
+/// "comparable to performance of the kd tree". We implement the classic
+/// in-memory kd tree (discriminator cycling through the axes, one point
+/// per node) so the comparison bench can measure real node visits instead
+/// of quoting formulas.
+
+namespace probe::baseline {
+
+/// Work counters for one kd-tree query.
+struct KdStats {
+  /// Tree nodes visited.
+  uint64_t nodes_visited = 0;
+  /// Points tested against the query box.
+  uint64_t points_checked = 0;
+  /// Matches reported.
+  uint64_t results = 0;
+};
+
+/// Classic kd tree: each node stores one point and discriminates on
+/// axis = depth mod k.
+class KdTree {
+ public:
+  explicit KdTree(int dims);
+
+  /// Builds a balanced tree by recursive median splitting. Ties are broken
+  /// arbitrarily but deterministically.
+  static KdTree Build(int dims, std::span<const index::PointRecord> points);
+
+  /// Inserts one point (unbalanced, as in [BENT75]).
+  void Insert(const geometry::GridPoint& point, uint64_t id);
+
+  /// Region search: ids of points inside `box`.
+  std::vector<uint64_t> RangeSearch(const geometry::GridBox& box,
+                                    KdStats* stats = nullptr) const;
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Depth of the deepest node (0 for an empty tree).
+  int Depth() const;
+
+ private:
+  struct Node {
+    geometry::GridPoint point;
+    uint64_t id = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    int8_t axis = 0;
+  };
+
+  int32_t BuildRec(std::vector<index::PointRecord>& points, int lo, int hi,
+                   int depth);
+  void SearchRec(int32_t node, const geometry::GridBox& box,
+                 std::vector<uint64_t>& out, KdStats* stats) const;
+  int DepthRec(int32_t node) const;
+
+  int dims_;
+  int32_t root_ = -1;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace probe::baseline
+
+#endif  // PROBE_BASELINE_KDTREE_H_

@@ -1,0 +1,99 @@
+#include "decompose/analysis.h"
+
+#include <bit>
+#include <cassert>
+#include <map>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace probe::decompose {
+
+namespace {
+
+// Memoized recursion over (split level, per-dimension remaining extents).
+// At `level` splits consumed, the current region has per-dimension side
+// 2^(bits_per_dim - BitsConsumed(level, dim)); extents are the portion of
+// each side covered by the anchored box. States repeat heavily (an extent
+// is either "the full side" or a suffix of the original extent), so a map
+// memo keeps the state count tiny.
+class Counter {
+ public:
+  Counter(const zorder::GridSpec& grid) : grid_(grid) {}
+
+  uint64_t Count(int level, std::vector<uint64_t> extents) {
+    for (uint64_t e : extents) {
+      if (e == 0) return 0;
+    }
+    bool all_full = true;
+    for (int dim = 0; dim < grid_.dims; ++dim) {
+      if (extents[dim] != SideAt(level, dim)) {
+        all_full = false;
+        break;
+      }
+    }
+    if (all_full) return 1;  // region entirely covered: one element
+    assert(level < grid_.total_bits());
+    const auto key = std::make_pair(level, extents);
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    const int dim = grid_.SplitDimAt(level);  // schedule-directed split
+    const uint64_t half = SideAt(level, dim) / 2;
+    uint64_t result = 0;
+    if (extents[dim] <= half) {
+      // Anchored box lies in the lower child only.
+      result = Count(level + 1, extents);
+    } else {
+      // Lower child is spanned fully in this dimension; upper child gets
+      // the remainder.
+      std::vector<uint64_t> lower = extents;
+      lower[dim] = half;
+      std::vector<uint64_t> upper = extents;
+      upper[dim] = extents[dim] - half;
+      result = Count(level + 1, lower) + Count(level + 1, std::move(upper));
+    }
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  uint64_t SideAt(int level, int dim) const {
+    return 1ULL << (grid_.bits_per_dim - grid_.BitsConsumed(level, dim));
+  }
+
+  const zorder::GridSpec grid_;
+  std::map<std::pair<int, std::vector<uint64_t>>, uint64_t> memo_;
+};
+
+}  // namespace
+
+uint64_t AnchoredBoxElementCount(const zorder::GridSpec& grid,
+                                 std::span<const uint64_t> extents) {
+  assert(grid.Valid());
+  assert(extents.size() == static_cast<size_t>(grid.dims));
+  std::vector<uint64_t> e(extents.begin(), extents.end());
+  for (uint64_t x : e) {
+    assert(x <= grid.side());
+    (void)x;
+  }
+  Counter counter(grid);
+  return counter.Count(0, std::move(e));
+}
+
+uint64_t ElementCountUV(const zorder::GridSpec& grid, uint64_t u, uint64_t v) {
+  assert(grid.dims == 2);
+  const uint64_t extents[2] = {u, v};
+  return AnchoredBoxElementCount(grid, extents);
+}
+
+uint64_t ElementCount1D(uint64_t u) {
+  return static_cast<uint64_t>(std::popcount(u));
+}
+
+int ExtentBitSpan(std::span<const uint64_t> extents) {
+  uint64_t combined = 0;
+  for (uint64_t e : extents) combined |= e;
+  return util::BitSpan(combined);
+}
+
+}  // namespace probe::decompose

@@ -1,0 +1,35 @@
+#include "decompose/coarsen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace probe::decompose {
+
+CoarsenedBox CoarsenBox(const zorder::GridSpec& grid,
+                        const geometry::GridBox& box, int m) {
+  assert(m >= 0 && m <= grid.bits_per_dim);
+  const uint64_t unit = 1ULL << m;
+  const uint64_t side = grid.side();
+  std::vector<zorder::DimRange> ranges(box.dims());
+  for (int i = 0; i < box.dims(); ++i) {
+    const uint64_t lo = (box.range(i).lo / unit) * unit;
+    // hi is inclusive; the exclusive end rounds up to a unit boundary.
+    uint64_t hi_exclusive =
+        util::RoundUpToZeroBits(static_cast<uint64_t>(box.range(i).hi) + 1, m);
+    hi_exclusive = std::min(hi_exclusive, side);
+    ranges[i].lo = static_cast<uint32_t>(lo);
+    ranges[i].hi = static_cast<uint32_t>(hi_exclusive - 1);
+  }
+  CoarsenedBox out{geometry::GridBox(ranges), 0, 0, 0.0};
+  out.volume = out.box.Volume();
+  const uint64_t original = box.Volume();
+  out.added_volume = out.volume - original;
+  out.relative_error =
+      static_cast<double>(out.added_volume) / static_cast<double>(original);
+  return out;
+}
+
+}  // namespace probe::decompose

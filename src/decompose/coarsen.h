@@ -1,0 +1,42 @@
+#ifndef PROBE_DECOMPOSE_COARSEN_H_
+#define PROBE_DECOMPOSE_COARSEN_H_
+
+#include <cstdint>
+
+#include "geometry/box.h"
+#include "zorder/grid.h"
+
+/// \file
+/// The grid-coarsening optimization of Section 5.1.
+///
+/// "By expanding the boundaries of the spatial object appropriately, the
+/// number of elements generated can be decreased. Specifically, replace U
+/// and V by U' and V' such that U' >= U, V' >= V and the last m bits of U'
+/// and V' are zero. This is equivalent to using a coarser grid." The
+/// imprecision added grows slowly because only the small boundary elements
+/// get aggregated.
+
+namespace probe::decompose {
+
+/// Result of coarsening a box to granularity 2^m.
+struct CoarsenedBox {
+  /// The expanded box (a superset of the input, clipped to the grid).
+  geometry::GridBox box;
+  /// Cells in the expanded box.
+  uint64_t volume = 0;
+  /// Cells added relative to the input box.
+  uint64_t added_volume = 0;
+  /// added_volume / input volume.
+  double relative_error = 0.0;
+};
+
+/// Expands `box` so every face lies on a multiple of 2^m: lower bounds are
+/// rounded down, upper bounds up, then clipped to the grid. With m = 0 the
+/// box is returned unchanged. This generalizes the paper's origin-anchored
+/// construction (where only U and V move) to arbitrary boxes.
+CoarsenedBox CoarsenBox(const zorder::GridSpec& grid,
+                        const geometry::GridBox& box, int m);
+
+}  // namespace probe::decompose
+
+#endif  // PROBE_DECOMPOSE_COARSEN_H_

@@ -1,0 +1,114 @@
+#include "decompose/decomposer.h"
+
+#include <cassert>
+
+#include "geometry/primitives.h"
+#include "zorder/shuffle.h"
+
+namespace probe::decompose {
+
+namespace {
+
+using geometry::GridBox;
+using geometry::RegionClass;
+using geometry::SpatialObject;
+using zorder::GridSpec;
+using zorder::ZValue;
+
+// Shared recursive core. Emit is called with elements in z order.
+template <typename Emit>
+void DecomposeRecursive(const GridSpec& grid, const SpatialObject& object,
+                        const DecomposeOptions& options, const ZValue& region,
+                        int depth_cap, DecomposeStats* stats, Emit&& emit) {
+  const GridBox box(UnshuffleRegion(grid, region));
+  if (stats != nullptr) ++stats->classify_calls;
+  switch (object.Classify(box)) {
+    case RegionClass::kOutside:
+      return;
+    case RegionClass::kInside:
+      if (stats != nullptr) ++stats->elements;
+      emit(region, /*boundary=*/false);
+      return;
+    case RegionClass::kCrossing:
+      if (region.length() >= depth_cap) {
+        // Cannot (or may not) split further: the region straddles the
+        // boundary at the resolution limit.
+        if (options.include_boundary) {
+          if (stats != nullptr) {
+            ++stats->elements;
+            ++stats->boundary_elements;
+          }
+          emit(region, /*boundary=*/true);
+        }
+        return;
+      }
+      DecomposeRecursive(grid, object, options, region.Child(0), depth_cap,
+                         stats, emit);
+      DecomposeRecursive(grid, object, options, region.Child(1), depth_cap,
+                         stats, emit);
+      return;
+  }
+}
+
+int EffectiveDepthCap(const GridSpec& grid, const DecomposeOptions& options) {
+  if (options.max_depth < 0) return grid.total_bits();
+  return options.max_depth < grid.total_bits() ? options.max_depth
+                                               : grid.total_bits();
+}
+
+}  // namespace
+
+std::vector<ZValue> Decompose(const GridSpec& grid,
+                              const SpatialObject& object,
+                              const DecomposeOptions& options,
+                              DecomposeStats* stats) {
+  assert(grid.Valid());
+  assert(object.dims() == grid.dims);
+  std::vector<ZValue> elements;
+  DecomposeRecursive(grid, object, options, ZValue(),
+                     EffectiveDepthCap(grid, options), stats,
+                     [&](const ZValue& z, bool) { elements.push_back(z); });
+  return elements;
+}
+
+std::vector<TaggedElement> DecomposeTagged(const GridSpec& grid,
+                                           const SpatialObject& object,
+                                           const DecomposeOptions& options,
+                                           DecomposeStats* stats) {
+  assert(grid.Valid());
+  assert(object.dims() == grid.dims);
+  std::vector<TaggedElement> elements;
+  DecomposeRecursive(grid, object, options, ZValue(),
+                     EffectiveDepthCap(grid, options), stats,
+                     [&](const ZValue& z, bool boundary) {
+                       elements.push_back(TaggedElement{z, boundary});
+                     });
+  return elements;
+}
+
+std::vector<ZValue> DecomposeBox(const GridSpec& grid, const GridBox& box,
+                                 const DecomposeOptions& options,
+                                 DecomposeStats* stats) {
+  const geometry::BoxObject object(box);
+  return Decompose(grid, object, options, stats);
+}
+
+uint64_t CountElements(const GridSpec& grid, const SpatialObject& object,
+                       const DecomposeOptions& options) {
+  uint64_t count = 0;
+  DecomposeRecursive(grid, object, options, ZValue(),
+                     EffectiveDepthCap(grid, options), nullptr,
+                     [&](const ZValue&, bool) { ++count; });
+  return count;
+}
+
+uint64_t CoveredVolume(const GridSpec& grid,
+                       const std::vector<ZValue>& elements) {
+  uint64_t volume = 0;
+  for (const ZValue& z : elements) {
+    volume += 1ULL << (grid.total_bits() - z.length());
+  }
+  return volume;
+}
+
+}  // namespace probe::decompose

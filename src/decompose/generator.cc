@@ -1,0 +1,77 @@
+#include "decompose/generator.h"
+
+#include <cassert>
+
+#include "geometry/box.h"
+#include "zorder/shuffle.h"
+
+namespace probe::decompose {
+
+namespace {
+
+int EffectiveDepthCap(const zorder::GridSpec& grid,
+                      const DecomposeOptions& options) {
+  if (options.max_depth < 0) return grid.total_bits();
+  return options.max_depth < grid.total_bits() ? options.max_depth
+                                               : grid.total_bits();
+}
+
+}  // namespace
+
+ElementGenerator::ElementGenerator(const zorder::GridSpec& grid,
+                                   const geometry::SpatialObject& object,
+                                   const DecomposeOptions& options)
+    : grid_(grid),
+      object_(object),
+      options_(options),
+      depth_cap_(EffectiveDepthCap(grid, options)) {
+  assert(grid_.Valid());
+  assert(object_.dims() == grid_.dims);
+  stack_.push_back(zorder::ZValue());  // the whole space
+}
+
+bool ElementGenerator::Next(zorder::ZValue* out) { return Advance(0, out); }
+
+bool ElementGenerator::SeekForward(uint64_t target, zorder::ZValue* out) {
+  return Advance(target, out);
+}
+
+bool ElementGenerator::Advance(uint64_t target, zorder::ZValue* out) {
+  const int total = grid_.total_bits();
+  while (!stack_.empty()) {
+    const zorder::ZValue region = stack_.back();
+    stack_.pop_back();
+    // Random-access pruning: if the whole region precedes the target z
+    // value, no element inside it is of interest — and no classifier call
+    // is spent on it. This is the skip that makes the merge's running time
+    // proportional to the query's share of the space (Section 5.3).
+    if (target != 0 && region.RangeHi(total) < target) continue;
+    ++stats_.classify_calls;
+    const geometry::GridBox box(UnshuffleRegion(grid_, region));
+    switch (object_.Classify(box)) {
+      case geometry::RegionClass::kOutside:
+        continue;
+      case geometry::RegionClass::kInside:
+        ++stats_.elements;
+        *out = region;
+        return true;
+      case geometry::RegionClass::kCrossing:
+        if (region.length() >= depth_cap_) {
+          if (options_.include_boundary) {
+            ++stats_.elements;
+            ++stats_.boundary_elements;
+            *out = region;
+            return true;
+          }
+          continue;
+        }
+        // Push child 1 first so child 0 (earlier in z order) pops first.
+        stack_.push_back(region.Child(1));
+        stack_.push_back(region.Child(0));
+        continue;
+    }
+  }
+  return false;
+}
+
+}  // namespace probe::decompose

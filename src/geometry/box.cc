@@ -1,0 +1,83 @@
+#include "geometry/box.h"
+
+#include <algorithm>
+
+namespace probe::geometry {
+
+GridBox GridBox::Make2D(uint32_t xlo, uint32_t xhi, uint32_t ylo,
+                        uint32_t yhi) {
+  const zorder::DimRange ranges[2] = {{xlo, xhi}, {ylo, yhi}};
+  return GridBox(ranges);
+}
+
+GridBox GridBox::Make3D(uint32_t xlo, uint32_t xhi, uint32_t ylo, uint32_t yhi,
+                        uint32_t zlo, uint32_t zhi) {
+  const zorder::DimRange ranges[3] = {{xlo, xhi}, {ylo, yhi}, {zlo, zhi}};
+  return GridBox(ranges);
+}
+
+GridBox GridBox::FromPoint(const GridPoint& p) {
+  GridBox box;
+  box.dims_ = p.dims();
+  for (int i = 0; i < p.dims(); ++i) box.ranges_[i] = {p[i], p[i]};
+  return box;
+}
+
+uint64_t GridBox::Volume() const {
+  uint64_t v = 1;
+  for (int i = 0; i < dims_; ++i) v *= ranges_[i].width();
+  return v;
+}
+
+bool GridBox::ContainsPoint(const GridPoint& p) const {
+  assert(p.dims() == dims_);
+  for (int i = 0; i < dims_; ++i) {
+    if (p[i] < ranges_[i].lo || p[i] > ranges_[i].hi) return false;
+  }
+  return true;
+}
+
+bool GridBox::ContainsBox(const GridBox& other) const {
+  assert(other.dims_ == dims_);
+  for (int i = 0; i < dims_; ++i) {
+    if (other.ranges_[i].lo < ranges_[i].lo ||
+        other.ranges_[i].hi > ranges_[i].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool GridBox::Intersects(const GridBox& other) const {
+  assert(other.dims_ == dims_);
+  for (int i = 0; i < dims_; ++i) {
+    if (other.ranges_[i].hi < ranges_[i].lo ||
+        other.ranges_[i].lo > ranges_[i].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<GridBox> GridBox::Intersection(const GridBox& other) const {
+  if (!Intersects(other)) return std::nullopt;
+  GridBox out;
+  out.dims_ = dims_;
+  for (int i = 0; i < dims_; ++i) {
+    out.ranges_[i].lo = std::max(ranges_[i].lo, other.ranges_[i].lo);
+    out.ranges_[i].hi = std::min(ranges_[i].hi, other.ranges_[i].hi);
+  }
+  return out;
+}
+
+std::string GridBox::ToString() const {
+  std::string out;
+  for (int i = 0; i < dims_; ++i) {
+    if (i > 0) out += "x";
+    out += "[" + std::to_string(ranges_[i].lo) + "," +
+           std::to_string(ranges_[i].hi) + "]";
+  }
+  return out;
+}
+
+}  // namespace probe::geometry

@@ -1,0 +1,160 @@
+#include "geometry/csg.h"
+
+#include <cassert>
+
+namespace probe::geometry {
+
+UnionObject::UnionObject(
+    std::vector<std::shared_ptr<const SpatialObject>> parts)
+    : parts_(std::move(parts)) {
+  assert(!parts_.empty());
+  for ([[maybe_unused]] const auto& p : parts_) {
+    assert(p->dims() == parts_[0]->dims());
+  }
+}
+
+int UnionObject::dims() const { return parts_[0]->dims(); }
+
+RegionClass UnionObject::Classify(const GridBox& region) const {
+  bool all_outside = true;
+  for (const auto& part : parts_) {
+    switch (part->Classify(region)) {
+      case RegionClass::kInside:
+        return RegionClass::kInside;  // one covering child covers the union
+      case RegionClass::kCrossing:
+        all_outside = false;
+        break;
+      case RegionClass::kOutside:
+        break;
+    }
+  }
+  return all_outside ? RegionClass::kOutside : RegionClass::kCrossing;
+}
+
+bool UnionObject::ContainsCell(const GridPoint& p) const {
+  for (const auto& part : parts_) {
+    if (part->ContainsCell(p)) return true;
+  }
+  return false;
+}
+
+std::string UnionObject::Describe() const {
+  return "union of " + std::to_string(parts_.size()) + " objects";
+}
+
+IntersectionObject::IntersectionObject(
+    std::vector<std::shared_ptr<const SpatialObject>> parts)
+    : parts_(std::move(parts)) {
+  assert(!parts_.empty());
+  for ([[maybe_unused]] const auto& p : parts_) {
+    assert(p->dims() == parts_[0]->dims());
+  }
+}
+
+int IntersectionObject::dims() const { return parts_[0]->dims(); }
+
+RegionClass IntersectionObject::Classify(const GridBox& region) const {
+  bool all_inside = true;
+  for (const auto& part : parts_) {
+    switch (part->Classify(region)) {
+      case RegionClass::kOutside:
+        return RegionClass::kOutside;
+      case RegionClass::kCrossing:
+        all_inside = false;
+        break;
+      case RegionClass::kInside:
+        break;
+    }
+  }
+  return all_inside ? RegionClass::kInside : RegionClass::kCrossing;
+}
+
+bool IntersectionObject::ContainsCell(const GridPoint& p) const {
+  for (const auto& part : parts_) {
+    if (!part->ContainsCell(p)) return false;
+  }
+  return true;
+}
+
+std::string IntersectionObject::Describe() const {
+  return "intersection of " + std::to_string(parts_.size()) + " objects";
+}
+
+TranslatedObject::TranslatedObject(std::shared_ptr<const SpatialObject> base,
+                                   std::vector<int64_t> offset)
+    : base_(std::move(base)), offset_(std::move(offset)) {
+  assert(static_cast<int>(offset_.size()) == base_->dims());
+}
+
+bool TranslatedObject::ContainsCell(const GridPoint& p) const {
+  assert(p.dims() == dims());
+  GridPoint shifted = p;
+  for (int d = 0; d < dims(); ++d) {
+    const int64_t c = static_cast<int64_t>(p[d]) - offset_[d];
+    if (c < 0 || c > 0xFFFFFFFFll) return false;
+    shifted.at(d) = static_cast<uint32_t>(c);
+  }
+  return base_->ContainsCell(shifted);
+}
+
+RegionClass TranslatedObject::Classify(const GridBox& region) const {
+  assert(region.dims() == dims());
+  // Shift the region by -offset, clipping to the base's coordinate domain;
+  // the clipped-away part maps to no base cell and is therefore outside.
+  std::vector<zorder::DimRange> shifted(dims());
+  bool clipped = false;
+  for (int d = 0; d < dims(); ++d) {
+    const int64_t lo = static_cast<int64_t>(region.range(d).lo) - offset_[d];
+    const int64_t hi = static_cast<int64_t>(region.range(d).hi) - offset_[d];
+    if (hi < 0 || lo > 0xFFFFFFFFll) return RegionClass::kOutside;
+    if (lo < 0 || hi > 0xFFFFFFFFll) clipped = true;
+    shifted[d].lo = static_cast<uint32_t>(std::max<int64_t>(lo, 0));
+    shifted[d].hi =
+        static_cast<uint32_t>(std::min<int64_t>(hi, 0xFFFFFFFFll));
+  }
+  const RegionClass base_class = base_->Classify(GridBox(shifted));
+  if (base_class == RegionClass::kInside && clipped) {
+    // The in-domain part is inside, but clipped cells are outside.
+    return RegionClass::kCrossing;
+  }
+  return base_class;
+}
+
+std::string TranslatedObject::Describe() const {
+  std::string out = "translate(" + base_->Describe() + ") by (";
+  for (size_t d = 0; d < offset_.size(); ++d) {
+    if (d > 0) out += ", ";
+    out += std::to_string(offset_[d]);
+  }
+  return out + ")";
+}
+
+DifferenceObject::DifferenceObject(
+    std::shared_ptr<const SpatialObject> base,
+    std::shared_ptr<const SpatialObject> subtrahend)
+    : base_(std::move(base)), subtrahend_(std::move(subtrahend)) {
+  assert(base_->dims() == subtrahend_->dims());
+}
+
+RegionClass DifferenceObject::Classify(const GridBox& region) const {
+  const RegionClass base_class = base_->Classify(region);
+  if (base_class == RegionClass::kOutside) return RegionClass::kOutside;
+  const RegionClass sub_class = subtrahend_->Classify(region);
+  if (sub_class == RegionClass::kInside) return RegionClass::kOutside;
+  if (base_class == RegionClass::kInside &&
+      sub_class == RegionClass::kOutside) {
+    return RegionClass::kInside;
+  }
+  return RegionClass::kCrossing;
+}
+
+bool DifferenceObject::ContainsCell(const GridPoint& p) const {
+  return base_->ContainsCell(p) && !subtrahend_->ContainsCell(p);
+}
+
+std::string DifferenceObject::Describe() const {
+  return "difference (" + base_->Describe() + ") minus (" +
+         subtrahend_->Describe() + ")";
+}
+
+}  // namespace probe::geometry

@@ -1,0 +1,91 @@
+#ifndef PROBE_GEOMETRY_CSG_H_
+#define PROBE_GEOMETRY_CSG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/object.h"
+
+/// \file
+/// Composite (CSG) spatial objects.
+///
+/// Set operations over classifiers compose exactly for the inside/outside
+/// verdicts and conservatively for crossing, which is all the decomposer
+/// needs. These composites let the examples model realistic shapes (a lake
+/// with an island, a machined part with holes) without new primitives, and
+/// they are the substrate for the solid-modeling use of Section 6.
+
+namespace probe::geometry {
+
+/// Union of one or more objects: a cell is inside iff inside any child.
+class UnionObject final : public SpatialObject {
+ public:
+  explicit UnionObject(std::vector<std::shared_ptr<const SpatialObject>> parts);
+
+  int dims() const override;
+  RegionClass Classify(const GridBox& region) const override;
+  bool ContainsCell(const GridPoint& p) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::shared_ptr<const SpatialObject>> parts_;
+};
+
+/// Intersection of one or more objects.
+class IntersectionObject final : public SpatialObject {
+ public:
+  explicit IntersectionObject(
+      std::vector<std::shared_ptr<const SpatialObject>> parts);
+
+  int dims() const override;
+  RegionClass Classify(const GridBox& region) const override;
+  bool ContainsCell(const GridPoint& p) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::shared_ptr<const SpatialObject>> parts_;
+};
+
+/// A rigid translation of another object by an integer cell offset.
+///
+/// Lets one geometry be tested at many positions without rebuilding —
+/// e.g. sweeping a CAD part along a path and interference-checking each
+/// pose. Cells that would map outside the base object's coordinate domain
+/// are outside the translated object.
+class TranslatedObject final : public SpatialObject {
+ public:
+  /// `offset` has one (possibly negative) entry per dimension: the
+  /// translated object occupies cell c iff base occupies c - offset.
+  TranslatedObject(std::shared_ptr<const SpatialObject> base,
+                   std::vector<int64_t> offset);
+
+  int dims() const override { return base_->dims(); }
+  RegionClass Classify(const GridBox& region) const override;
+  bool ContainsCell(const GridPoint& p) const override;
+  std::string Describe() const override;
+
+ private:
+  std::shared_ptr<const SpatialObject> base_;
+  std::vector<int64_t> offset_;
+};
+
+/// Difference base \ subtrahend.
+class DifferenceObject final : public SpatialObject {
+ public:
+  DifferenceObject(std::shared_ptr<const SpatialObject> base,
+                   std::shared_ptr<const SpatialObject> subtrahend);
+
+  int dims() const override { return base_->dims(); }
+  RegionClass Classify(const GridBox& region) const override;
+  bool ContainsCell(const GridPoint& p) const override;
+  std::string Describe() const override;
+
+ private:
+  std::shared_ptr<const SpatialObject> base_;
+  std::shared_ptr<const SpatialObject> subtrahend_;
+};
+
+}  // namespace probe::geometry
+
+#endif  // PROBE_GEOMETRY_CSG_H_

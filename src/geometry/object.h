@@ -1,0 +1,58 @@
+#ifndef PROBE_GEOMETRY_OBJECT_H_
+#define PROBE_GEOMETRY_OBJECT_H_
+
+#include <string>
+
+#include "geometry/box.h"
+
+/// \file
+/// The classifier interface that drives decomposition.
+///
+/// Section 3.1: the decomposition algorithm for boxes "generalizes
+/// immediately to an algorithm for the decomposition of arbitrary spatial
+/// objects. All that is required is a procedure that indicates whether a
+/// given element is inside a given spatial object, outside the object, or
+/// crosses the boundary of the object." SpatialObject is that procedure.
+
+namespace probe::geometry {
+
+/// Relation of a candidate grid region to a spatial object.
+enum class RegionClass {
+  /// Every cell of the region is inside (or on the boundary of) the object.
+  kInside,
+  /// No cell of the region is inside the object.
+  kOutside,
+  /// The region contains both inside and outside cells.
+  kCrossing,
+};
+
+/// A k-dimensional spatial object, approximated on the grid by noting which
+/// cells lie inside or on its boundary (Section 3.1).
+///
+/// Implementations may classify conservatively: reporting kCrossing for a
+/// region that is in fact wholly inside or outside is allowed (it only
+/// costs extra splitting), but kInside/kOutside must be exact.
+class SpatialObject {
+ public:
+  virtual ~SpatialObject() = default;
+
+  /// Dimensionality of the object.
+  virtual int dims() const = 0;
+
+  /// Classifies the axis-aligned region against the object.
+  virtual RegionClass Classify(const GridBox& region) const = 0;
+
+  /// True iff the single cell at `p` is inside or on the boundary. The
+  /// default routes through Classify on a one-cell box; implementations may
+  /// override with something cheaper.
+  virtual bool ContainsCell(const GridPoint& p) const {
+    return Classify(GridBox::FromPoint(p)) == RegionClass::kInside;
+  }
+
+  /// Human-readable description for traces and examples.
+  virtual std::string Describe() const = 0;
+};
+
+}  // namespace probe::geometry
+
+#endif  // PROBE_GEOMETRY_OBJECT_H_

@@ -1,0 +1,15 @@
+#include "geometry/point.h"
+
+namespace probe::geometry {
+
+std::string GridPoint::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < dims_; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(coords_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace probe::geometry

@@ -1,0 +1,77 @@
+#ifndef PROBE_GEOMETRY_POINT_H_
+#define PROBE_GEOMETRY_POINT_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+
+/// \file
+/// Grid points: tuples viewed as pixels (Section 2).
+///
+/// "If each attribute is an integer, then a tuple can be viewed as a point
+/// in k-dimensional space or as a pixel in a k-dimensional grid." GridPoint
+/// is that view: up to 8 integer coordinates, one per attribute/axis.
+
+namespace probe::geometry {
+
+/// A point on a k-dimensional grid, k <= 8. Coordinates are cell indices.
+class GridPoint {
+ public:
+  static constexpr int kMaxDims = 8;
+
+  GridPoint() : dims_(0) { coords_.fill(0); }
+
+  /// Constructs from an explicit coordinate list, e.g. GridPoint({3, 5}).
+  GridPoint(std::initializer_list<uint32_t> coords) : dims_(0) {
+    coords_.fill(0);
+    assert(coords.size() <= kMaxDims);
+    for (uint32_t c : coords) coords_[dims_++] = c;
+  }
+
+  /// Constructs from a span of coordinates.
+  explicit GridPoint(std::span<const uint32_t> coords) : dims_(0) {
+    coords_.fill(0);
+    assert(coords.size() <= kMaxDims);
+    for (uint32_t c : coords) coords_[dims_++] = c;
+  }
+
+  int dims() const { return dims_; }
+
+  uint32_t operator[](int i) const {
+    assert(i >= 0 && i < dims_);
+    return coords_[i];
+  }
+
+  /// Mutable coordinate access.
+  uint32_t& at(int i) {
+    assert(i >= 0 && i < dims_);
+    return coords_[i];
+  }
+
+  /// View of the live coordinates.
+  std::span<const uint32_t> coords() const {
+    return std::span<const uint32_t>(coords_.data(), dims_);
+  }
+
+  /// Renders as "(x, y, ...)".
+  std::string ToString() const;
+
+  friend bool operator==(const GridPoint& a, const GridPoint& b) {
+    if (a.dims_ != b.dims_) return false;
+    for (int i = 0; i < a.dims_; ++i) {
+      if (a.coords_[i] != b.coords_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<uint32_t, kMaxDims> coords_;
+  int dims_;
+};
+
+}  // namespace probe::geometry
+
+#endif  // PROBE_GEOMETRY_POINT_H_

@@ -1,0 +1,92 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace probe::geometry {
+
+PolygonObject::PolygonObject(std::vector<Vec2> vertices)
+    : vertices_(std::move(vertices)) {
+  assert(vertices_.size() >= 3);
+}
+
+bool PolygonObject::ContainsContinuous(double x, double y) const {
+  // Even-odd rule: count crossings of a ray going in +x from (x, y).
+  bool inside = false;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2& vi = vertices_[i];
+    const Vec2& vj = vertices_[j];
+    const bool straddles = (vi.y > y) != (vj.y > y);
+    if (straddles) {
+      const double x_cross = (vj.x - vi.x) * (y - vi.y) / (vj.y - vi.y) + vi.x;
+      if (x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool PolygonObject::ContainsCell(const GridPoint& p) const {
+  assert(p.dims() == 2);
+  return ContainsContinuous(static_cast<double>(p[0]) + 0.5,
+                            static_cast<double>(p[1]) + 0.5);
+}
+
+bool SegmentIntersectsRect(Vec2 a, Vec2 b, double xlo, double xhi, double ylo,
+                           double yhi) {
+  // Slab (Liang-Barsky style) clipping of the parametric segment against
+  // each axis interval; the segment hits the rectangle iff a nonempty
+  // parameter interval survives.
+  double t0 = 0.0;
+  double t1 = 1.0;
+  const double d[2] = {b.x - a.x, b.y - a.y};
+  const double p0[2] = {a.x, a.y};
+  const double lo[2] = {xlo, ylo};
+  const double hi[2] = {xhi, yhi};
+  for (int axis = 0; axis < 2; ++axis) {
+    if (d[axis] == 0.0) {
+      if (p0[axis] < lo[axis] || p0[axis] > hi[axis]) return false;
+      continue;
+    }
+    double ta = (lo[axis] - p0[axis]) / d[axis];
+    double tb = (hi[axis] - p0[axis]) / d[axis];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+RegionClass PolygonObject::Classify(const GridBox& region) const {
+  assert(region.dims() == 2);
+  // Cell centers of the region span this rectangle. If no polygon edge
+  // meets it, all centers are on the same side of the boundary, and one
+  // representative decides the whole region. Otherwise report kCrossing —
+  // conservative (the edge might slip between centers) but safe: it only
+  // causes further splitting, never a wrong element.
+  const double xlo = static_cast<double>(region.range(0).lo) + 0.5;
+  const double xhi = static_cast<double>(region.range(0).hi) + 0.5;
+  const double ylo = static_cast<double>(region.range(1).lo) + 0.5;
+  const double yhi = static_cast<double>(region.range(1).hi) + 0.5;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    if (SegmentIntersectsRect(vertices_[j], vertices_[i], xlo, xhi, ylo,
+                              yhi)) {
+      if (region.Volume() == 1) {
+        // A single cell cannot be split further; decide by its center.
+        return ContainsContinuous(xlo, ylo) ? RegionClass::kInside
+                                            : RegionClass::kOutside;
+      }
+      return RegionClass::kCrossing;
+    }
+  }
+  return ContainsContinuous(xlo, ylo) ? RegionClass::kInside
+                                      : RegionClass::kOutside;
+}
+
+std::string PolygonObject::Describe() const {
+  return "polygon with " + std::to_string(vertices_.size()) + " vertices";
+}
+
+}  // namespace probe::geometry

@@ -1,0 +1,54 @@
+#ifndef PROBE_GEOMETRY_POLYGON_H_
+#define PROBE_GEOMETRY_POLYGON_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/object.h"
+
+/// \file
+/// Simple polygons over the 2-d grid.
+///
+/// Polygons are the workhorse of the geographic applications that motivate
+/// the paper (cartography, polygon overlay in Section 6). A cell belongs to
+/// the polygon when its center is inside (even-odd rule) — the grid
+/// approximation of Section 3.1.
+
+namespace probe::geometry {
+
+/// A 2-d point in continuous cell coordinates.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A simple (non-self-intersecting) polygon; vertices in order, implicitly
+/// closed. Membership of a grid cell is decided by its center under the
+/// even-odd rule, so non-convex polygons work.
+class PolygonObject final : public SpatialObject {
+ public:
+  /// Requires at least 3 vertices.
+  explicit PolygonObject(std::vector<Vec2> vertices);
+
+  int dims() const override { return 2; }
+  RegionClass Classify(const GridBox& region) const override;
+  bool ContainsCell(const GridPoint& p) const override;
+  std::string Describe() const override;
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+
+  /// Even-odd point-in-polygon test on continuous coordinates.
+  bool ContainsContinuous(double x, double y) const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+/// True iff the closed segment (a, b) intersects the closed axis-aligned
+/// rectangle [xlo, xhi] x [ylo, yhi]. Exposed for testing.
+bool SegmentIntersectsRect(Vec2 a, Vec2 b, double xlo, double xhi, double ylo,
+                           double yhi);
+
+}  // namespace probe::geometry
+
+#endif  // PROBE_GEOMETRY_POLYGON_H_

@@ -1,0 +1,195 @@
+#include "geometry/primitives.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace probe::geometry {
+
+RegionClass BoxObject::Classify(const GridBox& region) const {
+  if (box_.ContainsBox(region)) return RegionClass::kInside;
+  if (!box_.Intersects(region)) return RegionClass::kOutside;
+  return RegionClass::kCrossing;
+}
+
+BallObject::BallObject(std::vector<double> center, double radius)
+    : center_(std::move(center)), radius_(radius) {
+  assert(radius_ >= 0.0);
+  assert(!center_.empty() &&
+         center_.size() <= static_cast<size_t>(GridPoint::kMaxDims));
+}
+
+bool BallObject::ContainsCell(const GridPoint& p) const {
+  assert(p.dims() == dims());
+  double dist2 = 0.0;
+  for (int i = 0; i < dims(); ++i) {
+    const double d = (static_cast<double>(p[i]) + 0.5) - center_[i];
+    dist2 += d * d;
+  }
+  return dist2 <= radius_ * radius_;
+}
+
+RegionClass BallObject::Classify(const GridBox& region) const {
+  assert(region.dims() == dims());
+  // Distance from the center to the nearest and farthest cell centers of
+  // the region decide the classification exactly (membership is defined on
+  // cell centers).
+  double near2 = 0.0;
+  double far2 = 0.0;
+  for (int i = 0; i < dims(); ++i) {
+    const double lo = static_cast<double>(region.range(i).lo) + 0.5;
+    const double hi = static_cast<double>(region.range(i).hi) + 0.5;
+    const double c = center_[i];
+    const double near_d = c < lo ? lo - c : (c > hi ? c - hi : 0.0);
+    const double far_d = std::max(std::abs(c - lo), std::abs(c - hi));
+    near2 += near_d * near_d;
+    far2 += far_d * far_d;
+  }
+  const double r2 = radius_ * radius_;
+  if (far2 <= r2) return RegionClass::kInside;
+  if (near2 > r2) return RegionClass::kOutside;
+  return RegionClass::kCrossing;
+}
+
+std::string BallObject::Describe() const {
+  std::string out = "ball r=" + std::to_string(radius_) + " at (";
+  for (size_t i = 0; i < center_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(center_[i]);
+  }
+  return out + ")";
+}
+
+CapsuleObject::CapsuleObject(std::vector<double> a, std::vector<double> b,
+                             double radius)
+    : a_(std::move(a)), b_(std::move(b)), radius_(radius) {
+  assert(!a_.empty() && a_.size() == b_.size());
+  assert(a_.size() <= static_cast<size_t>(GridPoint::kMaxDims));
+  assert(radius_ >= 0.0);
+}
+
+double CapsuleObject::SegmentDistance2(const double* p) const {
+  double seg_len2 = 0.0;
+  double dot = 0.0;
+  for (size_t d = 0; d < a_.size(); ++d) {
+    const double dir = b_[d] - a_[d];
+    seg_len2 += dir * dir;
+    dot += (p[d] - a_[d]) * dir;
+  }
+  const double t =
+      seg_len2 > 0 ? std::clamp(dot / seg_len2, 0.0, 1.0) : 0.0;
+  double dist2 = 0.0;
+  for (size_t d = 0; d < a_.size(); ++d) {
+    const double delta = p[d] - (a_[d] + t * (b_[d] - a_[d]));
+    dist2 += delta * delta;
+  }
+  return dist2;
+}
+
+bool CapsuleObject::ContainsCell(const GridPoint& p) const {
+  assert(p.dims() == dims());
+  double center[GridPoint::kMaxDims];
+  for (int d = 0; d < dims(); ++d) {
+    center[d] = static_cast<double>(p[d]) + 0.5;
+  }
+  return SegmentDistance2(center) <= radius_ * radius_;
+}
+
+RegionClass CapsuleObject::Classify(const GridBox& region) const {
+  assert(region.dims() == dims());
+  const int k = dims();
+  const double r2 = radius_ * radius_;
+
+  // Far distance: dist-to-segment is convex in the point, so its maximum
+  // over the center rectangle is attained at a corner.
+  double far2 = 0.0;
+  for (uint32_t mask = 0; mask < (1u << k); ++mask) {
+    double corner[GridPoint::kMaxDims];
+    for (int d = 0; d < k; ++d) {
+      corner[d] = static_cast<double>((mask >> d) & 1 ? region.range(d).hi
+                                                      : region.range(d).lo) +
+                  0.5;
+    }
+    far2 = std::max(far2, SegmentDistance2(corner));
+  }
+  if (far2 <= r2) return RegionClass::kInside;
+
+  // Near distance: minimize g(t) = dist2(segment(t), rect) — convex in t
+  // (affine path into a convex distance), so ternary search is exact up to
+  // the iteration tolerance.
+  auto rect_dist2_at = [&](double t) {
+    double dist2 = 0.0;
+    for (int d = 0; d < k; ++d) {
+      const double s = a_[d] + t * (b_[d] - a_[d]);
+      const double lo = static_cast<double>(region.range(d).lo) + 0.5;
+      const double hi = static_cast<double>(region.range(d).hi) + 0.5;
+      const double gap = s < lo ? lo - s : (s > hi ? s - hi : 0.0);
+      dist2 += gap * gap;
+    }
+    return dist2;
+  };
+  double lo_t = 0.0;
+  double hi_t = 1.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double m1 = lo_t + (hi_t - lo_t) / 3.0;
+    const double m2 = hi_t - (hi_t - lo_t) / 3.0;
+    if (rect_dist2_at(m1) <= rect_dist2_at(m2)) {
+      hi_t = m2;
+    } else {
+      lo_t = m1;
+    }
+  }
+  const double near2 = rect_dist2_at((lo_t + hi_t) / 2.0);
+  if (near2 > r2) return RegionClass::kOutside;
+  return RegionClass::kCrossing;
+}
+
+std::string CapsuleObject::Describe() const {
+  return "capsule r=" + std::to_string(radius_) + " between (" +
+         std::to_string(a_[0]) + ",...) and (" + std::to_string(b_[0]) +
+         ",...)";
+}
+
+HalfSpaceObject::HalfSpaceObject(std::vector<double> normal, double offset)
+    : normal_(std::move(normal)), offset_(offset) {
+  assert(!normal_.empty() &&
+         normal_.size() <= static_cast<size_t>(GridPoint::kMaxDims));
+}
+
+bool HalfSpaceObject::ContainsCell(const GridPoint& p) const {
+  assert(p.dims() == dims());
+  double dot = 0.0;
+  for (int i = 0; i < dims(); ++i) {
+    dot += normal_[i] * (static_cast<double>(p[i]) + 0.5);
+  }
+  return dot <= offset_;
+}
+
+RegionClass HalfSpaceObject::Classify(const GridBox& region) const {
+  assert(region.dims() == dims());
+  // The dot product over the region's cell centers attains its extremes at
+  // corners: pick per-dimension min/max according to the normal's sign.
+  double min_dot = 0.0;
+  double max_dot = 0.0;
+  for (int i = 0; i < dims(); ++i) {
+    const double lo = static_cast<double>(region.range(i).lo) + 0.5;
+    const double hi = static_cast<double>(region.range(i).hi) + 0.5;
+    const double a = normal_[i];
+    min_dot += a * (a >= 0 ? lo : hi);
+    max_dot += a * (a >= 0 ? hi : lo);
+  }
+  if (max_dot <= offset_) return RegionClass::kInside;
+  if (min_dot > offset_) return RegionClass::kOutside;
+  return RegionClass::kCrossing;
+}
+
+std::string HalfSpaceObject::Describe() const {
+  std::string out = "halfspace ";
+  for (size_t i = 0; i < normal_.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += std::to_string(normal_[i]) + "*x" + std::to_string(i);
+  }
+  return out + " <= " + std::to_string(offset_);
+}
+
+}  // namespace probe::geometry

@@ -1,0 +1,96 @@
+#ifndef PROBE_GEOMETRY_PRIMITIVES_H_
+#define PROBE_GEOMETRY_PRIMITIVES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "geometry/object.h"
+
+/// \file
+/// Primitive spatial objects: boxes, balls, and half-spaces.
+///
+/// Boxes are the paper's canonical decomposition target (Figure 2 and the
+/// range-search reduction); balls and half-spaces exercise the "arbitrary
+/// spatial object" claim and feed the Section 6 algorithms.
+
+namespace probe::geometry {
+
+/// An axis-aligned box object: the query region of a range query.
+class BoxObject final : public SpatialObject {
+ public:
+  explicit BoxObject(const GridBox& box) : box_(box) {}
+
+  int dims() const override { return box_.dims(); }
+  RegionClass Classify(const GridBox& region) const override;
+  bool ContainsCell(const GridPoint& p) const override {
+    return box_.ContainsPoint(p);
+  }
+  std::string Describe() const override { return "box " + box_.ToString(); }
+
+  const GridBox& box() const { return box_; }
+
+ private:
+  GridBox box_;
+};
+
+/// A k-dimensional ball: cells whose centers lie within `radius` of the
+/// center point (coordinates in cell units; cell (i,...) has center
+/// (i+0.5,...)).
+class BallObject final : public SpatialObject {
+ public:
+  /// `center` and `radius` are in continuous cell coordinates.
+  BallObject(std::vector<double> center, double radius);
+
+  int dims() const override { return static_cast<int>(center_.size()); }
+  RegionClass Classify(const GridBox& region) const override;
+  bool ContainsCell(const GridPoint& p) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<double> center_;
+  double radius_;
+};
+
+/// A capsule: all cells whose centers lie within `radius` of the segment
+/// from `a` to `b` (continuous cell coordinates). The natural model for
+/// linear features with width — roads, rivers, wire traces — in the
+/// cartographic applications the paper targets.
+class CapsuleObject final : public SpatialObject {
+ public:
+  /// Endpoints and radius in continuous cell coordinates; any dimension
+  /// (endpoints must agree in size).
+  CapsuleObject(std::vector<double> a, std::vector<double> b, double radius);
+
+  int dims() const override { return static_cast<int>(a_.size()); }
+  RegionClass Classify(const GridBox& region) const override;
+  bool ContainsCell(const GridPoint& p) const override;
+  std::string Describe() const override;
+
+ private:
+  // Squared distance from point `p` (size dims) to the segment.
+  double SegmentDistance2(const double* p) const;
+
+  std::vector<double> a_;
+  std::vector<double> b_;
+  double radius_;
+};
+
+/// A half-space a . x <= b over continuous cell-center coordinates.
+class HalfSpaceObject final : public SpatialObject {
+ public:
+  HalfSpaceObject(std::vector<double> normal, double offset);
+
+  int dims() const override { return static_cast<int>(normal_.size()); }
+  RegionClass Classify(const GridBox& region) const override;
+  bool ContainsCell(const GridPoint& p) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<double> normal_;
+  double offset_;
+};
+
+}  // namespace probe::geometry
+
+#endif  // PROBE_GEOMETRY_PRIMITIVES_H_

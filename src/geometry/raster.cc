@@ -1,0 +1,65 @@
+#include "geometry/raster.h"
+
+#include <cassert>
+
+namespace probe::geometry {
+
+namespace {
+
+// Invokes fn(point) for every cell of the grid in row-major order.
+template <typename Fn>
+void ForEachCell(const zorder::GridSpec& grid, Fn&& fn) {
+  assert(grid.total_bits() <= 24);
+  const int k = grid.dims;
+  const uint32_t side = static_cast<uint32_t>(grid.side());
+  std::vector<uint32_t> coords(k, 0);
+  for (;;) {
+    fn(GridPoint(std::span<const uint32_t>(coords)));
+    int axis = k - 1;
+    while (axis >= 0) {
+      if (++coords[axis] < side) break;
+      coords[axis] = 0;
+      --axis;
+    }
+    if (axis < 0) return;
+  }
+}
+
+}  // namespace
+
+std::vector<GridPoint> Rasterize(const zorder::GridSpec& grid,
+                                 const SpatialObject& object) {
+  assert(object.dims() == grid.dims);
+  std::vector<GridPoint> cells;
+  ForEachCell(grid, [&](const GridPoint& p) {
+    if (object.ContainsCell(p)) cells.push_back(p);
+  });
+  return cells;
+}
+
+uint64_t RasterVolume(const zorder::GridSpec& grid,
+                      const SpatialObject& object) {
+  uint64_t count = 0;
+  ForEachCell(grid, [&](const GridPoint& p) {
+    if (object.ContainsCell(p)) ++count;
+  });
+  return count;
+}
+
+std::string RasterArt(const zorder::GridSpec& grid,
+                      const SpatialObject& object) {
+  assert(grid.dims == 2);
+  assert(grid.side() <= 128);
+  const uint32_t side = static_cast<uint32_t>(grid.side());
+  std::string out;
+  out.reserve((side + 1) * side);
+  for (uint32_t row = side; row-- > 0;) {
+    for (uint32_t col = 0; col < side; ++col) {
+      out.push_back(object.ContainsCell(GridPoint({col, row})) ? '#' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace probe::geometry

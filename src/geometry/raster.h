@@ -1,0 +1,41 @@
+#ifndef PROBE_GEOMETRY_RASTER_H_
+#define PROBE_GEOMETRY_RASTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/object.h"
+#include "zorder/grid.h"
+
+/// \file
+/// Explicit grid rasterization — the reference the paper's techniques
+/// optimize away.
+///
+/// Section 2: "It is not feasible to store high-resolution grids
+/// explicitly. The space and time requirements are too high." We keep an
+/// explicit rasterizer anyway, as ground truth for decomposition tests and
+/// as the baseline whose cost scales with *volume* where AG scales with
+/// *surface area* (Section 5.1).
+
+namespace probe::geometry {
+
+/// All cells of the grid inside `object`, in row-major order. Intended for
+/// small grids: requires grid.total_bits() <= 24.
+std::vector<GridPoint> Rasterize(const zorder::GridSpec& grid,
+                                 const SpatialObject& object);
+
+/// Number of cells inside `object` (the object's pixel volume), computed by
+/// explicit scan. Requires grid.total_bits() <= 24.
+uint64_t RasterVolume(const zorder::GridSpec& grid,
+                      const SpatialObject& object);
+
+/// ASCII art of a 2-d object on its grid ('#' inside, '.' outside), row
+/// y = side-1 first so the origin is bottom-left as in the paper's figures.
+/// Requires a 2-d grid with side <= 128.
+std::string RasterArt(const zorder::GridSpec& grid,
+                      const SpatialObject& object);
+
+}  // namespace probe::geometry
+
+#endif  // PROBE_GEOMETRY_RASTER_H_

@@ -1,0 +1,81 @@
+#include "index/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "decompose/decomposer.h"
+
+namespace probe::index {
+
+CostModel CostModel::FromIndex(const ZkdIndex& index) {
+  CostModel model;
+  model.grid_ = index.grid();
+  const int total = model.grid_.total_bits();
+  for (const auto& leaf : index.LeafPartitions()) {
+    model.first_keys_.push_back(leaf.first_key.ToZValue().RangeLo(total));
+  }
+  return model;
+}
+
+CostModel::Estimate CostModel::EstimatePages(const geometry::GridBox& box,
+                                             int max_element_depth) const {
+  Estimate estimate;
+  estimate.full_depth =
+      max_element_depth < 0 || max_element_depth >= grid_.total_bits();
+  if (first_keys_.empty()) return estimate;
+
+  // Decompose (CPU only) and coalesce elements into maximal z runs.
+  decompose::DecomposeOptions options;
+  options.max_depth = max_element_depth;
+  const auto elements = decompose::DecomposeBox(grid_, box, options);
+  estimate.elements_used = elements.size();
+  const int total = grid_.total_bits();
+  struct Run {
+    uint64_t lo;
+    uint64_t hi;
+  };
+  std::vector<Run> runs;
+  for (const auto& e : elements) {
+    const uint64_t lo = e.RangeLo(total);
+    const uint64_t hi = e.RangeHi(total);
+    if (!runs.empty() && runs.back().hi + 1 == lo) {
+      runs.back().hi = hi;
+    } else {
+      runs.push_back(Run{lo, hi});
+    }
+  }
+
+  // Leaf i owns the key interval [start_i, start_{i+1}) where start_0 is
+  // pulled down to 0 (a seek below the first key lands on leaf 0) and the
+  // last interval is open-ended. Two-pointer sweep over sorted runs.
+  const size_t n = first_keys_.size();
+  auto start_of = [&](size_t i) -> uint64_t {
+    return i == 0 ? 0 : first_keys_[i];
+  };
+  auto end_exclusive = [&](size_t i) -> uint64_t {
+    // ~0 stands in for "end of space" (intervals never reach it in use).
+    return i + 1 < n ? first_keys_[i + 1] : ~0ULL;
+  };
+
+  size_t leaf = 0;
+  size_t last_counted = n;  // sentinel: nothing counted yet
+  for (const Run& run : runs) {
+    // Skip leaves entirely before the run.
+    while (leaf + 1 < n && end_exclusive(leaf) <= run.lo) ++leaf;
+    // Count all leaves intersecting [run.lo, run.hi].
+    size_t k = leaf;
+    while (k < n && start_of(k) <= run.hi) {
+      if (end_exclusive(k) > run.lo) {
+        if (last_counted != k) {
+          ++estimate.pages;
+          last_counted = k;
+        }
+      }
+      ++k;
+    }
+    if (k > leaf) leaf = k - 1;  // the next run may share leaf k-1
+  }
+  return estimate;
+}
+
+}  // namespace probe::index

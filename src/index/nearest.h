@@ -1,0 +1,68 @@
+#ifndef PROBE_INDEX_NEAREST_H_
+#define PROBE_INDEX_NEAREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "index/zkd_index.h"
+
+/// \file
+/// Proximity queries on the zkd index (Section 6).
+///
+/// "Proximity queries can often be translated into containment or overlap
+/// queries." Two translations are provided:
+///
+///  * WithinDistance — the direct one: points within distance r of q are
+///    the points inside a ball object, answered by the ordinary
+///    decompose-and-merge search.
+///  * KNearest — when r is not known in advance: a best-first search over
+///    z-prefix regions. Regions (elements-to-be) are expanded in order of
+///    their minimum distance to the query point; when a region is small
+///    enough, its points are fetched from the B+-tree by one z-range scan
+///    (a region is a run of consecutive z values, so the fetch is
+///    sequential). The search stops when the nearest unexplored region is
+///    farther than the current k-th best point.
+
+namespace probe::index {
+
+/// One k-NN result.
+struct Neighbor {
+  uint64_t id = 0;
+  /// Squared Euclidean distance between cell coordinates.
+  uint64_t distance2 = 0;
+};
+
+/// Work counters for one k-NN search.
+struct NearestStats {
+  uint64_t regions_expanded = 0;
+  uint64_t range_scans = 0;
+  uint64_t points_examined = 0;
+  uint64_t leaf_pages = 0;
+  uint64_t internal_pages = 0;
+};
+
+/// Options for KNearest.
+struct NearestOptions {
+  /// A region is scanned (rather than split) once it has at most this
+  /// many cells. Smaller values mean more, tighter scans.
+  uint64_t scan_cell_threshold = 1024;
+};
+
+/// The k nearest stored points to `query` (ties broken by id), closest
+/// first. Returns fewer than k if the index holds fewer points.
+std::vector<Neighbor> KNearest(const ZkdIndex& index,
+                               const geometry::GridPoint& query, size_t k,
+                               NearestStats* stats = nullptr,
+                               const NearestOptions& options = {});
+
+/// Ids of points within Euclidean distance `radius` of `query` (inclusive),
+/// via the ball-overlap translation.
+std::vector<uint64_t> WithinDistance(const ZkdIndex& index,
+                                     const geometry::GridPoint& query,
+                                     double radius,
+                                     QueryStats* stats = nullptr);
+
+}  // namespace probe::index
+
+#endif  // PROBE_INDEX_NEAREST_H_

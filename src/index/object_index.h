@@ -1,0 +1,100 @@
+#ifndef PROBE_INDEX_OBJECT_INDEX_H_
+#define PROBE_INDEX_OBJECT_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "decompose/decomposer.h"
+#include "geometry/box.h"
+#include "geometry/object.h"
+#include "zorder/grid.h"
+
+/// \file
+/// An index of *spatial objects* (not points): the persistent half of the
+/// paper's spatial join.
+///
+/// Section 4's scenario stores decomposed objects in relations; when one
+/// side of `R[zr <> zs]S` is a stored relation, its element sequence
+/// should come from an index rather than a scan. ZkdObjectIndex keeps the
+/// elements of many objects in one prefix B+-tree (key = element z value,
+/// payload = object id). An overlap query decomposes the probe object
+/// lazily and merges it against the tree with the same two-sided skipping
+/// as point range search — plus one twist: elements in the tree that
+/// *contain* the probe region precede it in z order, so the merge also
+/// checks the O(total bits) prefixes of each probe element with point
+/// lookups (the "parents" a nesting stack would have seen).
+
+namespace probe::index {
+
+/// Work counters for one object-index query.
+struct ObjectQueryStats {
+  uint64_t leaf_pages = 0;
+  uint64_t internal_pages = 0;
+  uint64_t entries_scanned = 0;
+  uint64_t probe_elements = 0;
+  uint64_t prefix_lookups = 0;
+  uint64_t result_objects = 0;
+};
+
+/// Index mapping element z values to object ids.
+class ZkdObjectIndex {
+ public:
+  /// The pool must outlive the index.
+  ZkdObjectIndex(const zorder::GridSpec& grid, storage::BufferPool* pool,
+                 const btree::BTreeConfig& config = {});
+
+  /// Decomposes `object` and stores its elements under `id`. Returns the
+  /// number of elements inserted. The same id may be inserted once only
+  /// (delete first to re-insert a moved object).
+  uint64_t Insert(uint64_t id, const geometry::SpatialObject& object,
+                  const decompose::DecomposeOptions& options = {});
+
+  /// Removes the elements previously inserted for `id`. The object's
+  /// geometry must be re-supplied (the index stores only elements).
+  /// Returns the number of elements removed.
+  uint64_t Remove(uint64_t id, const geometry::SpatialObject& object,
+                  const decompose::DecomposeOptions& options = {});
+
+  /// Ids of all stored objects whose decomposition overlaps `probe`
+  /// (deduplicated, ascending). `options` control the probe object's
+  /// decomposition only.
+  std::vector<uint64_t> QueryOverlapping(
+      const geometry::SpatialObject& probe, ObjectQueryStats* stats = nullptr,
+      const decompose::DecomposeOptions& options = {}) const;
+
+  /// Convenience: objects overlapping a box (window query).
+  std::vector<uint64_t> QueryBox(const geometry::GridBox& box,
+                                 ObjectQueryStats* stats = nullptr) const;
+
+  /// Ids of objects whose decomposition covers the single cell at `point`
+  /// (a stabbing query): exactly the elements whose z value is a prefix of
+  /// the point's.
+  std::vector<uint64_t> QueryPoint(const geometry::GridPoint& point,
+                                   ObjectQueryStats* stats = nullptr) const;
+
+  /// Ids of stored objects *entirely contained* in `window` — Section 6's
+  /// containment query ("containment implies overlap but not vice
+  /// versa"). An object qualifies iff every one of its stored elements
+  /// lies inside the window, checked during the overlap merge against the
+  /// per-object element counts kept at insert time.
+  std::vector<uint64_t> QueryContained(const geometry::GridBox& window,
+                                       ObjectQueryStats* stats = nullptr) const;
+
+  /// Total elements stored.
+  uint64_t element_count() const { return tree_.size(); }
+
+  const zorder::GridSpec& grid() const { return grid_; }
+
+ private:
+  zorder::GridSpec grid_;
+  mutable btree::BTree tree_;
+  // Elements stored per object id (maintained by Insert/Remove); needed by
+  // the containment query to recognize fully covered objects.
+  std::unordered_map<uint64_t, uint64_t> element_counts_;
+};
+
+}  // namespace probe::index
+
+#endif  // PROBE_INDEX_OBJECT_INDEX_H_

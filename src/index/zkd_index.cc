@@ -1,0 +1,338 @@
+#include "index/zkd_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "decompose/generator.h"
+#include "geometry/primitives.h"
+#include "zorder/bigmin.h"
+#include "zorder/shuffle.h"
+
+namespace probe::index {
+
+namespace {
+
+using btree::LeafEntry;
+using btree::ZKey;
+using geometry::GridBox;
+using geometry::GridPoint;
+using zorder::ZValue;
+
+// Full-resolution key of a point.
+ZKey PointKey(const zorder::GridSpec& grid, const GridPoint& point) {
+  return ZKey::FromZValue(Shuffle(grid, point.coords()));
+}
+
+// Full-resolution key whose integer value is `z`.
+ZKey IntegerKey(const zorder::GridSpec& grid, uint64_t z) {
+  return ZKey::FromZValue(ZValue::FromInteger(z, grid.total_bits()));
+}
+
+void FillCursorStats(const btree::BTree::Cursor& cursor, QueryStats* stats) {
+  if (stats == nullptr) return;
+  stats->leaf_pages = cursor.leaf_loads();
+  stats->internal_pages = cursor.internal_loads();
+  stats->entries_on_touched_pages = cursor.leaf_entries_seen();
+}
+
+}  // namespace
+
+ZkdIndex::ZkdIndex(const zorder::GridSpec& grid, storage::BufferPool* pool,
+                   const btree::BTreeConfig& config)
+    : grid_(grid), tree_(pool, config) {
+  assert(grid_.Valid());
+}
+
+ZkdIndex ZkdIndex::Build(const zorder::GridSpec& grid,
+                         storage::BufferPool* pool,
+                         std::span<const PointRecord> points,
+                         const btree::BTreeConfig& config, double fill) {
+  std::vector<LeafEntry> entries;
+  entries.reserve(points.size());
+  for (const PointRecord& record : points) {
+    entries.push_back(LeafEntry{PointKey(grid, record.point), record.id});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const LeafEntry& a, const LeafEntry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.payload < b.payload;
+            });
+  ZkdIndex index(grid, pool, config);
+  index.tree_ = btree::BTree::BulkLoad(pool, entries, config, fill);
+  return index;
+}
+
+ZkdIndex ZkdIndex::BuildExternal(const zorder::GridSpec& grid,
+                                 storage::BufferPool* pool,
+                                 std::span<const PointRecord> points,
+                                 storage::Pager* scratch,
+                                 size_t memory_budget,
+                                 const btree::BTreeConfig& config, double fill,
+                                 btree::ExternalSortStats* sort_stats) {
+  btree::ExternalSorter sorter(scratch, memory_budget);
+  for (const PointRecord& record : points) {
+    sorter.Add(LeafEntry{PointKey(grid, record.point), record.id});
+  }
+  btree::BTree::BulkBuilder builder(pool, config, fill);
+  sorter.Drain([&](const LeafEntry& entry) { builder.Add(entry); });
+  if (sort_stats != nullptr) *sort_stats = sorter.stats();
+  ZkdIndex index(grid, pool, config);
+  index.tree_ = builder.Finish();
+  return index;
+}
+
+void ZkdIndex::Insert(const GridPoint& point, uint64_t id) {
+  tree_.Insert(PointKey(grid_, point), id);
+}
+
+bool ZkdIndex::Delete(const GridPoint& point, uint64_t id) {
+  return tree_.Delete(PointKey(grid_, point), id);
+}
+
+std::vector<uint64_t> ZkdIndex::RangeSearch(const GridBox& box,
+                                            QueryStats* stats,
+                                            const SearchOptions& options) const {
+  if (options.merge == SearchOptions::Merge::kBigMin) {
+    return SearchBigMin(box, stats);
+  }
+  const geometry::BoxObject object(box);
+  return SearchDecomposed(object, stats, options);
+}
+
+std::vector<uint64_t> ZkdIndex::SearchObject(
+    const geometry::SpatialObject& object, QueryStats* stats,
+    const SearchOptions& options) const {
+  SearchOptions effective = options;
+  if (effective.merge == SearchOptions::Merge::kBigMin) {
+    effective.merge = SearchOptions::Merge::kSkipMerge;  // needs a box
+  }
+  return SearchDecomposed(object, stats, effective);
+}
+
+std::vector<uint64_t> ZkdIndex::PartialMatch(
+    std::span<const std::optional<uint32_t>> fixed, QueryStats* stats,
+    const SearchOptions& options) const {
+  assert(fixed.size() == static_cast<size_t>(grid_.dims));
+  const uint32_t max_cell = static_cast<uint32_t>(grid_.side() - 1);
+  std::vector<zorder::DimRange> ranges(grid_.dims);
+  for (int i = 0; i < grid_.dims; ++i) {
+    if (fixed[i].has_value()) {
+      ranges[i] = {*fixed[i], *fixed[i]};
+    } else {
+      ranges[i] = {0, max_cell};
+    }
+  }
+  return RangeSearch(GridBox(ranges), stats, options);
+}
+
+std::vector<uint64_t> ZkdIndex::SearchDecomposed(
+    const geometry::SpatialObject& object, QueryStats* stats,
+    const SearchOptions& options) const {
+  std::vector<uint64_t> results;
+  const int total = grid_.total_bits();
+  decompose::DecomposeOptions dopts;
+  dopts.max_depth = options.max_element_depth;
+  decompose::ElementGenerator generator(grid_, object, dopts);
+
+  // Decide whether candidate verification can ever reject: a full-depth
+  // element is exact for any classifier (a one-cell crossing region is
+  // decided by the classifier itself for boxes; for general objects the
+  // boundary cell counts as inside per the grid approximation), so
+  // verification only matters when the decomposition is depth-capped.
+  const bool verify =
+      options.verify_candidates && options.max_element_depth >= 0 &&
+      options.max_element_depth < total;
+
+  auto report = [&](const LeafEntry& entry) {
+    if (verify) {
+      const GridPoint candidate(std::span<const uint32_t>(
+          Unshuffle(grid_, entry.key.ToZValue())));
+      if (!object.ContainsCell(candidate)) return;
+    }
+    results.push_back(entry.payload);
+  };
+
+  btree::BTree::Cursor cursor(&tree_);
+  ZValue element;
+  uint64_t points_scanned = 0;
+  uint64_t point_seeks = 0;
+
+  if (options.merge == SearchOptions::Merge::kPlainMerge) {
+    // Step 3 of Section 3.3 verbatim: a linear merge of P and B.
+    bool have_point = cursor.SeekFirst();
+    bool have_element = generator.Next(&element);
+    while (have_point && have_element) {
+      const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
+      const uint64_t zlo = element.RangeLo(total);
+      const uint64_t zhi = element.RangeHi(total);
+      ++points_scanned;
+      if (pz < zlo) {
+        have_point = cursor.Next();
+      } else if (pz > zhi) {
+        --points_scanned;  // the same point is re-examined next round
+        have_element = generator.Next(&element);
+      } else {
+        report(cursor.entry());
+        have_point = cursor.Next();
+      }
+    }
+  } else {
+    // The optimized merge: random access on B (SeekForward) and on P
+    // (Seek) skips the parts of the space that cannot contribute.
+    bool have_element = generator.Next(&element);
+    if (have_element) {
+      uint64_t zlo = element.RangeLo(total);
+      uint64_t zhi = element.RangeHi(total);
+      ++point_seeks;
+      bool have_point = cursor.Seek(IntegerKey(grid_, zlo));
+      while (have_point) {
+        const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
+        ++points_scanned;
+        if (pz < zlo) {
+          // Random access on P: jump to the element's start.
+          ++point_seeks;
+          have_point = cursor.Seek(IntegerKey(grid_, zlo));
+          continue;
+        }
+        if (pz <= zhi) {
+          report(cursor.entry());
+          have_point = cursor.Next();
+          continue;
+        }
+        // pz ran past the element: random access on B.
+        if (!generator.SeekForward(pz, &element)) break;
+        zlo = element.RangeLo(total);
+        zhi = element.RangeHi(total);
+        if (pz < zlo) {
+          ++point_seeks;
+          have_point = cursor.Seek(IntegerKey(grid_, zlo));
+        }
+        // Otherwise the current point lies inside the new element and the
+        // next loop iteration reports it.
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    FillCursorStats(cursor, stats);
+    stats->points_scanned = points_scanned;
+    stats->point_seeks = point_seeks;
+    stats->elements_generated = generator.elements_emitted();
+    stats->classify_calls = generator.classify_calls();
+    stats->results = results.size();
+  }
+  return results;
+}
+
+std::vector<uint64_t> ZkdIndex::SearchBigMin(const GridBox& box,
+                                             QueryStats* stats) const {
+  assert(box.dims() == grid_.dims);
+  std::vector<uint64_t> results;
+  std::vector<uint32_t> lo_coords(grid_.dims), hi_coords(grid_.dims);
+  for (int i = 0; i < grid_.dims; ++i) {
+    lo_coords[i] = box.range(i).lo;
+    hi_coords[i] = box.range(i).hi;
+  }
+  const uint64_t zmin = Shuffle(grid_, lo_coords).ToInteger();
+  const uint64_t zmax = Shuffle(grid_, hi_coords).ToInteger();
+
+  btree::BTree::Cursor cursor(&tree_);
+  uint64_t points_scanned = 0;
+  uint64_t point_seeks = 1;
+  bool have_point = cursor.Seek(IntegerKey(grid_, zmin));
+  while (have_point) {
+    const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
+    if (pz > zmax) break;
+    ++points_scanned;
+    if (InBox(grid_, pz, zmin, zmax)) {
+      results.push_back(cursor.entry().payload);
+      have_point = cursor.Next();
+      continue;
+    }
+    uint64_t next_z = 0;
+    if (!BigMin(grid_, pz, zmin, zmax, &next_z)) break;
+    ++point_seeks;
+    have_point = cursor.Seek(IntegerKey(grid_, next_z));
+  }
+
+  if (stats != nullptr) {
+    FillCursorStats(cursor, stats);
+    stats->points_scanned = points_scanned;
+    stats->point_seeks = point_seeks;
+    stats->results = results.size();
+  }
+  return results;
+}
+
+ZkdIndex::RangeCursor::RangeCursor(const ZkdIndex& index,
+                                   const geometry::GridBox& box)
+    : index_(index), box_object_(box) {
+  generator_ = std::make_unique<decompose::ElementGenerator>(index_.grid_,
+                                                             box_object_);
+  cursor_ = std::make_unique<btree::BTree::Cursor>(&index_.tree_);
+  zorder::ZValue element;
+  have_element_ = generator_->Next(&element);
+  if (have_element_) {
+    const int total = index_.grid_.total_bits();
+    zlo_ = element.RangeLo(total);
+    zhi_ = element.RangeHi(total);
+    ++stats_.point_seeks;
+    have_point_ = cursor_->Seek(IntegerKey(index_.grid_, zlo_));
+  }
+}
+
+ZkdIndex::RangeCursor::~RangeCursor() = default;
+
+bool ZkdIndex::RangeCursor::Next(uint64_t* id, geometry::GridPoint* point) {
+  const int total = index_.grid_.total_bits();
+  bool found = false;
+  while (have_point_ && have_element_) {
+    const uint64_t pz = cursor_->entry().key.ToZValue().ToInteger();
+    ++stats_.points_scanned;
+    if (pz < zlo_) {
+      ++stats_.point_seeks;
+      have_point_ = cursor_->Seek(IntegerKey(index_.grid_, zlo_));
+      continue;
+    }
+    if (pz <= zhi_) {
+      *id = cursor_->entry().payload;
+      if (point != nullptr) {
+        *point = geometry::GridPoint(std::span<const uint32_t>(
+            Unshuffle(index_.grid_, cursor_->entry().key.ToZValue())));
+      }
+      ++stats_.results;
+      have_point_ = cursor_->Next();
+      found = true;
+      break;
+    }
+    --stats_.points_scanned;  // this point is re-examined next round
+    zorder::ZValue element;
+    if (!generator_->SeekForward(pz, &element)) {
+      have_element_ = false;
+      break;
+    }
+    zlo_ = element.RangeLo(total);
+    zhi_ = element.RangeHi(total);
+    if (pz < zlo_) {
+      ++stats_.point_seeks;
+      have_point_ = cursor_->Seek(IntegerKey(index_.grid_, zlo_));
+    }
+  }
+  stats_.leaf_pages = cursor_->leaf_loads();
+  stats_.internal_pages = cursor_->internal_loads();
+  stats_.entries_on_touched_pages = cursor_->leaf_entries_seen();
+  stats_.elements_generated = generator_->elements_emitted();
+  stats_.classify_calls = generator_->classify_calls();
+  return found;
+}
+
+std::vector<ZkdIndex::LeafInfo> ZkdIndex::LeafPartitions() const {
+  std::vector<LeafInfo> infos;
+  for (const auto& summary : tree_.LeafSequence()) {
+    infos.push_back(LeafInfo{summary.first_key, summary.entries});
+  }
+  return infos;
+}
+
+}  // namespace probe::index

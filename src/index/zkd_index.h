@@ -1,0 +1,204 @@
+#ifndef PROBE_INDEX_ZKD_INDEX_H_
+#define PROBE_INDEX_ZKD_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <memory>
+
+#include "btree/btree.h"
+#include "btree/external_sort.h"
+#include "decompose/decomposer.h"
+#include "decompose/generator.h"
+#include "geometry/box.h"
+#include "geometry/object.h"
+#include "geometry/point.h"
+#include "geometry/primitives.h"
+#include "zorder/grid.h"
+
+/// \file
+/// The zkd B+-tree: the paper's point index and its range-search merge.
+///
+/// Points are stored in a prefix B+-tree keyed by their full-resolution z
+/// values (Section 3.3 step 1). A query object is decomposed into elements
+/// on demand (steps 2); the merge of the point sequence P and the element
+/// sequence B (step 3) — with the random-access skipping optimization —
+/// answers the query. Three merge strategies are provided so the benches
+/// can ablate the optimizations the paper describes:
+///
+///  * kSkipMerge  — the paper's algorithm: lazy element generation plus
+///                  two-sided random-access skipping.
+///  * kPlainMerge — the unoptimized O(|P| + |B|) merge of step 3, scanning
+///                  both sequences end to end.
+///  * kBigMin     — no decomposition at all: skip directly with the
+///                  BIGMIN computation over the query box's z range.
+
+namespace probe::index {
+
+/// A point plus its record identifier.
+struct PointRecord {
+  geometry::GridPoint point;
+  uint64_t id = 0;
+};
+
+/// Work and I/O counters for one query.
+struct QueryStats {
+  /// Leaf ("data") pages entered — the paper's page-access metric.
+  uint64_t leaf_pages = 0;
+  /// Internal pages touched by Seek descents.
+  uint64_t internal_pages = 0;
+  /// Entries examined during the merge.
+  uint64_t points_scanned = 0;
+  /// Elements of the query object produced by the generator.
+  uint64_t elements_generated = 0;
+  /// Classifier calls spent producing those elements.
+  uint64_t classify_calls = 0;
+  /// Random accesses (Seek) performed on the point sequence.
+  uint64_t point_seeks = 0;
+  /// Matching points reported.
+  uint64_t results = 0;
+  /// Entries residing on the leaf pages entered.
+  uint64_t entries_on_touched_pages = 0;
+
+  /// The paper's efficiency measure: fraction of retrieved data that was
+  /// relevant (results / entries_on_touched_pages); 1 when nothing was
+  /// retrieved.
+  double Efficiency() const {
+    if (entries_on_touched_pages == 0) return 1.0;
+    return static_cast<double>(results) /
+           static_cast<double>(entries_on_touched_pages);
+  }
+};
+
+/// Options for RangeSearch / SearchObject.
+struct SearchOptions {
+  enum class Merge { kSkipMerge, kPlainMerge, kBigMin };
+  Merge merge = Merge::kSkipMerge;
+
+  /// Decomposition depth cap passed to the element generator (-1 = full
+  /// resolution). Coarser caps trade extra candidate verification for
+  /// fewer elements; with verification enabled results stay exact.
+  int max_element_depth = -1;
+
+  /// Verify each candidate point against the query object before reporting
+  /// it. Required for exactness when max_element_depth caps decomposition
+  /// (boundary elements may cover non-matching cells); free for boxes at
+  /// full depth where elements are exact.
+  bool verify_candidates = true;
+};
+
+/// Point index over a z-ordered prefix B+-tree.
+class ZkdIndex {
+ public:
+  /// Creates an empty index. The pool must outlive the index.
+  ZkdIndex(const zorder::GridSpec& grid, storage::BufferPool* pool,
+           const btree::BTreeConfig& config = {});
+
+  ZkdIndex(ZkdIndex&&) = default;
+
+  /// Bulk-loads an index from `points` (any order; sorted internally).
+  static ZkdIndex Build(const zorder::GridSpec& grid,
+                        storage::BufferPool* pool,
+                        std::span<const PointRecord> points,
+                        const btree::BTreeConfig& config = {},
+                        double fill = 1.0);
+
+  /// Bulk-loads via external merge sort: at most `memory_budget` records
+  /// are held in memory at once; sorted runs spill to `scratch` and the
+  /// merge feeds the tree builder directly ("existing sort utilities can
+  /// be used to create z ordered sequences", Section 4 — at any scale).
+  /// `sort_stats` may be null.
+  static ZkdIndex BuildExternal(const zorder::GridSpec& grid,
+                                storage::BufferPool* pool,
+                                std::span<const PointRecord> points,
+                                storage::Pager* scratch, size_t memory_budget,
+                                const btree::BTreeConfig& config = {},
+                                double fill = 1.0,
+                                btree::ExternalSortStats* sort_stats = nullptr);
+
+  /// Inserts one point (step 1 of Section 3.3: shuffle, then store).
+  void Insert(const geometry::GridPoint& point, uint64_t id);
+
+  /// Removes one (point, id) entry; false if absent.
+  bool Delete(const geometry::GridPoint& point, uint64_t id);
+
+  /// Range query: ids of all points inside `box` (Figure 5). `stats` may
+  /// be null.
+  std::vector<uint64_t> RangeSearch(const geometry::GridBox& box,
+                                    QueryStats* stats = nullptr,
+                                    const SearchOptions& options = {}) const;
+
+  /// General spatial search: ids of all points inside an arbitrary object
+  /// (the object is decomposed on demand). kBigMin is not applicable here;
+  /// it falls back to kSkipMerge.
+  std::vector<uint64_t> SearchObject(const geometry::SpatialObject& object,
+                                     QueryStats* stats = nullptr,
+                                     const SearchOptions& options = {}) const;
+
+  /// Partial-match query (Section 5.3.1): `fixed[i]` pins attribute i to a
+  /// value; unset attributes are unrestricted.
+  std::vector<uint64_t> PartialMatch(
+      std::span<const std::optional<uint32_t>> fixed,
+      QueryStats* stats = nullptr, const SearchOptions& options = {}) const;
+
+  /// Streaming range query: pulls matching points one at a time instead of
+  /// materializing the result vector — the shape a query executor's
+  /// iterator tree wants. Runs the same skip merge as RangeSearch.
+  class RangeCursor {
+   public:
+    /// The index and box must outlive the cursor.
+    RangeCursor(const ZkdIndex& index, const geometry::GridBox& box);
+    ~RangeCursor();
+
+    RangeCursor(RangeCursor&&) = default;
+
+    /// Fetches the next match (ascending z order). Returns false at the
+    /// end. `point` may be null when only ids are wanted.
+    bool Next(uint64_t* id, geometry::GridPoint* point = nullptr);
+
+    /// Work counters so far (results counts the Next() successes).
+    const QueryStats& stats() const { return stats_; }
+
+   private:
+    const ZkdIndex& index_;
+    geometry::BoxObject box_object_;
+    std::unique_ptr<decompose::ElementGenerator> generator_;
+    std::unique_ptr<btree::BTree::Cursor> cursor_;
+    uint64_t zlo_ = 0;
+    uint64_t zhi_ = 0;
+    bool have_element_ = false;
+    bool have_point_ = false;
+    QueryStats stats_;
+  };
+
+  /// First key of every leaf page, in z order, plus per-leaf entry counts.
+  /// The bench for Figure 6 maps grid cells to leaves with this to draw the
+  /// partitioning of space induced by page boundaries.
+  struct LeafInfo {
+    btree::ZKey first_key;
+    int entries = 0;
+  };
+  std::vector<LeafInfo> LeafPartitions() const;
+
+  uint64_t size() const { return tree_.size(); }
+  const zorder::GridSpec& grid() const { return grid_; }
+
+  /// The underlying B+-tree. Cursors mutate buffer-pool state, so the
+  /// reference is non-const even from a const index (tree_ is mutable).
+  btree::BTree& tree() const { return tree_; }
+
+ private:
+  std::vector<uint64_t> SearchDecomposed(const geometry::SpatialObject& object,
+                                         QueryStats* stats,
+                                         const SearchOptions& options) const;
+  std::vector<uint64_t> SearchBigMin(const geometry::GridBox& box,
+                                     QueryStats* stats) const;
+
+  zorder::GridSpec grid_;
+  mutable btree::BTree tree_;
+};
+
+}  // namespace probe::index
+
+#endif  // PROBE_INDEX_ZKD_INDEX_H_

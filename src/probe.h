@@ -1,0 +1,63 @@
+#ifndef PROBE_PROBE_H_
+#define PROBE_PROBE_H_
+
+/// \file
+/// Umbrella header: the complete public API of probe-spatial.
+///
+/// Fine-grained includes are preferred in library code (include what you
+/// use); this header is a convenience for applications and exploratory
+/// programs. See docs/TUTORIAL.md for a guided tour.
+
+#include "ag/connected.h"
+#include "ag/interference.h"
+#include "ag/merge.h"
+#include "ag/overlay.h"
+#include "ag/setops.h"
+#include "baseline/bucket_kdtree.h"
+#include "baseline/composite_index.h"
+#include "baseline/kdtree.h"
+#include "btree/btree.h"
+#include "btree/external_sort.h"
+#include "btree/node.h"
+#include "btree/zkey.h"
+#include "decompose/analysis.h"
+#include "decompose/coarsen.h"
+#include "decompose/decomposer.h"
+#include "decompose/generator.h"
+#include "geometry/box.h"
+#include "geometry/csg.h"
+#include "geometry/object.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/primitives.h"
+#include "geometry/raster.h"
+#include "index/cost_model.h"
+#include "index/nearest.h"
+#include "index/object_index.h"
+#include "index/zkd_index.h"
+#include "relational/catalog.h"
+#include "relational/heap_file.h"
+#include "relational/operators.h"
+#include "relational/relation.h"
+#include "relational/spatial_join.h"
+#include "relational/value.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_pager.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "util/bits.h"
+#include "util/ppm.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+#include "workload/querygen.h"
+#include "zorder/bigmin.h"
+#include "zorder/curve.h"
+#include "zorder/fast_interleave.h"
+#include "zorder/grid.h"
+#include "zorder/shuffle.h"
+#include "zorder/zvalue.h"
+
+#endif  // PROBE_PROBE_H_

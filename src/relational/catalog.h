@@ -1,0 +1,49 @@
+#ifndef PROBE_RELATIONAL_CATALOG_H_
+#define PROBE_RELATIONAL_CATALOG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "geometry/object.h"
+
+/// \file
+/// The object catalog: the "specialized processors encapsulated in object
+/// classes" of the paper's architecture.
+///
+/// Relations store object *identifiers*; the geometry itself lives behind
+/// an ADT boundary. The DBMS side (Decompose, spatial join) only ever asks
+/// the catalog for a classifier — exactly the division of labor PROBE
+/// proposes: the DBMS handles collections, the object class handles the
+/// single object.
+
+namespace probe::relational {
+
+/// Registry mapping object ids to spatial objects.
+class ObjectCatalog {
+ public:
+  /// Registers an object and returns its fresh id (ids start at 1).
+  uint64_t Register(std::shared_ptr<const geometry::SpatialObject> object) {
+    const uint64_t id = next_id_++;
+    objects_.emplace(id, std::move(object));
+    return id;
+  }
+
+  /// The object with id `id`; null if unknown.
+  const geometry::SpatialObject* Get(uint64_t id) const {
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second.get();
+  }
+
+  size_t size() const { return objects_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, std::shared_ptr<const geometry::SpatialObject>>
+      objects_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace probe::relational
+
+#endif  // PROBE_RELATIONAL_CATALOG_H_

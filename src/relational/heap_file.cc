@@ -1,0 +1,219 @@
+#include "relational/heap_file.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "zorder/zvalue.h"
+
+namespace probe::relational {
+
+namespace {
+
+// Page header offsets.
+constexpr size_t kCountOffset = 0;    // uint16 tuple count
+constexpr size_t kUsedOffset = 2;     // uint16 payload bytes used
+constexpr size_t kNextOffset = 4;     // PageId of the next page
+constexpr size_t kPayloadOffset = 8;  // tuples start here
+constexpr size_t kPayloadCapacity = storage::Page::kSize - kPayloadOffset;
+
+// Value wire format: 1 tag byte + payload.
+//   int64 / double : 8 bytes
+//   string         : uint16 length + bytes
+//   z value        : 8 raw + 1 len
+size_t SerializedValueSize(const Value& value) {
+  switch (TypeOf(value)) {
+    case ValueType::kInt:
+    case ValueType::kReal:
+      return 1 + 8;
+    case ValueType::kString:
+      return 1 + 2 + std::get<std::string>(value).size();
+    case ValueType::kZValue:
+      return 1 + 9;
+  }
+  return 0;
+}
+
+void SerializeValue(const Value& value, uint8_t* out, size_t* offset) {
+  out[(*offset)++] = static_cast<uint8_t>(TypeOf(value));
+  switch (TypeOf(value)) {
+    case ValueType::kInt: {
+      const int64_t v = std::get<int64_t>(value);
+      std::memcpy(out + *offset, &v, 8);
+      *offset += 8;
+      break;
+    }
+    case ValueType::kReal: {
+      const double v = std::get<double>(value);
+      std::memcpy(out + *offset, &v, 8);
+      *offset += 8;
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = std::get<std::string>(value);
+      const uint16_t len = static_cast<uint16_t>(s.size());
+      std::memcpy(out + *offset, &len, 2);
+      *offset += 2;
+      std::memcpy(out + *offset, s.data(), s.size());
+      *offset += s.size();
+      break;
+    }
+    case ValueType::kZValue: {
+      const zorder::ZValue& z = std::get<zorder::ZValue>(value);
+      const uint64_t raw = z.raw();
+      const uint8_t len = static_cast<uint8_t>(z.length());
+      std::memcpy(out + *offset, &raw, 8);
+      *offset += 8;
+      out[*offset] = len;
+      *offset += 1;
+      break;
+    }
+  }
+}
+
+Value DeserializeValue(const uint8_t* in, size_t* offset) {
+  const ValueType type = static_cast<ValueType>(in[(*offset)++]);
+  switch (type) {
+    case ValueType::kInt: {
+      int64_t v;
+      std::memcpy(&v, in + *offset, 8);
+      *offset += 8;
+      return Value{v};
+    }
+    case ValueType::kReal: {
+      double v;
+      std::memcpy(&v, in + *offset, 8);
+      *offset += 8;
+      return Value{v};
+    }
+    case ValueType::kString: {
+      uint16_t len;
+      std::memcpy(&len, in + *offset, 2);
+      *offset += 2;
+      std::string s(reinterpret_cast<const char*>(in + *offset), len);
+      *offset += len;
+      return Value{std::move(s)};
+    }
+    case ValueType::kZValue: {
+      uint64_t raw;
+      std::memcpy(&raw, in + *offset, 8);
+      *offset += 8;
+      const uint8_t len = in[*offset];
+      *offset += 1;
+      return Value{zorder::ZValue::FromRaw(raw, len)};
+    }
+  }
+  return Value{int64_t{0}};
+}
+
+}  // namespace
+
+size_t SerializedTupleSize(const Tuple& tuple) {
+  size_t size = 2;  // uint16 tuple length prefix
+  for (const Value& v : tuple) size += SerializedValueSize(v);
+  return size;
+}
+
+HeapFile::HeapFile(storage::BufferPool* pool, Schema schema)
+    : pool_(pool), schema_(std::move(schema)) {}
+
+bool HeapFile::Append(const Tuple& tuple) {
+  assert(static_cast<int>(tuple.size()) == schema_.column_count());
+  const size_t need = SerializedTupleSize(tuple);
+  if (need > kPayloadCapacity) return false;
+
+  // Open (or extend) the tail page.
+  storage::PageRef ref;
+  if (last_page_ == storage::kInvalidPageId) {
+    ref = pool_->New(&last_page_);
+    first_page_ = last_page_;
+    ++page_count_;
+    ref.page().Write<uint16_t>(kCountOffset, 0);
+    ref.page().Write<uint16_t>(kUsedOffset, 0);
+    ref.page().Write<storage::PageId>(kNextOffset, storage::kInvalidPageId);
+  } else {
+    ref = pool_->Fetch(last_page_);
+    const size_t used = ref.page().Read<uint16_t>(kUsedOffset);
+    if (used + need > kPayloadCapacity) {
+      storage::PageId fresh;
+      storage::PageRef fresh_ref = pool_->New(&fresh);
+      ++page_count_;
+      fresh_ref.page().Write<uint16_t>(kCountOffset, 0);
+      fresh_ref.page().Write<uint16_t>(kUsedOffset, 0);
+      fresh_ref.page().Write<storage::PageId>(kNextOffset,
+                                              storage::kInvalidPageId);
+      fresh_ref.MarkDirty();
+      ref.page().Write<storage::PageId>(kNextOffset, fresh);
+      ref.MarkDirty();
+      last_page_ = fresh;
+      ref = std::move(fresh_ref);
+    }
+  }
+
+  storage::Page& page = ref.page();
+  const uint16_t count = page.Read<uint16_t>(kCountOffset);
+  const uint16_t used = page.Read<uint16_t>(kUsedOffset);
+  uint8_t* payload = page.data() + kPayloadOffset + used;
+  size_t offset = 0;
+  const uint16_t body = static_cast<uint16_t>(need - 2);
+  std::memcpy(payload, &body, 2);
+  offset = 2;
+  for (const Value& v : tuple) SerializeValue(v, payload, &offset);
+  assert(offset == need);
+  page.Write<uint16_t>(kCountOffset, count + 1);
+  page.Write<uint16_t>(kUsedOffset, static_cast<uint16_t>(used + need));
+  ref.MarkDirty();
+  ++tuple_count_;
+  return true;
+}
+
+HeapFile::Scanner::Scanner(const HeapFile* file) : file_(file) {
+  if (file_->first_page_ != storage::kInvalidPageId) {
+    LoadPage(file_->first_page_);
+  }
+}
+
+bool HeapFile::Scanner::LoadPage(storage::PageId id) {
+  page_ref_ = file_->pool_->Fetch(id);
+  current_page_ = id;
+  ++pages_read_;
+  tuple_index_ = 0;
+  tuple_count_ = page_ref_.page().Read<uint16_t>(kCountOffset);
+  byte_offset_ = 0;
+  return tuple_count_ > 0;
+}
+
+std::optional<Tuple> HeapFile::Scanner::Next() {
+  if (current_page_ == storage::kInvalidPageId) return std::nullopt;
+  while (tuple_index_ >= tuple_count_) {
+    const storage::PageId next =
+        page_ref_.page().Read<storage::PageId>(kNextOffset);
+    if (next == storage::kInvalidPageId) {
+      current_page_ = storage::kInvalidPageId;
+      page_ref_.Release();
+      return std::nullopt;
+    }
+    LoadPage(next);
+  }
+  const uint8_t* payload = page_ref_.page().data() + kPayloadOffset;
+  uint16_t body;
+  std::memcpy(&body, payload + byte_offset_, 2);
+  size_t offset = byte_offset_ + 2;
+  Tuple tuple;
+  tuple.reserve(file_->schema_.column_count());
+  for (int c = 0; c < file_->schema_.column_count(); ++c) {
+    tuple.push_back(DeserializeValue(payload, &offset));
+  }
+  assert(offset == byte_offset_ + 2 + body);
+  byte_offset_ += 2 + static_cast<size_t>(body);
+  ++tuple_index_;
+  return tuple;
+}
+
+Relation HeapFile::ToRelation() const {
+  Relation out(schema_);
+  Scanner scanner = Scan();
+  while (auto tuple = scanner.Next()) out.Add(std::move(*tuple));
+  return out;
+}
+
+}  // namespace probe::relational

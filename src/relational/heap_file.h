@@ -1,0 +1,90 @@
+#ifndef PROBE_RELATIONAL_HEAP_FILE_H_
+#define PROBE_RELATIONAL_HEAP_FILE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "relational/relation.h"
+#include "storage/buffer_pool.h"
+
+/// \file
+/// Heap files: relations stored on pages.
+///
+/// The in-memory Relation is fine for intermediate results, but the
+/// paper's scenario starts from *stored* relations ("Given two relations,
+/// R and S, each storing a set of spatial objects"). A HeapFile serializes
+/// tuples onto chained pages through the buffer pool, so scans of the
+/// base relations cost page I/O like everything else in the engine.
+///
+/// Layout per page:
+///   bytes 0..1  : tuple count (uint16)
+///   bytes 2..3  : used bytes in the payload area (uint16)
+///   bytes 4..7  : next page id (kInvalidPageId at the tail)
+///   bytes 8..   : tuples, each [uint16 length][serialized values]
+/// Tuples never span pages; a tuple larger than a page is rejected.
+
+namespace probe::relational {
+
+/// Serialized size of `tuple` in bytes (without the per-tuple header).
+/// Used to check a tuple fits a page.
+size_t SerializedTupleSize(const Tuple& tuple);
+
+/// A page-backed bag of tuples with a fixed schema.
+class HeapFile {
+ public:
+  /// Creates an empty heap file. The pool must outlive the file.
+  HeapFile(storage::BufferPool* pool, Schema schema);
+
+  HeapFile(HeapFile&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  uint64_t tuple_count() const { return tuple_count_; }
+  uint32_t page_count() const { return page_count_; }
+
+  /// Appends one tuple; its arity/types must match the schema, and it must
+  /// fit a page. Returns false (and stores nothing) if it does not fit.
+  bool Append(const Tuple& tuple);
+
+  /// Sequential scan over all tuples in append order.
+  class Scanner {
+   public:
+    explicit Scanner(const HeapFile* file);
+
+    /// Fetches the next tuple; nullopt at the end.
+    std::optional<Tuple> Next();
+
+    /// Pages read by this scan so far.
+    uint64_t pages_read() const { return pages_read_; }
+
+   private:
+    bool LoadPage(storage::PageId id);
+
+    const HeapFile* file_;
+    storage::PageId current_page_ = storage::kInvalidPageId;
+    storage::PageRef page_ref_;
+    int tuple_index_ = 0;
+    int tuple_count_ = 0;
+    size_t byte_offset_ = 0;
+    uint64_t pages_read_ = 0;
+  };
+
+  Scanner Scan() const { return Scanner(this); }
+
+  /// Materializes the whole file as an in-memory Relation (convenience for
+  /// small relations and tests).
+  Relation ToRelation() const;
+
+ private:
+  friend class Scanner;
+
+  storage::BufferPool* pool_;
+  Schema schema_;
+  storage::PageId first_page_ = storage::kInvalidPageId;
+  storage::PageId last_page_ = storage::kInvalidPageId;
+  uint32_t page_count_ = 0;
+  uint64_t tuple_count_ = 0;
+};
+
+}  // namespace probe::relational
+
+#endif  // PROBE_RELATIONAL_HEAP_FILE_H_

@@ -1,0 +1,228 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace probe::relational {
+
+Relation Select(const Relation& input,
+                const std::function<bool(const Tuple&)>& predicate) {
+  Relation out(input.schema());
+  for (const Tuple& row : input.rows()) {
+    if (predicate(row)) out.Add(row);
+  }
+  return out;
+}
+
+Relation Project(const Relation& input, std::span<const std::string> columns,
+                 bool deduplicate) {
+  std::vector<int> indices;
+  std::vector<Column> out_columns;
+  for (const std::string& name : columns) {
+    const int idx = input.schema().IndexOf(name);
+    assert(idx >= 0);
+    indices.push_back(idx);
+    out_columns.push_back(input.schema().column(idx));
+  }
+  Relation out(Schema(std::move(out_columns)));
+  for (const Tuple& row : input.rows()) {
+    Tuple projected;
+    projected.reserve(indices.size());
+    for (int idx : indices) projected.push_back(row[idx]);
+    out.Add(std::move(projected));
+  }
+  if (!deduplicate) return out;
+
+  // Sort-unique over whole tuples.
+  std::vector<Tuple> rows = out.rows();
+  auto tuple_less = [](const Tuple& a, const Tuple& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (ValueLess(a[i], b[i])) return true;
+      if (ValueLess(b[i], a[i])) return false;
+    }
+    return false;
+  };
+  auto tuple_eq = [](const Tuple& a, const Tuple& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!ValueEquals(a[i], b[i])) return false;
+    }
+    return true;
+  };
+  std::sort(rows.begin(), rows.end(), tuple_less);
+  rows.erase(std::unique(rows.begin(), rows.end(), tuple_eq), rows.end());
+  Relation deduped(out.schema());
+  for (Tuple& row : rows) deduped.Add(std::move(row));
+  return deduped;
+}
+
+Relation RenameColumns(const Relation& input, const std::string& prefix) {
+  std::vector<Column> columns;
+  for (int i = 0; i < input.schema().column_count(); ++i) {
+    Column column = input.schema().column(i);
+    column.name = prefix + column.name;
+    columns.push_back(std::move(column));
+  }
+  Relation out{Schema(std::move(columns))};
+  for (const Tuple& row : input.rows()) out.Add(row);
+  return out;
+}
+
+Relation GroupBy(const Relation& input,
+                 std::span<const std::string> group_columns,
+                 std::span<const AggregateSpec> aggregates) {
+  // Resolve columns.
+  std::vector<int> group_idx;
+  std::vector<Column> out_columns;
+  for (const std::string& name : group_columns) {
+    const int idx = input.schema().IndexOf(name);
+    assert(idx >= 0);
+    group_idx.push_back(idx);
+    out_columns.push_back(input.schema().column(idx));
+  }
+  std::vector<int> agg_idx;
+  for (const AggregateSpec& spec : aggregates) {
+    const int idx = input.schema().IndexOf(spec.column);
+    assert(idx >= 0);
+    agg_idx.push_back(idx);
+    ValueType out_type = input.schema().column(idx).type;
+    if (spec.fn == AggregateFn::kCount) out_type = ValueType::kInt;
+    assert(spec.fn == AggregateFn::kCount ||
+           out_type == ValueType::kInt || out_type == ValueType::kReal);
+    out_columns.push_back(Column{spec.as, out_type});
+  }
+  Relation out{Schema(std::move(out_columns))};
+
+  // Sort row indices by the group key, then fold runs.
+  std::vector<size_t> order(input.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto key_less = [&](size_t a, size_t b) {
+    for (int idx : group_idx) {
+      const Value& va = input.row(a)[idx];
+      const Value& vb = input.row(b)[idx];
+      if (ValueLess(va, vb)) return true;
+      if (ValueLess(vb, va)) return false;
+    }
+    return false;
+  };
+  auto key_equal = [&](size_t a, size_t b) {
+    return !key_less(a, b) && !key_less(b, a);
+  };
+  std::stable_sort(order.begin(), order.end(), key_less);
+
+  auto numeric = [&](size_t row, int idx) -> double {
+    const Value& v = input.row(row)[idx];
+    return TypeOf(v) == ValueType::kInt
+               ? static_cast<double>(std::get<int64_t>(v))
+               : std::get<double>(v);
+  };
+
+  size_t start = 0;
+  while (start < order.size()) {
+    size_t end = start + 1;
+    while (end < order.size() && key_equal(order[start], order[end])) ++end;
+
+    Tuple row;
+    for (int idx : group_idx) row.push_back(input.row(order[start])[idx]);
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const AggregateSpec& spec = aggregates[a];
+      const int idx = agg_idx[a];
+      if (spec.fn == AggregateFn::kCount) {
+        row.push_back(static_cast<int64_t>(end - start));
+        continue;
+      }
+      double acc = numeric(order[start], idx);
+      for (size_t i = start + 1; i < end; ++i) {
+        const double v = numeric(order[i], idx);
+        switch (spec.fn) {
+          case AggregateFn::kSum:
+            acc += v;
+            break;
+          case AggregateFn::kMin:
+            acc = std::min(acc, v);
+            break;
+          case AggregateFn::kMax:
+            acc = std::max(acc, v);
+            break;
+          case AggregateFn::kCount:
+            break;
+        }
+      }
+      if (input.schema().column(idx).type == ValueType::kInt) {
+        row.push_back(static_cast<int64_t>(acc));
+      } else {
+        row.push_back(acc);
+      }
+    }
+    out.Add(std::move(row));
+    start = end;
+  }
+  return out;
+}
+
+Relation DecomposeRelation(const zorder::GridSpec& grid,
+                           const Relation& input, const std::string& id_column,
+                           const ObjectCatalog& catalog,
+                           const std::string& z_column,
+                           const decompose::DecomposeOptions& options) {
+  const int id_idx = input.schema().IndexOf(id_column);
+  assert(id_idx >= 0);
+  assert(input.schema().column(id_idx).type == ValueType::kInt);
+
+  std::vector<Column> columns;
+  for (int i = 0; i < input.schema().column_count(); ++i) {
+    columns.push_back(input.schema().column(i));
+  }
+  columns.push_back(Column{z_column, ValueType::kZValue});
+  Relation out{Schema(std::move(columns))};
+
+  for (const Tuple& row : input.rows()) {
+    const uint64_t id = static_cast<uint64_t>(std::get<int64_t>(row[id_idx]));
+    const geometry::SpatialObject* object = catalog.Get(id);
+    assert(object != nullptr);
+    for (const zorder::ZValue& element :
+         decompose::Decompose(grid, *object, options)) {
+      Tuple extended = row;
+      extended.push_back(element);
+      out.Add(std::move(extended));
+    }
+  }
+  out.SortBy(z_column);
+  return out;
+}
+
+Relation DecomposeHeapFile(const zorder::GridSpec& grid, const HeapFile& input,
+                           const std::string& id_column,
+                           const ObjectCatalog& catalog,
+                           const std::string& z_column,
+                           const decompose::DecomposeOptions& options,
+                           uint64_t* pages_read) {
+  const int id_idx = input.schema().IndexOf(id_column);
+  assert(id_idx >= 0);
+  assert(input.schema().column(id_idx).type == ValueType::kInt);
+
+  std::vector<Column> columns;
+  for (int i = 0; i < input.schema().column_count(); ++i) {
+    columns.push_back(input.schema().column(i));
+  }
+  columns.push_back(Column{z_column, ValueType::kZValue});
+  Relation out{Schema(std::move(columns))};
+
+  HeapFile::Scanner scanner = input.Scan();
+  while (auto row = scanner.Next()) {
+    const uint64_t id =
+        static_cast<uint64_t>(std::get<int64_t>((*row)[id_idx]));
+    const geometry::SpatialObject* object = catalog.Get(id);
+    assert(object != nullptr);
+    for (const zorder::ZValue& element :
+         decompose::Decompose(grid, *object, options)) {
+      Tuple extended = *row;
+      extended.push_back(element);
+      out.Add(std::move(extended));
+    }
+  }
+  if (pages_read != nullptr) *pages_read = scanner.pages_read();
+  out.SortBy(z_column);
+  return out;
+}
+
+}  // namespace probe::relational

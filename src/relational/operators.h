@@ -1,0 +1,87 @@
+#ifndef PROBE_RELATIONAL_OPERATORS_H_
+#define PROBE_RELATIONAL_OPERATORS_H_
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "decompose/decomposer.h"
+#include "relational/catalog.h"
+#include "relational/heap_file.h"
+#include "relational/relation.h"
+#include "zorder/grid.h"
+
+/// \file
+/// Relational operators: selection, projection, and the paper's Decompose.
+///
+/// Section 4's query plan for overlap detection is
+///   R(p@, zr, ...) := Decompose(P(p@, ...))
+///   RS := R [zr <> zs] S
+///   Result := RS[p@, q@, ...]       -- projection removes the redundancy
+/// Decompose and Project live here; the spatial join has its own file.
+
+namespace probe::relational {
+
+/// Rows of `input` satisfying `predicate`.
+Relation Select(const Relation& input,
+                const std::function<bool(const Tuple&)>& predicate);
+
+/// Projection onto the named columns. With `deduplicate`, equal projected
+/// rows collapse to one (the paper's step that removes the "noted many
+/// times" overlap pairs).
+Relation Project(const Relation& input, std::span<const std::string> columns,
+                 bool deduplicate);
+
+/// The Decompose operator: for every input tuple, looks up the spatial
+/// object named by `id_column` in `catalog`, decomposes it on `grid`, and
+/// emits one output tuple per element — the input tuple extended with a
+/// z-value column named `z_column` ("the result is a set of sets that must
+/// be flattened", Section 4). The output is sorted by the new column so it
+/// is ready for a merge join.
+Relation DecomposeRelation(const zorder::GridSpec& grid,
+                           const Relation& input, const std::string& id_column,
+                           const ObjectCatalog& catalog,
+                           const std::string& z_column,
+                           const decompose::DecomposeOptions& options = {});
+
+/// A copy of `input` with every column renamed through `prefix` + name.
+/// Joins require disjoint column names, so self-joins rename one side:
+///   RS := R [zr <> zs] Rename(R, "other_")   -- all overlapping pairs in R.
+Relation RenameColumns(const Relation& input, const std::string& prefix);
+
+/// Aggregate functions for GroupBy.
+enum class AggregateFn { kCount, kSum, kMin, kMax };
+
+/// One aggregate specification: fn over `column`, emitted as `as`.
+/// kCount ignores `column` (pass any existing column name).
+struct AggregateSpec {
+  AggregateFn fn = AggregateFn::kCount;
+  std::string column;
+  std::string as;
+};
+
+/// Grouping with aggregation: one output row per distinct combination of
+/// `group_columns`, extended with the requested aggregates. Sum/min/max
+/// require numeric columns (int or real; sums of ints stay ints). Output
+/// rows are sorted by the group key. The paper's projection step removes
+/// duplicate overlap evidence; GroupBy instead *counts* it — e.g. how many
+/// element pairs witness each (parcel, zone) overlap, or total
+/// intersection area per pair when joined with per-element areas.
+Relation GroupBy(const Relation& input,
+                 std::span<const std::string> group_columns,
+                 std::span<const AggregateSpec> aggregates);
+
+/// Decompose over a stored relation: scans the heap file through the
+/// buffer pool (the paper's "relations storing sets of spatial objects"),
+/// decomposing each tuple's object as it streams by. `pages_read`, if
+/// non-null, receives the scan's page count.
+Relation DecomposeHeapFile(const zorder::GridSpec& grid, const HeapFile& input,
+                           const std::string& id_column,
+                           const ObjectCatalog& catalog,
+                           const std::string& z_column,
+                           const decompose::DecomposeOptions& options = {},
+                           uint64_t* pages_read = nullptr);
+
+}  // namespace probe::relational
+
+#endif  // PROBE_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,109 @@
+#include "relational/spatial_join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "zorder/zvalue.h"
+
+namespace probe::relational {
+
+namespace {
+
+using zorder::ZValue;
+
+// A z-sorted view of one input: row indices ordered by the z column.
+std::vector<size_t> SortedOrder(const Relation& rel, int z_col) {
+  std::vector<size_t> order(rel.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ValueLess(rel.row(a)[z_col], rel.row(b)[z_col]);
+  });
+  return order;
+}
+
+const ZValue& ZOf(const Relation& rel, size_t row, int z_col) {
+  return std::get<ZValue>(rel.row(row)[z_col]);
+}
+
+}  // namespace
+
+Relation SpatialJoin(const Relation& r, const std::string& zr_column,
+                     const Relation& s, const std::string& zs_column,
+                     SpatialJoinStats* stats) {
+  const int zr = r.schema().IndexOf(zr_column);
+  const int zs = s.schema().IndexOf(zs_column);
+  assert(zr >= 0 && zs >= 0);
+  assert(r.schema().column(zr).type == ValueType::kZValue);
+  assert(s.schema().column(zs).type == ValueType::kZValue);
+
+  const Schema out_schema = Schema::Concat(r.schema(), s.schema());
+  assert(out_schema.NamesUnique());
+  Relation out(out_schema);
+
+  const std::vector<size_t> r_order = SortedOrder(r, zr);
+  const std::vector<size_t> s_order = SortedOrder(s, zs);
+
+  // Stacks of open elements (row indices); each stack is a chain of
+  // prefixes by the nesting theorem of Section 3.2.
+  std::vector<size_t> r_stack, s_stack;
+
+  auto emit = [&](size_t r_row, size_t s_row) {
+    Tuple combined;
+    combined.reserve(out_schema.column_count());
+    for (const Value& v : r.row(r_row)) combined.push_back(v);
+    for (const Value& v : s.row(s_row)) combined.push_back(v);
+    out.Add(std::move(combined));
+    if (stats != nullptr) ++stats->pairs;
+  };
+
+  size_t i = 0;  // position in r_order
+  size_t j = 0;  // position in s_order
+  while (i < r_order.size() || j < s_order.size()) {
+    // Take the smaller next z value; ties go to R (either order works —
+    // equal z values contain each other, and the pair is emitted when the
+    // second of the two is processed).
+    bool take_r;
+    if (i >= r_order.size()) {
+      take_r = false;
+    } else if (j >= s_order.size()) {
+      take_r = true;
+    } else {
+      take_r = !(ZOf(s, s_order[j], zs) < ZOf(r, r_order[i], zr));
+    }
+
+    const ZValue& z = take_r ? ZOf(r, r_order[i], zr) : ZOf(s, s_order[j], zs);
+
+    // Close elements whose range ended before z: an open element stays
+    // open iff its z value is a prefix of the current one.
+    while (!r_stack.empty() && !ZOf(r, r_stack.back(), zr).Contains(z)) {
+      r_stack.pop_back();
+    }
+    while (!s_stack.empty() && !ZOf(s, s_stack.back(), zs).Contains(z)) {
+      s_stack.pop_back();
+    }
+
+    // Every open element of the other side contains z, hence overlaps it.
+    if (take_r) {
+      for (size_t s_row : s_stack) emit(r_order[i], s_row);
+      r_stack.push_back(r_order[i]);
+      ++i;
+    } else {
+      for (size_t r_row : r_stack) emit(r_row, s_order[j]);
+      s_stack.push_back(s_order[j]);
+      ++j;
+    }
+    if (stats != nullptr) {
+      stats->max_stack_depth =
+          std::max({stats->max_stack_depth, r_stack.size(), s_stack.size()});
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->r_rows = r.size();
+    stats->s_rows = s.size();
+  }
+  return out;
+}
+
+}  // namespace probe::relational

@@ -1,0 +1,47 @@
+#ifndef PROBE_RELATIONAL_SPATIAL_JOIN_H_
+#define PROBE_RELATIONAL_SPATIAL_JOIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/relation.h"
+
+/// \file
+/// The spatial join R[zr <> zs]S of Section 4.
+///
+/// "The implementation strategies of natural join can be used. Instead of
+/// looking for equality, we're looking for containment between zr and zs."
+/// Both inputs are element relations sorted by their z columns; the join
+/// is a single merge pass with one containment stack per side. The stacks
+/// exploit the structural theorem of Section 3.2: two elements either
+/// nest (one z value is a prefix of the other) or are disjoint, so the set
+/// of "open" elements at any merge position forms a chain of prefixes and
+/// pops like a stack. An element pairs with exactly the other side's open
+/// elements at the moment it is processed — each overlapping pair is
+/// emitted exactly once.
+
+namespace probe::relational {
+
+/// Work counters for one spatial join.
+struct SpatialJoinStats {
+  uint64_t r_rows = 0;
+  uint64_t s_rows = 0;
+  /// Pairs emitted (overlap evidence; may repeat object-id combinations —
+  /// the paper projects the redundancy away afterwards).
+  uint64_t pairs = 0;
+  /// Maximum nesting depth observed on either stack.
+  size_t max_stack_depth = 0;
+};
+
+/// Computes R[zr <> zs]S: one output row per pair of input rows whose
+/// elements overlap (i.e. one z value is a prefix of the other). The output
+/// schema is the concatenation of both input schemas, which must not share
+/// column names. Inputs need not be pre-sorted; they are sorted by their z
+/// columns internally (stably). `stats` may be null.
+Relation SpatialJoin(const Relation& r, const std::string& zr_column,
+                     const Relation& s, const std::string& zs_column,
+                     SpatialJoinStats* stats = nullptr);
+
+}  // namespace probe::relational
+
+#endif  // PROBE_RELATIONAL_SPATIAL_JOIN_H_

@@ -1,0 +1,43 @@
+#include "relational/value.h"
+
+namespace probe::relational {
+
+ValueType TypeOf(const Value& v) {
+  return static_cast<ValueType>(v.index());
+}
+
+std::string ValueToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v));
+    case ValueType::kReal:
+      return std::to_string(std::get<double>(v));
+    case ValueType::kString:
+      return std::get<std::string>(v);
+    case ValueType::kZValue:
+      return std::get<zorder::ZValue>(v).ToString();
+  }
+  return "<?>";
+}
+
+bool ValueLess(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return a.index() < b.index();
+  switch (TypeOf(a)) {
+    case ValueType::kInt:
+      return std::get<int64_t>(a) < std::get<int64_t>(b);
+    case ValueType::kReal:
+      return std::get<double>(a) < std::get<double>(b);
+    case ValueType::kString:
+      return std::get<std::string>(a) < std::get<std::string>(b);
+    case ValueType::kZValue:
+      return std::get<zorder::ZValue>(a) < std::get<zorder::ZValue>(b);
+  }
+  return false;
+}
+
+bool ValueEquals(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return false;
+  return !ValueLess(a, b) && !ValueLess(b, a);
+}
+
+}  // namespace probe::relational

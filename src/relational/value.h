@@ -1,0 +1,42 @@
+#ifndef PROBE_RELATIONAL_VALUE_H_
+#define PROBE_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "zorder/zvalue.h"
+
+/// \file
+/// Attribute values of the mini relational engine.
+///
+/// Section 4's "one obvious addition is a domain for the element object
+/// class": besides the usual integer/real/string domains, a column can
+/// hold a z value (an element). The element domain's operators — precedes
+/// (z order) and contains (prefix) — are what the spatial join consumes.
+
+namespace probe::relational {
+
+/// Tag of a value's runtime type.
+enum class ValueType { kInt, kReal, kString, kZValue };
+
+/// A single attribute value.
+using Value = std::variant<int64_t, double, std::string, zorder::ZValue>;
+
+/// Runtime type of `v`.
+ValueType TypeOf(const Value& v);
+
+/// Human-readable rendering (z values print as bitstrings).
+std::string ValueToString(const Value& v);
+
+/// Total order within a type: integers/reals numerically, strings
+/// lexicographically, z values in z order. Comparing different types
+/// orders by type tag (deterministic, used only for sorting mixed keys).
+bool ValueLess(const Value& a, const Value& b);
+
+/// Equality within a type; values of different types are unequal.
+bool ValueEquals(const Value& a, const Value& b);
+
+}  // namespace probe::relational
+
+#endif  // PROBE_RELATIONAL_VALUE_H_

@@ -1,0 +1,204 @@
+#include "storage/buffer_pool.h"
+
+namespace probe::storage {
+
+PageRef::PageRef(PageRef&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() { Release(); }
+
+Page& PageRef::page() {
+  assert(valid());
+  return pool_->frames_[frame_].page;
+}
+
+const Page& PageRef::page() const {
+  assert(valid());
+  return pool_->frames_[frame_].page;
+}
+
+void PageRef::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity, EvictionPolicy policy)
+    : pager_(pager), capacity_(capacity), policy_(policy) {
+  assert(capacity_ >= 1);
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = capacity_; i-- > 0;) free_frames_.push_back(i);
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+PageRef BufferPool::Fetch(PageId id) {
+  ++stats_.fetches;
+  if (auto it = resident_.find(id); it != resident_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    switch (policy_) {
+      case EvictionPolicy::kLru:
+        // Pinned frames leave the candidate queue; they re-enter at unpin,
+        // which is what makes the order "recently used".
+        if (frame.in_queue) {
+          queue_.erase(frame.queue_pos);
+          frame.in_queue = false;
+        }
+        break;
+      case EvictionPolicy::kFifo:
+        break;  // hits do not reorder a FIFO
+      case EvictionPolicy::kClock:
+        frame.referenced = true;
+        break;
+    }
+    ++frame.pins;
+    return PageRef(this, it->second);
+  }
+  ++stats_.misses;
+  const size_t slot = AcquireFrame();
+  Frame& frame = frames_[slot];
+  pager_->Read(id, &frame.page);
+  frame.id = id;
+  frame.pins = 1;
+  frame.dirty = false;
+  frame.referenced = true;
+  if (policy_ == EvictionPolicy::kFifo) {
+    queue_.push_back(slot);
+    frame.queue_pos = std::prev(queue_.end());
+    frame.in_queue = true;
+  }
+  resident_.emplace(id, slot);
+  return PageRef(this, slot);
+}
+
+PageRef BufferPool::New(PageId* id_out) {
+  const PageId id = pager_->Allocate();
+  if (id_out != nullptr) *id_out = id;
+  const size_t slot = AcquireFrame();
+  Frame& frame = frames_[slot];
+  frame.page.Clear();
+  frame.id = id;
+  frame.pins = 1;
+  frame.dirty = true;
+  frame.referenced = true;
+  if (policy_ == EvictionPolicy::kFifo) {
+    queue_.push_back(slot);
+    frame.queue_pos = std::prev(queue_.end());
+    frame.in_queue = true;
+  }
+  resident_.emplace(id, slot);
+  return PageRef(this, slot);
+}
+
+void BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.id != kInvalidPageId && frame.dirty) {
+      pager_->Write(frame.id, frame.page);
+      frame.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+}
+
+void BufferPool::Unpin(size_t slot) {
+  Frame& frame = frames_[slot];
+  assert(frame.pins > 0);
+  if (--frame.pins == 0) {
+    switch (policy_) {
+      case EvictionPolicy::kLru:
+        queue_.push_back(slot);
+        frame.queue_pos = std::prev(queue_.end());
+        frame.in_queue = true;
+        break;
+      case EvictionPolicy::kFifo:
+        break;  // stays where its load put it
+      case EvictionPolicy::kClock:
+        frame.referenced = true;
+        break;
+    }
+  }
+}
+
+size_t BufferPool::PickVictim() {
+  switch (policy_) {
+    case EvictionPolicy::kLru: {
+      // Only unpinned frames live in the queue; the front is the LRU one.
+      assert(!queue_.empty() && "all buffer frames are pinned");
+      const size_t slot = queue_.front();
+      queue_.pop_front();
+      frames_[slot].in_queue = false;
+      return slot;
+    }
+    case EvictionPolicy::kFifo: {
+      // Oldest load that is not pinned.
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (frames_[*it].pins == 0) {
+          const size_t slot = *it;
+          queue_.erase(it);
+          frames_[slot].in_queue = false;
+          return slot;
+        }
+      }
+      assert(false && "all buffer frames are pinned");
+      return 0;
+    }
+    case EvictionPolicy::kClock: {
+      // Second chance sweep; two full passes suffice once reference bits
+      // are cleared, a third means everything is pinned.
+      for (size_t step = 0; step < 3 * capacity_; ++step) {
+        Frame& frame = frames_[clock_hand_];
+        const size_t slot = clock_hand_;
+        clock_hand_ = (clock_hand_ + 1) % capacity_;
+        if (frame.id == kInvalidPageId || frame.pins > 0) continue;
+        if (frame.referenced) {
+          frame.referenced = false;
+          continue;
+        }
+        return slot;
+      }
+      assert(false && "all buffer frames are pinned");
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    const size_t slot = free_frames_.back();
+    free_frames_.pop_back();
+    return slot;
+  }
+  const size_t slot = PickVictim();
+  Frame& frame = frames_[slot];
+  if (frame.dirty) {
+    pager_->Write(frame.id, frame.page);
+    ++stats_.writebacks;
+  }
+  ++stats_.evictions;
+  resident_.erase(frame.id);
+  frame.id = kInvalidPageId;
+  return slot;
+}
+
+}  // namespace probe::storage

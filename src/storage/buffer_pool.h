@@ -1,0 +1,149 @@
+#ifndef PROBE_STORAGE_BUFFER_POOL_H_
+#define PROBE_STORAGE_BUFFER_POOL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/pager.h"
+
+/// \file
+/// Buffer pool with pluggable replacement (LRU default).
+///
+/// Section 4 argues that "the LRU buffering strategy will work well because
+/// of our reliance on merging in AG algorithms: each page is accessed at
+/// most once, its contents are processed, and then the page will not be
+/// needed again for the rest of the merge." The pool's hit/miss counters
+/// let the benches verify that claim directly — and the FIFO and CLOCK
+/// policies exist so the claim can be tested against alternatives rather
+/// than assumed.
+
+namespace probe::storage {
+
+/// Page replacement policy.
+enum class EvictionPolicy {
+  /// Least recently used (the paper's choice): victims ordered by last
+  /// unpin.
+  kLru,
+  /// First in, first out: victims ordered by load time; hits don't reorder.
+  kFifo,
+  /// Second chance: a circular sweep that spares pages referenced since
+  /// the hand last passed.
+  kClock,
+};
+
+/// Buffer pool counters.
+struct BufferPoolStats {
+  /// Logical page requests (Fetch calls).
+  uint64_t fetches = 0;
+  /// Requests satisfied from a resident frame.
+  uint64_t hits = 0;
+  /// Requests that caused a physical read.
+  uint64_t misses = 0;
+  /// Dirty frames written back on eviction or flush.
+  uint64_t writebacks = 0;
+  /// Frames evicted.
+  uint64_t evictions = 0;
+
+  void Reset() { *this = BufferPoolStats{}; }
+};
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While a PageRef is alive, the frame cannot
+/// be evicted. Mark dirty through MarkDirty() before mutating the page.
+class PageRef {
+ public:
+  PageRef() : pool_(nullptr), frame_(0) {}
+  PageRef(PageRef&& other) noexcept;
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  /// The buffered page. Valid only while the ref is non-null.
+  Page& page();
+  const Page& page() const;
+
+  /// Flags the frame for write-back on eviction/flush.
+  void MarkDirty();
+
+  /// True when this ref holds a pinned frame.
+  bool valid() const { return pool_ != nullptr; }
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_;
+  size_t frame_;
+};
+
+/// Fixed-capacity page cache over a Pager.
+class BufferPool {
+ public:
+  /// `capacity` is the number of resident frames; must be >= 1. The pager
+  /// must outlive the pool.
+  BufferPool(Pager* pager, size_t capacity,
+             EvictionPolicy policy = EvictionPolicy::kLru);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// Returns a pinned reference to page `id`, reading it from the pager on
+  /// a miss. Asserts if all frames are pinned.
+  PageRef Fetch(PageId id);
+
+  /// Allocates a fresh page on the pager and returns it pinned (and dirty).
+  PageRef New(PageId* id_out);
+
+  /// Writes back all dirty frames (they stay resident).
+  void FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    int pins = 0;
+    bool dirty = false;
+    // Position in queue_ when enqueued; only meaningful if in_queue.
+    std::list<size_t>::iterator queue_pos;
+    bool in_queue = false;
+    // CLOCK: referenced since the hand last passed.
+    bool referenced = false;
+  };
+
+  void Unpin(size_t frame);
+  size_t AcquireFrame();  // a free or evictable frame, detached from maps
+  size_t PickVictim();    // policy-specific choice among unpinned frames
+
+  Pager* pager_;
+  size_t capacity_;
+  EvictionPolicy policy_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> resident_;
+  // kLru: front = least recently unpinned. kFifo: front = oldest load.
+  // kClock: ignored (the hand sweeps frames_ directly).
+  std::list<size_t> queue_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace probe::storage
+
+#endif  // PROBE_STORAGE_BUFFER_POOL_H_

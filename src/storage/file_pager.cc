@@ -1,0 +1,64 @@
+#include "storage/file_pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+
+namespace probe::storage {
+
+FilePager::FilePager(const std::string& path, bool truncate) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return;
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  page_count_ = static_cast<uint32_t>(static_cast<uint64_t>(size) / Page::kSize);
+}
+
+FilePager::~FilePager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+PageId FilePager::Allocate() {
+  assert(ok());
+  const PageId id = page_count_++;
+  // Extend the file with a zeroed page so reads of fresh pages are valid.
+  Page zero;
+  const ssize_t written =
+      ::pwrite(fd_, zero.data(), Page::kSize,
+               static_cast<off_t>(id) * static_cast<off_t>(Page::kSize));
+  assert(written == static_cast<ssize_t>(Page::kSize));
+  (void)written;
+  ++stats_.allocations;
+  return id;
+}
+
+void FilePager::Read(PageId id, Page* out) {
+  assert(ok());
+  assert(id < page_count_);
+  const ssize_t bytes =
+      ::pread(fd_, out->data(), Page::kSize,
+              static_cast<off_t>(id) * static_cast<off_t>(Page::kSize));
+  assert(bytes == static_cast<ssize_t>(Page::kSize));
+  (void)bytes;
+  ++stats_.reads;
+}
+
+void FilePager::Write(PageId id, const Page& page) {
+  assert(ok());
+  assert(id < page_count_);
+  const ssize_t bytes =
+      ::pwrite(fd_, page.data(), Page::kSize,
+               static_cast<off_t>(id) * static_cast<off_t>(Page::kSize));
+  assert(bytes == static_cast<ssize_t>(Page::kSize));
+  (void)bytes;
+  ++stats_.writes;
+}
+
+void FilePager::Sync() {
+  assert(ok());
+  ::fsync(fd_);
+}
+
+}  // namespace probe::storage

@@ -1,0 +1,66 @@
+#ifndef PROBE_STORAGE_PAGE_H_
+#define PROBE_STORAGE_PAGE_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+/// \file
+/// Disk pages of the simulated storage engine.
+///
+/// The paper's experiments measure *page accesses*: "a disk page can be
+/// seen as storing all the points whose z values are in a certain range"
+/// (Section 5.2). Our substrate is a simulated disk — a flat array of
+/// fixed-size pages — because the metric depends only on which pages are
+/// touched, not on a physical device. Page capacity in records (20 points
+/// per page in the paper's runs) is configured at the B-tree layer; the
+/// byte size here just has to be large enough to hold it.
+
+namespace probe::storage {
+
+/// Identifies a page within a pager.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// A fixed-size block of bytes with typed accessors.
+class Page {
+ public:
+  static constexpr size_t kSize = 4096;
+
+  Page() { bytes_.fill(0); }
+
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+  /// Reads a trivially-copyable T at byte `offset`.
+  template <typename T>
+  T Read(size_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(offset + sizeof(T) <= kSize);
+    T value;
+    std::memcpy(&value, bytes_.data() + offset, sizeof(T));
+    return value;
+  }
+
+  /// Writes a trivially-copyable T at byte `offset`.
+  template <typename T>
+  void Write(size_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(offset + sizeof(T) <= kSize);
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  /// Zeroes the whole page.
+  void Clear() { bytes_.fill(0); }
+
+ private:
+  std::array<uint8_t, kSize> bytes_;
+};
+
+}  // namespace probe::storage
+
+#endif  // PROBE_STORAGE_PAGE_H_

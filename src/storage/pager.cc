@@ -1,0 +1,25 @@
+#include "storage/pager.h"
+
+#include <cassert>
+
+namespace probe::storage {
+
+PageId MemPager::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  ++stats_.allocations;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void MemPager::Read(PageId id, Page* out) {
+  assert(id < pages_.size());
+  *out = *pages_[id];
+  ++stats_.reads;
+}
+
+void MemPager::Write(PageId id, const Page& page) {
+  assert(id < pages_.size());
+  *pages_[id] = page;
+  ++stats_.writes;
+}
+
+}  // namespace probe::storage

@@ -1,0 +1,70 @@
+#ifndef PROBE_UTIL_BITS_H_
+#define PROBE_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+/// \file
+/// Small bit-manipulation helpers shared across the library.
+///
+/// The z-order machinery of the paper is, at bottom, bit surgery on
+/// coordinate words: interleaving, prefix masking, and locating the span
+/// between the first and last 1 bits (the quantity that drives the element
+/// count E(U,V) of Section 5.1). These helpers keep that surgery in one
+/// audited place.
+
+namespace probe::util {
+
+/// Returns a mask with the `n` most significant bits of a 64-bit word set.
+/// `n` must be in [0, 64].
+constexpr uint64_t HighMask(int n) {
+  // A shift by 64 is undefined behaviour, so 0 and 64 are special-cased via
+  // the branch rather than computed.
+  return n == 0 ? 0ULL : ~0ULL << (64 - n);
+}
+
+/// Returns a mask with the `n` least significant bits set. `n` in [0, 64].
+constexpr uint64_t LowMask(int n) {
+  return n == 0 ? 0ULL : ~0ULL >> (64 - n);
+}
+
+/// Index (0 = most significant) of the highest set bit. Requires x != 0.
+constexpr int HighestSetBit(uint64_t x) { return std::countl_zero(x); }
+
+/// Index counted from the least significant end of the lowest set bit.
+/// Requires x != 0.
+constexpr int LowestSetBit(uint64_t x) { return std::countr_zero(x); }
+
+/// Number of bit positions between the first and last 1 bits, inclusive.
+/// Zero when x == 0. This is the "bit span" that Section 5.1 identifies as
+/// the dominant factor in the element count of a box decomposition.
+constexpr int BitSpan(uint64_t x) {
+  if (x == 0) return 0;
+  return 64 - std::countl_zero(x) - std::countr_zero(x);
+}
+
+/// Rounds `x` up to the nearest multiple of 2^m (the grid-coarsening
+/// construction of Section 5.1: "replace U by U' such that U' >= U and the
+/// last m bits of U' are zero").
+constexpr uint64_t RoundUpToZeroBits(uint64_t x, int m) {
+  const uint64_t unit = 1ULL << m;
+  return (x + unit - 1) & ~(unit - 1);
+}
+
+/// True iff x is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x. Requires x >= 1 and x <= 2^63.
+constexpr uint64_t CeilPowerOfTwo(uint64_t x) { return std::bit_ceil(x); }
+
+/// Integer base-2 logarithm, rounded down. Requires x != 0.
+constexpr int FloorLog2(uint64_t x) { return 63 - std::countl_zero(x); }
+
+/// Integer base-2 logarithm, rounded up. Requires x != 0.
+constexpr int CeilLog2(uint64_t x) {
+  return x == 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_BITS_H_

@@ -1,0 +1,70 @@
+#include "util/ppm.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace probe::util {
+
+PpmImage::PpmImage(int width, int height)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<size_t>(width) * height * 3, 255) {
+  assert(width_ > 0 && height_ > 0);
+}
+
+void PpmImage::Set(int x, int y, uint8_t r, uint8_t g, uint8_t b) {
+  assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+  const size_t row = static_cast<size_t>(height_ - 1 - y);  // flip to raster
+  const size_t offset = (row * width_ + static_cast<size_t>(x)) * 3;
+  pixels_[offset] = r;
+  pixels_[offset + 1] = g;
+  pixels_[offset + 2] = b;
+}
+
+void PpmImage::Fill(uint8_t r, uint8_t g, uint8_t b) {
+  for (size_t i = 0; i < pixels_.size(); i += 3) {
+    pixels_[i] = r;
+    pixels_[i + 1] = g;
+    pixels_[i + 2] = b;
+  }
+}
+
+bool PpmImage::WriteTo(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  std::fprintf(file, "P6\n%d %d\n255\n", width_, height_);
+  const size_t written =
+      std::fwrite(pixels_.data(), 1, pixels_.size(), file);
+  std::fclose(file);
+  return written == pixels_.size();
+}
+
+void CategoricalColor(uint64_t index, uint8_t* r, uint8_t* g, uint8_t* b) {
+  // Golden-ratio hue walk with fixed saturation/value: adjacent indices
+  // land far apart on the color wheel.
+  const double hue = std::fmod(static_cast<double>(index) * 0.61803398875,
+                               1.0) *
+                     6.0;
+  const double saturation = 0.55;
+  const double value = 0.95;
+  const int sector = static_cast<int>(hue);
+  const double f = hue - sector;
+  const double p = value * (1 - saturation);
+  const double q = value * (1 - saturation * f);
+  const double t = value * (1 - saturation * (1 - f));
+  double red = 0, green = 0, blue = 0;
+  switch (sector % 6) {
+    case 0: red = value, green = t, blue = p; break;
+    case 1: red = q, green = value, blue = p; break;
+    case 2: red = p, green = value, blue = t; break;
+    case 3: red = p, green = q, blue = value; break;
+    case 4: red = t, green = p, blue = value; break;
+    case 5: red = value, green = p, blue = q; break;
+  }
+  *r = static_cast<uint8_t>(red * 255);
+  *g = static_cast<uint8_t>(green * 255);
+  *b = static_cast<uint8_t>(blue * 255);
+}
+
+}  // namespace probe::util

@@ -1,0 +1,48 @@
+#ifndef PROBE_UTIL_PPM_H_
+#define PROBE_UTIL_PPM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Minimal binary PPM (P6) image writer.
+///
+/// The paper's Figure 6 is a plotter drawing of the page partitioning;
+/// the fig6 bench renders the same maps both as ASCII and as PPM files so
+/// the reproduction ships inspectable image artifacts with zero image
+/// dependencies.
+
+namespace probe::util {
+
+/// An RGB image with Cartesian addressing (origin at bottom-left, matching
+/// the paper's figures).
+class PpmImage {
+ public:
+  PpmImage(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Sets the pixel at Cartesian (x, y); (0, 0) is bottom-left.
+  void Set(int x, int y, uint8_t r, uint8_t g, uint8_t b);
+
+  /// Fills the whole image with one color.
+  void Fill(uint8_t r, uint8_t g, uint8_t b);
+
+  /// Writes binary P6 to `path`; false on I/O failure.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<uint8_t> pixels_;  // row-major from the top row
+};
+
+/// A deterministic categorical color (for labelling partitions/components):
+/// index -> visually spread RGB via a golden-ratio hue walk.
+void CategoricalColor(uint64_t index, uint8_t* r, uint8_t* g, uint8_t* b);
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_PPM_H_

@@ -1,0 +1,53 @@
+#ifndef PROBE_UTIL_RNG_H_
+#define PROBE_UTIL_RNG_H_
+
+#include <cstdint>
+
+/// \file
+/// Deterministic pseudo-random number generation for workloads and tests.
+///
+/// All experiments in the reproduction are seeded so that every run of a
+/// bench binary prints identical tables. We use xoshiro256++ seeded through
+/// SplitMix64, which is fast, has a long period, and is trivially
+/// reimplementable from its published description.
+
+namespace probe::util {
+
+/// SplitMix64 step: used to expand a single 64-bit seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& state);
+
+/// xoshiro256++ generator with convenience samplers.
+///
+/// Not a cryptographic generator; statistical quality is more than adequate
+/// for the synthetic point distributions of Section 5.3.2.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses rejection
+  /// sampling so the distribution is exactly uniform.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal variate (Box-Muller; one value per call, the pair's
+  /// second half is cached).
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_RNG_H_

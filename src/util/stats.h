@@ -1,0 +1,50 @@
+#ifndef PROBE_UTIL_STATS_H_
+#define PROBE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Summary statistics for experiment drivers.
+///
+/// The paper reports page accesses and efficiency "averaged over several
+/// queries" (five random locations per shape/volume cell). Benches use this
+/// accumulator to print means, extremes, and dispersion for each cell.
+
+namespace probe::util {
+
+/// Streaming accumulator for a sample of doubles.
+class Summary {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added so far.
+  size_t count() const { return values_.size(); }
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const;
+
+  /// Sample standard deviation (n-1 denominator); 0 when count < 2.
+  double StdDev() const;
+
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+
+  /// Linear-interpolation percentile, q in [0, 1]. Requires count > 0.
+  double Percentile(double q) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Least-squares fit of log(y) = a + b*log(x); returns the exponent b.
+/// Used to verify the O(v*N) and O(N^(1-t/k)) growth claims of Section 5.3.
+/// Points with x <= 0 or y <= 0 are skipped. Returns 0 with fewer than two
+/// usable points.
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_STATS_H_

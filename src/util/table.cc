@@ -1,0 +1,45 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace probe::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow() { rows_.emplace_back(); }
+
+void Table::Cell(const std::string& value) { rows_.back().push_back(value); }
+
+void Table::Cell(int64_t value) { Cell(std::to_string(value)); }
+
+void Table::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  Cell(std::string(buf));
+}
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << "  " << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace probe::util

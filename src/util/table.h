@@ -1,0 +1,45 @@
+#ifndef PROBE_UTIL_TABLE_H_
+#define PROBE_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file
+/// Plain-text table rendering for the bench binaries.
+///
+/// Every experiment bench prints the rows/series the paper reports; this
+/// renderer keeps that output aligned and diff-friendly.
+
+namespace probe::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// a fixed precision so repeated runs diff cleanly.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent Cell() calls fill it left to right.
+  void AddRow();
+
+  /// Appends a string cell to the current row.
+  void Cell(const std::string& value);
+
+  /// Appends an integer cell.
+  void Cell(int64_t value);
+
+  /// Appends a floating-point cell with `precision` digits after the point.
+  void Cell(double value, int precision = 3);
+
+  /// Renders the table with a header rule to `out`.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_TABLE_H_

@@ -1,0 +1,171 @@
+#include "workload/datagen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace probe::workload {
+
+namespace {
+
+uint32_t ClampToGrid(double value, uint64_t side) {
+  if (value < 0) return 0;
+  if (value >= static_cast<double>(side)) {
+    return static_cast<uint32_t>(side - 1);
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+std::string DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "U";
+    case Distribution::kClustered:
+      return "C";
+    case Distribution::kDiagonal:
+      return "D";
+    case Distribution::kRoadNetwork:
+      return "R";
+  }
+  return "?";
+}
+
+std::vector<index::PointRecord> GeneratePoints(const zorder::GridSpec& grid,
+                                               const DataGenConfig& config) {
+  assert(grid.Valid());
+  util::Rng rng(config.seed);
+  const uint64_t side = grid.side();
+  const int k = grid.dims;
+  std::vector<index::PointRecord> points;
+  points.reserve(config.count);
+
+  switch (config.distribution) {
+    case Distribution::kUniform: {
+      for (size_t i = 0; i < config.count; ++i) {
+        std::vector<uint32_t> coords(k);
+        for (int d = 0; d < k; ++d) {
+          coords[d] = static_cast<uint32_t>(rng.NextBelow(side));
+        }
+        points.push_back(index::PointRecord{
+            geometry::GridPoint(std::span<const uint32_t>(coords)), i});
+      }
+      break;
+    }
+    case Distribution::kClustered: {
+      assert(config.clusters >= 1);
+      // Cluster centers are uniform; points go to clusters round-robin so
+      // the paper's 50 x 100 layout falls out of count=5000, clusters=50.
+      std::vector<std::vector<double>> centers(config.clusters,
+                                               std::vector<double>(k));
+      for (auto& center : centers) {
+        for (int d = 0; d < k; ++d) {
+          center[d] = static_cast<double>(rng.NextBelow(side));
+        }
+      }
+      const double sigma =
+          config.cluster_sigma_fraction * static_cast<double>(side);
+      for (size_t i = 0; i < config.count; ++i) {
+        const auto& center = centers[i % config.clusters];
+        std::vector<uint32_t> coords(k);
+        for (int d = 0; d < k; ++d) {
+          coords[d] =
+              ClampToGrid(center[d] + rng.NextGaussian() * sigma, side);
+        }
+        points.push_back(index::PointRecord{
+            geometry::GridPoint(std::span<const uint32_t>(coords)), i});
+      }
+      break;
+    }
+    case Distribution::kDiagonal: {
+      for (size_t i = 0; i < config.count; ++i) {
+        const double base = static_cast<double>(rng.NextBelow(side));
+        std::vector<uint32_t> coords(k);
+        for (int d = 0; d < k; ++d) {
+          const double jitter = config.diagonal_jitter > 0
+                                    ? rng.NextGaussian() * config.diagonal_jitter
+                                    : 0.0;
+          coords[d] = ClampToGrid(base + jitter, side);
+        }
+        points.push_back(index::PointRecord{
+            geometry::GridPoint(std::span<const uint32_t>(coords)), i});
+      }
+      break;
+    }
+    case Distribution::kRoadNetwork: {
+      assert(config.roads >= 1);
+      // Roads: polylines of 3-6 uniformly placed waypoints. Each road's
+      // segment lengths weight where its points land.
+      struct Road {
+        std::vector<std::vector<double>> waypoints;
+        std::vector<double> cumulative;  // cumulative segment lengths
+      };
+      std::vector<Road> roads(config.roads);
+      for (Road& road : roads) {
+        const int waypoint_count = 3 + static_cast<int>(rng.NextBelow(4));
+        for (int w = 0; w < waypoint_count; ++w) {
+          std::vector<double> p(k);
+          for (int d = 0; d < k; ++d) {
+            p[d] = static_cast<double>(rng.NextBelow(side));
+          }
+          road.waypoints.push_back(std::move(p));
+        }
+        double running = 0.0;
+        for (size_t s = 1; s < road.waypoints.size(); ++s) {
+          double len2 = 0.0;
+          for (int d = 0; d < k; ++d) {
+            const double delta = road.waypoints[s][d] - road.waypoints[s - 1][d];
+            len2 += delta * delta;
+          }
+          running += std::sqrt(len2);
+          road.cumulative.push_back(running);
+        }
+      }
+      const double road_sigma = 0.003 * static_cast<double>(side);
+      const double town_sigma = 0.008 * static_cast<double>(side);
+      for (size_t i = 0; i < config.count; ++i) {
+        const Road& road = roads[i % roads.size()];
+        std::vector<uint32_t> coords(k);
+        if (rng.NextDouble() < config.town_fraction) {
+          // A town at a random waypoint.
+          const auto& town =
+              road.waypoints[rng.NextBelow(road.waypoints.size())];
+          for (int d = 0; d < k; ++d) {
+            coords[d] =
+                ClampToGrid(town[d] + rng.NextGaussian() * town_sigma, side);
+          }
+        } else {
+          // Along the road: pick a position by arc length.
+          const double target =
+              rng.NextDouble() * road.cumulative.back();
+          size_t segment = 0;
+          while (segment + 1 < road.cumulative.size() &&
+                 road.cumulative[segment] < target) {
+            ++segment;
+          }
+          const double seg_start =
+              segment == 0 ? 0.0 : road.cumulative[segment - 1];
+          const double seg_len = road.cumulative[segment] - seg_start;
+          const double t =
+              seg_len > 0 ? (target - seg_start) / seg_len : 0.0;
+          const auto& a = road.waypoints[segment];
+          const auto& b = road.waypoints[segment + 1];
+          for (int d = 0; d < k; ++d) {
+            const double along = a[d] + t * (b[d] - a[d]);
+            coords[d] =
+                ClampToGrid(along + rng.NextGaussian() * road_sigma, side);
+          }
+        }
+        points.push_back(index::PointRecord{
+            geometry::GridPoint(std::span<const uint32_t>(coords)), i});
+      }
+      break;
+    }
+  }
+  return points;
+}
+
+}  // namespace probe::workload

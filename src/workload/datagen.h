@@ -1,0 +1,64 @@
+#ifndef PROBE_WORKLOAD_DATAGEN_H_
+#define PROBE_WORKLOAD_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/zkd_index.h"
+#include "zorder/grid.h"
+
+/// \file
+/// The paper's three synthetic point distributions (Section 5.3.2):
+///
+///   U — uniformly distributed points;
+///   C — "clustered" data: 50 small clusters of 100 points each;
+///   D — "diagonally" distributed: points uniform along the x = y line;
+///
+/// plus a fourth, standing in for the "real data" the paper defers to
+/// future work:
+///
+///   R — a road-network pattern: points scattered along random polylines
+///       with denser knots at their waypoints (towns), the mixture of
+///       linear features and clusters that geographic data exhibits.
+///
+/// All generators are deterministic in the seed so every bench run prints
+/// identical tables.
+
+namespace probe::workload {
+
+/// Which distribution to generate.
+enum class Distribution { kUniform, kClustered, kDiagonal, kRoadNetwork };
+
+/// Short name ("U", "C", "D") for tables.
+std::string DistributionName(Distribution d);
+
+/// Generation parameters.
+struct DataGenConfig {
+  Distribution distribution = Distribution::kUniform;
+  /// Total points (the paper uses 5000).
+  size_t count = 5000;
+  uint64_t seed = 1;
+  /// Experiment C: number of clusters (points are dealt round-robin so
+  /// every cluster gets count/clusters points; 50 x 100 in the paper).
+  int clusters = 50;
+  /// Cluster radius as a fraction of the grid side (Gaussian sigma).
+  double cluster_sigma_fraction = 0.01;
+  /// Experiment D: Gaussian jitter (in cells) applied off the diagonal;
+  /// 0 keeps points exactly on x = y as in the paper.
+  double diagonal_jitter = 0.0;
+  /// Experiment R: number of polyline roads.
+  int roads = 8;
+  /// Experiment R: fraction of points concentrated at waypoints (towns).
+  double town_fraction = 0.25;
+};
+
+/// Generates points on `grid` (ids are 0..count-1). Works in any dimension:
+/// kClustered places k-d Gaussian blobs, kDiagonal spreads points along the
+/// main diagonal x_0 = x_1 = ... = x_{k-1}.
+std::vector<index::PointRecord> GeneratePoints(const zorder::GridSpec& grid,
+                                               const DataGenConfig& config);
+
+}  // namespace probe::workload
+
+#endif  // PROBE_WORKLOAD_DATAGEN_H_

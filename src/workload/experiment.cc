@@ -1,0 +1,104 @@
+#include "workload/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+#include "workload/querygen.h"
+
+namespace probe::workload {
+
+double PredictedPages2D(double width_cells, double height_cells, double side,
+                        uint64_t leaf_pages) {
+  // Fixed-size-page model (Section 5.2): the space divides into equal
+  // rectangular blocks of at most 6 pages each (2-d bound). With
+  // leaf_pages/6 square blocks, a block has side s_b = side*sqrt(6/N).
+  // Worst case, a segment of length w overlaps floor(w/s_b) + 2 aligned
+  // blocks, so a w x h query touches at most
+  // 6 * (floor(w/s_b)+2)(floor(h/s_b)+2) pages.
+  const double n = static_cast<double>(leaf_pages);
+  if (n <= 0) return 0.0;
+  const double pages_per_block = 6.0;
+  const double block_side = side * std::sqrt(pages_per_block / n);
+  const double blocks = (std::floor(width_cells / block_side) + 2.0) *
+                        (std::floor(height_cells / block_side) + 2.0);
+  return pages_per_block * blocks;
+}
+
+double PredictedPagesKD(std::span<const double> extent_cells, double side,
+                        uint64_t leaf_pages) {
+  const int dims = static_cast<int>(extent_cells.size());
+  assert(dims == 2 || dims == 3);  // the paper derives these two constants
+  const double pages_per_block = dims == 2 ? 6.0 : 28.0 / 3.0;
+  const double n = static_cast<double>(leaf_pages);
+  if (n <= 0) return 0.0;
+  // Cubic blocks of volume pages_per_block * side^k / N.
+  const double block_side =
+      side * std::pow(pages_per_block / n, 1.0 / static_cast<double>(dims));
+  double blocks = 1.0;
+  for (double extent : extent_cells) {
+    blocks *= std::floor(extent / block_side) + 2.0;
+  }
+  return pages_per_block * blocks;
+}
+
+BuiltIndex BuildZkdIndex(const zorder::GridSpec& grid,
+                         std::span<const index::PointRecord> points,
+                         int page_capacity, size_t pool_frames) {
+  BuiltIndex built;
+  built.pager = std::make_unique<storage::MemPager>();
+  built.pool = std::make_unique<storage::BufferPool>(built.pager.get(),
+                                                     pool_frames);
+  btree::BTreeConfig config;
+  config.leaf_capacity = page_capacity;
+  built.index = std::make_unique<index::ZkdIndex>(
+      index::ZkdIndex::Build(grid, built.pool.get(), points, config));
+  built.leaf_pages = built.index->tree().ComputeShape().leaf_pages;
+  return built;
+}
+
+ExperimentReport RunRangeExperiment(const ExperimentConfig& config) {
+  const auto points = GeneratePoints(config.grid, config.data);
+  BuiltIndex built = BuildZkdIndex(config.grid, points, config.page_capacity,
+                                   config.pool_frames);
+
+  ExperimentReport report;
+  report.points = points.size();
+  report.leaf_pages = built.leaf_pages;
+  report.tree_height = built.index->tree().height();
+
+  util::Rng rng(config.query_seed);
+  const double side = static_cast<double>(config.grid.side());
+  for (double volume : config.volumes) {
+    for (double aspect : config.aspects) {
+      util::Summary pages, efficiency, results;
+      double width_cells = 0.0;
+      double height_cells = 0.0;
+      for (const geometry::GridBox& box : MakeQueryBoxes2D(
+               config.grid, volume, aspect, config.locations, rng)) {
+        index::QueryStats stats;
+        built.index->RangeSearch(box, &stats, config.search);
+        pages.Add(static_cast<double>(stats.leaf_pages));
+        efficiency.Add(stats.Efficiency());
+        results.Add(static_cast<double>(stats.results));
+        width_cells = static_cast<double>(box.range(0).width());
+        height_cells = static_cast<double>(box.range(1).width());
+      }
+      ExperimentCell cell;
+      cell.volume = volume;
+      cell.aspect = aspect;
+      cell.mean_pages = pages.Mean();
+      cell.max_pages = pages.Max();
+      cell.mean_efficiency = efficiency.Mean();
+      cell.mean_results = results.Mean();
+      cell.predicted_pages =
+          PredictedPages2D(width_cells, height_cells, side, report.leaf_pages);
+      cell.v_times_n =
+          volume * static_cast<double>(report.leaf_pages);
+      report.cells.push_back(cell);
+    }
+  }
+  return report;
+}
+
+}  // namespace probe::workload

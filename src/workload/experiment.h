@@ -1,0 +1,96 @@
+#ifndef PROBE_WORKLOAD_EXPERIMENT_H_
+#define PROBE_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baseline/bucket_kdtree.h"
+#include "baseline/kdtree.h"
+#include "index/zkd_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "workload/datagen.h"
+
+/// \file
+/// The Section 5.3.2 experiment driver.
+///
+/// Reproduces the paper's setup: N points of a given distribution in a
+/// prefix B+-tree with a fixed page capacity; rectangular queries of
+/// several shapes and volumes at random locations; measured page accesses
+/// and efficiency per (shape, volume) cell, against the fixed-size-page
+/// analysis's prediction.
+
+namespace probe::workload {
+
+/// Full experiment parameters (defaults = the paper's setup).
+struct ExperimentConfig {
+  zorder::GridSpec grid{2, 10};
+  DataGenConfig data;
+  /// Points per leaf page ("page capacity was 20 points").
+  int page_capacity = 20;
+  /// Query volumes as fractions of the space ("four different volumes").
+  std::vector<double> volumes = {0.01, 0.02, 0.05, 0.10};
+  /// Query aspect ratios height/width ("various rectangular shapes").
+  std::vector<double> aspects = {0.0625, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0};
+  /// Random locations per cell ("five randomly selected locations").
+  int locations = 5;
+  uint64_t query_seed = 42;
+  index::SearchOptions search;
+  /// Buffer frames for the pool under the index.
+  size_t pool_frames = 64;
+};
+
+/// Aggregates for one (volume, aspect) cell.
+struct ExperimentCell {
+  double volume = 0.0;
+  double aspect = 0.0;
+  double mean_pages = 0.0;
+  double max_pages = 0.0;
+  double mean_efficiency = 0.0;
+  double mean_results = 0.0;
+  /// Fixed-size-page analysis upper bound on page accesses (Section 5.3.1):
+  /// block-count formula with <= 6 pages per block in 2-d.
+  double predicted_pages = 0.0;
+  /// The O(v*N) reference: volume fraction x leaf pages.
+  double v_times_n = 0.0;
+};
+
+/// A full experiment run.
+struct ExperimentReport {
+  std::vector<ExperimentCell> cells;
+  uint64_t leaf_pages = 0;  // N of the O(vN) formula
+  uint64_t points = 0;
+  int tree_height = 0;
+};
+
+/// The analysis's predicted page accesses for a w x h cells query on a
+/// grid of `side` cells holding `leaf_pages` pages (2-d, fixed-size-page
+/// assumption, <= 6 pages per block).
+double PredictedPages2D(double width_cells, double height_cells, double side,
+                        uint64_t leaf_pages);
+
+/// k-dimensional generalization of the block bound. Section 5.2 gives the
+/// pages-per-block constants the analysis derives: 6 in 2-d and 28/3 in
+/// 3-d; only those two dimensionalities are supported.
+double PredictedPagesKD(std::span<const double> extent_cells, double side,
+                        uint64_t leaf_pages);
+
+/// Runs the experiment. Deterministic in the seeds.
+ExperimentReport RunRangeExperiment(const ExperimentConfig& config);
+
+/// An index built for experimentation, bundling its storage. Movable.
+struct BuiltIndex {
+  std::unique_ptr<storage::MemPager> pager;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<index::ZkdIndex> index;
+  uint64_t leaf_pages = 0;
+};
+
+/// Builds a zkd index over `points` with the given page capacity.
+BuiltIndex BuildZkdIndex(const zorder::GridSpec& grid,
+                         std::span<const index::PointRecord> points,
+                         int page_capacity, size_t pool_frames);
+
+}  // namespace probe::workload
+
+#endif  // PROBE_WORKLOAD_EXPERIMENT_H_

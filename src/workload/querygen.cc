@@ -1,0 +1,63 @@
+#include "workload/querygen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace probe::workload {
+
+geometry::GridBox MakeQueryBox(const zorder::GridSpec& grid,
+                               double volume_fraction,
+                               std::span<const double> weights,
+                               util::Rng& rng) {
+  assert(weights.size() == static_cast<size_t>(grid.dims));
+  assert(volume_fraction > 0.0 && volume_fraction <= 1.0);
+  const int k = grid.dims;
+  const double side = static_cast<double>(grid.side());
+
+  // Solve for scale c with prod(c * w_i) = volume_fraction * side^k.
+  double weight_product = 1.0;
+  for (double w : weights) {
+    assert(w > 0.0);
+    weight_product *= w;
+  }
+  const double target_volume =
+      volume_fraction * std::pow(side, static_cast<double>(k));
+  const double scale =
+      std::pow(target_volume / weight_product, 1.0 / static_cast<double>(k));
+
+  std::vector<zorder::DimRange> ranges(k);
+  for (int d = 0; d < k; ++d) {
+    const uint64_t extent = static_cast<uint64_t>(std::clamp(
+        std::llround(scale * weights[d]), 1LL,
+        static_cast<long long>(grid.side())));
+    const uint64_t max_lo = grid.side() - extent;
+    const uint64_t lo = max_lo == 0 ? 0 : rng.NextBelow(max_lo + 1);
+    ranges[d].lo = static_cast<uint32_t>(lo);
+    ranges[d].hi = static_cast<uint32_t>(lo + extent - 1);
+  }
+  return geometry::GridBox(ranges);
+}
+
+std::vector<geometry::GridBox> MakeQueryBoxes(const zorder::GridSpec& grid,
+                                              double volume_fraction,
+                                              std::span<const double> weights,
+                                              int count, util::Rng& rng) {
+  std::vector<geometry::GridBox> boxes;
+  boxes.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    boxes.push_back(MakeQueryBox(grid, volume_fraction, weights, rng));
+  }
+  return boxes;
+}
+
+std::vector<geometry::GridBox> MakeQueryBoxes2D(const zorder::GridSpec& grid,
+                                                double volume_fraction,
+                                                double aspect, int count,
+                                                util::Rng& rng) {
+  assert(grid.dims == 2);
+  const double weights[2] = {1.0, aspect};
+  return MakeQueryBoxes(grid, volume_fraction, weights, count, rng);
+}
+
+}  // namespace probe::workload

@@ -1,0 +1,45 @@
+#ifndef PROBE_WORKLOAD_QUERYGEN_H_
+#define PROBE_WORKLOAD_QUERYGEN_H_
+
+#include <span>
+#include <vector>
+
+#include "geometry/box.h"
+#include "util/rng.h"
+#include "zorder/grid.h"
+
+/// \file
+/// Query workload generation (Section 5.3.2): "queries of various
+/// rectangular shapes (and four different volumes) were run in five
+/// randomly selected locations."
+///
+/// A shape is described by a volume fraction (box cells / grid cells) and
+/// per-dimension weights; weights (1, 2) mean the box is twice as tall as
+/// wide — the shape the analysis predicts is most efficient, along with
+/// squares.
+
+namespace probe::workload {
+
+/// Builds one box of roughly `volume_fraction` of the grid with side
+/// lengths proportional to `weights`, clamped to the grid; the position is
+/// drawn uniformly from placements that keep the box inside the grid.
+geometry::GridBox MakeQueryBox(const zorder::GridSpec& grid,
+                               double volume_fraction,
+                               std::span<const double> weights,
+                               util::Rng& rng);
+
+/// `count` boxes of the same shape at random locations.
+std::vector<geometry::GridBox> MakeQueryBoxes(const zorder::GridSpec& grid,
+                                              double volume_fraction,
+                                              std::span<const double> weights,
+                                              int count, util::Rng& rng);
+
+/// 2-d helper: weights (1, aspect), i.e. aspect = height / width.
+std::vector<geometry::GridBox> MakeQueryBoxes2D(const zorder::GridSpec& grid,
+                                                double volume_fraction,
+                                                double aspect, int count,
+                                                util::Rng& rng);
+
+}  // namespace probe::workload
+
+#endif  // PROBE_WORKLOAD_QUERYGEN_H_

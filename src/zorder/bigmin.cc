@@ -1,0 +1,154 @@
+#include "zorder/bigmin.h"
+
+#include <cassert>
+
+namespace probe::zorder {
+
+namespace {
+
+// Mask of the bit positions strictly below `p` (LSB-indexed) that belong to
+// the same dimension as `p` in the interleaved word, under the grid's
+// split schedule.
+uint64_t SameDimLowerMask(const GridSpec& grid, int p) {
+  if (!grid.has_custom_schedule) {
+    // Round-robin schedule: same-dimension bits sit at a fixed stride.
+    uint64_t mask = 0;
+    for (int q = p - grid.dims; q >= 0; q -= grid.dims) mask |= 1ULL << q;
+    return mask;
+  }
+  const int total = grid.total_bits();
+  const int dim = grid.SplitDimAt(total - 1 - p);
+  uint64_t mask = 0;
+  for (int q = p - 1; q >= 0; --q) {
+    if (grid.SplitDimAt(total - 1 - q) == dim) mask |= 1ULL << q;
+  }
+  return mask;
+}
+
+// v with bit p set to 1 and all same-dimension bits below p cleared: the
+// smallest value whose dimension coordinate has a 1 in this position and
+// the given higher-order coordinate bits.
+uint64_t Load1000(const GridSpec& grid, uint64_t v, int p) {
+  v |= 1ULL << p;
+  v &= ~SameDimLowerMask(grid, p);
+  return v;
+}
+
+// v with bit p cleared and all same-dimension bits below p set: the largest
+// value whose dimension coordinate has a 0 in this position.
+uint64_t Load0111(const GridSpec& grid, uint64_t v, int p) {
+  v &= ~(1ULL << p);
+  v |= SameDimLowerMask(grid, p);
+  return v;
+}
+
+}  // namespace
+
+bool InBox(const GridSpec& grid, uint64_t z, uint64_t zmin, uint64_t zmax) {
+  // Walk the bits MSB to LSB keeping, per dimension, whether the coordinate
+  // is still clamped to the box's lower/upper bound in that dimension.
+  // k <= 8, so fixed-size state arrays suffice.
+  bool at_min[8], at_max[8];
+  for (int i = 0; i < grid.dims; ++i) at_min[i] = at_max[i] = true;
+  const int total = grid.total_bits();
+  for (int j = 0; j < total; ++j) {
+    const int p = total - 1 - j;  // LSB-indexed position
+    const int dim = grid.SplitDimAt(j);
+    const int zb = static_cast<int>((z >> p) & 1);
+    const int lb = static_cast<int>((zmin >> p) & 1);
+    const int ub = static_cast<int>((zmax >> p) & 1);
+    if (at_min[dim]) {
+      if (zb < lb) return false;
+      if (zb > lb) at_min[dim] = false;
+    }
+    if (at_max[dim]) {
+      if (zb > ub) return false;
+      if (zb < ub) at_max[dim] = false;
+    }
+  }
+  return true;
+}
+
+bool BigMin(const GridSpec& grid, uint64_t zcur, uint64_t zmin, uint64_t zmax,
+            uint64_t* out) {
+  assert(grid.Valid());
+  const int total = grid.total_bits();
+  uint64_t bigmin = 0;
+  bool have_bigmin = false;
+  for (int j = 0; j < total; ++j) {
+    const int p = total - 1 - j;
+    const int zb = static_cast<int>((zcur >> p) & 1);
+    const int lb = static_cast<int>((zmin >> p) & 1);
+    const int ub = static_cast<int>((zmax >> p) & 1);
+    if (zb == 0 && lb == 0 && ub == 0) continue;
+    if (zb == 0 && lb == 0 && ub == 1) {
+      // Box spans both halves of this dimension's bit; zcur is in the lower
+      // half. The upper half's first cell is a candidate; keep searching the
+      // lower half.
+      bigmin = Load1000(grid, zmin, p);
+      have_bigmin = true;
+      zmax = Load0111(grid, zmax, p);
+    } else if (zb == 0 && lb == 1) {
+      // Box entirely in the upper half; everything in it exceeds zcur.
+      *out = zmin;
+      return true;
+    } else if (zb == 1 && ub == 0) {
+      // Box entirely in the lower half; nothing in it exceeds zcur.
+      if (have_bigmin) *out = bigmin;
+      return have_bigmin;
+    } else if (zb == 1 && lb == 0 && ub == 1) {
+      // zcur is in the upper half; the lower half of the box is all below
+      // zcur, so restrict the box to the upper half.
+      zmin = Load1000(grid, zmin, p);
+    }
+    // zb == 1 && lb == 1 && ub == 1: continue.
+  }
+  // zcur itself is inside the box; the next in-box value is found by asking
+  // again from zcur + 1, but for the merge's contract we report the saved
+  // candidate if any (zcur in box means the caller should not have called).
+  if (have_bigmin) {
+    *out = bigmin;
+    return true;
+  }
+  return false;
+}
+
+bool LitMax(const GridSpec& grid, uint64_t zcur, uint64_t zmin, uint64_t zmax,
+            uint64_t* out) {
+  assert(grid.Valid());
+  const int total = grid.total_bits();
+  uint64_t litmax = 0;
+  bool have_litmax = false;
+  for (int j = 0; j < total; ++j) {
+    const int p = total - 1 - j;
+    const int zb = static_cast<int>((zcur >> p) & 1);
+    const int lb = static_cast<int>((zmin >> p) & 1);
+    const int ub = static_cast<int>((zmax >> p) & 1);
+    if (zb == 0 && lb == 0 && ub == 0) continue;
+    if (zb == 0 && lb == 0 && ub == 1) {
+      // zcur in the lower half; the box's upper half is all above zcur.
+      zmax = Load0111(grid, zmax, p);
+    } else if (zb == 0 && lb == 1) {
+      // Box entirely above zcur.
+      if (have_litmax) *out = litmax;
+      return have_litmax;
+    } else if (zb == 1 && ub == 0) {
+      // Box entirely below zcur: its maximum is the answer.
+      *out = zmax;
+      return true;
+    } else if (zb == 1 && lb == 0 && ub == 1) {
+      // zcur in the upper half; the lower half's last cell is a candidate.
+      litmax = Load0111(grid, zmax, p);
+      have_litmax = true;
+      zmin = Load1000(grid, zmin, p);
+    }
+    // zb == 1 && lb == 1 && ub == 1: continue.
+  }
+  if (have_litmax) {
+    *out = litmax;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace probe::zorder

@@ -1,0 +1,42 @@
+#ifndef PROBE_ZORDER_BIGMIN_H_
+#define PROBE_ZORDER_BIGMIN_H_
+
+#include <cstdint>
+
+#include "zorder/grid.h"
+
+/// \file
+/// Skip-ahead computation for the range-search merge.
+///
+/// Section 3.3's optimized merge skips "parts of the space that could not
+/// possibly contribute to the result". When the current point's z value has
+/// run past the current box element, the merge needs the smallest z value
+/// greater than the point's that re-enters the query box — the quantity
+/// known in the literature as BIGMIN (Tropf & Herzog). We implement BIGMIN
+/// and its mirror LITMAX over full-resolution z integers for any grid
+/// dimensionality; the lazy decomposition generator (src/decompose) uses
+/// them as an oracle in tests and the index uses them as an alternative
+/// skipping strategy in ablation benches.
+
+namespace probe::zorder {
+
+/// Smallest full-resolution z value that is > `zcur` and whose cell lies
+/// inside the box whose lower/upper corners shuffle to `zmin` / `zmax`.
+/// Returns false if no such value exists (zcur is at or past the box's
+/// last cell). All inputs are right-justified grid.total_bits()-bit values.
+bool BigMin(const GridSpec& grid, uint64_t zcur, uint64_t zmin, uint64_t zmax,
+            uint64_t* out);
+
+/// Largest full-resolution z value that is < `zcur` and inside the box.
+/// Returns false if no such value exists.
+bool LitMax(const GridSpec& grid, uint64_t zcur, uint64_t zmin, uint64_t zmax,
+            uint64_t* out);
+
+/// True iff the cell with z value `z` lies inside the box [zmin-corner,
+/// zmax-corner]; i.e. every dimension's coordinate is within range. This is
+/// the per-point membership test the merge replaces with element ranges.
+bool InBox(const GridSpec& grid, uint64_t z, uint64_t zmin, uint64_t zmax);
+
+}  // namespace probe::zorder
+
+#endif  // PROBE_ZORDER_BIGMIN_H_

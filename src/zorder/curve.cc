@@ -1,0 +1,58 @@
+#include "zorder/curve.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "zorder/shuffle.h"
+
+namespace probe::zorder {
+
+uint64_t ZRank(const GridSpec& grid, std::span<const uint32_t> coords) {
+  return Shuffle(grid, coords).ToInteger();
+}
+
+uint64_t ZRank2D(const GridSpec& grid, uint32_t x, uint32_t y) {
+  return Shuffle2D(grid, x, y).ToInteger();
+}
+
+std::vector<std::vector<uint32_t>> ZCurveWalk(const GridSpec& grid) {
+  assert(grid.total_bits() <= 24);
+  const uint64_t cells = grid.cell_count();
+  std::vector<std::vector<uint32_t>> walk;
+  walk.reserve(cells);
+  for (uint64_t rank = 0; rank < cells; ++rank) {
+    walk.push_back(
+        Unshuffle(grid, ZValue::FromInteger(rank, grid.total_bits())));
+  }
+  return walk;
+}
+
+namespace {
+
+// Per-dimension absolute coordinate differences of the two ranks.
+std::vector<uint64_t> CoordDeltas(const GridSpec& grid, uint64_t za,
+                                  uint64_t zb) {
+  const auto ca = Unshuffle(grid, ZValue::FromInteger(za, grid.total_bits()));
+  const auto cb = Unshuffle(grid, ZValue::FromInteger(zb, grid.total_bits()));
+  std::vector<uint64_t> deltas(grid.dims);
+  for (int i = 0; i < grid.dims; ++i) {
+    deltas[i] = ca[i] > cb[i] ? ca[i] - cb[i] : cb[i] - ca[i];
+  }
+  return deltas;
+}
+
+}  // namespace
+
+uint64_t ManhattanDistance(const GridSpec& grid, uint64_t za, uint64_t zb) {
+  uint64_t sum = 0;
+  for (uint64_t d : CoordDeltas(grid, za, zb)) sum += d;
+  return sum;
+}
+
+uint64_t ChebyshevDistance(const GridSpec& grid, uint64_t za, uint64_t zb) {
+  uint64_t best = 0;
+  for (uint64_t d : CoordDeltas(grid, za, zb)) best = d > best ? d : best;
+  return best;
+}
+
+}  // namespace probe::zorder

@@ -1,0 +1,40 @@
+#ifndef PROBE_ZORDER_CURVE_H_
+#define PROBE_ZORDER_CURVE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "zorder/grid.h"
+
+/// \file
+/// The z curve itself (Figure 4): rank computation and enumeration.
+///
+/// "The rank of a point is obtained by interleaving the bits of the
+/// coordinates and interpreting as an integer" — e.g. on an 8x8 grid,
+/// [3, 5] -> (011, 101) -> 011011 = 27. These helpers exist mainly for the
+/// figure benches and the proximity experiments of Section 5.2.
+
+namespace probe::zorder {
+
+/// Rank of the cell at `coords` along the z curve (the interleaved integer).
+uint64_t ZRank(const GridSpec& grid, std::span<const uint32_t> coords);
+
+/// 2-d convenience overload.
+uint64_t ZRank2D(const GridSpec& grid, uint32_t x, uint32_t y);
+
+/// All cells of the grid in z order (rank 0, 1, 2, ...). Intended for small
+/// demonstration grids; requires grid.total_bits() <= 24.
+std::vector<std::vector<uint32_t>> ZCurveWalk(const GridSpec& grid);
+
+/// L1 (Manhattan) distance between the cells with ranks `za` and `zb`.
+uint64_t ManhattanDistance(const GridSpec& grid, uint64_t za, uint64_t zb);
+
+/// Chebyshev (max-coordinate) distance between the cells with the given
+/// ranks. Used by the Section 5.2 proximity experiment: proximity in space
+/// "in any direction" corresponds (usually) to proximity in z order.
+uint64_t ChebyshevDistance(const GridSpec& grid, uint64_t za, uint64_t zb);
+
+}  // namespace probe::zorder
+
+#endif  // PROBE_ZORDER_CURVE_H_

@@ -1,0 +1,77 @@
+#include "zorder/fast_interleave.h"
+
+#include <cassert>
+
+namespace probe::zorder {
+
+uint64_t SpreadBits2(uint32_t x) {
+  uint64_t v = x;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+uint32_t GatherBits2(uint64_t x) {
+  uint64_t v = x & 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v >> 4)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v >> 8)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(v);
+}
+
+uint64_t SpreadBits3(uint32_t x) {
+  uint64_t v = x & 0x1FFFFF;  // 21 bits
+  v = (v | (v << 32)) & 0x001F00000000FFFFULL;
+  v = (v | (v << 16)) & 0x001F0000FF0000FFULL;
+  v = (v | (v << 8)) & 0x100F00F00F00F00FULL;
+  v = (v | (v << 4)) & 0x10C30C30C30C30C3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+uint32_t GatherBits3(uint64_t x) {
+  uint64_t v = x & 0x1249249249249249ULL;
+  v = (v | (v >> 2)) & 0x10C30C30C30C30C3ULL;
+  v = (v | (v >> 4)) & 0x100F00F00F00F00FULL;
+  v = (v | (v >> 8)) & 0x001F0000FF0000FFULL;
+  v = (v | (v >> 16)) & 0x001F00000000FFFFULL;
+  v = (v | (v >> 32)) & 0x00000000001FFFFFULL;
+  return static_cast<uint32_t>(v);
+}
+
+uint64_t MortonEncode2(uint32_t x, uint32_t y, int bits) {
+  assert(bits >= 1 && bits <= 32);
+  // The alternating schedule starting with x gives x the *higher* bit of
+  // each (x, y) pair.
+  (void)bits;
+  return (SpreadBits2(x) << 1) | SpreadBits2(y);
+}
+
+void MortonDecode2(uint64_t z, int bits, uint32_t* x, uint32_t* y) {
+  assert(bits >= 1 && bits <= 32);
+  (void)bits;
+  *x = GatherBits2(z >> 1);
+  *y = GatherBits2(z);
+}
+
+uint64_t MortonEncode3(uint32_t x, uint32_t y, uint32_t w, int bits) {
+  assert(bits >= 1 && bits <= 21);
+  (void)bits;
+  return (SpreadBits3(x) << 2) | (SpreadBits3(y) << 1) | SpreadBits3(w);
+}
+
+void MortonDecode3(uint64_t z, int bits, uint32_t* x, uint32_t* y,
+                   uint32_t* w) {
+  assert(bits >= 1 && bits <= 21);
+  (void)bits;
+  *x = GatherBits3(z >> 2);
+  *y = GatherBits3(z >> 1);
+  *w = GatherBits3(z);
+}
+
+}  // namespace probe::zorder

@@ -1,0 +1,132 @@
+#ifndef PROBE_ZORDER_GRID_H_
+#define PROBE_ZORDER_GRID_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+/// \file
+/// Description of the kd grid that z values live on.
+///
+/// Section 3.1 assumes a grid of resolution 2^d x 2^d and a splitting
+/// policy that alternates direction, consuming one coordinate bit per
+/// split starting with x. A GridSpec captures the dimensionality k and the
+/// per-dimension bit count d; everything else in the library is expressed
+/// against it. The paper presents 2-d but notes all ideas extend to any
+/// dimension; we support 1 <= k <= 8 with k*d <= 64.
+///
+/// The *split schedule* — which dimension each successive split consumes —
+/// defaults to the paper's strict alternation (bit j goes to dimension
+/// j mod k), but can be overridden. That is the unification lever of the
+/// paper's first contribution: published structures fall out as schedule
+/// choices. All-of-x-then-all-of-y yields the conventional composite-key
+/// B-tree ordering; a-few-of-x-then-alternate yields the "brick wall"
+/// patterns of [LIOU77, SCHE82, ROBI81]; strict alternation is z order.
+/// Every algorithm in the library (shuffle, decomposition, merge, search)
+/// is schedule-generic — only the bit bookkeeping changes.
+
+namespace probe::zorder {
+
+/// The grid a z value addresses: k dimensions of d bits each, split in a
+/// configurable order.
+struct GridSpec {
+  /// Dimensionality k of the space.
+  int dims = 2;
+
+  /// Bits per dimension d; the grid has side length 2^d cells.
+  int bits_per_dim = 8;
+
+  /// When true, `split_dims[j]` names the dimension consumed by split j;
+  /// when false the schedule is the paper's alternation (j mod dims).
+  /// Prefer GridSpec::WithSchedule over setting these directly.
+  bool has_custom_schedule = false;
+  std::array<int8_t, 64> split_dims{};
+
+  /// Builds a spec with an explicit split schedule. `schedule` must have
+  /// dims*bits_per_dim entries and mention each dimension exactly
+  /// bits_per_dim times.
+  static GridSpec WithSchedule(int dims, int bits_per_dim,
+                               std::span<const int> schedule) {
+    GridSpec grid;
+    grid.dims = dims;
+    grid.bits_per_dim = bits_per_dim;
+    grid.has_custom_schedule = true;
+    for (size_t j = 0; j < schedule.size() && j < grid.split_dims.size();
+         ++j) {
+      grid.split_dims[j] = static_cast<int8_t>(schedule[j]);
+    }
+    return grid;
+  }
+
+  /// The composite-key ("all bits of dimension 0, then dimension 1, ...")
+  /// schedule: the conventional multi-attribute B-tree index order.
+  static GridSpec Composite(int dims, int bits_per_dim) {
+    GridSpec grid;
+    grid.dims = dims;
+    grid.bits_per_dim = bits_per_dim;
+    grid.has_custom_schedule = true;
+    int j = 0;
+    for (int dim = 0; dim < dims; ++dim) {
+      for (int b = 0; b < bits_per_dim; ++b) {
+        grid.split_dims[j++] = static_cast<int8_t>(dim);
+      }
+    }
+    return grid;
+  }
+
+  /// Total bits of a full-resolution (single-pixel) z value.
+  int total_bits() const { return dims * bits_per_dim; }
+
+  /// Cells per side, 2^d.
+  uint64_t side() const { return 1ULL << bits_per_dim; }
+
+  /// Total number of cells in the grid, 2^(k*d).
+  /// Requires total_bits() < 64 to be representable.
+  uint64_t cell_count() const { return 1ULL << total_bits(); }
+
+  /// Dimension consumed by split `level` (0-based).
+  int SplitDimAt(int level) const {
+    return has_custom_schedule ? split_dims[static_cast<size_t>(level)]
+                               : level % dims;
+  }
+
+  /// True iff the spec fits the library's limits (and, for custom
+  /// schedules, each dimension is split exactly bits_per_dim times).
+  bool Valid() const {
+    if (dims < 1 || dims > 8 || bits_per_dim < 1 ||
+        dims * bits_per_dim > 64) {
+      return false;
+    }
+    if (has_custom_schedule) {
+      int counts[8] = {};
+      for (int j = 0; j < total_bits(); ++j) {
+        const int dim = split_dims[static_cast<size_t>(j)];
+        if (dim < 0 || dim >= dims) return false;
+        ++counts[dim];
+      }
+      for (int dim = 0; dim < dims; ++dim) {
+        if (counts[dim] != bits_per_dim) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Number of bits of dimension `dim` consumed by a z value of `length`
+  /// bits under this spec's schedule.
+  int BitsConsumed(int length, int dim) const {
+    if (!has_custom_schedule) {
+      return length / dims + (dim < length % dims ? 1 : 0);
+    }
+    int count = 0;
+    for (int j = 0; j < length; ++j) {
+      if (split_dims[static_cast<size_t>(j)] == dim) ++count;
+    }
+    return count;
+  }
+
+  friend bool operator==(const GridSpec&, const GridSpec&) = default;
+};
+
+}  // namespace probe::zorder
+
+#endif  // PROBE_ZORDER_GRID_H_

@@ -1,0 +1,82 @@
+#include "zorder/zvalue.h"
+
+#include <cassert>
+
+#include "util/bits.h"
+
+namespace probe::zorder {
+
+ZValue ZValue::FromRaw(uint64_t left_justified_bits, int length) {
+  assert(length >= 0 && length <= kMaxBits);
+  return ZValue(left_justified_bits & util::HighMask(length), length);
+}
+
+ZValue ZValue::FromInteger(uint64_t value, int length) {
+  assert(length >= 0 && length <= kMaxBits);
+  const uint64_t raw = length == 0 ? 0 : value << (kMaxBits - length);
+  return ZValue(raw & util::HighMask(length), length);
+}
+
+std::optional<ZValue> ZValue::Parse(std::string_view text) {
+  if (text.size() > static_cast<size_t>(kMaxBits)) return std::nullopt;
+  uint64_t bits = 0;
+  int length = 0;
+  for (char c : text) {
+    if (c != '0' && c != '1') return std::nullopt;
+    if (c == '1') bits |= 1ULL << (kMaxBits - 1 - length);
+    ++length;
+  }
+  return ZValue(bits, length);
+}
+
+uint64_t ZValue::ToInteger() const {
+  return length_ == 0 ? 0 : bits_ >> (kMaxBits - length_);
+}
+
+int ZValue::BitAt(int i) const {
+  assert(i >= 0 && i < length_);
+  return static_cast<int>((bits_ >> (kMaxBits - 1 - i)) & 1);
+}
+
+ZValue ZValue::Child(int bit) const {
+  assert(length_ < kMaxBits);
+  assert(bit == 0 || bit == 1);
+  uint64_t bits = bits_;
+  if (bit) bits |= 1ULL << (kMaxBits - 1 - length_);
+  return ZValue(bits, length_ + 1);
+}
+
+ZValue ZValue::Parent() const {
+  assert(length_ > 0);
+  const int new_length = length_ - 1;
+  return ZValue(bits_ & util::HighMask(new_length), new_length);
+}
+
+ZValue ZValue::Prefix(int new_length) const {
+  assert(new_length >= 0 && new_length <= length_);
+  return ZValue(bits_ & util::HighMask(new_length), new_length);
+}
+
+bool ZValue::Contains(const ZValue& other) const {
+  if (length_ > other.length_) return false;
+  return (other.bits_ & util::HighMask(length_)) == bits_;
+}
+
+uint64_t ZValue::RangeLo(int total_bits) const {
+  assert(total_bits >= length_ && total_bits <= kMaxBits);
+  return ToInteger() << (total_bits - length_);
+}
+
+uint64_t ZValue::RangeHi(int total_bits) const {
+  assert(total_bits >= length_ && total_bits <= kMaxBits);
+  return RangeLo(total_bits) | util::LowMask(total_bits - length_);
+}
+
+std::string ZValue::ToString() const {
+  std::string out;
+  out.reserve(length_);
+  for (int i = 0; i < length_; ++i) out.push_back(BitAt(i) ? '1' : '0');
+  return out;
+}
+
+}  // namespace probe::zorder

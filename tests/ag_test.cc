@@ -1,0 +1,368 @@
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ag/connected.h"
+#include "ag/interference.h"
+#include "ag/merge.h"
+#include "ag/overlay.h"
+#include "decompose/decomposer.h"
+#include "geometry/csg.h"
+#include "geometry/primitives.h"
+#include "geometry/raster.h"
+#include "util/rng.h"
+#include "zorder/shuffle.h"
+
+namespace probe::ag {
+namespace {
+
+using decompose::Decompose;
+using decompose::DecomposeBox;
+using geometry::BallObject;
+using geometry::BoxObject;
+using geometry::GridBox;
+using geometry::GridPoint;
+using zorder::GridSpec;
+using zorder::ZValue;
+
+TEST(MergeTest, PairsEveryOverlapExactlyOnce) {
+  util::Rng rng(301);
+  for (int round = 0; round < 20; ++round) {
+    // Random sorted element lists.
+    std::vector<ZValue> a, b;
+    for (int i = 0; i < 40; ++i) {
+      a.push_back(ZValue::FromInteger(rng.Next(), rng.NextBelow(9)));
+      b.push_back(ZValue::FromInteger(rng.Next(), rng.NextBelow(9)));
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+
+    std::multiset<std::pair<size_t, size_t>> got;
+    MergeOverlappingElements(a, b, [&](size_t i, size_t j) {
+      got.insert({i, j});
+      return true;
+    });
+    std::multiset<std::pair<size_t, size_t>> expect;
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = 0; j < b.size(); ++j) {
+        if (a[i].Contains(b[j]) || b[j].Contains(a[i])) expect.insert({i, j});
+      }
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(MergeTest, EarlyExitStopsTheScan) {
+  std::vector<ZValue> a = {*ZValue::Parse("0")};
+  std::vector<ZValue> b = {*ZValue::Parse("00"), *ZValue::Parse("01")};
+  int visits = 0;
+  MergeOverlappingElements(a, b, [&](size_t, size_t) {
+    ++visits;
+    return false;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+// Ground truth for overlay: rasterize both objects and count label-pair
+// cells directly.
+TEST(OverlayTest, AreasMatchRasterGroundTruth) {
+  const GridSpec grid{2, 5};
+  const BoxObject parcel_a(GridBox::Make2D(2, 17, 3, 22));
+  const BoxObject parcel_b(GridBox::Make2D(9, 30, 0, 12));
+  const BallObject zone(std::vector<double>{14.0, 12.0}, 9.0);
+
+  // Layer A: two parcels; layer B: one zone.
+  std::vector<LabeledElement> layer_a, layer_b;
+  for (const ZValue& z : Decompose(grid, parcel_a)) {
+    layer_a.push_back({z, 1});
+  }
+  for (const ZValue& z : Decompose(grid, parcel_b)) {
+    layer_a.push_back({z, 2});
+  }
+  std::sort(layer_a.begin(), layer_a.end(),
+            [](const LabeledElement& x, const LabeledElement& y) {
+              return x.z < y.z;
+            });
+  for (const ZValue& z : Decompose(grid, zone)) layer_b.push_back({z, 7});
+
+  const auto pieces = OverlayElements(layer_a, layer_b);
+  const auto areas = AggregateOverlay(grid, pieces);
+
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> expect;
+  for (uint32_t x = 0; x < grid.side(); ++x) {
+    for (uint32_t y = 0; y < grid.side(); ++y) {
+      const GridPoint p({x, y});
+      if (!zone.ContainsCell(p)) continue;
+      if (parcel_a.ContainsCell(p)) ++expect[{1, 7}];
+      if (parcel_b.ContainsCell(p)) ++expect[{2, 7}];
+    }
+  }
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> got;
+  for (const OverlayArea& area : areas) {
+    got[{area.a_label, area.b_label}] = area.cells;
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(OverlayTest, CoverageAccountsForEveryCell) {
+  // For each A label: a_only + sum of its intersections == its area (when
+  // B objects don't overlap each other), and symmetrically for B.
+  const GridSpec grid{2, 5};
+  const BoxObject a1(GridBox::Make2D(2, 14, 2, 14));
+  const BoxObject a2(GridBox::Make2D(18, 29, 4, 12));
+  const BoxObject b1(GridBox::Make2D(10, 21, 8, 25));
+
+  std::vector<LabeledElement> layer_a, layer_b;
+  for (const ZValue& z : Decompose(grid, a1)) layer_a.push_back({z, 1});
+  for (const ZValue& z : Decompose(grid, a2)) layer_a.push_back({z, 2});
+  std::sort(layer_a.begin(), layer_a.end(),
+            [](const LabeledElement& x, const LabeledElement& y) {
+              return x.z < y.z;
+            });
+  for (const ZValue& z : Decompose(grid, b1)) layer_b.push_back({z, 7});
+
+  const CoverageReport report = OverlayCoverage(grid, layer_a, layer_b);
+
+  auto intersection_of = [&](uint64_t a_label) {
+    uint64_t cells = 0;
+    for (const auto& area : report.intersections) {
+      if (area.a_label == a_label) cells += area.cells;
+    }
+    return cells;
+  };
+  auto only_of = [&](const std::vector<std::pair<uint64_t, uint64_t>>& v,
+                     uint64_t label) {
+    for (const auto& [l, cells] : v) {
+      if (l == label) return cells;
+    }
+    return uint64_t{0};
+  };
+
+  EXPECT_EQ(only_of(report.a_only, 1) + intersection_of(1),
+            a1.box().Volume());
+  EXPECT_EQ(only_of(report.a_only, 2) + intersection_of(2),
+            a2.box().Volume());
+  uint64_t b_intersections = 0;
+  for (const auto& area : report.intersections) b_intersections += area.cells;
+  EXPECT_EQ(only_of(report.b_only, 7) + b_intersections, b1.box().Volume());
+
+  // Spot values against geometry: a1 ^ b1 = [10,14]x[8,14] = 35 cells.
+  EXPECT_EQ(intersection_of(1), 35u);
+  // a2 ^ b1 = [18,21]x[8,12] = 20 cells.
+  EXPECT_EQ(intersection_of(2), 20u);
+}
+
+TEST(OverlayTest, DisjointLayersProduceNothing) {
+  const GridSpec grid{2, 4};
+  std::vector<LabeledElement> a, b;
+  for (const ZValue& z : DecomposeBox(grid, GridBox::Make2D(0, 3, 0, 3))) {
+    a.push_back({z, 1});
+  }
+  for (const ZValue& z : DecomposeBox(grid, GridBox::Make2D(8, 15, 8, 15))) {
+    b.push_back({z, 2});
+  }
+  EXPECT_TRUE(OverlayElements(a, b).empty());
+}
+
+TEST(OverlayTest, RegionIsTheFinerElement) {
+  std::vector<LabeledElement> a = {{*ZValue::Parse("0"), 1}};
+  std::vector<LabeledElement> b = {{*ZValue::Parse("0011"), 2}};
+  const auto pieces = OverlayElements(a, b);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].region.ToString(), "0011");
+}
+
+// Reference CCL: BFS flood fill on the raster.
+int CountComponentsByFloodFill(const GridSpec& grid,
+                               const geometry::SpatialObject& object,
+                               std::vector<uint64_t>* areas) {
+  const uint32_t side = static_cast<uint32_t>(grid.side());
+  std::vector<std::vector<bool>> black(side, std::vector<bool>(side, false));
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      black[x][y] = object.ContainsCell(GridPoint({x, y}));
+    }
+  }
+  std::vector<std::vector<bool>> seen(side, std::vector<bool>(side, false));
+  int components = 0;
+  for (uint32_t sx = 0; sx < side; ++sx) {
+    for (uint32_t sy = 0; sy < side; ++sy) {
+      if (!black[sx][sy] || seen[sx][sy]) continue;
+      ++components;
+      uint64_t area = 0;
+      std::queue<std::pair<uint32_t, uint32_t>> frontier;
+      frontier.push({sx, sy});
+      seen[sx][sy] = true;
+      while (!frontier.empty()) {
+        const auto [x, y] = frontier.front();
+        frontier.pop();
+        ++area;
+        const int dx[4] = {-1, 1, 0, 0};
+        const int dy[4] = {0, 0, -1, 1};
+        for (int d = 0; d < 4; ++d) {
+          const int nx = static_cast<int>(x) + dx[d];
+          const int ny = static_cast<int>(y) + dy[d];
+          if (nx < 0 || ny < 0 || nx >= static_cast<int>(side) ||
+              ny >= static_cast<int>(side)) {
+            continue;
+          }
+          if (black[nx][ny] && !seen[nx][ny]) {
+            seen[nx][ny] = true;
+            frontier.push({static_cast<uint32_t>(nx),
+                           static_cast<uint32_t>(ny)});
+          }
+        }
+      }
+      if (areas != nullptr) areas->push_back(area);
+    }
+  }
+  if (areas != nullptr) std::sort(areas->begin(), areas->end());
+  return components;
+}
+
+TEST(ConnectedTest, TwoSeparateBlobs) {
+  const GridSpec grid{2, 4};
+  auto blob1 = std::make_shared<BoxObject>(GridBox::Make2D(0, 3, 0, 3));
+  auto blob2 = std::make_shared<BoxObject>(GridBox::Make2D(8, 12, 9, 14));
+  const geometry::UnionObject picture({blob1, blob2});
+  const auto elements = Decompose(grid, picture);
+  const ComponentResult result = LabelComponents(grid, elements);
+  EXPECT_EQ(result.component_count, 2);
+  std::vector<uint64_t> areas = result.component_areas;
+  std::sort(areas.begin(), areas.end());
+  EXPECT_EQ(areas, (std::vector<uint64_t>{16, 30}));
+}
+
+TEST(ConnectedTest, TouchingBoxesAreOneComponent) {
+  const GridSpec grid{2, 4};
+  auto blob1 = std::make_shared<BoxObject>(GridBox::Make2D(0, 3, 0, 3));
+  auto blob2 = std::make_shared<BoxObject>(GridBox::Make2D(4, 7, 3, 3));
+  const geometry::UnionObject picture({blob1, blob2});
+  const auto elements = Decompose(grid, picture);
+  const ComponentResult result = LabelComponents(grid, elements);
+  EXPECT_EQ(result.component_count, 1);
+}
+
+TEST(ConnectedTest, DiagonallyTouchingBoxesStaySeparate) {
+  // 4-connectivity: corner contact does not connect.
+  const GridSpec grid{2, 4};
+  auto blob1 = std::make_shared<BoxObject>(GridBox::Make2D(0, 3, 0, 3));
+  auto blob2 = std::make_shared<BoxObject>(GridBox::Make2D(4, 7, 4, 7));
+  const geometry::UnionObject picture({blob1, blob2});
+  const auto elements = Decompose(grid, picture);
+  EXPECT_EQ(LabelComponents(grid, elements).component_count, 2);
+}
+
+TEST(ConnectedTest, MatchesFloodFillOnRandomPictures) {
+  const GridSpec grid{2, 5};
+  util::Rng rng(307);
+  for (int round = 0; round < 10; ++round) {
+    // Union of random boxes and balls.
+    std::vector<std::shared_ptr<const geometry::SpatialObject>> parts;
+    const int n_parts = 2 + static_cast<int>(rng.NextBelow(5));
+    for (int i = 0; i < n_parts; ++i) {
+      if (rng.NextBelow(2) == 0) {
+        uint32_t x = static_cast<uint32_t>(rng.NextBelow(24));
+        uint32_t y = static_cast<uint32_t>(rng.NextBelow(24));
+        parts.push_back(std::make_shared<BoxObject>(GridBox::Make2D(
+            x, x + static_cast<uint32_t>(rng.NextBelow(8)), y,
+            y + static_cast<uint32_t>(rng.NextBelow(8)))));
+      } else {
+        parts.push_back(std::make_shared<BallObject>(
+            std::vector<double>{static_cast<double>(rng.NextBelow(32)),
+                                static_cast<double>(rng.NextBelow(32))},
+            1.0 + static_cast<double>(rng.NextBelow(6))));
+      }
+    }
+    const geometry::UnionObject picture(parts);
+    const auto elements = Decompose(grid, picture);
+    std::vector<uint64_t> expect_areas;
+    const int expect =
+        CountComponentsByFloodFill(grid, picture, &expect_areas);
+    const ComponentResult result = LabelComponents(grid, elements);
+    EXPECT_EQ(result.component_count, expect) << "round " << round;
+    std::vector<uint64_t> got_areas = result.component_areas;
+    std::sort(got_areas.begin(), got_areas.end());
+    EXPECT_EQ(got_areas, expect_areas) << "round " << round;
+  }
+}
+
+TEST(InterferenceTest, DisjointParts) {
+  const GridSpec grid{2, 6};
+  const BallObject a({12.0, 12.0}, 6.0);
+  const BallObject b({48.0, 48.0}, 6.0);
+  const auto result = DetectInterference(grid, a, b);
+  EXPECT_EQ(result.verdict, Interference::kDisjoint);
+  EXPECT_FALSE(result.witness.has_value());
+}
+
+TEST(InterferenceTest, OverlappingPartsFoundEarly) {
+  const GridSpec grid{2, 8};
+  const BallObject a({100.0, 100.0}, 50.0);
+  const BallObject b({120.0, 110.0}, 50.0);
+  const auto result = DetectInterference(grid, a, b);
+  EXPECT_EQ(result.verdict, Interference::kSolidOverlap);
+  ASSERT_TRUE(result.witness.has_value());
+  // The witness elements really overlap.
+  EXPECT_TRUE(result.witness->first.Contains(result.witness->second) ||
+              result.witness->second.Contains(result.witness->first));
+  // Early exit: far fewer merge steps than total elements.
+  EXPECT_LT(result.merge_steps, result.a_elements + result.b_elements);
+}
+
+TEST(InterferenceTest, NearMissIsBoundaryContactAtCoarseDepth) {
+  const GridSpec grid{2, 6};
+  // Two boxes separated by a single empty column.
+  const BoxObject a(GridBox::Make2D(0, 30, 0, 63));
+  const BoxObject b(GridBox::Make2D(32, 63, 0, 63));
+  // At full depth they are cleanly disjoint.
+  EXPECT_EQ(DetectInterference(grid, a, b).verdict, Interference::kDisjoint);
+  // With a coarse cap the fringe elements of both sides cover the gap, so
+  // the verdict degrades to boundary contact — never to a false solid
+  // overlap.
+  const auto coarse = DetectInterference(grid, a, b, /*max_depth=*/6);
+  EXPECT_NE(coarse.verdict, Interference::kSolidOverlap);
+}
+
+TEST(InterferenceTest, ConsistentWithRasterIntersection) {
+  const GridSpec grid{2, 5};
+  util::Rng rng(311);
+  for (int round = 0; round < 15; ++round) {
+    const BallObject a(
+        std::vector<double>{static_cast<double>(rng.NextBelow(32)),
+                            static_cast<double>(rng.NextBelow(32))},
+        2.0 + static_cast<double>(rng.NextBelow(8)));
+    const BallObject b(
+        std::vector<double>{static_cast<double>(rng.NextBelow(32)),
+                            static_cast<double>(rng.NextBelow(32))},
+        2.0 + static_cast<double>(rng.NextBelow(8)));
+    // Raster reference: do the cell sets intersect?
+    bool cells_intersect = false;
+    for (uint32_t x = 0; x < grid.side() && !cells_intersect; ++x) {
+      for (uint32_t y = 0; y < grid.side(); ++y) {
+        const GridPoint p({x, y});
+        if (a.ContainsCell(p) && b.ContainsCell(p)) {
+          cells_intersect = true;
+          break;
+        }
+      }
+    }
+    const auto result = DetectInterference(grid, a, b);
+    if (cells_intersect) {
+      // Shared interior cells always produce at least boundary contact;
+      // the full-depth decomposition includes every member cell.
+      EXPECT_NE(result.verdict, Interference::kDisjoint) << "round " << round;
+    } else {
+      // Without shared cells there can be no solid overlap (boundary
+      // fringes may still touch where crossing cells coincide).
+      EXPECT_NE(result.verdict, Interference::kSolidOverlap)
+          << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace probe::ag

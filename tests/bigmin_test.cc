@@ -1,0 +1,129 @@
+#include "zorder/bigmin.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "zorder/shuffle.h"
+
+namespace probe::zorder {
+namespace {
+
+// Brute-force reference: is the cell with z rank `z` inside the box given
+// by corner ranks zmin/zmax?
+bool InBoxReference(const GridSpec& grid, uint64_t z, uint64_t zmin,
+                    uint64_t zmax) {
+  const auto c = Unshuffle(grid, ZValue::FromInteger(z, grid.total_bits()));
+  const auto lo =
+      Unshuffle(grid, ZValue::FromInteger(zmin, grid.total_bits()));
+  const auto hi =
+      Unshuffle(grid, ZValue::FromInteger(zmax, grid.total_bits()));
+  for (int d = 0; d < grid.dims; ++d) {
+    if (c[d] < lo[d] || c[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+TEST(InBoxTest, MatchesCoordinateTestExhaustively) {
+  const GridSpec grid{2, 3};
+  const uint64_t zmin = Shuffle2D(grid, 1, 2).ToInteger();
+  const uint64_t zmax = Shuffle2D(grid, 5, 6).ToInteger();
+  for (uint64_t z = 0; z < grid.cell_count(); ++z) {
+    EXPECT_EQ(InBox(grid, z, zmin, zmax), InBoxReference(grid, z, zmin, zmax))
+        << "z=" << z;
+  }
+}
+
+// Sweeps random boxes on a small grid and checks BigMin/LitMax against a
+// linear scan over all cells.
+class BigMinPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigMinPropertyTest, MatchesBruteForce) {
+  const int dims = GetParam();
+  const GridSpec grid{dims, dims >= 4 ? 2 : (dims == 2 ? 4 : 3)};
+  util::Rng rng(100 + dims);
+  const uint64_t cells = grid.cell_count();
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random box corners.
+    std::vector<uint32_t> lo(dims), hi(dims);
+    for (int d = 0; d < dims; ++d) {
+      const uint32_t a = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+      const uint32_t b = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    const uint64_t zmin = Shuffle(grid, lo).ToInteger();
+    const uint64_t zmax = Shuffle(grid, hi).ToInteger();
+
+    for (uint64_t z = 0; z < cells; ++z) {
+      // Reference BIGMIN: the smallest in-box z greater than z.
+      uint64_t expect_big = 0;
+      bool have_big = false;
+      for (uint64_t cand = z + 1; cand <= zmax && cand < cells; ++cand) {
+        if (InBoxReference(grid, cand, zmin, zmax)) {
+          expect_big = cand;
+          have_big = true;
+          break;
+        }
+      }
+      uint64_t got_big = 0;
+      const bool has_big = BigMin(grid, z, zmin, zmax, &got_big);
+      // BigMin's contract applies when z is not itself inside the box;
+      // when z is inside, the merge never calls it.
+      if (!InBoxReference(grid, z, zmin, zmax)) {
+        ASSERT_EQ(has_big, have_big) << "z=" << z;
+        if (have_big) {
+          EXPECT_EQ(got_big, expect_big) << "z=" << z;
+        }
+      }
+
+      // Reference LITMAX.
+      uint64_t expect_lit = 0;
+      bool have_lit = false;
+      for (uint64_t cand = z; cand-- > zmin;) {
+        if (InBoxReference(grid, cand, zmin, zmax)) {
+          expect_lit = cand;
+          have_lit = true;
+          break;
+        }
+      }
+      uint64_t got_lit = 0;
+      const bool has_lit = LitMax(grid, z, zmin, zmax, &got_lit);
+      if (!InBoxReference(grid, z, zmin, zmax)) {
+        ASSERT_EQ(has_lit, have_lit) << "z=" << z;
+        if (have_lit) {
+          EXPECT_EQ(got_lit, expect_lit) << "z=" << z;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BigMinPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BigMinTest, JumpsOverTheGapBetweenQuadrants) {
+  // Classic example: query box spanning the seam of the N; from a z value
+  // just past the lower-left quadrant's portion, BIGMIN must jump to the
+  // start of the box's part in the next quadrant, skipping the dead space.
+  const GridSpec grid{2, 3};
+  const uint64_t zmin = Shuffle2D(grid, 1, 1).ToInteger();
+  const uint64_t zmax = Shuffle2D(grid, 5, 5).ToInteger();
+  // Pick a z between the quadrants that is not in the box.
+  const uint64_t probe = Shuffle2D(grid, 7, 0).ToInteger();
+  ASSERT_FALSE(InBox(grid, probe, zmin, zmax));
+  uint64_t next = 0;
+  ASSERT_TRUE(BigMin(grid, probe, zmin, zmax, &next));
+  EXPECT_GT(next, probe);
+  EXPECT_TRUE(InBox(grid, next, zmin, zmax));
+}
+
+TEST(BigMinTest, ReturnsFalsePastTheBox) {
+  const GridSpec grid{2, 3};
+  const uint64_t zmin = Shuffle2D(grid, 0, 0).ToInteger();
+  const uint64_t zmax = Shuffle2D(grid, 1, 1).ToInteger();
+  uint64_t out = 0;
+  EXPECT_FALSE(BigMin(grid, grid.cell_count() - 1, zmin, zmax, &out));
+}
+
+}  // namespace
+}  // namespace probe::zorder

@@ -1,0 +1,388 @@
+#include "decompose/decomposer.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "decompose/analysis.h"
+#include "decompose/coarsen.h"
+#include "decompose/generator.h"
+#include "geometry/polygon.h"
+#include "geometry/primitives.h"
+#include "geometry/raster.h"
+#include "util/rng.h"
+#include "zorder/shuffle.h"
+
+namespace probe::decompose {
+namespace {
+
+using geometry::BallObject;
+using geometry::BoxObject;
+using geometry::GridBox;
+using geometry::GridPoint;
+using zorder::GridSpec;
+using zorder::ZValue;
+
+TEST(DecomposeTest, PaperFigure2Box) {
+  // Figure 2 decomposes a box on an 8x8 grid. Reconstructing the region
+  // from the labelled elements (00001 is pixel column x=1, y in [0,1];
+  // 010010/011000/011010 are the pixels (1,4), (2,4), (3,4); 001 is
+  // X in [2,3], Y in [0,3] per the caption), the box is X in [1,3],
+  // Y in [0,4].
+  const GridSpec grid{2, 3};
+  const auto elements = DecomposeBox(grid, GridBox::Make2D(1, 3, 0, 4));
+  std::vector<std::string> got;
+  for (const ZValue& z : elements) got.push_back(z.ToString());
+  const std::vector<std::string> want = {"00001",  "00011",  "001",
+                                         "010010", "011000", "011010"};
+  EXPECT_EQ(got, want);
+}
+
+TEST(DecomposeTest, WholeSpaceIsOneElement) {
+  const GridSpec grid{2, 3};
+  const auto elements = DecomposeBox(grid, GridBox::Make2D(0, 7, 0, 7));
+  ASSERT_EQ(elements.size(), 1u);
+  EXPECT_TRUE(elements[0].IsEmpty());
+}
+
+TEST(DecomposeTest, SinglePixel) {
+  const GridSpec grid{2, 3};
+  const auto elements = DecomposeBox(grid, GridBox::Make2D(3, 3, 5, 5));
+  ASSERT_EQ(elements.size(), 1u);
+  EXPECT_EQ(elements[0], Shuffle2D(grid, 3, 5));
+}
+
+// Checks the three structural properties of any decomposition: z-sorted,
+// pairwise disjoint, and covering exactly the object's cells.
+void CheckDecomposition(const GridSpec& grid,
+                        const geometry::SpatialObject& object,
+                        const std::vector<ZValue>& elements) {
+  const int total = grid.total_bits();
+  // Sorted and disjoint: each element's range starts after the previous
+  // range ends.
+  for (size_t i = 1; i < elements.size(); ++i) {
+    EXPECT_LT(elements[i - 1].RangeHi(total), elements[i].RangeLo(total));
+  }
+  // Coverage: the union of ranges is exactly the set of member cells.
+  std::set<uint64_t> covered;
+  for (const ZValue& e : elements) {
+    for (uint64_t z = e.RangeLo(total); z <= e.RangeHi(total); ++z) {
+      covered.insert(z);
+    }
+  }
+  std::set<uint64_t> expected;
+  for (const GridPoint& p : Rasterize(grid, object)) {
+    expected.insert(Shuffle(grid, p.coords()).ToInteger());
+  }
+  EXPECT_EQ(covered, expected);
+}
+
+TEST(DecomposeTest, RandomBoxesCoverExactly) {
+  const GridSpec grid{2, 4};
+  util::Rng rng(51);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint32_t x1 = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+    uint32_t x2 = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+    uint32_t y1 = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+    uint32_t y2 = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+    const GridBox box = GridBox::Make2D(std::min(x1, x2), std::max(x1, x2),
+                                        std::min(y1, y2), std::max(y1, y2));
+    const BoxObject object(box);
+    CheckDecomposition(grid, object, DecomposeBox(grid, box));
+  }
+}
+
+TEST(DecomposeTest, ThreeDimensionalBoxesCoverExactly) {
+  const GridSpec grid{3, 3};
+  util::Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<zorder::DimRange> ranges(3);
+    for (int d = 0; d < 3; ++d) {
+      uint32_t a = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+      uint32_t b = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+      ranges[d] = {std::min(a, b), std::max(a, b)};
+    }
+    const GridBox box{std::span<const zorder::DimRange>(ranges)};
+    const BoxObject object(box);
+    CheckDecomposition(grid, object, DecomposeBox(grid, box));
+  }
+}
+
+TEST(DecomposeTest, PolygonCoversExactlyAtFullDepth) {
+  // Non-convex polygon: the decomposition must reproduce the even-odd
+  // raster cell for cell. PolygonObject classifies single cells exactly
+  // (it falls back to the center test), so full depth has no fringe.
+  const GridSpec grid{2, 5};
+  const geometry::PolygonObject arrow(
+      {{2, 2}, {28, 6}, {16, 14}, {28, 26}, {4, 28}, {12, 14}});
+  CheckDecomposition(grid, arrow, Decompose(grid, arrow));
+}
+
+TEST(DecomposeTest, RandomPolygonsCoverExactly) {
+  const GridSpec grid{2, 4};
+  util::Rng rng(59);
+  for (int trial = 0; trial < 15; ++trial) {
+    // A star-shaped polygon around a random center: always simple.
+    const double cx = 3.0 + rng.NextDouble() * 10.0;
+    const double cy = 3.0 + rng.NextDouble() * 10.0;
+    std::vector<geometry::Vec2> vertices;
+    const int n = 5 + static_cast<int>(rng.NextBelow(6));
+    for (int i = 0; i < n; ++i) {
+      const double angle = 2.0 * M_PI * i / n;
+      const double radius = 1.5 + rng.NextDouble() * 4.0;
+      vertices.push_back(
+          {cx + radius * std::cos(angle), cy + radius * std::sin(angle)});
+    }
+    const geometry::PolygonObject poly(std::move(vertices));
+    CheckDecomposition(grid, poly, Decompose(grid, poly));
+  }
+}
+
+TEST(DecomposeTest, BallCoversExactlyAtFullDepth) {
+  // At pixel resolution, boundary cells count as part of the object per
+  // the grid approximation; the raster ground truth uses the same rule
+  // only when the classifier marks the single cell inside. For the ball,
+  // Classify on a single cell is exact, so coverage must match the raster.
+  const GridSpec grid{2, 5};
+  const BallObject ball({15.0, 13.0}, 8.0);
+  CheckDecomposition(grid, ball, Decompose(grid, ball));
+}
+
+TEST(DecomposeTest, CapsuleCoversExactlyAtFullDepth) {
+  const GridSpec grid{2, 5};
+  const geometry::CapsuleObject road({3.0, 5.0}, {27.0, 22.0}, 2.5);
+  CheckDecomposition(grid, road, Decompose(grid, road));
+}
+
+TEST(DecomposeTest, StatsCountElements) {
+  const GridSpec grid{2, 3};
+  DecomposeStats stats;
+  const auto elements =
+      DecomposeBox(grid, GridBox::Make2D(1, 3, 0, 6), {}, &stats);
+  EXPECT_EQ(stats.elements, elements.size());
+  EXPECT_EQ(stats.boundary_elements, 0u);  // boxes decompose exactly
+  EXPECT_GT(stats.classify_calls, stats.elements);
+}
+
+TEST(DecomposeTest, CountMatchesMaterialized) {
+  const GridSpec grid{2, 6};
+  const GridBox box = GridBox::Make2D(5, 49, 11, 40);
+  EXPECT_EQ(CountElements(grid, BoxObject(box)),
+            DecomposeBox(grid, box).size());
+}
+
+TEST(DecomposeTest, DepthCapCoarsensAndCovers) {
+  const GridSpec grid{2, 5};
+  const GridBox box = GridBox::Make2D(3, 21, 7, 29);
+  const BoxObject object(box);
+  DecomposeOptions options;
+  options.max_depth = 6;
+  const auto coarse = Decompose(grid, object, options);
+  const auto fine = Decompose(grid, object);
+  EXPECT_LT(coarse.size(), fine.size());
+  // No element exceeds the depth cap.
+  for (const ZValue& e : coarse) EXPECT_LE(e.length(), 6);
+  // The coarse cover is a superset: its covered volume is at least the
+  // box's volume.
+  EXPECT_GE(CoveredVolume(grid, coarse), box.Volume());
+  EXPECT_EQ(CoveredVolume(grid, fine), box.Volume());
+}
+
+TEST(DecomposeTest, ExcludeBoundaryUnderapproximates) {
+  // Membership is decided on cell centers, so single-cell regions classify
+  // exactly and a full-depth decomposition has no boundary fringe; a depth
+  // cap is what creates crossing leaves.
+  const GridSpec grid{2, 5};
+  const BallObject ball({16.0, 16.0}, 10.0);
+  DecomposeOptions inner;
+  inner.include_boundary = false;
+  inner.max_depth = 8;
+  DecomposeOptions outer;
+  outer.max_depth = 8;
+  const auto inside_only = Decompose(grid, ball, inner);
+  const auto with_boundary = Decompose(grid, ball, outer);
+  EXPECT_LT(CoveredVolume(grid, inside_only),
+            CoveredVolume(grid, with_boundary));
+  // Every inside-only element's cells really are inside.
+  for (const ZValue& e : inside_only) {
+    const GridBox region{
+        std::span<const zorder::DimRange>(UnshuffleRegion(grid, e))};
+    EXPECT_EQ(ball.Classify(region), geometry::RegionClass::kInside);
+  }
+}
+
+TEST(DecomposeTaggedTest, BoundaryFlagsMarkTheFringe) {
+  const GridSpec grid{2, 4};
+  const BallObject ball({8.0, 8.0}, 5.0);
+  DecomposeOptions options;
+  options.max_depth = 6;  // a depth cap creates the crossing fringe
+  const auto tagged = DecomposeTagged(grid, ball, options);
+  uint64_t interior = 0;
+  uint64_t boundary = 0;
+  for (const TaggedElement& e : tagged) {
+    if (e.boundary) {
+      ++boundary;
+      EXPECT_EQ(e.z.length(), 6);  // fringe elements sit at the cap
+    } else {
+      ++interior;
+    }
+  }
+  EXPECT_GT(interior, 0u);
+  EXPECT_GT(boundary, 0u);
+}
+
+TEST(DecomposeTaggedTest, FullDepthBallHasNoFringe) {
+  // Cell membership is exact at pixel resolution, so the full-depth
+  // decomposition of a ball is exact: no boundary elements.
+  const GridSpec grid{2, 4};
+  const BallObject ball({8.0, 8.0}, 5.0);
+  for (const TaggedElement& e : DecomposeTagged(grid, ball)) {
+    EXPECT_FALSE(e.boundary);
+  }
+}
+
+TEST(GeneratorTest, StreamsSameElementsAsEagerDecompose) {
+  const GridSpec grid{2, 5};
+  const GridBox box = GridBox::Make2D(2, 19, 5, 23);
+  const BoxObject object(box);
+  const auto eager = DecomposeBox(grid, box);
+  ElementGenerator generator(grid, object);
+  std::vector<ZValue> lazy;
+  ZValue element;
+  while (generator.Next(&element)) lazy.push_back(element);
+  EXPECT_EQ(lazy, eager);
+  EXPECT_EQ(generator.elements_emitted(), eager.size());
+}
+
+TEST(GeneratorTest, SeekForwardSkipsAndSavesClassifyCalls) {
+  const GridSpec grid{2, 8};
+  const GridBox box = GridBox::Make2D(10, 200, 10, 200);
+  const BoxObject object(box);
+  const int total = grid.total_bits();
+
+  // Reference: full element list.
+  const auto all = DecomposeBox(grid, box);
+
+  // Seek to a z value in the middle of the box's range.
+  const uint64_t target = all[all.size() / 2].RangeLo(total) + 1;
+  ElementGenerator seeker(grid, object);
+  ZValue element;
+  ASSERT_TRUE(seeker.SeekForward(target, &element));
+  // The element returned is the first whose range ends at/after target.
+  size_t expect_idx = 0;
+  while (all[expect_idx].RangeHi(total) < target) ++expect_idx;
+  EXPECT_EQ(element, all[expect_idx]);
+
+  // And it must have cost fewer classify calls than generating everything.
+  ElementGenerator full(grid, object);
+  while (full.Next(&element)) {
+  }
+  EXPECT_LT(seeker.classify_calls(), full.classify_calls());
+}
+
+TEST(GeneratorTest, SeekForwardFromBeyondEndIsExhausted) {
+  const GridSpec grid{2, 4};
+  const BoxObject object(GridBox::Make2D(0, 3, 0, 3));
+  ElementGenerator generator(grid, object);
+  ZValue element;
+  EXPECT_FALSE(
+      generator.SeekForward((1ULL << grid.total_bits()) - 1, &element));
+}
+
+TEST(CoarsenTest, PaperExample) {
+  // Section 5.1: U = 01101101, m = 4 -> U' = 01110000.
+  const GridSpec grid{2, 8};
+  const GridBox box = GridBox::Make2D(0, 0b01101101 - 1, 0, 0b01101101 - 1);
+  const auto coarse = CoarsenBox(grid, box, 4);
+  EXPECT_EQ(coarse.box.range(0).hi + 1, 0b01110000u);
+  EXPECT_EQ(coarse.box.range(1).hi + 1, 0b01110000u);
+}
+
+TEST(CoarsenTest, ReducesElementCountAtSmallAreaCost) {
+  const GridSpec grid{2, 8};
+  const GridBox box = GridBox::Make2D(0, 0b01101101 - 1, 0, 0b01101101 - 1);
+  const uint64_t before = DecomposeBox(grid, box).size();
+  const auto coarse = CoarsenBox(grid, box, 4);
+  const uint64_t after = DecomposeBox(grid, coarse.box).size();
+  EXPECT_LT(after, before);
+  EXPECT_LT(coarse.relative_error, 0.10);  // imprecision grows slowly
+}
+
+TEST(CoarsenTest, ZeroIsIdentity) {
+  const GridSpec grid{2, 6};
+  const GridBox box = GridBox::Make2D(3, 41, 7, 29);
+  const auto coarse = CoarsenBox(grid, box, 0);
+  EXPECT_EQ(coarse.box, box);
+  EXPECT_EQ(coarse.added_volume, 0u);
+}
+
+TEST(AnalysisTest, MatchesRealDecompositionCounts) {
+  const GridSpec grid{2, 7};
+  util::Rng rng(61);
+  for (int trial = 0; trial < 60; ++trial) {
+    const uint64_t u = 1 + rng.NextBelow(grid.side());
+    const uint64_t v = 1 + rng.NextBelow(grid.side());
+    const GridBox box = GridBox::Make2D(0, static_cast<uint32_t>(u - 1), 0,
+                                        static_cast<uint32_t>(v - 1));
+    EXPECT_EQ(ElementCountUV(grid, u, v), DecomposeBox(grid, box).size())
+        << "U=" << u << " V=" << v;
+  }
+}
+
+TEST(AnalysisTest, OneDimensionalClosedForm) {
+  const GridSpec grid{1, 8};
+  util::Rng rng(67);
+  for (int trial = 0; trial < 60; ++trial) {
+    const uint64_t u = 1 + rng.NextBelow(grid.side());
+    const uint64_t extents[1] = {u};
+    EXPECT_EQ(AnchoredBoxElementCount(grid, extents), ElementCount1D(u))
+        << "U=" << u;
+  }
+}
+
+TEST(AnalysisTest, CyclicityEUV) {
+  // Section 5.1: E(U,V) = E(2U,2V).
+  const GridSpec grid{2, 10};
+  for (uint64_t u = 1; u <= 100; u += 7) {
+    for (uint64_t v = 1; v <= 100; v += 9) {
+      EXPECT_EQ(ElementCountUV(grid, u, v), ElementCountUV(grid, 2 * u, 2 * v))
+          << "U=" << u << " V=" << v;
+    }
+  }
+}
+
+TEST(AnalysisTest, ThreeDimensionalCountMatches) {
+  const GridSpec grid{3, 4};
+  util::Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint64_t> extents(3);
+    std::vector<zorder::DimRange> ranges(3);
+    for (int d = 0; d < 3; ++d) {
+      extents[d] = 1 + rng.NextBelow(grid.side());
+      ranges[d] = {0, static_cast<uint32_t>(extents[d] - 1)};
+    }
+    const GridBox box{std::span<const zorder::DimRange>(ranges)};
+    EXPECT_EQ(AnchoredBoxElementCount(grid, extents),
+              DecomposeBox(grid, box).size());
+  }
+}
+
+TEST(AnalysisTest, BitSpanStatistic) {
+  const uint64_t extents1[2] = {0b1000, 0b1000};
+  EXPECT_EQ(ExtentBitSpan(extents1), 1);
+  const uint64_t extents2[2] = {0b1001, 0b0010};
+  EXPECT_EQ(ExtentBitSpan(extents2), 4);  // OR = 1011 spans 4 bits
+  const uint64_t extents3[2] = {0, 0};
+  EXPECT_EQ(ExtentBitSpan(extents3), 0);
+}
+
+TEST(AnalysisTest, ZeroExtentYieldsZero) {
+  const GridSpec grid{2, 6};
+  EXPECT_EQ(ElementCountUV(grid, 0, 13), 0u);
+  EXPECT_EQ(ElementCountUV(grid, 13, 0), 0u);
+}
+
+}  // namespace
+}  // namespace probe::decompose

@@ -1,0 +1,212 @@
+// Boundary-condition tests across the stack: extreme grids, degenerate
+// queries, duplicate-heavy data, corners of the coordinate space.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "decompose/decomposer.h"
+#include "geometry/primitives.h"
+#include "index/nearest.h"
+#include "index/object_index.h"
+#include "index/zkd_index.h"
+#include "util/rng.h"
+#include "zorder/shuffle.h"
+
+namespace probe {
+namespace {
+
+using geometry::BoxObject;
+using geometry::GridBox;
+using geometry::GridPoint;
+using index::PointRecord;
+using index::ZkdIndex;
+using zorder::GridSpec;
+using zorder::ZValue;
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(EdgeCaseTest, NearMaximumGridWidth) {
+  // 2 x 31 bits = 62-bit keys: close to the 64-bit ceiling.
+  const GridSpec grid{2, 31};
+  ASSERT_TRUE(grid.Valid());
+  util::Rng rng(8000);
+  for (int t = 0; t < 200; ++t) {
+    const uint32_t x = static_cast<uint32_t>(rng.Next()) & 0x7FFFFFFF;
+    const uint32_t y = static_cast<uint32_t>(rng.Next()) & 0x7FFFFFFF;
+    const ZValue z = Shuffle2D(grid, x, y);
+    EXPECT_EQ(z.length(), 62);
+    const auto coords = Unshuffle(grid, z);
+    EXPECT_EQ(coords[0], x);
+    EXPECT_EQ(coords[1], y);
+  }
+
+  // A small index on the huge grid still answers queries.
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 16);
+  ZkdIndex index(grid, &pool);
+  const uint32_t max = 0x7FFFFFFF;
+  index.Insert(GridPoint({0, 0}), 1);
+  index.Insert(GridPoint({max, max}), 2);
+  index.Insert(GridPoint({max / 2, max / 2}), 3);
+  EXPECT_EQ(Sorted(index.RangeSearch(GridBox::Make2D(0, max, 0, max))),
+            (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(Sorted(index.RangeSearch(GridBox::Make2D(max, max, max, max))),
+            (std::vector<uint64_t>{2}));
+}
+
+TEST(EdgeCaseTest, EightDimensions) {
+  const GridSpec grid{8, 8};  // the dimensional ceiling, 64-bit keys... 8*8=64
+  ASSERT_TRUE(grid.Valid());
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 16);
+  util::Rng rng(8100);
+  std::vector<PointRecord> points;
+  for (uint64_t i = 0; i < 300; ++i) {
+    std::vector<uint32_t> coords(8);
+    for (int d = 0; d < 8; ++d) {
+      coords[d] = static_cast<uint32_t>(rng.NextBelow(256));
+    }
+    points.push_back({GridPoint(std::span<const uint32_t>(coords)), i});
+  }
+  auto index = ZkdIndex::Build(grid, &pool, points);
+  // A thick slab query through all dimensions.
+  std::vector<zorder::DimRange> ranges(8, zorder::DimRange{0, 255});
+  ranges[3] = {64, 191};
+  const GridBox box{std::span<const zorder::DimRange>(ranges)};
+  auto got = Sorted(index.RangeSearch(box));
+  std::vector<uint64_t> expect;
+  for (const auto& r : points) {
+    if (r.point[3] >= 64 && r.point[3] <= 191) expect.push_back(r.id);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(EdgeCaseTest, WholeSpaceAndSingleCellQueries) {
+  const GridSpec grid{2, 6};
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 16);
+  util::Rng rng(8200);
+  std::vector<PointRecord> points;
+  for (uint64_t i = 0; i < 300; ++i) {
+    points.push_back({GridPoint({static_cast<uint32_t>(rng.NextBelow(64)),
+                                 static_cast<uint32_t>(rng.NextBelow(64))}),
+                      i});
+  }
+  auto index = ZkdIndex::Build(grid, &pool, points);
+
+  for (const auto merge :
+       {index::SearchOptions::Merge::kSkipMerge,
+        index::SearchOptions::Merge::kPlainMerge,
+        index::SearchOptions::Merge::kBigMin}) {
+    index::SearchOptions options;
+    options.merge = merge;
+    // The whole space returns everything.
+    EXPECT_EQ(
+        index.RangeSearch(GridBox::Make2D(0, 63, 0, 63), nullptr, options)
+            .size(),
+        points.size());
+    // Corner cells.
+    for (const auto& [cx, cy] : {std::pair<uint32_t, uint32_t>{0, 0},
+                                 {63, 63},
+                                 {0, 63},
+                                 {63, 0}}) {
+      auto got = Sorted(
+          index.RangeSearch(GridBox::Make2D(cx, cx, cy, cy), nullptr, options));
+      std::vector<uint64_t> expect;
+      for (const auto& r : points) {
+        if (r.point[0] == cx && r.point[1] == cy) expect.push_back(r.id);
+      }
+      EXPECT_EQ(got, expect);
+    }
+    // One-row and one-column strips at the edges.
+    EXPECT_EQ(index.RangeSearch(GridBox::Make2D(0, 63, 63, 63), nullptr,
+                                options)
+                  .size(),
+              static_cast<size_t>(std::count_if(
+                  points.begin(), points.end(),
+                  [](const PointRecord& r) { return r.point[1] == 63; })));
+  }
+}
+
+TEST(EdgeCaseTest, AllPointsIdentical) {
+  const GridSpec grid{2, 8};
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 32);
+  btree::BTreeConfig config;
+  config.leaf_capacity = 20;
+  std::vector<PointRecord> points;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    points.push_back({GridPoint({100, 100}), i});
+  }
+  auto index = ZkdIndex::Build(grid, &pool, points, config);
+  EXPECT_EQ(index.RangeSearch(GridBox::Make2D(100, 100, 100, 100)).size(),
+            1000u);
+  EXPECT_TRUE(index.RangeSearch(GridBox::Make2D(101, 101, 100, 100)).empty());
+  // k-NN over a degenerate dataset.
+  const auto nn = KNearest(index, GridPoint({0, 0}), 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].distance2, 2ull * 100 * 100);
+  // Deletes of duplicates remove exactly one entry each.
+  EXPECT_TRUE(index.Delete(GridPoint({100, 100}), 0));
+  EXPECT_TRUE(index.Delete(GridPoint({100, 100}), 999));
+  EXPECT_FALSE(index.Delete(GridPoint({100, 100}), 999));
+  EXPECT_EQ(index.size(), 998u);
+  EXPECT_TRUE(index.tree().CheckInvariants());
+}
+
+TEST(EdgeCaseTest, OneDimensionalGrid) {
+  const GridSpec grid{1, 12};
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 16);
+  ZkdIndex index(grid, &pool);
+  for (uint64_t i = 0; i < 500; ++i) {
+    index.Insert(GridPoint({static_cast<uint32_t>(i * 7 % 4096)}), i);
+  }
+  const zorder::DimRange range[1] = {{100, 300}};
+  auto got = index.RangeSearch(GridBox{range});
+  size_t expect = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    const uint32_t x = static_cast<uint32_t>(i * 7 % 4096);
+    if (x >= 100 && x <= 300) ++expect;
+  }
+  EXPECT_EQ(got.size(), expect);
+}
+
+TEST(EdgeCaseTest, ObjectIndexWholeSpaceObjectAndProbe) {
+  const GridSpec grid{2, 5};
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 16);
+  index::ZkdObjectIndex objects(grid, &pool);
+  objects.Insert(1, BoxObject(GridBox::Make2D(0, 31, 0, 31)));  // whole space
+  objects.Insert(2, BoxObject(GridBox::Make2D(5, 6, 5, 6)));
+  // Whole-space probe overlaps everything and contains everything.
+  EXPECT_EQ(Sorted(objects.QueryBox(GridBox::Make2D(0, 31, 0, 31))),
+            (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(objects.QueryContained(GridBox::Make2D(0, 31, 0, 31)),
+            (std::vector<uint64_t>{1, 2}));
+  // A tiny probe still finds the whole-space object via ancestors.
+  EXPECT_EQ(Sorted(objects.QueryBox(GridBox::Make2D(20, 20, 3, 3))),
+            (std::vector<uint64_t>{1}));
+}
+
+TEST(EdgeCaseTest, DecomposeDegenerateBoxes) {
+  const GridSpec grid{2, 6};
+  // Single row, single column, single cell at each corner.
+  for (const auto& box :
+       {GridBox::Make2D(0, 63, 0, 0), GridBox::Make2D(63, 63, 0, 63),
+        GridBox::Make2D(0, 0, 0, 0), GridBox::Make2D(63, 63, 63, 63)}) {
+    const auto elements = decompose::DecomposeBox(grid, box);
+    uint64_t covered = 0;
+    for (const auto& e : elements) {
+      covered += 1ULL << (grid.total_bits() - e.length());
+    }
+    EXPECT_EQ(covered, box.Volume()) << box.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace probe

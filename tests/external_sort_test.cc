@@ -1,0 +1,160 @@
+#include "btree/external_sort.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "index/zkd_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "util/rng.h"
+#include "workload/datagen.h"
+
+namespace probe::btree {
+namespace {
+
+using zorder::ZValue;
+
+LeafEntry Entry(uint64_t key, uint64_t payload) {
+  return LeafEntry{ZKey::FromZValue(ZValue::FromInteger(key, 32)), payload};
+}
+
+std::vector<LeafEntry> DrainAll(ExternalSorter& sorter) {
+  std::vector<LeafEntry> out;
+  sorter.Drain([&](const LeafEntry& e) { out.push_back(e); });
+  return out;
+}
+
+void ExpectSorted(const std::vector<LeafEntry>& entries) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    const bool ordered =
+        entries[i - 1].key < entries[i].key ||
+        (entries[i - 1].key == entries[i].key &&
+         entries[i - 1].payload <= entries[i].payload);
+    ASSERT_TRUE(ordered) << "position " << i;
+  }
+}
+
+TEST(ExternalSortTest, InMemoryOnly) {
+  storage::MemPager scratch;
+  ExternalSorter sorter(&scratch, 100);
+  for (uint64_t i = 0; i < 50; ++i) sorter.Add(Entry(49 - i, i));
+  const auto out = DrainAll(sorter);
+  ASSERT_EQ(out.size(), 50u);
+  ExpectSorted(out);
+  EXPECT_EQ(sorter.stats().runs, 0u);  // never spilled
+  EXPECT_EQ(scratch.page_count(), 0u);
+}
+
+TEST(ExternalSortTest, SpillsAndMerges) {
+  storage::MemPager scratch;
+  ExternalSorter sorter(&scratch, 64);  // force many runs
+  util::Rng rng(4100);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.NextBelow(1 << 20);
+    keys.push_back(key);
+    sorter.Add(Entry(key, static_cast<uint64_t>(i)));
+  }
+  const auto out = DrainAll(sorter);
+  ASSERT_EQ(out.size(), keys.size());
+  ExpectSorted(out);
+  EXPECT_GT(sorter.stats().runs, 50u);
+  EXPECT_GT(sorter.stats().pages_written, 0u);
+  EXPECT_EQ(sorter.stats().pages_read, sorter.stats().pages_written);
+
+  // Same multiset of keys.
+  std::vector<uint64_t> got;
+  for (const auto& e : out) got.push_back(e.key.ToZValue().ToInteger());
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(got, keys);
+}
+
+TEST(ExternalSortTest, DuplicatesOrderedByPayload) {
+  storage::MemPager scratch;
+  ExternalSorter sorter(&scratch, 8);
+  for (uint64_t p = 100; p-- > 0;) sorter.Add(Entry(7, p));
+  const auto out = DrainAll(sorter);
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].payload, i);
+  }
+}
+
+TEST(ExternalSortTest, EmptyInput) {
+  storage::MemPager scratch;
+  ExternalSorter sorter(&scratch, 10);
+  EXPECT_TRUE(DrainAll(sorter).empty());
+}
+
+TEST(BulkBuilderTest, StreamingEqualsSpanBulkLoad) {
+  storage::MemPager pager_a, pager_b;
+  storage::BufferPool pool_a(&pager_a, 32), pool_b(&pager_b, 32);
+  BTreeConfig config;
+  config.leaf_capacity = 10;
+  config.internal_capacity = 5;
+
+  util::Rng rng(4200);
+  std::vector<LeafEntry> entries;
+  for (int i = 0; i < 1000; ++i) {
+    entries.push_back(Entry(rng.NextBelow(100000), i));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const LeafEntry& a, const LeafEntry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.payload < b.payload;
+            });
+
+  BTree via_span = BTree::BulkLoad(&pool_a, entries, config);
+  BTree::BulkBuilder builder(&pool_b, config);
+  for (const auto& e : entries) builder.Add(e);
+  BTree via_stream = builder.Finish();
+
+  EXPECT_EQ(via_span.size(), via_stream.size());
+  EXPECT_EQ(via_span.height(), via_stream.height());
+  EXPECT_TRUE(via_stream.CheckInvariants());
+  BTree::Cursor a(&via_span), b(&via_stream);
+  bool have_a = a.SeekFirst();
+  bool have_b = b.SeekFirst();
+  while (have_a && have_b) {
+    EXPECT_EQ(a.entry().key, b.entry().key);
+    EXPECT_EQ(a.entry().payload, b.entry().payload);
+    have_a = a.Next();
+    have_b = b.Next();
+  }
+  EXPECT_EQ(have_a, have_b);
+}
+
+TEST(BuildExternalTest, MatchesInMemoryBuild) {
+  const zorder::GridSpec grid{2, 10};
+  workload::DataGenConfig data;
+  data.count = 5000;
+  data.seed = 4300;
+  const auto points = GeneratePoints(grid, data);
+
+  storage::MemPager pager_mem, pager_ext, scratch;
+  storage::BufferPool pool_mem(&pager_mem, 64), pool_ext(&pager_ext, 64);
+  BTreeConfig config;
+  config.leaf_capacity = 20;
+
+  auto in_memory = index::ZkdIndex::Build(grid, &pool_mem, points, config);
+  ExternalSortStats stats;
+  auto external = index::ZkdIndex::BuildExternal(
+      grid, &pool_ext, points, &scratch, /*memory_budget=*/256, config, 1.0,
+      &stats);
+  EXPECT_GT(stats.runs, 10u);
+  EXPECT_EQ(external.size(), in_memory.size());
+
+  // Identical query answers and identical page counts.
+  EXPECT_EQ(external.tree().ComputeShape().leaf_pages,
+            in_memory.tree().ComputeShape().leaf_pages);
+  const geometry::GridBox box = geometry::GridBox::Make2D(100, 400, 200, 700);
+  auto a = in_memory.RangeSearch(box);
+  auto b = external.RangeSearch(box);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace probe::btree

@@ -1,0 +1,107 @@
+#include "zorder/fast_interleave.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "zorder/shuffle.h"
+
+namespace probe::zorder {
+namespace {
+
+// Reference bit-by-bit interleave for the equivalence checks.
+uint64_t SlowEncode2(uint32_t x, uint32_t y, int bits) {
+  uint64_t z = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    z = (z << 1) | ((x >> b) & 1);
+    z = (z << 1) | ((y >> b) & 1);
+  }
+  return z;
+}
+
+uint64_t SlowEncode3(uint32_t x, uint32_t y, uint32_t w, int bits) {
+  uint64_t z = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    z = (z << 1) | ((x >> b) & 1);
+    z = (z << 1) | ((y >> b) & 1);
+    z = (z << 1) | ((w >> b) & 1);
+  }
+  return z;
+}
+
+TEST(FastInterleaveTest, SpreadGatherRoundTrip2) {
+  util::Rng rng(6100);
+  for (int t = 0; t < 2000; ++t) {
+    const uint32_t x = static_cast<uint32_t>(rng.Next());
+    EXPECT_EQ(GatherBits2(SpreadBits2(x)), x);
+  }
+}
+
+TEST(FastInterleaveTest, SpreadGatherRoundTrip3) {
+  util::Rng rng(6200);
+  for (int t = 0; t < 2000; ++t) {
+    const uint32_t x = static_cast<uint32_t>(rng.Next()) & 0x1FFFFF;
+    EXPECT_EQ(GatherBits3(SpreadBits3(x)), x);
+  }
+}
+
+TEST(FastInterleaveTest, Encode2MatchesBitByBit) {
+  util::Rng rng(6300);
+  for (const int bits : {1, 4, 10, 16, 24, 32}) {
+    const uint64_t mask = bits == 32 ? ~0u : ((1u << bits) - 1);
+    for (int t = 0; t < 500; ++t) {
+      const uint32_t x = static_cast<uint32_t>(rng.Next()) & mask;
+      const uint32_t y = static_cast<uint32_t>(rng.Next()) & mask;
+      EXPECT_EQ(MortonEncode2(x, y, bits), SlowEncode2(x, y, bits))
+          << x << "," << y << " bits=" << bits;
+      uint32_t dx, dy;
+      MortonDecode2(MortonEncode2(x, y, bits), bits, &dx, &dy);
+      EXPECT_EQ(dx, x);
+      EXPECT_EQ(dy, y);
+    }
+  }
+}
+
+TEST(FastInterleaveTest, Encode3MatchesBitByBit) {
+  util::Rng rng(6400);
+  for (const int bits : {1, 5, 12, 21}) {
+    const uint32_t mask = (1u << bits) - 1;
+    for (int t = 0; t < 500; ++t) {
+      const uint32_t x = static_cast<uint32_t>(rng.Next()) & mask;
+      const uint32_t y = static_cast<uint32_t>(rng.Next()) & mask;
+      const uint32_t w = static_cast<uint32_t>(rng.Next()) & mask;
+      EXPECT_EQ(MortonEncode3(x, y, w, bits), SlowEncode3(x, y, w, bits));
+      uint32_t dx, dy, dw;
+      MortonDecode3(MortonEncode3(x, y, w, bits), bits, &dx, &dy, &dw);
+      EXPECT_EQ(dx, x);
+      EXPECT_EQ(dy, y);
+      EXPECT_EQ(dw, w);
+    }
+  }
+}
+
+TEST(FastInterleaveTest, ShuffleDispatchesToFastPathConsistently) {
+  // Shuffle/Unshuffle must give identical results whether or not the fast
+  // path applies; a custom schedule equal to the default alternation
+  // forces the generic loop, giving us both sides to compare.
+  for (const int dims : {2, 3}) {
+    const int bits = dims == 2 ? 13 : 9;
+    const GridSpec fast{dims, bits};
+    std::vector<int> schedule;
+    for (int j = 0; j < dims * bits; ++j) schedule.push_back(j % dims);
+    const GridSpec generic = GridSpec::WithSchedule(dims, bits, schedule);
+    util::Rng rng(6500 + dims);
+    for (int t = 0; t < 500; ++t) {
+      std::vector<uint32_t> coords(dims);
+      for (int d = 0; d < dims; ++d) {
+        coords[d] = static_cast<uint32_t>(rng.NextBelow(fast.side()));
+      }
+      const ZValue a = Shuffle(fast, coords);
+      const ZValue b = Shuffle(generic, coords);
+      EXPECT_EQ(a, b);
+      EXPECT_EQ(Unshuffle(fast, a), coords);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace probe::zorder

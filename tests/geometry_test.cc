@@ -1,0 +1,311 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/csg.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/primitives.h"
+#include "geometry/raster.h"
+#include "util/rng.h"
+#include "zorder/grid.h"
+
+namespace probe::geometry {
+namespace {
+
+using zorder::GridSpec;
+
+TEST(GridPointTest, BasicAccessors) {
+  const GridPoint p({3, 5});
+  EXPECT_EQ(p.dims(), 2);
+  EXPECT_EQ(p[0], 3u);
+  EXPECT_EQ(p[1], 5u);
+  EXPECT_EQ(p.ToString(), "(3, 5)");
+}
+
+TEST(GridBoxTest, VolumeAndContainment) {
+  const GridBox box = GridBox::Make2D(1, 3, 0, 4);
+  EXPECT_EQ(box.Volume(), 15u);
+  EXPECT_TRUE(box.ContainsPoint(GridPoint({1, 0})));
+  EXPECT_TRUE(box.ContainsPoint(GridPoint({3, 4})));
+  EXPECT_FALSE(box.ContainsPoint(GridPoint({4, 4})));
+  EXPECT_FALSE(box.ContainsPoint(GridPoint({0, 0})));
+}
+
+TEST(GridBoxTest, IntersectionCases) {
+  const GridBox a = GridBox::Make2D(0, 4, 0, 4);
+  const GridBox b = GridBox::Make2D(3, 7, 2, 9);
+  ASSERT_TRUE(a.Intersects(b));
+  const auto common = a.Intersection(b);
+  ASSERT_TRUE(common.has_value());
+  EXPECT_EQ(*common, GridBox::Make2D(3, 4, 2, 4));
+
+  const GridBox c = GridBox::Make2D(5, 7, 0, 4);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersection(c).has_value());
+}
+
+TEST(GridBoxTest, ContainsBox) {
+  const GridBox outer = GridBox::Make2D(0, 7, 0, 7);
+  EXPECT_TRUE(outer.ContainsBox(GridBox::Make2D(1, 3, 2, 5)));
+  EXPECT_TRUE(outer.ContainsBox(outer));
+  EXPECT_FALSE(outer.ContainsBox(GridBox::Make2D(5, 8, 0, 1)));
+}
+
+TEST(BoxObjectTest, ClassifiesExactly) {
+  const BoxObject object(GridBox::Make2D(2, 5, 2, 5));
+  EXPECT_EQ(object.Classify(GridBox::Make2D(3, 4, 3, 4)),
+            RegionClass::kInside);
+  EXPECT_EQ(object.Classify(GridBox::Make2D(6, 7, 6, 7)),
+            RegionClass::kOutside);
+  EXPECT_EQ(object.Classify(GridBox::Make2D(0, 3, 0, 3)),
+            RegionClass::kCrossing);
+}
+
+// The classifier contract: kInside/kOutside verdicts must agree with the
+// per-cell membership test on every cell of the region.
+void CheckClassifierConsistency(const GridSpec& grid,
+                                const SpatialObject& object, int trials,
+                                uint64_t seed) {
+  util::Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<zorder::DimRange> ranges(grid.dims);
+    for (int d = 0; d < grid.dims; ++d) {
+      uint32_t a = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+      uint32_t b = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+      ranges[d] = {std::min(a, b), std::max(a, b)};
+    }
+    const GridBox region{std::span<const zorder::DimRange>(ranges)};
+    const RegionClass verdict = object.Classify(region);
+    if (verdict == RegionClass::kCrossing) continue;  // allowed conservatively
+    // Enumerate the region's cells (2-d only in this helper).
+    for (uint32_t x = region.range(0).lo; x <= region.range(0).hi; ++x) {
+      for (uint32_t y = region.range(1).lo; y <= region.range(1).hi; ++y) {
+        const bool in = object.ContainsCell(GridPoint({x, y}));
+        EXPECT_EQ(in, verdict == RegionClass::kInside)
+            << object.Describe() << " region=" << region.ToString() << " cell("
+            << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST(BallObjectTest, ClassifierConsistentWithMembership) {
+  const GridSpec grid{2, 5};
+  const BallObject ball({13.0, 17.0}, 9.5);
+  CheckClassifierConsistency(grid, ball, 200, 31);
+}
+
+TEST(BallObjectTest, ExactClassification) {
+  // BallObject promises exact (not conservative) inside/outside for
+  // regions fully in or out.
+  const BallObject ball({8.0, 8.0}, 3.0);
+  EXPECT_EQ(ball.Classify(GridBox::Make2D(7, 8, 7, 8)), RegionClass::kInside);
+  EXPECT_EQ(ball.Classify(GridBox::Make2D(12, 15, 12, 15)),
+            RegionClass::kOutside);
+  EXPECT_EQ(ball.Classify(GridBox::Make2D(4, 11, 4, 11)),
+            RegionClass::kCrossing);
+}
+
+TEST(CapsuleObjectTest, MembershipMatchesSegmentDistance) {
+  // A horizontal capsule: membership by distance to the segment.
+  const CapsuleObject road({4.0, 10.0}, {24.0, 10.0}, 2.0);
+  EXPECT_TRUE(road.ContainsCell(GridPoint({10, 10})));   // near center line
+  EXPECT_TRUE(road.ContainsCell(GridPoint({10, 11})));   // within width
+  EXPECT_FALSE(road.ContainsCell(GridPoint({10, 14})));  // too far off-axis
+  EXPECT_TRUE(road.ContainsCell(GridPoint({3, 10})));    // round end cap
+  EXPECT_FALSE(road.ContainsCell(GridPoint({0, 10})));   // past the cap
+}
+
+TEST(CapsuleObjectTest, ClassifierConsistentWithMembership) {
+  const GridSpec grid{2, 5};
+  const CapsuleObject diagonal({2.0, 3.0}, {28.0, 26.0}, 3.0);
+  CheckClassifierConsistency(grid, diagonal, 300, 39);
+}
+
+TEST(CapsuleObjectTest, DegenerateSegmentIsABall) {
+  // Zero-length capsule == ball: classifications agree on random regions.
+  const CapsuleObject capsule({15.0, 17.0}, {15.0, 17.0}, 6.0);
+  const BallObject ball({15.0, 17.0}, 6.0);
+  util::Rng rng(40);
+  for (int t = 0; t < 200; ++t) {
+    uint32_t x1 = static_cast<uint32_t>(rng.NextBelow(32));
+    uint32_t x2 = static_cast<uint32_t>(rng.NextBelow(32));
+    uint32_t y1 = static_cast<uint32_t>(rng.NextBelow(32));
+    uint32_t y2 = static_cast<uint32_t>(rng.NextBelow(32));
+    const GridBox region = GridBox::Make2D(std::min(x1, x2), std::max(x1, x2),
+                                           std::min(y1, y2), std::max(y1, y2));
+    EXPECT_EQ(capsule.Classify(region), ball.Classify(region))
+        << region.ToString();
+  }
+}
+
+TEST(CapsuleObjectTest, ThreeDimensional) {
+  const CapsuleObject pipe({2.0, 2.0, 2.0}, {14.0, 14.0, 14.0}, 2.0);
+  EXPECT_TRUE(pipe.ContainsCell(GridPoint({8, 8, 8})));
+  EXPECT_FALSE(pipe.ContainsCell(GridPoint({14, 2, 2})));
+  EXPECT_EQ(pipe.Classify(GridBox::Make3D(7, 8, 7, 8, 7, 8)),
+            RegionClass::kInside);
+}
+
+TEST(HalfSpaceObjectTest, ClassifierConsistentWithMembership) {
+  const GridSpec grid{2, 5};
+  const HalfSpaceObject half({1.0, -2.0}, 4.0);
+  CheckClassifierConsistency(grid, half, 200, 37);
+}
+
+TEST(HalfSpaceObjectTest, ThreeDimensional) {
+  const HalfSpaceObject half({1.0, 1.0, 1.0}, 10.0);
+  EXPECT_TRUE(half.ContainsCell(GridPoint({1, 1, 1})));
+  EXPECT_FALSE(half.ContainsCell(GridPoint({5, 5, 5})));
+  EXPECT_EQ(half.Classify(GridBox::Make3D(0, 1, 0, 1, 0, 1)),
+            RegionClass::kInside);
+  EXPECT_EQ(half.Classify(GridBox::Make3D(6, 7, 6, 7, 6, 7)),
+            RegionClass::kOutside);
+}
+
+TEST(SegmentRectTest, BasicIntersections) {
+  EXPECT_TRUE(SegmentIntersectsRect({0, 0}, {10, 10}, 4, 6, 4, 6));
+  EXPECT_FALSE(SegmentIntersectsRect({0, 0}, {10, 0}, 4, 6, 4, 6));
+  EXPECT_TRUE(SegmentIntersectsRect({5, -1}, {5, 11}, 4, 6, 4, 6));  // vertical
+  EXPECT_TRUE(SegmentIntersectsRect({4, 4}, {4, 4}, 4, 6, 4, 6));  // degenerate
+  EXPECT_FALSE(SegmentIntersectsRect({0, 5}, {3, 5}, 4, 6, 4, 6));  // stops short
+}
+
+TEST(PolygonTest, SquareMembership) {
+  const PolygonObject square({{2, 2}, {10, 2}, {10, 10}, {2, 10}});
+  EXPECT_TRUE(square.ContainsCell(GridPoint({5, 5})));
+  EXPECT_FALSE(square.ContainsCell(GridPoint({0, 0})));
+  EXPECT_FALSE(square.ContainsCell(GridPoint({11, 5})));
+}
+
+TEST(PolygonTest, NonConvexMembership) {
+  // An L-shape: the notch at the top right must be outside.
+  const PolygonObject ell(
+      {{0, 0}, {8, 0}, {8, 4}, {4, 4}, {4, 8}, {0, 8}});
+  EXPECT_TRUE(ell.ContainsCell(GridPoint({1, 1})));
+  EXPECT_TRUE(ell.ContainsCell(GridPoint({6, 2})));
+  EXPECT_TRUE(ell.ContainsCell(GridPoint({1, 6})));
+  EXPECT_FALSE(ell.ContainsCell(GridPoint({6, 6})));  // the notch
+}
+
+TEST(PolygonTest, ClassifyNeverLiesOnUniformRegions) {
+  const GridSpec grid{2, 4};
+  const PolygonObject triangle({{1, 1}, {14, 2}, {6, 13}});
+  CheckClassifierConsistency(grid, triangle, 300, 41);
+}
+
+TEST(CsgTest, UnionMembershipTruthTable) {
+  auto a = std::make_shared<BoxObject>(GridBox::Make2D(0, 3, 0, 3));
+  auto b = std::make_shared<BoxObject>(GridBox::Make2D(2, 5, 2, 5));
+  const UnionObject u({a, b});
+  EXPECT_TRUE(u.ContainsCell(GridPoint({0, 0})));   // a only
+  EXPECT_TRUE(u.ContainsCell(GridPoint({5, 5})));   // b only
+  EXPECT_TRUE(u.ContainsCell(GridPoint({2, 2})));   // both
+  EXPECT_FALSE(u.ContainsCell(GridPoint({7, 7})));  // neither
+}
+
+TEST(CsgTest, IntersectionAndDifference) {
+  auto a = std::make_shared<BoxObject>(GridBox::Make2D(0, 5, 0, 5));
+  auto b = std::make_shared<BoxObject>(GridBox::Make2D(3, 8, 3, 8));
+  const IntersectionObject inter({a, b});
+  EXPECT_TRUE(inter.ContainsCell(GridPoint({4, 4})));
+  EXPECT_FALSE(inter.ContainsCell(GridPoint({1, 1})));
+
+  const DifferenceObject diff(a, b);
+  EXPECT_TRUE(diff.ContainsCell(GridPoint({1, 1})));
+  EXPECT_FALSE(diff.ContainsCell(GridPoint({4, 4})));
+  EXPECT_FALSE(diff.ContainsCell(GridPoint({8, 8})));
+}
+
+TEST(CsgTest, ClassifyConsistency) {
+  const GridSpec grid{2, 4};
+  auto disk = std::make_shared<BallObject>(
+      std::vector<double>{8.0, 8.0}, 6.0);
+  auto hole = std::make_shared<BallObject>(
+      std::vector<double>{8.0, 8.0}, 2.5);
+  const DifferenceObject annulus(disk, hole);
+  CheckClassifierConsistency(grid, annulus, 300, 43);
+}
+
+TEST(CsgTest, ExactVerdictsPropagate) {
+  auto a = std::make_shared<BoxObject>(GridBox::Make2D(0, 7, 0, 7));
+  auto b = std::make_shared<BoxObject>(GridBox::Make2D(8, 15, 8, 15));
+  const UnionObject u({a, b});
+  EXPECT_EQ(u.Classify(GridBox::Make2D(1, 2, 1, 2)), RegionClass::kInside);
+  EXPECT_EQ(u.Classify(GridBox::Make2D(9, 10, 9, 10)), RegionClass::kInside);
+  // A region straddling the two parts is not inside either part alone, so
+  // the union classifier conservatively reports crossing even though every
+  // cell is covered; the decomposer handles that by splitting further.
+  EXPECT_NE(u.Classify(GridBox::Make2D(0, 15, 0, 15)), RegionClass::kOutside);
+}
+
+TEST(TranslatedObjectTest, ShiftsMembership) {
+  auto box = std::make_shared<BoxObject>(GridBox::Make2D(2, 5, 2, 5));
+  const TranslatedObject moved(box, {10, -2});
+  EXPECT_TRUE(moved.ContainsCell(GridPoint({12, 0})));   // (2,2) shifted
+  EXPECT_TRUE(moved.ContainsCell(GridPoint({15, 3})));   // (5,5) shifted
+  EXPECT_FALSE(moved.ContainsCell(GridPoint({2, 2})));   // original spot
+  EXPECT_FALSE(moved.ContainsCell(GridPoint({12, 7})));  // above it now
+}
+
+TEST(TranslatedObjectTest, ClassifierConsistentAndClipsDomain) {
+  const GridSpec grid{2, 5};
+  auto ball = std::make_shared<BallObject>(std::vector<double>{6.0, 6.0}, 5.0);
+  const TranslatedObject moved(ball, {12, 9});
+  CheckClassifierConsistency(grid, moved, 300, 47);
+  // An object shifted so part of it would sit at negative coordinates: a
+  // region whose pre-image straddles the domain edge cannot be kInside.
+  const TranslatedObject off_edge(ball, {-4, 0});
+  EXPECT_NE(off_edge.Classify(GridBox::Make2D(0, 7, 2, 9)),
+            RegionClass::kInside);
+  // And its membership matches the shifted ball wherever defined.
+  EXPECT_TRUE(off_edge.ContainsCell(GridPoint({2, 6})));
+  EXPECT_FALSE(off_edge.ContainsCell(GridPoint({15, 6})));
+}
+
+TEST(TranslatedObjectTest, SweepFindsFirstCollisionFreePose) {
+  // Motion sweep: slide a part rightward until it no longer overlaps a
+  // fixed obstacle — each pose is just a new TranslatedObject.
+  auto part = std::make_shared<BoxObject>(GridBox::Make2D(0, 7, 0, 7));
+  const BoxObject obstacle(GridBox::Make2D(4, 19, 0, 7));
+  int64_t first_clear = -1;
+  for (int64_t dx = 0; dx < 32; ++dx) {
+    const TranslatedObject pose(part, {dx, 0});
+    bool overlap = false;
+    for (uint32_t x = 0; x < 40 && !overlap; ++x) {
+      for (uint32_t y = 0; y < 8; ++y) {
+        if (pose.ContainsCell(GridPoint({x, y})) &&
+            obstacle.ContainsCell(GridPoint({x, y}))) {
+          overlap = true;
+          break;
+        }
+      }
+    }
+    if (!overlap) {
+      first_clear = dx;
+      break;
+    }
+  }
+  EXPECT_EQ(first_clear, 20);  // part [dx, dx+7] clears obstacle at dx=20
+}
+
+TEST(RasterTest, VolumeMatchesBoxVolume) {
+  const GridSpec grid{2, 4};
+  const BoxObject box(GridBox::Make2D(2, 9, 3, 11));
+  EXPECT_EQ(RasterVolume(grid, box), box.box().Volume());
+}
+
+TEST(RasterTest, ArtDimensions) {
+  const GridSpec grid{2, 3};
+  const BoxObject box(GridBox::Make2D(0, 1, 0, 1));
+  const std::string art = RasterArt(grid, box);
+  // 8 rows of 8 chars + newline.
+  EXPECT_EQ(art.size(), 72u);
+  // Bottom-left corner is drawn last-line-first-chars.
+  EXPECT_EQ(art.substr(art.size() - 9, 2), "##");
+}
+
+}  // namespace
+}  // namespace probe::geometry

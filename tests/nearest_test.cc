@@ -1,0 +1,182 @@
+#include "index/nearest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+
+namespace probe::index {
+namespace {
+
+using geometry::GridPoint;
+using zorder::GridSpec;
+
+uint64_t Distance2(const GridPoint& a, const GridPoint& b) {
+  uint64_t d2 = 0;
+  for (int i = 0; i < a.dims(); ++i) {
+    const uint64_t d = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+std::vector<Neighbor> BruteForceKnn(const std::vector<PointRecord>& points,
+                                    const GridPoint& query, size_t k) {
+  std::vector<Neighbor> all;
+  for (const auto& r : points) {
+    all.push_back(Neighbor{r.id, Distance2(r.point, query)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance2 != b.distance2) return a.distance2 < b.distance2;
+    return a.id < b.id;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(KNearestTest, EmptyIndexAndZeroK) {
+  const GridSpec grid{2, 8};
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 32);
+  ZkdIndex index(grid, &pool);
+  EXPECT_TRUE(KNearest(index, GridPoint({10, 10}), 5).empty());
+  index.Insert(GridPoint({1, 1}), 1);
+  EXPECT_TRUE(KNearest(index, GridPoint({10, 10}), 0).empty());
+}
+
+TEST(KNearestTest, SinglePoint) {
+  const GridSpec grid{2, 8};
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 32);
+  ZkdIndex index(grid, &pool);
+  index.Insert(GridPoint({100, 200}), 42);
+  const auto result = KNearest(index, GridPoint({0, 0}), 3);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 42u);
+  EXPECT_EQ(result[0].distance2, 100ull * 100 + 200ull * 200);
+}
+
+class KnnPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnnPropertyTest, MatchesBruteForceAcrossDistributions) {
+  const GridSpec grid{2, 8};
+  workload::DataGenConfig data;
+  data.distribution = static_cast<workload::Distribution>(GetParam());
+  data.count = 700;
+  data.seed = 77 + GetParam();
+  const auto points = GeneratePoints(grid, data);
+  auto built = workload::BuildZkdIndex(grid, points, 20, 64);
+
+  util::Rng rng(900 + GetParam());
+  for (int q = 0; q < 20; ++q) {
+    const GridPoint query({static_cast<uint32_t>(rng.NextBelow(256)),
+                           static_cast<uint32_t>(rng.NextBelow(256))});
+    const size_t k = 1 + rng.NextBelow(10);
+    const auto got = KNearest(*built.index, query, k);
+    const auto expect = BruteForceKnn(points, query, k);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Distances must match exactly; ids may differ only among exact
+      // distance ties at the cut boundary — our tie-break is by id, same
+      // as the reference, so require exact agreement.
+      EXPECT_EQ(got[i].distance2, expect[i].distance2) << "i=" << i;
+      EXPECT_EQ(got[i].id, expect[i].id) << "i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, KnnPropertyTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(KNearestTest, ThreeDimensional) {
+  const GridSpec grid{3, 6};
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 32);
+  util::Rng rng(911);
+  std::vector<PointRecord> points;
+  for (uint64_t i = 0; i < 400; ++i) {
+    points.push_back({GridPoint({static_cast<uint32_t>(rng.NextBelow(64)),
+                                 static_cast<uint32_t>(rng.NextBelow(64)),
+                                 static_cast<uint32_t>(rng.NextBelow(64))}),
+                      i});
+  }
+  auto index = ZkdIndex::Build(grid, &pool, points);
+  const GridPoint query({30, 30, 30});
+  const auto got = KNearest(index, query, 7);
+  const auto expect = BruteForceKnn(points, query, 7);
+  ASSERT_EQ(got.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(got[i].id, expect[i].id);
+  }
+}
+
+TEST(KNearestTest, PruningBeatsFullScan) {
+  const GridSpec grid{2, 10};
+  workload::DataGenConfig data;
+  data.count = 5000;
+  data.seed = 13;
+  const auto points = GeneratePoints(grid, data);
+  auto built = workload::BuildZkdIndex(grid, points, 20, 64);
+  NearestStats stats;
+  KNearest(*built.index, GridPoint({512, 512}), 5, &stats);
+  // A 5-NN query must not read most of the 250 data pages.
+  EXPECT_LT(stats.leaf_pages, 40u);
+  EXPECT_LT(stats.points_examined, 1000u);
+}
+
+TEST(WithinDistanceTest, MatchesBruteForce) {
+  const GridSpec grid{2, 7};
+  util::Rng rng(913);
+  std::vector<PointRecord> points;
+  for (uint64_t i = 0; i < 500; ++i) {
+    points.push_back({GridPoint({static_cast<uint32_t>(rng.NextBelow(128)),
+                                 static_cast<uint32_t>(rng.NextBelow(128))}),
+                      i});
+  }
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 32);
+  auto index = ZkdIndex::Build(grid, &pool, points);
+
+  for (const double radius : {3.0, 10.0, 25.0}) {
+    const GridPoint query({60, 70});
+    auto got = WithinDistance(index, query, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> expect;
+    for (const auto& r : points) {
+      if (static_cast<double>(Distance2(r.point, query)) <= radius * radius) {
+        expect.push_back(r.id);
+      }
+    }
+    EXPECT_EQ(got, expect) << "radius " << radius;
+  }
+}
+
+TEST(KNearestTest, ScanThresholdOptionTradesScansForExpansion) {
+  const GridSpec grid{2, 10};
+  workload::DataGenConfig data;
+  data.count = 5000;
+  data.seed = 17;
+  const auto points = GeneratePoints(grid, data);
+  auto built = workload::BuildZkdIndex(grid, points, 20, 64);
+
+  NearestOptions coarse;
+  coarse.scan_cell_threshold = 1 << 14;
+  NearestOptions fine;
+  fine.scan_cell_threshold = 1 << 6;
+  NearestStats coarse_stats, fine_stats;
+  const auto a =
+      KNearest(*built.index, GridPoint({100, 900}), 10, &coarse_stats, coarse);
+  const auto b =
+      KNearest(*built.index, GridPoint({100, 900}), 10, &fine_stats, fine);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+  EXPECT_LT(coarse_stats.regions_expanded, fine_stats.regions_expanded);
+  EXPECT_GE(coarse_stats.points_examined, fine_stats.points_examined);
+}
+
+}  // namespace
+}  // namespace probe::index

@@ -1,0 +1,230 @@
+#include "index/object_index.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "geometry/csg.h"
+#include "geometry/primitives.h"
+#include "geometry/raster.h"
+#include "util/rng.h"
+
+namespace probe::index {
+namespace {
+
+using geometry::BallObject;
+using geometry::BoxObject;
+using geometry::GridBox;
+using geometry::GridPoint;
+using zorder::GridSpec;
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Pixel-level overlap reference between two objects.
+bool CellsOverlap(const GridSpec& grid, const geometry::SpatialObject& a,
+                  const geometry::SpatialObject& b) {
+  for (uint32_t x = 0; x < grid.side(); ++x) {
+    for (uint32_t y = 0; y < grid.side(); ++y) {
+      const GridPoint p({x, y});
+      if (a.ContainsCell(p) && b.ContainsCell(p)) return true;
+    }
+  }
+  return false;
+}
+
+class ObjectIndexFixture : public ::testing::Test {
+ protected:
+  ObjectIndexFixture() : pool_(&pager_, 32) {}
+
+  storage::MemPager pager_;
+  storage::BufferPool pool_;
+};
+
+TEST_F(ObjectIndexFixture, EmptyIndex) {
+  const GridSpec grid{2, 6};
+  ZkdObjectIndex index(grid, &pool_);
+  EXPECT_EQ(index.element_count(), 0u);
+  EXPECT_TRUE(index.QueryBox(GridBox::Make2D(0, 63, 0, 63)).empty());
+  EXPECT_TRUE(index.QueryPoint(GridPoint({3, 3})).empty());
+}
+
+TEST_F(ObjectIndexFixture, WindowQueryFindsOverlappingBoxes) {
+  const GridSpec grid{2, 6};
+  ZkdObjectIndex index(grid, &pool_);
+  index.Insert(1, BoxObject(GridBox::Make2D(0, 10, 0, 10)));
+  index.Insert(2, BoxObject(GridBox::Make2D(20, 30, 20, 30)));
+  index.Insert(3, BoxObject(GridBox::Make2D(8, 22, 8, 22)));
+
+  EXPECT_EQ(Sorted(index.QueryBox(GridBox::Make2D(0, 5, 0, 5))),
+            (std::vector<uint64_t>{1}));
+  EXPECT_EQ(Sorted(index.QueryBox(GridBox::Make2D(9, 21, 9, 21))),
+            (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(Sorted(index.QueryBox(GridBox::Make2D(40, 60, 40, 60))),
+            (std::vector<uint64_t>{}));
+}
+
+TEST_F(ObjectIndexFixture, PointStabbingQuery) {
+  const GridSpec grid{2, 6};
+  ZkdObjectIndex index(grid, &pool_);
+  index.Insert(1, BoxObject(GridBox::Make2D(0, 31, 0, 31)));
+  index.Insert(2, BoxObject(GridBox::Make2D(16, 47, 16, 47)));
+  index.Insert(3, BallObject({40.0, 40.0}, 5.0));
+
+  EXPECT_EQ(Sorted(index.QueryPoint(GridPoint({5, 5}))),
+            (std::vector<uint64_t>{1}));
+  EXPECT_EQ(Sorted(index.QueryPoint(GridPoint({20, 20}))),
+            (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(Sorted(index.QueryPoint(GridPoint({40, 40}))),
+            (std::vector<uint64_t>{2, 3}));
+  EXPECT_TRUE(index.QueryPoint(GridPoint({60, 5})).empty());
+}
+
+TEST_F(ObjectIndexFixture, QueryMatchesPairwiseOverlapReference) {
+  const GridSpec grid{2, 5};
+  ZkdObjectIndex index(grid, &pool_);
+  util::Rng rng(811);
+  std::vector<std::shared_ptr<const geometry::SpatialObject>> objects;
+  for (uint64_t id = 1; id <= 30; ++id) {
+    std::shared_ptr<const geometry::SpatialObject> object;
+    if (rng.NextBelow(2) == 0) {
+      const uint32_t x = static_cast<uint32_t>(rng.NextBelow(24));
+      const uint32_t y = static_cast<uint32_t>(rng.NextBelow(24));
+      object = std::make_shared<BoxObject>(GridBox::Make2D(
+          x, x + static_cast<uint32_t>(rng.NextBelow(8)), y,
+          y + static_cast<uint32_t>(rng.NextBelow(8))));
+    } else {
+      object = std::make_shared<BallObject>(
+          std::vector<double>{static_cast<double>(rng.NextBelow(32)),
+                              static_cast<double>(rng.NextBelow(32))},
+          1.0 + static_cast<double>(rng.NextBelow(5)));
+    }
+    objects.push_back(object);
+    index.Insert(id, *object);
+  }
+
+  for (int q = 0; q < 20; ++q) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBelow(24));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBelow(24));
+    const GridBox window = GridBox::Make2D(
+        x, x + static_cast<uint32_t>(rng.NextBelow(10)), y,
+        y + static_cast<uint32_t>(rng.NextBelow(10)));
+    const BoxObject probe(window);
+    std::vector<uint64_t> expect;
+    for (uint64_t id = 1; id <= objects.size(); ++id) {
+      if (CellsOverlap(grid, *objects[id - 1], probe)) expect.push_back(id);
+    }
+    EXPECT_EQ(Sorted(index.QueryBox(window)), expect)
+        << "window " << window.ToString();
+  }
+}
+
+TEST_F(ObjectIndexFixture, RemoveerasesExactlyTheObject) {
+  const GridSpec grid{2, 6};
+  ZkdObjectIndex index(grid, &pool_);
+  const BoxObject a(GridBox::Make2D(0, 15, 0, 15));
+  const BoxObject b(GridBox::Make2D(10, 25, 10, 25));
+  const uint64_t a_elements = index.Insert(1, a);
+  index.Insert(2, b);
+  EXPECT_EQ(Sorted(index.QueryBox(GridBox::Make2D(0, 5, 0, 5))),
+            (std::vector<uint64_t>{1}));
+
+  EXPECT_EQ(index.Remove(1, a), a_elements);
+  EXPECT_TRUE(index.QueryBox(GridBox::Make2D(0, 5, 0, 5)).empty());
+  EXPECT_EQ(Sorted(index.QueryBox(GridBox::Make2D(12, 12, 12, 12))),
+            (std::vector<uint64_t>{2}));
+  // Removing again finds nothing.
+  EXPECT_EQ(index.Remove(1, a), 0u);
+}
+
+TEST_F(ObjectIndexFixture, GeneralProbeObject) {
+  const GridSpec grid{2, 6};
+  ZkdObjectIndex index(grid, &pool_);
+  index.Insert(1, BoxObject(GridBox::Make2D(0, 20, 0, 20)));
+  index.Insert(2, BoxObject(GridBox::Make2D(40, 60, 40, 60)));
+  // Probe with a ball overlapping only object 2.
+  const BallObject probe({50.0, 50.0}, 6.0);
+  ObjectQueryStats stats;
+  EXPECT_EQ(Sorted(index.QueryOverlapping(probe, &stats)),
+            (std::vector<uint64_t>{2}));
+  EXPECT_GT(stats.probe_elements, 0u);
+  EXPECT_EQ(stats.result_objects, 1u);
+}
+
+TEST_F(ObjectIndexFixture, ContainmentQueryDistinguishesFromOverlap) {
+  const GridSpec grid{2, 6};
+  ZkdObjectIndex index(grid, &pool_);
+  index.Insert(1, BoxObject(GridBox::Make2D(5, 10, 5, 10)));    // inside
+  index.Insert(2, BoxObject(GridBox::Make2D(18, 30, 18, 30)));  // straddles
+  index.Insert(3, BoxObject(GridBox::Make2D(40, 50, 40, 50)));  // outside
+  index.Insert(4, BallObject({12.0, 12.0}, 4.0));               // inside
+
+  const GridBox window = GridBox::Make2D(2, 20, 2, 20);
+  EXPECT_EQ(Sorted(index.QueryBox(window)),
+            (std::vector<uint64_t>{1, 2, 4}));  // overlap finds 3 of them
+  ObjectQueryStats stats;
+  EXPECT_EQ(index.QueryContained(window, &stats),
+            (std::vector<uint64_t>{1, 4}));  // containment drops the straddler
+  EXPECT_EQ(stats.prefix_lookups, 0u);  // no ancestor lookups needed
+}
+
+TEST_F(ObjectIndexFixture, ContainmentMatchesReference) {
+  const GridSpec grid{2, 5};
+  ZkdObjectIndex index(grid, &pool_);
+  util::Rng rng(821);
+  std::vector<std::shared_ptr<const geometry::SpatialObject>> objects;
+  for (uint64_t id = 1; id <= 25; ++id) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBelow(26));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBelow(26));
+    auto object = std::make_shared<BoxObject>(GridBox::Make2D(
+        x, x + static_cast<uint32_t>(rng.NextBelow(6)), y,
+        y + static_cast<uint32_t>(rng.NextBelow(6))));
+    objects.push_back(object);
+    index.Insert(id, *object);
+  }
+  for (int q = 0; q < 15; ++q) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBelow(20));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBelow(20));
+    const GridBox window = GridBox::Make2D(
+        x, x + 5 + static_cast<uint32_t>(rng.NextBelow(8)), y,
+        y + 5 + static_cast<uint32_t>(rng.NextBelow(8)));
+    std::vector<uint64_t> expect;
+    for (uint64_t id = 1; id <= objects.size(); ++id) {
+      const auto* box =
+          static_cast<const BoxObject*>(objects[id - 1].get());
+      if (window.ContainsBox(box->box())) expect.push_back(id);
+    }
+    EXPECT_EQ(index.QueryContained(window), expect)
+        << "window " << window.ToString();
+  }
+}
+
+TEST_F(ObjectIndexFixture, ContainmentAfterRemove) {
+  const GridSpec grid{2, 5};
+  ZkdObjectIndex index(grid, &pool_);
+  const BoxObject a(GridBox::Make2D(2, 6, 2, 6));
+  index.Insert(1, a);
+  const GridBox window = GridBox::Make2D(0, 10, 0, 10);
+  EXPECT_EQ(index.QueryContained(window), (std::vector<uint64_t>{1}));
+  index.Remove(1, a);
+  EXPECT_TRUE(index.QueryContained(window).empty());
+}
+
+TEST_F(ObjectIndexFixture, AncestorContainmentIsFound) {
+  // A huge stored object fully containing a tiny probe: the stored
+  // elements are short prefixes that precede the probe in key order and
+  // are only reachable through the ancestor lookups.
+  const GridSpec grid{2, 6};
+  ZkdObjectIndex index(grid, &pool_);
+  index.Insert(7, BoxObject(GridBox::Make2D(0, 63, 0, 63)));  // whole space
+  ObjectQueryStats stats;
+  EXPECT_EQ(index.QueryBox(GridBox::Make2D(33, 33, 17, 17), &stats),
+            (std::vector<uint64_t>{7}));
+  EXPECT_GT(stats.prefix_lookups, 0u);
+}
+
+}  // namespace
+}  // namespace probe::index

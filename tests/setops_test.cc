@@ -1,0 +1,171 @@
+#include "ag/setops.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "decompose/decomposer.h"
+#include "geometry/csg.h"
+#include "geometry/primitives.h"
+#include "util/rng.h"
+#include "zorder/shuffle.h"
+
+namespace probe::ag {
+namespace {
+
+using decompose::Decompose;
+using geometry::BallObject;
+using geometry::BoxObject;
+using geometry::GridBox;
+using zorder::GridSpec;
+using zorder::ZValue;
+
+// Expands a sequence to its cell set (z ranks) for ground-truth checks.
+std::set<uint64_t> Cells(const GridSpec& grid,
+                         std::span<const ZValue> elements) {
+  std::set<uint64_t> cells;
+  const int total = grid.total_bits();
+  for (const ZValue& e : elements) {
+    for (uint64_t z = e.RangeLo(total); z <= e.RangeHi(total); ++z) {
+      cells.insert(z);
+    }
+  }
+  return cells;
+}
+
+// A random disjoint sorted sequence over a small grid: decompose a random
+// union of boxes.
+std::vector<ZValue> RandomSequence(const GridSpec& grid, util::Rng& rng) {
+  std::vector<std::shared_ptr<const geometry::SpatialObject>> parts;
+  const int n = 1 + static_cast<int>(rng.NextBelow(4));
+  for (int i = 0; i < n; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+    const uint32_t w = static_cast<uint32_t>(rng.NextBelow(grid.side() / 2));
+    const uint32_t h = static_cast<uint32_t>(rng.NextBelow(grid.side() / 2));
+    parts.push_back(std::make_shared<BoxObject>(GridBox::Make2D(
+        x, std::min<uint32_t>(x + w, grid.side() - 1), y,
+        std::min<uint32_t>(y + h, grid.side() - 1))));
+  }
+  return Decompose(grid, geometry::UnionObject(parts));
+}
+
+TEST(SetOpsTest, IsDisjointSortedDetectsViolations) {
+  const GridSpec grid{2, 3};
+  std::vector<ZValue> good = {*ZValue::Parse("00"), *ZValue::Parse("01"),
+                              *ZValue::Parse("1")};
+  EXPECT_TRUE(IsDisjointSorted(grid, good));
+  std::vector<ZValue> overlap = {*ZValue::Parse("0"), *ZValue::Parse("01")};
+  EXPECT_FALSE(IsDisjointSorted(grid, overlap));
+  std::vector<ZValue> unsorted = {*ZValue::Parse("1"), *ZValue::Parse("00")};
+  EXPECT_FALSE(IsDisjointSorted(grid, unsorted));
+}
+
+TEST(SetOpsTest, CanonicalizeCoalescesSiblings) {
+  const GridSpec grid{2, 3};
+  // The four quadrant children of "01" plus "1": should fold to {01, 1},
+  // and then — since 0's other half is missing — stop there.
+  std::vector<ZValue> input = {*ZValue::Parse("0100"), *ZValue::Parse("0101"),
+                               *ZValue::Parse("011"), *ZValue::Parse("1")};
+  const auto canonical = Canonicalize(grid, input);
+  ASSERT_EQ(canonical.size(), 2u);
+  EXPECT_EQ(canonical[0].ToString(), "01");
+  EXPECT_EQ(canonical[1].ToString(), "1");
+}
+
+TEST(SetOpsTest, CanonicalizeWholeSpace) {
+  const GridSpec grid{2, 2};
+  // All 16 pixels -> the empty prefix (whole space).
+  std::vector<ZValue> pixels;
+  for (uint64_t z = 0; z < 16; ++z) pixels.push_back(ZValue::FromInteger(z, 4));
+  const auto canonical = Canonicalize(grid, pixels);
+  ASSERT_EQ(canonical.size(), 1u);
+  EXPECT_TRUE(canonical[0].IsEmpty());
+}
+
+TEST(SetOpsTest, OperationsMatchCellSetAlgebra) {
+  const GridSpec grid{2, 4};
+  util::Rng rng(3100);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto a = RandomSequence(grid, rng);
+    const auto b = RandomSequence(grid, rng);
+    const auto cells_a = Cells(grid, a);
+    const auto cells_b = Cells(grid, b);
+
+    const auto u = UnionOf(grid, a, b);
+    const auto i = IntersectionOf(grid, a, b);
+    const auto d = DifferenceOf(grid, a, b);
+    EXPECT_TRUE(IsDisjointSorted(grid, u));
+    EXPECT_TRUE(IsDisjointSorted(grid, i));
+    EXPECT_TRUE(IsDisjointSorted(grid, d));
+
+    std::set<uint64_t> expect_u = cells_a;
+    expect_u.insert(cells_b.begin(), cells_b.end());
+    std::set<uint64_t> expect_i, expect_d;
+    for (uint64_t z : cells_a) {
+      if (cells_b.count(z)) {
+        expect_i.insert(z);
+      } else {
+        expect_d.insert(z);
+      }
+    }
+    EXPECT_EQ(Cells(grid, u), expect_u);
+    EXPECT_EQ(Cells(grid, i), expect_i);
+    EXPECT_EQ(Cells(grid, d), expect_d);
+
+    // Volumes agree.
+    EXPECT_EQ(SequenceVolume(grid, u), expect_u.size());
+    EXPECT_EQ(SequenceVolume(grid, i), expect_i.size());
+    EXPECT_EQ(SequenceVolume(grid, d), expect_d.size());
+
+    // Covers is difference-emptiness.
+    EXPECT_EQ(Covers(grid, a, b), expect_i.size() == cells_b.size());
+    EXPECT_TRUE(Covers(grid, a, a));
+    EXPECT_TRUE(Covers(grid, u, a));
+    EXPECT_TRUE(Covers(grid, u, b));
+    EXPECT_TRUE(Covers(grid, a, i));
+  }
+}
+
+TEST(SetOpsTest, CanonicalFormsAreEqualForEqualSets) {
+  // The same cell set reached via different expressions canonicalizes to
+  // identical sequences.
+  const GridSpec grid{2, 4};
+  const auto big = Decompose(grid, BoxObject(GridBox::Make2D(2, 13, 3, 12)));
+  const auto left = Decompose(grid, BoxObject(GridBox::Make2D(2, 7, 3, 12)));
+  const auto right = Decompose(grid, BoxObject(GridBox::Make2D(8, 13, 3, 12)));
+  const auto rebuilt = UnionOf(grid, left, right);
+  const auto canonical_big = Canonicalize(grid, big);
+  EXPECT_EQ(rebuilt, canonical_big);
+}
+
+TEST(SetOpsTest, DecomposeDifferenceEqualsSetDifference) {
+  // The CSG DifferenceObject and the sequence difference agree.
+  const GridSpec grid{2, 4};
+  auto disk = std::make_shared<BallObject>(std::vector<double>{8.0, 8.0}, 6.0);
+  auto hole = std::make_shared<BallObject>(std::vector<double>{8.0, 8.0}, 3.0);
+  const geometry::DifferenceObject annulus(disk, hole);
+  const auto via_csg =
+      Canonicalize(grid, Decompose(grid, annulus));
+  const auto via_setops = DifferenceOf(grid, Decompose(grid, *disk),
+                                       Decompose(grid, *hole));
+  EXPECT_EQ(Cells(grid, via_csg), Cells(grid, via_setops));
+  EXPECT_EQ(via_csg, via_setops);  // canonical forms are identical
+}
+
+TEST(SetOpsTest, EmptyInputs) {
+  const GridSpec grid{2, 3};
+  const std::vector<ZValue> empty;
+  const std::vector<ZValue> one = {*ZValue::Parse("01")};
+  EXPECT_TRUE(UnionOf(grid, empty, empty).empty());
+  EXPECT_EQ(UnionOf(grid, one, empty), one);
+  EXPECT_TRUE(IntersectionOf(grid, one, empty).empty());
+  EXPECT_EQ(DifferenceOf(grid, one, empty), one);
+  EXPECT_TRUE(DifferenceOf(grid, empty, one).empty());
+  EXPECT_TRUE(Covers(grid, one, empty));
+  EXPECT_FALSE(Covers(grid, empty, one));
+  EXPECT_EQ(SequenceVolume(grid, empty), 0u);
+}
+
+}  // namespace
+}  // namespace probe::ag

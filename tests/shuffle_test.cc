@@ -1,0 +1,156 @@
+#include "zorder/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "zorder/curve.h"
+
+namespace probe::zorder {
+namespace {
+
+TEST(ShuffleTest, PaperFigure4Example) {
+  // Figure 4: [3, 5] -> (011, 101) -> 011011 = 27 on an 8x8 grid.
+  const GridSpec grid{2, 3};
+  const ZValue z = Shuffle2D(grid, 3, 5);
+  EXPECT_EQ(z.ToString(), "011011");
+  EXPECT_EQ(z.ToInteger(), 27u);
+  EXPECT_EQ(ZRank2D(grid, 3, 5), 27u);
+}
+
+TEST(ShuffleTest, FirstBitComesFromX) {
+  // The split alternates starting with a vertical split (discriminating on
+  // x0), so the leading z bit is x's most significant bit.
+  const GridSpec grid{2, 3};
+  EXPECT_EQ(Shuffle2D(grid, 4, 0).ToString(), "100000");
+  EXPECT_EQ(Shuffle2D(grid, 0, 4).ToString(), "010000");
+}
+
+TEST(ShuffleTest, RoundTrip2D) {
+  const GridSpec grid{2, 5};
+  for (uint32_t x = 0; x < grid.side(); ++x) {
+    for (uint32_t y = 0; y < grid.side(); ++y) {
+      const auto coords = Unshuffle(grid, Shuffle2D(grid, x, y));
+      ASSERT_EQ(coords.size(), 2u);
+      EXPECT_EQ(coords[0], x);
+      EXPECT_EQ(coords[1], y);
+    }
+  }
+}
+
+class ShuffleDimsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShuffleDimsTest, RoundTripRandomized) {
+  const int dims = GetParam();
+  const GridSpec grid{dims, 60 / dims >= 8 ? 8 : 60 / dims};
+  util::Rng rng(17 + dims);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint32_t> coords(dims);
+    for (int d = 0; d < dims; ++d) {
+      coords[d] = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+    }
+    const ZValue z = Shuffle(grid, coords);
+    EXPECT_EQ(z.length(), grid.total_bits());
+    EXPECT_EQ(Unshuffle(grid, z), coords);
+  }
+}
+
+TEST_P(ShuffleDimsTest, RanksAreABijectionOnSmallGrids) {
+  const int dims = GetParam();
+  const GridSpec grid{dims, dims <= 3 ? 3 : 2};
+  if (grid.total_bits() > 20) GTEST_SKIP();
+  std::vector<bool> seen(grid.cell_count(), false);
+  std::vector<uint32_t> coords(dims, 0);
+  const uint32_t side = static_cast<uint32_t>(grid.side());
+  // Odometer over all cells.
+  for (;;) {
+    const uint64_t rank = Shuffle(grid, coords).ToInteger();
+    ASSERT_LT(rank, seen.size());
+    EXPECT_FALSE(seen[rank]);
+    seen[rank] = true;
+    int axis = dims - 1;
+    while (axis >= 0 && ++coords[axis] == side) coords[axis--] = 0;
+    if (axis < 0) break;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, ShuffleDimsTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(UnshuffleRegionTest, EmptyZValueIsWholeGrid) {
+  const GridSpec grid{2, 3};
+  const auto ranges = UnshuffleRegion(grid, ZValue());
+  EXPECT_EQ(ranges[0], (DimRange{0, 7}));
+  EXPECT_EQ(ranges[1], (DimRange{0, 7}));
+}
+
+TEST(UnshuffleRegionTest, PaperFigure2Element) {
+  // Figure 2: element 001 covers X in [2,3] and Y in [0,3] on an 8x8 grid.
+  const GridSpec grid{2, 3};
+  const auto ranges = UnshuffleRegion(grid, *ZValue::Parse("001"));
+  EXPECT_EQ(ranges[0], (DimRange{2, 3}));
+  EXPECT_EQ(ranges[1], (DimRange{0, 3}));
+}
+
+TEST(UnshuffleRegionTest, SingleBitSplitsInX) {
+  const GridSpec grid{2, 3};
+  const auto left = UnshuffleRegion(grid, *ZValue::Parse("0"));
+  EXPECT_EQ(left[0], (DimRange{0, 3}));
+  EXPECT_EQ(left[1], (DimRange{0, 7}));
+  const auto right = UnshuffleRegion(grid, *ZValue::Parse("1"));
+  EXPECT_EQ(right[0], (DimRange{4, 7}));
+  EXPECT_EQ(right[1], (DimRange{0, 7}));
+}
+
+TEST(ShuffleRegionTest, InverseOfUnshuffleRegion) {
+  const GridSpec grid{2, 4};
+  util::Rng rng(23);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int len = static_cast<int>(rng.NextBelow(grid.total_bits() + 1));
+    const ZValue z = ZValue::FromInteger(rng.Next(), len);
+    const auto ranges = UnshuffleRegion(grid, z);
+    EXPECT_TRUE(IsElementRegion(grid, ranges));
+    EXPECT_EQ(ShuffleRegion(grid, ranges), z) << z.ToString();
+  }
+}
+
+TEST(ShuffleRegionTest, RejectsNonElementRegions) {
+  const GridSpec grid{2, 3};
+  // A 3-cell-wide strip is not a power-of-two block.
+  const DimRange bad1[2] = {{0, 2}, {0, 3}};
+  EXPECT_FALSE(IsElementRegion(grid, bad1));
+  // Misaligned block.
+  const DimRange bad2[2] = {{1, 2}, {0, 7}};
+  EXPECT_FALSE(IsElementRegion(grid, bad2));
+  // Wrong split schedule: a half-height block must first split in x, so a
+  // full-width half-height region is not an element in the x-first order.
+  const DimRange bad3[2] = {{0, 7}, {0, 3}};
+  EXPECT_FALSE(IsElementRegion(grid, bad3));
+  // The legitimate first split: half-width, full height.
+  const DimRange good[2] = {{0, 3}, {0, 7}};
+  EXPECT_TRUE(IsElementRegion(grid, good));
+}
+
+TEST(CurveTest, WalkVisitsNeighborsInNPattern) {
+  // The first four cells of the 2-d z curve form the "N" shape of
+  // Figure 4: (0,0), (0,1), (1,0), (1,1).
+  const GridSpec grid{2, 2};
+  const auto walk = ZCurveWalk(grid);
+  ASSERT_EQ(walk.size(), 16u);
+  EXPECT_EQ(walk[0], (std::vector<uint32_t>{0, 0}));
+  EXPECT_EQ(walk[1], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(walk[2], (std::vector<uint32_t>{1, 0}));
+  EXPECT_EQ(walk[3], (std::vector<uint32_t>{1, 1}));
+}
+
+TEST(CurveTest, DistancesMatchCoordinates) {
+  const GridSpec grid{2, 4};
+  const uint64_t a = ZRank2D(grid, 3, 5);
+  const uint64_t b = ZRank2D(grid, 7, 2);
+  EXPECT_EQ(ManhattanDistance(grid, a, b), 7u);
+  EXPECT_EQ(ChebyshevDistance(grid, a, b), 4u);
+  EXPECT_EQ(ManhattanDistance(grid, a, a), 0u);
+}
+
+}  // namespace
+}  // namespace probe::zorder

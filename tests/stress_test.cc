@@ -1,0 +1,176 @@
+// Cross-configuration soak: one randomized sweep exercising the whole
+// query stack under many grids, page capacities, schedules and merge
+// strategies at once, cross-validated against brute force. Complements
+// the per-module property tests by randomizing the *configuration* too.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bucket_kdtree.h"
+#include "baseline/composite_index.h"
+#include "index/nearest.h"
+#include "index/zkd_index.h"
+#include "util/rng.h"
+#include "workload/datagen.h"
+
+namespace probe {
+namespace {
+
+using geometry::GridBox;
+using geometry::GridPoint;
+using index::PointRecord;
+using zorder::GridSpec;
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<uint64_t> BruteForce(const std::vector<PointRecord>& points,
+                                 const GridBox& box) {
+  std::vector<uint64_t> out;
+  for (const auto& r : points) {
+    if (box.ContainsPoint(r.point)) out.push_back(r.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// A random valid schedule for `dims` x `bits`.
+GridSpec RandomSchedule(int dims, int bits, util::Rng& rng) {
+  std::vector<int> schedule;
+  for (int d = 0; d < dims; ++d) {
+    for (int b = 0; b < bits; ++b) schedule.push_back(d);
+  }
+  // Fisher-Yates shuffle of the split order.
+  for (size_t i = schedule.size(); i > 1; --i) {
+    std::swap(schedule[i - 1], schedule[rng.NextBelow(i)]);
+  }
+  return GridSpec::WithSchedule(dims, bits, schedule);
+}
+
+TEST(StressTest, RandomConfigurationsCrossValidate) {
+  util::Rng rng(424242);
+  for (int round = 0; round < 25; ++round) {
+    // Random configuration.
+    const int dims = 1 + static_cast<int>(rng.NextBelow(3));  // 1..3
+    const int bits =
+        dims == 1 ? 8 + static_cast<int>(rng.NextBelow(8))
+                  : (dims == 2 ? 4 + static_cast<int>(rng.NextBelow(7))
+                               : 3 + static_cast<int>(rng.NextBelow(4)));
+    const bool custom = rng.NextBelow(3) == 0;
+    const GridSpec grid =
+        custom ? RandomSchedule(dims, bits, rng) : GridSpec{dims, bits};
+    ASSERT_TRUE(grid.Valid());
+    const int capacity = 3 + static_cast<int>(rng.NextBelow(30));
+    const size_t n = 50 + rng.NextBelow(500);
+
+    // Random data (clustered half the time, via modding a small range).
+    std::vector<PointRecord> points;
+    const uint64_t spread =
+        rng.NextBelow(2) == 0 ? grid.side() : 1 + grid.side() / 7;
+    for (uint64_t i = 0; i < n; ++i) {
+      std::vector<uint32_t> coords(dims);
+      for (int d = 0; d < dims; ++d) {
+        coords[d] = static_cast<uint32_t>(rng.NextBelow(spread));
+      }
+      points.push_back({GridPoint(std::span<const uint32_t>(coords)), i});
+    }
+
+    storage::MemPager pager;
+    storage::BufferPool pool(&pager, 32);
+    btree::BTreeConfig config;
+    config.leaf_capacity = capacity;
+    config.internal_capacity = 3 + static_cast<int>(rng.NextBelow(20));
+    auto index = index::ZkdIndex::Build(grid, &pool, points, config,
+                                        0.5 + rng.NextDouble() * 0.5);
+    ASSERT_TRUE(index.tree().CheckInvariants()) << "round " << round;
+
+    // A few random box queries through every merge strategy.
+    for (int q = 0; q < 6; ++q) {
+      std::vector<zorder::DimRange> ranges(dims);
+      for (int d = 0; d < dims; ++d) {
+        uint32_t a = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+        uint32_t b = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+        ranges[d] = {std::min(a, b), std::max(a, b)};
+      }
+      const GridBox box{std::span<const zorder::DimRange>(ranges)};
+      const auto expect = BruteForce(points, box);
+      for (const auto merge :
+           {index::SearchOptions::Merge::kSkipMerge,
+            index::SearchOptions::Merge::kPlainMerge,
+            index::SearchOptions::Merge::kBigMin}) {
+        index::SearchOptions options;
+        options.merge = merge;
+        EXPECT_EQ(Sorted(index.RangeSearch(box, nullptr, options)), expect)
+            << "round " << round << " dims " << dims << " custom " << custom;
+      }
+      // Depth-capped variant stays exact through verification.
+      index::SearchOptions capped;
+      capped.max_element_depth =
+          1 + static_cast<int>(rng.NextBelow(grid.total_bits()));
+      EXPECT_EQ(Sorted(index.RangeSearch(box, nullptr, capped)), expect);
+    }
+
+    // Some churn, then re-validate one query.
+    for (int op = 0; op < 60 && !points.empty(); ++op) {
+      if (rng.NextBelow(2) == 0) {
+        const size_t victim = rng.NextBelow(points.size());
+        ASSERT_TRUE(index.Delete(points[victim].point, points[victim].id));
+        points.erase(points.begin() + victim);
+      } else {
+        std::vector<uint32_t> coords(dims);
+        for (int d = 0; d < dims; ++d) {
+          coords[d] = static_cast<uint32_t>(rng.NextBelow(grid.side()));
+        }
+        const PointRecord fresh{GridPoint(std::span<const uint32_t>(coords)),
+                                100000 + static_cast<uint64_t>(op)};
+        index.Insert(fresh.point, fresh.id);
+        points.push_back(fresh);
+      }
+    }
+    ASSERT_TRUE(index.tree().CheckInvariants()) << "round " << round;
+    std::vector<zorder::DimRange> whole(dims);
+    for (int d = 0; d < dims; ++d) {
+      whole[d] = {0, static_cast<uint32_t>(grid.side() - 1)};
+    }
+    const GridBox all{std::span<const zorder::DimRange>(whole)};
+    EXPECT_EQ(index.RangeSearch(all).size(), points.size());
+  }
+}
+
+TEST(StressTest, StructuresAgreeOnUniform2D) {
+  // zkd, composite, and bucket kd answer identically on a shared workload.
+  const GridSpec grid{2, 8};
+  util::Rng rng(515151);
+  std::vector<PointRecord> points;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    points.push_back({GridPoint({static_cast<uint32_t>(rng.NextBelow(256)),
+                                 static_cast<uint32_t>(rng.NextBelow(256))}),
+                      i});
+  }
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 64);
+  btree::BTreeConfig config;
+  config.leaf_capacity = 20;
+  auto zkd = index::ZkdIndex::Build(grid, &pool, points, config);
+  auto composite = baseline::CompositeIndex::Build(grid, &pool, points, config);
+  const auto bucket = baseline::BucketKdTree::Build(2, points, 20);
+
+  for (int q = 0; q < 40; ++q) {
+    uint32_t x1 = static_cast<uint32_t>(rng.NextBelow(256));
+    uint32_t x2 = static_cast<uint32_t>(rng.NextBelow(256));
+    uint32_t y1 = static_cast<uint32_t>(rng.NextBelow(256));
+    uint32_t y2 = static_cast<uint32_t>(rng.NextBelow(256));
+    const GridBox box = GridBox::Make2D(std::min(x1, x2), std::max(x1, x2),
+                                        std::min(y1, y2), std::max(y1, y2));
+    const auto expect = BruteForce(points, box);
+    EXPECT_EQ(Sorted(zkd.RangeSearch(box)), expect);
+    EXPECT_EQ(Sorted(composite.RangeSearch(box)), expect);
+    EXPECT_EQ(Sorted(bucket.RangeSearch(box)), expect);
+  }
+}
+
+}  // namespace
+}  // namespace probe

@@ -1,0 +1,211 @@
+#include "workload/experiment.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace probe::workload {
+namespace {
+
+using zorder::GridSpec;
+
+TEST(DataGenTest, CountsAndBounds) {
+  const GridSpec grid{2, 10};
+  for (auto dist : {Distribution::kUniform, Distribution::kClustered,
+                    Distribution::kDiagonal, Distribution::kRoadNetwork}) {
+    DataGenConfig config;
+    config.distribution = dist;
+    config.count = 5000;
+    const auto points = GeneratePoints(grid, config);
+    EXPECT_EQ(points.size(), 5000u);
+    std::set<uint64_t> ids;
+    for (const auto& r : points) {
+      ids.insert(r.id);
+      ASSERT_EQ(r.point.dims(), 2);
+      EXPECT_LT(r.point[0], grid.side());
+      EXPECT_LT(r.point[1], grid.side());
+    }
+    EXPECT_EQ(ids.size(), 5000u);  // ids are unique
+  }
+}
+
+TEST(DataGenTest, DeterministicInSeed) {
+  const GridSpec grid{2, 10};
+  DataGenConfig config;
+  config.distribution = Distribution::kClustered;
+  config.seed = 99;
+  const auto a = GeneratePoints(grid, config);
+  const auto b = GeneratePoints(grid, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].point, b[i].point);
+  config.seed = 100;
+  const auto c = GeneratePoints(grid, config);
+  bool any_differ = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].point == c[i].point)) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(DataGenTest, DiagonalPointsLieOnTheLine) {
+  const GridSpec grid{2, 10};
+  DataGenConfig config;
+  config.distribution = Distribution::kDiagonal;
+  config.count = 500;
+  for (const auto& r : GeneratePoints(grid, config)) {
+    EXPECT_EQ(r.point[0], r.point[1]);
+  }
+}
+
+TEST(DataGenTest, ClusteredPointsAreConcentrated) {
+  // With 50 tight clusters, the points occupy far fewer distinct grid
+  // cells per unit of data than a uniform sample would.
+  const GridSpec grid{2, 10};
+  DataGenConfig config;
+  config.distribution = Distribution::kClustered;
+  config.count = 5000;
+  const auto points = GeneratePoints(grid, config);
+  // Mean pairwise distance to the cluster rep (first point of each
+  // residue class) must be small relative to the grid side.
+  double total = 0;
+  for (size_t i = 50; i < points.size(); ++i) {
+    const auto& rep = points[i % 50].point;
+    const auto& p = points[i].point;
+    const double dx = static_cast<double>(rep[0]) - p[0];
+    const double dy = static_cast<double>(rep[1]) - p[1];
+    total += std::sqrt(dx * dx + dy * dy);
+  }
+  const double mean = total / static_cast<double>(points.size() - 50);
+  EXPECT_LT(mean, 0.1 * static_cast<double>(grid.side()));
+}
+
+TEST(DataGenTest, RoadNetworkIsConcentratedButNotDegenerate) {
+  // Road points hug 1-d features: far more concentrated than uniform (few
+  // distinct coarse blocks occupied) but spread over many blocks, unlike a
+  // pure cluster set.
+  const GridSpec grid{2, 10};
+  DataGenConfig config;
+  config.distribution = Distribution::kRoadNetwork;
+  config.count = 5000;
+  auto occupied_blocks = [&](Distribution dist) {
+    DataGenConfig c = config;
+    c.distribution = dist;
+    std::set<uint64_t> blocks;  // 32x32-cell blocks
+    for (const auto& r : GeneratePoints(grid, c)) {
+      blocks.insert((static_cast<uint64_t>(r.point[0] / 32) << 32) |
+                    (r.point[1] / 32));
+    }
+    return blocks.size();
+  };
+  const size_t roads = occupied_blocks(Distribution::kRoadNetwork);
+  const size_t uniform = occupied_blocks(Distribution::kUniform);
+  const size_t clustered = occupied_blocks(Distribution::kClustered);
+  EXPECT_LT(roads, uniform / 2);
+  EXPECT_GT(roads, clustered);
+}
+
+TEST(DataGenTest, WorksInThreeDimensions) {
+  const GridSpec grid{3, 6};
+  DataGenConfig config;
+  config.distribution = Distribution::kClustered;
+  config.count = 300;
+  config.clusters = 10;
+  const auto points = GeneratePoints(grid, config);
+  EXPECT_EQ(points.size(), 300u);
+  for (const auto& r : points) EXPECT_EQ(r.point.dims(), 3);
+}
+
+TEST(QueryGenTest, VolumeAndAspectApproximate) {
+  const GridSpec grid{2, 10};
+  util::Rng rng(401);
+  const double volume = 0.05;
+  const double aspect = 4.0;
+  for (const auto& box : MakeQueryBoxes2D(grid, volume, aspect, 20, rng)) {
+    const double cells = static_cast<double>(box.Volume());
+    const double space = static_cast<double>(grid.cell_count());
+    EXPECT_NEAR(cells / space, volume, volume * 0.2);
+    const double got_aspect = static_cast<double>(box.range(1).width()) /
+                              static_cast<double>(box.range(0).width());
+    EXPECT_NEAR(got_aspect, aspect, aspect * 0.2);
+    // In bounds.
+    EXPECT_LT(box.range(0).hi, grid.side());
+    EXPECT_LT(box.range(1).hi, grid.side());
+  }
+}
+
+TEST(QueryGenTest, ExtremeAspectsClampToGrid) {
+  const GridSpec grid{2, 8};
+  util::Rng rng(403);
+  const auto boxes = MakeQueryBoxes2D(grid, 0.5, 1000.0, 5, rng);
+  for (const auto& box : boxes) {
+    EXPECT_LT(box.range(1).hi, grid.side());
+    EXPECT_GE(box.Volume(), 1u);
+  }
+}
+
+TEST(QueryGenTest, ThreeDimensionalWeights) {
+  const GridSpec grid{3, 6};
+  util::Rng rng(405);
+  const double weights[3] = {1.0, 2.0, 4.0};
+  const auto box = MakeQueryBox(grid, 0.05, weights, rng);
+  EXPECT_EQ(box.dims(), 3);
+  EXPECT_LE(box.range(0).width(), box.range(1).width());
+  EXPECT_LE(box.range(1).width(), box.range(2).width());
+}
+
+TEST(ExperimentTest, SmokeRunPaperSetup) {
+  ExperimentConfig config;
+  config.data.count = 1000;  // shrunk for test speed
+  config.volumes = {0.01, 0.05};
+  config.aspects = {1.0, 4.0};
+  config.locations = 3;
+  const ExperimentReport report = RunRangeExperiment(config);
+  EXPECT_EQ(report.points, 1000u);
+  EXPECT_EQ(report.leaf_pages, 50u);  // 1000 points / 20 per page
+  ASSERT_EQ(report.cells.size(), 4u);
+  for (const auto& cell : report.cells) {
+    EXPECT_GT(cell.mean_pages, 0.0);
+    EXPECT_GE(cell.mean_efficiency, 0.0);
+    EXPECT_LE(cell.mean_efficiency, 1.0);
+    EXPECT_GT(cell.predicted_pages, 0.0);
+  }
+}
+
+TEST(ExperimentTest, PagesGrowWithVolume) {
+  ExperimentConfig config;
+  config.data.count = 3000;
+  config.volumes = {0.01, 0.10};
+  config.aspects = {1.0};
+  config.locations = 5;
+  const ExperimentReport report = RunRangeExperiment(config);
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_LT(report.cells[0].mean_pages, report.cells[1].mean_pages);
+}
+
+TEST(ExperimentTest, PredictedPagesFormula) {
+  // With N = 600 pages on a side-1024 grid, a block holds 6 pages and has
+  // side 1024*sqrt(6/600) = 102.4. A 100-cell segment overlaps at most
+  // floor(100/102.4)+2 = 2 aligned blocks, so a 100x100 query touches at
+  // most 6 * 2 * 2 pages.
+  const double predicted = PredictedPages2D(100, 100, 1024, 600);
+  EXPECT_NEAR(predicted, 24.0, 1e-9);
+  // A 300x100 query: floor(300/102.4)+2 = 4 blocks along x.
+  EXPECT_NEAR(PredictedPages2D(300, 100, 1024, 600), 6.0 * 4 * 2, 1e-9);
+}
+
+TEST(ExperimentTest, BuildZkdIndexShape) {
+  const GridSpec grid{2, 10};
+  DataGenConfig data;
+  data.count = 5000;
+  const auto points = GeneratePoints(grid, data);
+  const BuiltIndex built = BuildZkdIndex(grid, points, 20, 64);
+  EXPECT_EQ(built.leaf_pages, 250u);
+  EXPECT_EQ(built.index->size(), 5000u);
+}
+
+}  // namespace
+}  // namespace probe::workload

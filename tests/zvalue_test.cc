@@ -1,0 +1,177 @@
+#include "zorder/zvalue.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace probe::zorder {
+namespace {
+
+TEST(ZValueTest, DefaultIsEmpty) {
+  ZValue z;
+  EXPECT_TRUE(z.IsEmpty());
+  EXPECT_EQ(z.length(), 0);
+  EXPECT_EQ(z.ToString(), "");
+}
+
+TEST(ZValueTest, FromIntegerRoundTrips) {
+  const ZValue z = ZValue::FromInteger(0b001, 3);
+  EXPECT_EQ(z.length(), 3);
+  EXPECT_EQ(z.ToInteger(), 0b001u);
+  EXPECT_EQ(z.ToString(), "001");
+}
+
+TEST(ZValueTest, ParseAcceptsBinaryStrings) {
+  const auto z = ZValue::Parse("01101101");
+  ASSERT_TRUE(z.has_value());
+  EXPECT_EQ(z->ToString(), "01101101");
+  EXPECT_EQ(z->length(), 8);
+}
+
+TEST(ZValueTest, ParseRejectsNonBinary) {
+  EXPECT_FALSE(ZValue::Parse("012").has_value());
+  EXPECT_FALSE(ZValue::Parse("0 1").has_value());
+}
+
+TEST(ZValueTest, ParseRejectsOverlongStrings) {
+  EXPECT_TRUE(ZValue::Parse(std::string(64, '1')).has_value());
+  EXPECT_FALSE(ZValue::Parse(std::string(65, '1')).has_value());
+}
+
+TEST(ZValueTest, BitAtReadsMsbFirst) {
+  const ZValue z = *ZValue::Parse("101");
+  EXPECT_EQ(z.BitAt(0), 1);
+  EXPECT_EQ(z.BitAt(1), 0);
+  EXPECT_EQ(z.BitAt(2), 1);
+}
+
+TEST(ZValueTest, ChildAppendsBit) {
+  const ZValue z = *ZValue::Parse("01");
+  EXPECT_EQ(z.Child(0).ToString(), "010");
+  EXPECT_EQ(z.Child(1).ToString(), "011");
+}
+
+TEST(ZValueTest, ParentDropsLastBit) {
+  const ZValue z = *ZValue::Parse("0110");
+  EXPECT_EQ(z.Parent().ToString(), "011");
+  EXPECT_EQ(z.Parent().Parent().ToString(), "01");
+}
+
+TEST(ZValueTest, PrefixTruncates) {
+  const ZValue z = *ZValue::Parse("011011");
+  EXPECT_EQ(z.Prefix(0).ToString(), "");
+  EXPECT_EQ(z.Prefix(3).ToString(), "011");
+  EXPECT_EQ(z.Prefix(6).ToString(), "011011");
+}
+
+TEST(ZValueTest, ContainsIsPrefixTest) {
+  const ZValue outer = *ZValue::Parse("001");
+  EXPECT_TRUE(outer.Contains(*ZValue::Parse("001")));
+  EXPECT_TRUE(outer.Contains(*ZValue::Parse("0010")));
+  EXPECT_TRUE(outer.Contains(*ZValue::Parse("001111")));
+  EXPECT_FALSE(outer.Contains(*ZValue::Parse("000")));
+  EXPECT_FALSE(outer.Contains(*ZValue::Parse("01")));
+  EXPECT_FALSE(outer.Contains(*ZValue::Parse("00")));  // shorter: not contained
+}
+
+TEST(ZValueTest, EmptyContainsEverything) {
+  const ZValue whole;
+  EXPECT_TRUE(whole.Contains(*ZValue::Parse("0")));
+  EXPECT_TRUE(whole.Contains(*ZValue::Parse("111111")));
+  EXPECT_TRUE(whole.Contains(whole));
+}
+
+TEST(ZValueTest, RangeLoHiPadWithZerosAndOnes) {
+  // Figure 3: element 001 on a 6-bit grid covers z values 001000..001111.
+  const ZValue element = *ZValue::Parse("001");
+  EXPECT_EQ(element.RangeLo(6), 0b001000u);
+  EXPECT_EQ(element.RangeHi(6), 0b001111u);
+}
+
+TEST(ZValueTest, FullLengthRangeIsDegenerate) {
+  const ZValue z = *ZValue::Parse("011011");
+  EXPECT_EQ(z.RangeLo(6), z.RangeHi(6));
+  EXPECT_EQ(z.RangeLo(6), 27u);
+}
+
+TEST(ZValueTest, OrderingMatchesStringOrder) {
+  // Lexicographic comparison of ZValues must agree with std::string
+  // comparison of their bitstrings — the property that lets any sort
+  // utility produce z order (Section 4).
+  const std::vector<std::string> patterns = {
+      "",     "0",    "1",    "00",   "01",     "10",    "11",
+      "000",  "001",  "010",  "0110", "011011", "11111", "101",
+      "0000", "1110", "0101", "10",   "011",    "0111",
+  };
+  for (const auto& a : patterns) {
+    for (const auto& b : patterns) {
+      const ZValue za = *ZValue::Parse(a);
+      const ZValue zb = *ZValue::Parse(b);
+      EXPECT_EQ(za < zb, a < b) << "a=" << a << " b=" << b;
+      EXPECT_EQ(za == zb, a == b) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(ZValueTest, OrderingMatchesStringOrderRandomized) {
+  util::Rng rng(7);
+  std::vector<ZValue> values;
+  std::vector<std::string> strings;
+  for (int i = 0; i < 300; ++i) {
+    const int len = static_cast<int>(rng.NextBelow(20));
+    std::string s;
+    for (int j = 0; j < len; ++j) s.push_back(rng.NextBelow(2) ? '1' : '0');
+    strings.push_back(s);
+    values.push_back(*ZValue::Parse(s));
+  }
+  std::vector<size_t> order(values.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto by_z = order;
+  std::sort(by_z.begin(), by_z.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  auto by_s = order;
+  std::sort(by_s.begin(), by_s.end(),
+            [&](size_t a, size_t b) { return strings[a] < strings[b]; });
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(strings[by_z[i]], strings[by_s[i]]);
+  }
+}
+
+TEST(ZValueTest, ContainmentEquivalentToRangeNesting) {
+  // e1 contains e2 iff [zlo1, zhi1] contains [zlo2, zhi2] at any common
+  // resolution — the element/range duality the merge algorithms rely on.
+  util::Rng rng(11);
+  const int total = 16;
+  for (int trial = 0; trial < 500; ++trial) {
+    const int len1 = static_cast<int>(rng.NextBelow(total + 1));
+    const int len2 = static_cast<int>(rng.NextBelow(total + 1));
+    const ZValue a = ZValue::FromInteger(rng.Next(), len1);
+    const ZValue b = ZValue::FromInteger(rng.Next(), len2);
+    const bool nested = a.RangeLo(total) <= b.RangeLo(total) &&
+                        b.RangeHi(total) <= a.RangeHi(total);
+    EXPECT_EQ(a.Contains(b), nested)
+        << "a=" << a.ToString() << " b=" << b.ToString();
+  }
+}
+
+TEST(ZValueTest, SiblingRangesAreConsecutive) {
+  // Child 0's range immediately precedes child 1's: elements tile the
+  // space with consecutive z values (Section 3.1).
+  util::Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int len = static_cast<int>(rng.NextBelow(12));
+    const ZValue parent = ZValue::FromInteger(rng.Next(), len);
+    const ZValue c0 = parent.Child(0);
+    const ZValue c1 = parent.Child(1);
+    EXPECT_EQ(c0.RangeLo(16), parent.RangeLo(16));
+    EXPECT_EQ(c1.RangeHi(16), parent.RangeHi(16));
+    EXPECT_EQ(c0.RangeHi(16) + 1, c1.RangeLo(16));
+  }
+}
+
+}  // namespace
+}  // namespace probe::zorder
