@@ -1,0 +1,133 @@
+// Parallel spatial join: thread sweep over z-partitioned merge slices.
+//
+// Generates two element relations (z values of bounded depth, the shape
+// Decompose produces), joins them serially and with ParallelSpatialJoin at
+// 1..16 threads, verifies row-for-row identity, and reports wall time,
+// speedup, and how many open-element-free cut points the partitioner
+// found. Numbers land in BENCH_parallel.json (section "join").
+//
+// Scale with: bench_parallel_join [r_rows] [s_rows]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/spatial_join.h"
+#include "util/bench_json.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "zorder/zvalue.h"
+
+namespace {
+
+using namespace probe;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Element z values between min_len and max_len bits: deep enough that most
+// pairs are disjoint (realistic decompositions), shallow enough that
+// containment chains still form.
+relational::Relation ElementRelation(const std::string& prefix, size_t rows,
+                                     uint64_t seed, int min_len,
+                                     int max_len) {
+  relational::Schema schema({{prefix + "_id", relational::ValueType::kInt},
+                             {prefix + "_z", relational::ValueType::kZValue}});
+  relational::Relation rel(schema);
+  rel.Reserve(rows);
+  util::Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    const int length =
+        min_len + static_cast<int>(rng.NextBelow(
+                      static_cast<uint64_t>(max_len - min_len + 1)));
+    const uint64_t bits = rng.Next() & ((1ULL << length) - 1);
+    relational::Tuple tuple;
+    tuple.emplace_back(static_cast<int64_t>(i));
+    tuple.emplace_back(zorder::ZValue::FromInteger(bits, length));
+    rel.Add(std::move(tuple));
+  }
+  return rel;
+}
+
+bool SameRows(const relational::Relation& a, const relational::Relation& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t row = 0; row < a.size(); ++row) {
+    for (size_t col = 0; col < a.row(row).size(); ++col) {
+      if (!relational::ValueEquals(a.row(row)[col], b.row(row)[col])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t r_rows =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 40000;
+  const size_t s_rows =
+      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 40000;
+
+  const auto r = ElementRelation("r", r_rows, 21, 8, 22);
+  const auto s = ElementRelation("s", s_rows, 22, 8, 22);
+
+  std::printf("=== Parallel spatial join: |R|=%zu, |S|=%zu elements, "
+              "hardware threads = %u ===\n\n",
+              r_rows, s_rows, std::thread::hardware_concurrency());
+
+  relational::SpatialJoinStats serial_stats;
+  const auto serial_start = std::chrono::steady_clock::now();
+  const auto serial =
+      relational::SpatialJoin(r, "r_z", s, "s_z", &serial_stats);
+  const double serial_ms = MsSince(serial_start);
+  std::printf("serial      %8.2f ms  pairs=%zu  max stack depth=%zu\n",
+              serial_ms, serial_stats.pairs, serial_stats.max_stack_depth);
+
+  std::string threads_json = "[";
+  for (const int threads : {1, 2, 4, 8, 16}) {
+    util::ThreadPool pool(threads - 1);
+    relational::SpatialJoinStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    const auto parallel =
+        relational::ParallelSpatialJoin(r, "r_z", s, "s_z", pool, 0, &stats);
+    const double ms = MsSince(start);
+    const double speedup = ms > 0 ? serial_ms / ms : 0.0;
+    const bool identical = SameRows(serial, parallel);
+    std::printf("threads=%-2d  %8.2f ms  speedup %5.2fx  partitions=%zu  %s\n",
+                threads, ms, speedup, stats.partitions,
+                identical ? "rows identical" : "ROW MISMATCH");
+    if (threads_json.size() > 1) threads_json += ",";
+    threads_json += "{\"threads\":" + std::to_string(threads) +
+                    ",\"ms\":" + std::to_string(ms) +
+                    ",\"speedup\":" + std::to_string(speedup) +
+                    ",\"partitions\":" + std::to_string(stats.partitions) +
+                    ",\"identical\":" + (identical ? "true" : "false") + "}";
+    if (!identical) return 1;
+  }
+  threads_json += "]";
+
+  const std::string payload =
+      "{\"r_rows\":" + std::to_string(r_rows) +
+      ",\"s_rows\":" + std::to_string(s_rows) +
+      ",\"pairs\":" + std::to_string(serial_stats.pairs) +
+      ",\"hardware_threads\":" +
+      std::to_string(std::thread::hardware_concurrency()) +
+      ",\"serial_ms\":" + std::to_string(serial_ms) +
+      ",\"threads\":" + threads_json + "}";
+  if (util::UpdateJsonSection("BENCH_parallel.json", "join", payload)) {
+    std::printf("wrote BENCH_parallel.json (section \"join\")\n");
+  }
+  std::printf("\nThe partitioner cuts both sorted element sequences where the\n"
+              "next z range starts after every open range has closed — the\n"
+              "containment stacks are provably empty there, so slices join\n"
+              "independently and concatenate in the serial emission order.\n");
+  return 0;
+}

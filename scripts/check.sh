@@ -1,15 +1,33 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, run tests, run every bench.
+# Full verification: configure, build, run tests, run every bench, then
+# run the concurrency tests again under ThreadSanitizer.
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-cmake -B "$BUILD" -G Ninja
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD"  # keep whatever generator the dir was configured with
+else
+  cmake -B "$BUILD" -G Ninja
+fi
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" --output-on-failure
 for b in "$BUILD"/bench/*; do
   echo "=== running $b ==="
   "$b"
 done
+
+# ThreadSanitizer pass over the parallel/concurrency tests. Separate build
+# dir: TSan objects can't link against the normal ones.
+TSAN_BUILD="${BUILD}-tsan"
+if [ -f "$TSAN_BUILD/CMakeCache.txt" ]; then
+  cmake -B "$TSAN_BUILD" -DPROBE_TSAN=ON
+else
+  cmake -B "$TSAN_BUILD" -S . -G Ninja -DPROBE_TSAN=ON
+fi
+cmake --build "$TSAN_BUILD" --target parallel_test
+echo "=== parallel_test under ThreadSanitizer ==="
+"$TSAN_BUILD"/tests/parallel_test
+
 echo "ALL CHECKS PASSED"

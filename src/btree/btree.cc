@@ -279,7 +279,7 @@ void BTree::FixUnderflow(InternalView& parent, int child_idx) {
   // list, so it is simply abandoned.
 }
 
-BTree::Cursor::Cursor(BTree* tree) : tree_(tree) {}
+BTree::Cursor::Cursor(const BTree* tree) : tree_(tree) {}
 
 bool BTree::Cursor::SeekFirst() {
   return Seek(ZKey{0, 0});

@@ -102,9 +102,15 @@ class BTree {
   /// from the root to the leftmost entry with key >= target). leaf_loads()
   /// counts leaf pages entered, which is the "data pages accessed" metric
   /// of the paper's experiments.
+  ///
+  /// Cursors never mutate the tree (they take it const); page traffic goes
+  /// through the tree's BufferPool, which is safe for concurrent readers.
+  /// Any number of cursors — on any threads — may therefore iterate one
+  /// tree at once, as long as no Insert/Delete runs concurrently. Each
+  /// cursor holds a thread-local pin on its current leaf.
   class Cursor {
    public:
-    explicit Cursor(BTree* tree);
+    explicit Cursor(const BTree* tree);
 
     /// Positions at the smallest entry. Returns false if the tree is empty.
     bool SeekFirst();
@@ -138,7 +144,7 @@ class BTree {
    private:
     void LoadEntry(const LeafView& leaf);
 
-    BTree* tree_;
+    const BTree* tree_;
     storage::PageRef leaf_ref_;  // pin on the current leaf
     storage::PageId leaf_page_ = storage::kInvalidPageId;
     int index_ = 0;

@@ -36,6 +36,34 @@ void FillCursorStats(const btree::BTree::Cursor& cursor, QueryStats* stats) {
   stats->entries_on_touched_pages = cursor.leaf_entries_seen();
 }
 
+void AccumulateStats(QueryStats* into, const QueryStats& part) {
+  into->leaf_pages += part.leaf_pages;
+  into->internal_pages += part.internal_pages;
+  into->points_scanned += part.points_scanned;
+  into->elements_generated += part.elements_generated;
+  into->classify_calls += part.classify_calls;
+  into->point_seeks += part.point_seeks;
+  into->results += part.results;
+  into->entries_on_touched_pages += part.entries_on_touched_pages;
+}
+
+// Interior split points for `partitions` contiguous slices of the z span
+// [lo, hi], evenly spaced and strictly ascending (duplicates collapse, so
+// narrow spans simply yield fewer partitions).
+std::vector<uint64_t> EvenSplits(uint64_t lo, uint64_t hi, int partitions) {
+  std::vector<uint64_t> splits;
+  if (partitions <= 1 || hi <= lo) return splits;
+  const unsigned __int128 width =
+      static_cast<unsigned __int128>(hi - lo) + 1;
+  for (int i = 1; i < partitions; ++i) {
+    const uint64_t s =
+        lo + static_cast<uint64_t>(width * static_cast<unsigned>(i) /
+                                   static_cast<unsigned>(partitions));
+    if (s > lo && (splits.empty() || s > splits.back())) splits.push_back(s);
+  }
+  return splits;
+}
+
 }  // namespace
 
 ZkdIndex::ZkdIndex(const zorder::GridSpec& grid, storage::BufferPool* pool,
@@ -126,10 +154,11 @@ std::vector<uint64_t> ZkdIndex::PartialMatch(
   return RangeSearch(GridBox(ranges), stats, options);
 }
 
-std::vector<uint64_t> ZkdIndex::SearchDecomposed(
-    const geometry::SpatialObject& object, QueryStats* stats,
-    const SearchOptions& options) const {
-  std::vector<uint64_t> results;
+void ZkdIndex::MergePartition(const geometry::SpatialObject& object,
+                              uint64_t owned_lo, uint64_t owned_hi,
+                              const SearchOptions& options,
+                              std::vector<uint64_t>* results,
+                              QueryStats* stats) const {
   const int total = grid_.total_bits();
   decompose::DecomposeOptions dopts;
   dopts.max_depth = options.max_element_depth;
@@ -150,7 +179,7 @@ std::vector<uint64_t> ZkdIndex::SearchDecomposed(
           Unshuffle(grid_, entry.key.ToZValue())));
       if (!object.ContainsCell(candidate)) return;
     }
-    results.push_back(entry.payload);
+    results->push_back(entry.payload);
   };
 
   btree::BTree::Cursor cursor(&tree_);
@@ -158,71 +187,154 @@ std::vector<uint64_t> ZkdIndex::SearchDecomposed(
   uint64_t points_scanned = 0;
   uint64_t point_seeks = 0;
 
-  if (options.merge == SearchOptions::Merge::kPlainMerge) {
-    // Step 3 of Section 3.3 verbatim: a linear merge of P and B.
-    bool have_point = cursor.SeekFirst();
-    bool have_element = generator.Next(&element);
-    while (have_point && have_element) {
+  // The optimized merge of Section 3.3: random access on B (SeekForward)
+  // and on P (Seek) skips the parts of the space that cannot contribute.
+  // Ownership: this partition merges exactly the elements whose range
+  // *starts* in [owned_lo, owned_hi]. Elements are pairwise disjoint in z,
+  // so at most one element straddles owned_lo — it belongs to the previous
+  // partition and is skipped; a straddler of owned_hi is merged here in
+  // full.
+  bool have_element = owned_lo == 0
+                          ? generator.Next(&element)
+                          : generator.SeekForward(owned_lo, &element);
+  while (have_element && element.RangeLo(total) < owned_lo) {
+    have_element = generator.Next(&element);
+  }
+  if (have_element && element.RangeLo(total) > owned_hi) have_element = false;
+  if (have_element) {
+    uint64_t zlo = element.RangeLo(total);
+    uint64_t zhi = element.RangeHi(total);
+    ++point_seeks;
+    bool have_point = cursor.Seek(IntegerKey(grid_, zlo));
+    while (have_point) {
       const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
-      const uint64_t zlo = element.RangeLo(total);
-      const uint64_t zhi = element.RangeHi(total);
       ++points_scanned;
       if (pz < zlo) {
-        have_point = cursor.Next();
-      } else if (pz > zhi) {
-        --points_scanned;  // the same point is re-examined next round
-        have_element = generator.Next(&element);
-      } else {
+        // Random access on P: jump to the element's start.
+        ++point_seeks;
+        have_point = cursor.Seek(IntegerKey(grid_, zlo));
+        continue;
+      }
+      if (pz <= zhi) {
         report(cursor.entry());
         have_point = cursor.Next();
+        continue;
       }
+      // pz ran past the element: random access on B.
+      if (!generator.SeekForward(pz, &element)) break;
+      zlo = element.RangeLo(total);
+      zhi = element.RangeHi(total);
+      if (zlo > owned_hi) break;  // the next element is another partition's
+      if (pz < zlo) {
+        ++point_seeks;
+        have_point = cursor.Seek(IntegerKey(grid_, zlo));
+      }
+      // Otherwise the current point lies inside the new element and the
+      // next loop iteration reports it.
     }
-  } else {
-    // The optimized merge: random access on B (SeekForward) and on P
-    // (Seek) skips the parts of the space that cannot contribute.
-    bool have_element = generator.Next(&element);
-    if (have_element) {
-      uint64_t zlo = element.RangeLo(total);
-      uint64_t zhi = element.RangeHi(total);
-      ++point_seeks;
-      bool have_point = cursor.Seek(IntegerKey(grid_, zlo));
-      while (have_point) {
-        const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
-        ++points_scanned;
-        if (pz < zlo) {
-          // Random access on P: jump to the element's start.
-          ++point_seeks;
-          have_point = cursor.Seek(IntegerKey(grid_, zlo));
-          continue;
-        }
-        if (pz <= zhi) {
-          report(cursor.entry());
-          have_point = cursor.Next();
-          continue;
-        }
-        // pz ran past the element: random access on B.
-        if (!generator.SeekForward(pz, &element)) break;
-        zlo = element.RangeLo(total);
-        zhi = element.RangeHi(total);
-        if (pz < zlo) {
-          ++point_seeks;
-          have_point = cursor.Seek(IntegerKey(grid_, zlo));
-        }
-        // Otherwise the current point lies inside the new element and the
-        // next loop iteration reports it.
-      }
+  }
+
+  QueryStats part;
+  FillCursorStats(cursor, &part);
+  part.points_scanned = points_scanned;
+  part.point_seeks = point_seeks;
+  part.elements_generated = generator.elements_emitted();
+  part.classify_calls = generator.classify_calls();
+  part.results = results->size();
+  AccumulateStats(stats, part);
+}
+
+std::vector<uint64_t> ZkdIndex::SearchDecomposed(
+    const geometry::SpatialObject& object, QueryStats* stats,
+    const SearchOptions& options) const {
+  std::vector<uint64_t> results;
+
+  if (options.merge != SearchOptions::Merge::kPlainMerge) {
+    QueryStats merged;
+    MergePartition(object, 0, ~0ULL, options, &results, &merged);
+    if (stats != nullptr) *stats = merged;
+    return results;
+  }
+
+  // Step 3 of Section 3.3 verbatim: a linear merge of P and B.
+  const int total = grid_.total_bits();
+  decompose::DecomposeOptions dopts;
+  dopts.max_depth = options.max_element_depth;
+  decompose::ElementGenerator generator(grid_, object, dopts);
+  const bool verify =
+      options.verify_candidates && options.max_element_depth >= 0 &&
+      options.max_element_depth < total;
+
+  auto report = [&](const LeafEntry& entry) {
+    if (verify) {
+      const GridPoint candidate(std::span<const uint32_t>(
+          Unshuffle(grid_, entry.key.ToZValue())));
+      if (!object.ContainsCell(candidate)) return;
+    }
+    results.push_back(entry.payload);
+  };
+
+  btree::BTree::Cursor cursor(&tree_);
+  ZValue element;
+  uint64_t points_scanned = 0;
+  bool have_point = cursor.SeekFirst();
+  bool have_element = generator.Next(&element);
+  while (have_point && have_element) {
+    const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
+    const uint64_t zlo = element.RangeLo(total);
+    const uint64_t zhi = element.RangeHi(total);
+    ++points_scanned;
+    if (pz < zlo) {
+      have_point = cursor.Next();
+    } else if (pz > zhi) {
+      --points_scanned;  // the same point is re-examined next round
+      have_element = generator.Next(&element);
+    } else {
+      report(cursor.entry());
+      have_point = cursor.Next();
     }
   }
 
   if (stats != nullptr) {
     FillCursorStats(cursor, stats);
     stats->points_scanned = points_scanned;
-    stats->point_seeks = point_seeks;
+    stats->point_seeks = 0;
     stats->elements_generated = generator.elements_emitted();
     stats->classify_calls = generator.classify_calls();
     stats->results = results.size();
   }
   return results;
+}
+
+void ZkdIndex::BigMinPartition(uint64_t zmin, uint64_t zmax, uint64_t from,
+                               uint64_t upto, std::vector<uint64_t>* results,
+                               QueryStats* stats) const {
+  btree::BTree::Cursor cursor(&tree_);
+  uint64_t points_scanned = 0;
+  uint64_t point_seeks = 1;
+  bool have_point = cursor.Seek(IntegerKey(grid_, from));
+  while (have_point) {
+    const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
+    if (pz > upto) break;
+    ++points_scanned;
+    if (InBox(grid_, pz, zmin, zmax)) {
+      results->push_back(cursor.entry().payload);
+      have_point = cursor.Next();
+      continue;
+    }
+    uint64_t next_z = 0;
+    if (!BigMin(grid_, pz, zmin, zmax, &next_z)) break;
+    if (next_z > upto) break;  // the rest of the box is another partition's
+    ++point_seeks;
+    have_point = cursor.Seek(IntegerKey(grid_, next_z));
+  }
+
+  QueryStats part;
+  FillCursorStats(cursor, &part);
+  part.points_scanned = points_scanned;
+  part.point_seeks = point_seeks;
+  part.results = results->size();
+  AccumulateStats(stats, part);
 }
 
 std::vector<uint64_t> ZkdIndex::SearchBigMin(const GridBox& box,
@@ -237,32 +349,101 @@ std::vector<uint64_t> ZkdIndex::SearchBigMin(const GridBox& box,
   const uint64_t zmin = Shuffle(grid_, lo_coords).ToInteger();
   const uint64_t zmax = Shuffle(grid_, hi_coords).ToInteger();
 
-  btree::BTree::Cursor cursor(&tree_);
-  uint64_t points_scanned = 0;
-  uint64_t point_seeks = 1;
-  bool have_point = cursor.Seek(IntegerKey(grid_, zmin));
-  while (have_point) {
-    const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
-    if (pz > zmax) break;
-    ++points_scanned;
-    if (InBox(grid_, pz, zmin, zmax)) {
-      results.push_back(cursor.entry().payload);
-      have_point = cursor.Next();
-      continue;
-    }
-    uint64_t next_z = 0;
-    if (!BigMin(grid_, pz, zmin, zmax, &next_z)) break;
-    ++point_seeks;
-    have_point = cursor.Seek(IntegerKey(grid_, next_z));
-  }
+  QueryStats merged;
+  BigMinPartition(zmin, zmax, zmin, zmax, &results, &merged);
+  if (stats != nullptr) *stats = merged;
+  return results;
+}
 
-  if (stats != nullptr) {
-    FillCursorStats(cursor, stats);
-    stats->points_scanned = points_scanned;
-    stats->point_seeks = point_seeks;
-    stats->results = results.size();
+std::vector<uint64_t> ZkdIndex::ParallelDecomposed(
+    const geometry::SpatialObject& object,
+    std::span<const uint64_t> split_points, util::ThreadPool& pool,
+    QueryStats* stats, const SearchOptions& options) const {
+  const size_t parts = split_points.size() + 1;
+  std::vector<std::vector<uint64_t>> partial(parts);
+  std::vector<QueryStats> partial_stats(parts);
+  pool.ParallelFor(parts, [&](size_t k) {
+    const uint64_t lo = k == 0 ? 0 : split_points[k - 1];
+    const uint64_t hi = k + 1 == parts ? ~0ULL : split_points[k] - 1;
+    MergePartition(object, lo, hi, options, &partial[k], &partial_stats[k]);
+  });
+
+  size_t total_results = 0;
+  for (const auto& p : partial) total_results += p.size();
+  std::vector<uint64_t> results;
+  results.reserve(total_results);
+  for (size_t k = 0; k < parts; ++k) {
+    results.insert(results.end(), partial[k].begin(), partial[k].end());
+    if (stats != nullptr) AccumulateStats(stats, partial_stats[k]);
   }
   return results;
+}
+
+std::vector<uint64_t> ZkdIndex::ParallelRangeSearch(
+    const GridBox& box, util::ThreadPool& pool, int partitions,
+    QueryStats* stats, const SearchOptions& options) const {
+  assert(box.dims() == grid_.dims);
+  if (stats != nullptr) *stats = QueryStats{};
+  const int parts = partitions > 0 ? partitions : pool.lanes();
+
+  std::vector<uint32_t> lo_coords(grid_.dims), hi_coords(grid_.dims);
+  for (int i = 0; i < grid_.dims; ++i) {
+    lo_coords[i] = box.range(i).lo;
+    hi_coords[i] = box.range(i).hi;
+  }
+  const uint64_t zmin = Shuffle(grid_, lo_coords).ToInteger();
+  const uint64_t zmax = Shuffle(grid_, hi_coords).ToInteger();
+
+  // Candidate split points, snapped *into* the box with BIGMIN: a raw even
+  // split may land in a z region the box never visits, which would leave
+  // its partition idle. Snapping keeps the points ascending (BIGMIN is
+  // monotone); collapsed or exhausted splits just shrink the fan-out.
+  std::vector<uint64_t> splits;
+  for (const uint64_t raw : EvenSplits(zmin, zmax, parts)) {
+    uint64_t snapped = raw;
+    if (!InBox(grid_, snapped, zmin, zmax) &&
+        !BigMin(grid_, snapped, zmin, zmax, &snapped)) {
+      continue;  // no box cell at or after this split
+    }
+    if (snapped > zmin && (splits.empty() || snapped > splits.back())) {
+      splits.push_back(snapped);
+    }
+  }
+
+  if (options.merge == SearchOptions::Merge::kBigMin) {
+    const size_t bparts = splits.size() + 1;
+    std::vector<std::vector<uint64_t>> partial(bparts);
+    std::vector<QueryStats> partial_stats(bparts);
+    pool.ParallelFor(bparts, [&](size_t k) {
+      const uint64_t from = k == 0 ? zmin : splits[k - 1];
+      const uint64_t upto = k + 1 == bparts ? zmax : splits[k] - 1;
+      BigMinPartition(zmin, zmax, from, upto, &partial[k],
+                      &partial_stats[k]);
+    });
+    size_t total_results = 0;
+    for (const auto& p : partial) total_results += p.size();
+    std::vector<uint64_t> results;
+    results.reserve(total_results);
+    for (size_t k = 0; k < bparts; ++k) {
+      results.insert(results.end(), partial[k].begin(), partial[k].end());
+      if (stats != nullptr) AccumulateStats(stats, partial_stats[k]);
+    }
+    return results;
+  }
+
+  const geometry::BoxObject object(box);
+  return ParallelDecomposed(object, splits, pool, stats, options);
+}
+
+std::vector<uint64_t> ZkdIndex::ParallelSearchObject(
+    const geometry::SpatialObject& object, util::ThreadPool& pool,
+    int partitions, QueryStats* stats, const SearchOptions& options) const {
+  if (stats != nullptr) *stats = QueryStats{};
+  const int parts = partitions > 0 ? partitions : pool.lanes();
+  const int total = grid_.total_bits();
+  const uint64_t zmax = total < 64 ? (1ULL << total) - 1 : ~0ULL;
+  const std::vector<uint64_t> splits = EvenSplits(0, zmax, parts);
+  return ParallelDecomposed(object, splits, pool, stats, options);
 }
 
 ZkdIndex::RangeCursor::RangeCursor(const ZkdIndex& index,

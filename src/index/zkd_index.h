@@ -15,6 +15,7 @@
 #include "geometry/object.h"
 #include "geometry/point.h"
 #include "geometry/primitives.h"
+#include "util/thread_pool.h"
 #include "zorder/grid.h"
 
 /// \file
@@ -142,6 +143,33 @@ class ZkdIndex {
       std::span<const std::optional<uint32_t>> fixed,
       QueryStats* stats = nullptr, const SearchOptions& options = {}) const;
 
+  /// Partitioned range query. The query box's z span is cut into
+  /// `partitions` contiguous z intervals (split points snapped into the box
+  /// with BIGMIN); each partition runs the ordinary merge over the elements
+  /// whose z range *starts* inside it — elements are disjoint z intervals
+  /// (Section 3.2), so every element is owned by exactly one partition and
+  /// no point is reported twice. Partitions execute concurrently on `pool`
+  /// and the per-partition results are concatenated in z order: the output
+  /// is bitwise-identical to RangeSearch. `partitions` <= 0 uses one per
+  /// pool lane. kPlainMerge has no partitioned form and is run as
+  /// kSkipMerge; kBigMin partitions the same way over its point skips.
+  /// Cumulative `stats` are summed over partitions (page counts include
+  /// pages touched by several partitions once per partition).
+  std::vector<uint64_t> ParallelRangeSearch(
+      const geometry::GridBox& box, util::ThreadPool& pool,
+      int partitions = 0, QueryStats* stats = nullptr,
+      const SearchOptions& options = {}) const;
+
+  /// Partitioned general spatial search: ParallelRangeSearch for an
+  /// arbitrary object. The whole z span of the space is partitioned (an
+  /// object has no precomputed corner z values); element ownership and
+  /// result order are as in ParallelRangeSearch — output is identical to
+  /// SearchObject. kBigMin is not applicable and falls back to kSkipMerge.
+  std::vector<uint64_t> ParallelSearchObject(
+      const geometry::SpatialObject& object, util::ThreadPool& pool,
+      int partitions = 0, QueryStats* stats = nullptr,
+      const SearchOptions& options = {}) const;
+
   /// Streaming range query: pulls matching points one at a time instead of
   /// materializing the result vector — the shape a query executor's
   /// iterator tree wants. Runs the same skip merge as RangeSearch.
@@ -194,6 +222,29 @@ class ZkdIndex {
                                          const SearchOptions& options) const;
   std::vector<uint64_t> SearchBigMin(const geometry::GridBox& box,
                                      QueryStats* stats) const;
+
+  // One partition of the skip merge: runs the Section 3.3 merge over the
+  // elements of `object` whose z range starts in [owned_lo, owned_hi]
+  // (both inclusive, full-resolution z integers). With [0, ~0] this *is*
+  // the serial skip merge. Appends matches to `results` and accumulates
+  // counters into `stats` (required non-null).
+  void MergePartition(const geometry::SpatialObject& object,
+                      uint64_t owned_lo, uint64_t owned_hi,
+                      const SearchOptions& options,
+                      std::vector<uint64_t>* results, QueryStats* stats) const;
+
+  // One partition of the BIGMIN merge: scans points with z in
+  // [from, upto] against the box [zmin, zmax] corners.
+  void BigMinPartition(uint64_t zmin, uint64_t zmax, uint64_t from,
+                       uint64_t upto, std::vector<uint64_t>* results,
+                       QueryStats* stats) const;
+
+  // Shared fan-out: splits ownership of the element sequence at
+  // `split_points` (ascending) and merges partitions on `pool`.
+  std::vector<uint64_t> ParallelDecomposed(
+      const geometry::SpatialObject& object,
+      std::span<const uint64_t> split_points, util::ThreadPool& pool,
+      QueryStats* stats, const SearchOptions& options) const;
 
   zorder::GridSpec grid_;
   mutable btree::BTree tree_;

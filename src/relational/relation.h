@@ -65,6 +65,10 @@ class Relation {
     rows_.push_back(std::move(tuple));
   }
 
+  /// Pre-sizes the row storage for `rows` tuples (operators that know
+  /// their output cardinality — or a bound on it — avoid regrowth).
+  void Reserve(size_t rows) { rows_.reserve(rows); }
+
   /// Sorts rows by the named column (stable).
   void SortBy(const std::string& column_name);
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "relational/relation.h"
+#include "util/thread_pool.h"
 
 /// \file
 /// The spatial join R[zr <> zs]S of Section 4.
@@ -19,6 +20,13 @@
 /// pops like a stack. An element pairs with exactly the other side's open
 /// elements at the moment it is processed — each overlapping pair is
 /// emitted exactly once.
+///
+/// The same chain property makes the merge partitionable: at any merge
+/// position where the next z value starts after every previously seen
+/// element's range has ended, both stacks are provably empty, so cutting
+/// the two sorted inputs there splits the join into independent pieces —
+/// no pair crosses such an open-element-free cut. ParallelSpatialJoin
+/// finds those cuts and merges the pieces concurrently.
 
 namespace probe::relational {
 
@@ -31,6 +39,10 @@ struct SpatialJoinStats {
   uint64_t pairs = 0;
   /// Maximum nesting depth observed on either stack.
   size_t max_stack_depth = 0;
+  /// Merge partitions actually executed (1 for the serial join; the
+  /// parallel join may produce fewer than requested when safe cut points
+  /// are scarce).
+  size_t partitions = 1;
 };
 
 /// Computes R[zr <> zs]S: one output row per pair of input rows whose
@@ -41,6 +53,17 @@ struct SpatialJoinStats {
 Relation SpatialJoin(const Relation& r, const std::string& zr_column,
                      const Relation& s, const std::string& zs_column,
                      SpatialJoinStats* stats = nullptr);
+
+/// SpatialJoin cut at open-element-free z boundaries and merged
+/// concurrently on `pool`; the per-partition outputs are concatenated in
+/// cut order, so rows come out in exactly the serial join's order.
+/// `partitions` <= 0 targets one partition per pool lane; the actual count
+/// may be lower (cuts exist only where no element straddles the boundary).
+/// `stats` may be null.
+Relation ParallelSpatialJoin(const Relation& r, const std::string& zr_column,
+                             const Relation& s, const std::string& zs_column,
+                             util::ThreadPool& pool, int partitions = 0,
+                             SpatialJoinStats* stats = nullptr);
 
 }  // namespace probe::relational
 

@@ -1,6 +1,23 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
 namespace probe::storage {
+
+namespace {
+
+// Per-thread pin balance across all pools (see PinnedByThisThread).
+thread_local int64_t tls_pinned_pages = 0;
+
+// Auto shard count: stay single-sharded (exact global replacement
+// behavior) until the pool is big enough that every shard still gets a
+// generous frame slice; then one shard per 64 frames, capped at 16.
+size_t AutoShards(size_t capacity) {
+  if (capacity < 256) return 1;
+  return std::min<size_t>(16, capacity / 64);
+}
+
+}  // namespace
 
 PageRef::PageRef(PageRef&& other) noexcept
     : pool_(other.pool_), frame_(other.frame_) {
@@ -31,7 +48,7 @@ const Page& PageRef::page() const {
 
 void PageRef::MarkDirty() {
   assert(valid());
-  pool_->frames_[frame_].dirty = true;
+  pool_->frames_[frame_].dirty.store(true, std::memory_order_release);
 }
 
 void PageRef::Release() {
@@ -41,27 +58,55 @@ void PageRef::Release() {
   }
 }
 
-BufferPool::BufferPool(Pager* pager, size_t capacity, EvictionPolicy policy)
+BufferPool::BufferPool(Pager* pager, size_t capacity, EvictionPolicy policy,
+                       size_t shards)
     : pager_(pager), capacity_(capacity), policy_(policy) {
   assert(capacity_ >= 1);
-  frames_.resize(capacity_);
-  free_frames_.reserve(capacity_);
-  for (size_t i = capacity_; i-- > 0;) free_frames_.push_back(i);
+  frames_ = std::make_unique<Frame[]>(capacity_);
+  size_t shard_count = shards == 0 ? AutoShards(capacity_) : shards;
+  shard_count = std::clamp<size_t>(shard_count, 1, capacity_);
+  shards_.reserve(shard_count);
+  // Distribute frames contiguously, remainder to the front shards.
+  const size_t base = capacity_ / shard_count;
+  const size_t extra = capacity_ % shard_count;
+  size_t next = 0;
+  for (size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->begin = next;
+    next += base + (s < extra ? 1 : 0);
+    shard->end = next;
+    shard->clock_hand = shard->begin;
+    shard->free_frames.reserve(shard->end - shard->begin);
+    for (size_t i = shard->end; i-- > shard->begin;) {
+      frames_[i].shard = static_cast<uint32_t>(s);
+      shard->free_frames.push_back(i);
+    }
+    shards_.push_back(std::move(shard));
+  }
 }
 
 BufferPool::~BufferPool() { FlushAll(); }
 
+BufferPool::Shard& BufferPool::ShardFor(PageId id) {
+  // Page ids are dense and sequential; a multiplicative hash spreads runs
+  // of consecutive ids (a bulk-loaded tree's leaf chain) across shards.
+  const uint64_t h = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ULL;
+  return *shards_[(h >> 32) % shards_.size()];
+}
+
 PageRef BufferPool::Fetch(PageId id) {
-  ++stats_.fetches;
-  if (auto it = resident_.find(id); it != resident_.end()) {
-    ++stats_.hits;
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (auto it = shard.resident.find(id); it != shard.resident.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     Frame& frame = frames_[it->second];
     switch (policy_) {
       case EvictionPolicy::kLru:
         // Pinned frames leave the candidate queue; they re-enter at unpin,
         // which is what makes the order "recently used".
         if (frame.in_queue) {
-          queue_.erase(frame.queue_pos);
+          shard.queue.erase(frame.queue_pos);
           frame.in_queue = false;
         }
         break;
@@ -72,62 +117,103 @@ PageRef BufferPool::Fetch(PageId id) {
         break;
     }
     ++frame.pins;
+    ++tls_pinned_pages;
     return PageRef(this, it->second);
   }
-  ++stats_.misses;
-  const size_t slot = AcquireFrame();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const size_t slot = AcquireFrame(shard);
   Frame& frame = frames_[slot];
-  pager_->Read(id, &frame.page);
+  {
+    std::lock_guard<std::mutex> io_lock(io_mutex_);
+    pager_->Read(id, &frame.page);
+  }
   frame.id = id;
   frame.pins = 1;
-  frame.dirty = false;
+  frame.dirty.store(false, std::memory_order_relaxed);
   frame.referenced = true;
   if (policy_ == EvictionPolicy::kFifo) {
-    queue_.push_back(slot);
-    frame.queue_pos = std::prev(queue_.end());
+    shard.queue.push_back(slot);
+    frame.queue_pos = std::prev(shard.queue.end());
     frame.in_queue = true;
   }
-  resident_.emplace(id, slot);
+  shard.resident.emplace(id, slot);
+  ++tls_pinned_pages;
   return PageRef(this, slot);
 }
 
 PageRef BufferPool::New(PageId* id_out) {
-  const PageId id = pager_->Allocate();
+  PageId id;
+  {
+    std::lock_guard<std::mutex> io_lock(io_mutex_);
+    id = pager_->Allocate();
+  }
   if (id_out != nullptr) *id_out = id;
-  const size_t slot = AcquireFrame();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const size_t slot = AcquireFrame(shard);
   Frame& frame = frames_[slot];
   frame.page.Clear();
   frame.id = id;
   frame.pins = 1;
-  frame.dirty = true;
+  frame.dirty.store(true, std::memory_order_relaxed);
   frame.referenced = true;
   if (policy_ == EvictionPolicy::kFifo) {
-    queue_.push_back(slot);
-    frame.queue_pos = std::prev(queue_.end());
+    shard.queue.push_back(slot);
+    frame.queue_pos = std::prev(shard.queue.end());
     frame.in_queue = true;
   }
-  resident_.emplace(id, slot);
+  shard.resident.emplace(id, slot);
+  ++tls_pinned_pages;
   return PageRef(this, slot);
 }
 
 void BufferPool::FlushAll() {
-  for (Frame& frame : frames_) {
-    if (frame.id != kInvalidPageId && frame.dirty) {
-      pager_->Write(frame.id, frame.page);
-      frame.dirty = false;
-      ++stats_.writebacks;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (size_t i = shard->begin; i < shard->end; ++i) {
+      Frame& frame = frames_[i];
+      if (frame.id != kInvalidPageId &&
+          frame.dirty.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> io_lock(io_mutex_);
+        pager_->Write(frame.id, frame.page);
+        frame.dirty.store(false, std::memory_order_relaxed);
+        writebacks_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 }
 
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats snapshot;
+  snapshot.fetches = fetches_.load(std::memory_order_relaxed);
+  snapshot.hits = hits_.load(std::memory_order_relaxed);
+  snapshot.misses = misses_.load(std::memory_order_relaxed);
+  snapshot.writebacks = writebacks_.load(std::memory_order_relaxed);
+  snapshot.evictions = evictions_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void BufferPool::ResetStats() {
+  fetches_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  writebacks_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+int64_t BufferPool::PinnedByThisThread() { return tls_pinned_pages; }
+
 void BufferPool::Unpin(size_t slot) {
   Frame& frame = frames_[slot];
+  Shard& shard = *shards_[frame.shard];
+  std::lock_guard<std::mutex> lock(shard.mutex);
   assert(frame.pins > 0);
+  --tls_pinned_pages;
   if (--frame.pins == 0) {
     switch (policy_) {
       case EvictionPolicy::kLru:
-        queue_.push_back(slot);
-        frame.queue_pos = std::prev(queue_.end());
+        shard.queue.push_back(slot);
+        frame.queue_pos = std::prev(shard.queue.end());
         frame.in_queue = true;
         break;
       case EvictionPolicy::kFifo:
@@ -139,36 +225,38 @@ void BufferPool::Unpin(size_t slot) {
   }
 }
 
-size_t BufferPool::PickVictim() {
+size_t BufferPool::PickVictim(Shard& shard) {
   switch (policy_) {
     case EvictionPolicy::kLru: {
       // Only unpinned frames live in the queue; the front is the LRU one.
-      assert(!queue_.empty() && "all buffer frames are pinned");
-      const size_t slot = queue_.front();
-      queue_.pop_front();
+      assert(!shard.queue.empty() && "all buffer frames of the shard are pinned");
+      const size_t slot = shard.queue.front();
+      shard.queue.pop_front();
       frames_[slot].in_queue = false;
       return slot;
     }
     case EvictionPolicy::kFifo: {
       // Oldest load that is not pinned.
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      for (auto it = shard.queue.begin(); it != shard.queue.end(); ++it) {
         if (frames_[*it].pins == 0) {
           const size_t slot = *it;
-          queue_.erase(it);
+          shard.queue.erase(it);
           frames_[slot].in_queue = false;
           return slot;
         }
       }
-      assert(false && "all buffer frames are pinned");
-      return 0;
+      assert(false && "all buffer frames of the shard are pinned");
+      return shard.begin;
     }
     case EvictionPolicy::kClock: {
       // Second chance sweep; two full passes suffice once reference bits
       // are cleared, a third means everything is pinned.
-      for (size_t step = 0; step < 3 * capacity_; ++step) {
-        Frame& frame = frames_[clock_hand_];
-        const size_t slot = clock_hand_;
-        clock_hand_ = (clock_hand_ + 1) % capacity_;
+      const size_t span = shard.end - shard.begin;
+      for (size_t step = 0; step < 3 * span; ++step) {
+        Frame& frame = frames_[shard.clock_hand];
+        const size_t slot = shard.clock_hand;
+        ++shard.clock_hand;
+        if (shard.clock_hand == shard.end) shard.clock_hand = shard.begin;
         if (frame.id == kInvalidPageId || frame.pins > 0) continue;
         if (frame.referenced) {
           frame.referenced = false;
@@ -176,27 +264,28 @@ size_t BufferPool::PickVictim() {
         }
         return slot;
       }
-      assert(false && "all buffer frames are pinned");
-      return 0;
+      assert(false && "all buffer frames of the shard are pinned");
+      return shard.begin;
     }
   }
-  return 0;
+  return shard.begin;
 }
 
-size_t BufferPool::AcquireFrame() {
-  if (!free_frames_.empty()) {
-    const size_t slot = free_frames_.back();
-    free_frames_.pop_back();
+size_t BufferPool::AcquireFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    const size_t slot = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return slot;
   }
-  const size_t slot = PickVictim();
+  const size_t slot = PickVictim(shard);
   Frame& frame = frames_[slot];
-  if (frame.dirty) {
+  if (frame.dirty.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> io_lock(io_mutex_);
     pager_->Write(frame.id, frame.page);
-    ++stats_.writebacks;
+    writebacks_.fetch_add(1, std::memory_order_relaxed);
   }
-  ++stats_.evictions;
-  resident_.erase(frame.id);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  shard.resident.erase(frame.id);
   frame.id = kInvalidPageId;
   return slot;
 }

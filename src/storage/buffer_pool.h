@@ -1,9 +1,12 @@
 #ifndef PROBE_STORAGE_BUFFER_POOL_H_
 #define PROBE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -11,7 +14,8 @@
 #include "storage/pager.h"
 
 /// \file
-/// Buffer pool with pluggable replacement (LRU default).
+/// Buffer pool with pluggable replacement (LRU default), safe for
+/// concurrent readers.
 ///
 /// Section 4 argues that "the LRU buffering strategy will work well because
 /// of our reliance on merging in AG algorithms: each page is accessed at
@@ -20,6 +24,25 @@
 /// let the benches verify that claim directly — and the FIFO and CLOCK
 /// policies exist so the claim can be tested against alternatives rather
 /// than assumed.
+///
+/// Concurrency model. The parallel query paths run one B+-tree cursor per
+/// partition, all hammering the same pool. The frame table is therefore
+/// split into *shards*, each owning a fixed slice of the frames with its
+/// own mutex, residency map, and replacement state; a page lives in the
+/// shard its id hashes to, so two cursors touching different pages rarely
+/// contend on the same lock. Stats are atomics. Physical I/O goes through
+/// one pager mutex (the simulated disk is not required to be
+/// thread-safe); the lock order is always shard → io, never the reverse.
+/// Page *contents* are not synchronized by the pool: a pinned frame cannot
+/// be evicted, and the query paths are read-only, so concurrent readers
+/// need no further locking. Mutators (Insert/Delete/bulk build) must not
+/// run concurrently with other access to the same tree — the same
+/// single-writer contract the B+-tree itself has.
+///
+/// Small pools default to a single shard, which preserves the exact
+/// residency (and thus hit/miss) behavior of a global LRU; sharding kicks
+/// in automatically once the pool is large enough that slicing it cannot
+/// starve any one shard of frames.
 
 namespace probe::storage {
 
@@ -35,7 +58,7 @@ enum class EvictionPolicy {
   kClock,
 };
 
-/// Buffer pool counters.
+/// Buffer pool counters (a snapshot; the pool keeps them atomically).
 struct BufferPoolStats {
   /// Logical page requests (Fetch calls).
   uint64_t fetches = 0;
@@ -55,6 +78,9 @@ class BufferPool;
 
 /// RAII pin on a buffered page. While a PageRef is alive, the frame cannot
 /// be evicted. Mark dirty through MarkDirty() before mutating the page.
+/// A PageRef is not thread-safe itself (like any value type), but distinct
+/// refs — including refs to the same page — may be used from distinct
+/// threads freely.
 class PageRef {
  public:
   PageRef() : pool_(nullptr), frame_(0) {}
@@ -89,28 +115,50 @@ class PageRef {
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames; must be >= 1. The pager
-  /// must outlive the pool.
+  /// must outlive the pool. `shards` splits the frame table for concurrent
+  /// access; 0 picks automatically (1 for small pools — preserving exact
+  /// global-LRU behavior — growing to 16 for large ones). Each shard gets
+  /// at least one frame; shard counts that large pools cannot honor are
+  /// clamped.
   BufferPool(Pager* pager, size_t capacity,
-             EvictionPolicy policy = EvictionPolicy::kLru);
+             EvictionPolicy policy = EvictionPolicy::kLru, size_t shards = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
   ~BufferPool();
 
   /// Returns a pinned reference to page `id`, reading it from the pager on
-  /// a miss. Asserts if all frames are pinned.
+  /// a miss. Asserts if every frame of the page's shard is pinned.
+  /// Thread-safe.
   PageRef Fetch(PageId id);
 
   /// Allocates a fresh page on the pager and returns it pinned (and dirty).
+  /// Thread-safe.
   PageRef New(PageId* id_out);
 
-  /// Writes back all dirty frames (they stay resident).
+  /// Writes back all dirty frames (they stay resident). Thread-safe, but
+  /// pages being mutated concurrently may be written in either state.
   void FlushAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Snapshot of the counters. Under concurrency the fields are summed
+  /// from relaxed atomics: totals are exact once quiescent, transiently
+  /// they may be mid-update (e.g. a fetch counted whose hit/miss is not
+  /// yet).
+  BufferPoolStats stats() const;
+  void ResetStats();
 
   size_t capacity() const { return capacity_; }
+
+  /// Number of frame-table shards (1 = the classic global pool).
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Pages currently pinned by the calling thread across *all* pools —
+  /// per-thread pin accounting for leak checks in tests and for asserting
+  /// that a worker releases everything before finishing its partition.
+  /// Pins count on the fetching thread and uncount on the releasing one,
+  /// so the balance is only meaningful for threads that keep their
+  /// PageRefs to themselves (every query path here does).
+  static int64_t PinnedByThisThread();
 
  private:
   friend class PageRef;
@@ -119,29 +167,54 @@ class BufferPool {
     Page page;
     PageId id = kInvalidPageId;
     int pins = 0;
-    bool dirty = false;
-    // Position in queue_ when enqueued; only meaningful if in_queue.
+    // Written while pinned (MarkDirty) and read/cleared under the shard
+    // lock (eviction, flush); atomic so the two never race.
+    std::atomic<bool> dirty{false};
+    // Which shard owns this frame (fixed at construction).
+    uint32_t shard = 0;
+    // Position in the shard's queue when enqueued; only meaningful if
+    // in_queue.
     std::list<size_t>::iterator queue_pos;
     bool in_queue = false;
     // CLOCK: referenced since the hand last passed.
     bool referenced = false;
   };
 
+  /// One slice of the frame table with its own lock and replacement state.
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<PageId, size_t> resident;
+    // kLru: front = least recently unpinned. kFifo: front = oldest load.
+    // kClock: ignored (the hand sweeps the shard's frame range directly).
+    std::list<size_t> queue;
+    std::vector<size_t> free_frames;
+    size_t begin = 0;  // first frame index owned by this shard
+    size_t end = 0;    // one past the last
+    size_t clock_hand = 0;
+  };
+
+  Shard& ShardFor(PageId id);
   void Unpin(size_t frame);
-  size_t AcquireFrame();  // a free or evictable frame, detached from maps
-  size_t PickVictim();    // policy-specific choice among unpinned frames
+  // A free or evictable frame of `shard`, detached from its maps. Called
+  // with the shard lock held.
+  size_t AcquireFrame(Shard& shard);
+  // Policy-specific choice among the shard's unpinned frames.
+  size_t PickVictim(Shard& shard);
 
   Pager* pager_;
   size_t capacity_;
   EvictionPolicy policy_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> resident_;
-  // kLru: front = least recently unpinned. kFifo: front = oldest load.
-  // kClock: ignored (the hand sweeps frames_ directly).
-  std::list<size_t> queue_;
-  size_t clock_hand_ = 0;
-  BufferPoolStats stats_;
+  std::unique_ptr<Frame[]> frames_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Serializes pager access (Allocate/Read/Write). Always acquired after
+  // a shard lock, never before one.
+  std::mutex io_mutex_;
+
+  std::atomic<uint64_t> fetches_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> writebacks_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace probe::storage

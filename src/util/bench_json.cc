@@ -1,0 +1,109 @@
+#include "util/bench_json.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace probe::util {
+
+namespace {
+
+// Splits the top level of a JSON object into (key, raw value) pairs.
+// Handles nesting and strings; returns false on anything malformed.
+bool ParseTopLevel(const std::string& text,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+  size_t i = 0;
+  auto skip_ws = [&]() {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return false;
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i < text.size() && text[i] == '}') return true;
+    // Key.
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    std::string key;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') ++i;
+      if (i < text.size()) key.push_back(text[i++]);
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    skip_ws();
+    // Value: scan to the matching top-level ',' or '}'.
+    const size_t value_begin = i;
+    int depth = 0;
+    bool in_string = false;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;  // the object's closing '}'
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+      ++i;
+    }
+    if (i >= text.size()) return false;
+    std::string value = text.substr(value_begin, i - value_begin);
+    while (!value.empty() &&
+           std::isspace(static_cast<unsigned char>(value.back()))) {
+      value.pop_back();
+    }
+    out->emplace_back(std::move(key), std::move(value));
+    if (text[i] == ',') ++i;
+  }
+}
+
+}  // namespace
+
+bool UpdateJsonSection(const std::string& path, const std::string& section,
+                       const std::string& payload) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      std::vector<std::pair<std::string, std::string>> parsed;
+      if (ParseTopLevel(buffer.str(), &parsed)) sections = std::move(parsed);
+    }
+  }
+  bool replaced = false;
+  for (auto& [key, value] : sections) {
+    if (key == section) {
+      value = payload;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(section, payload);
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n";
+  for (size_t k = 0; k < sections.size(); ++k) {
+    out << "  \"" << sections[k].first << "\": " << sections[k].second;
+    if (k + 1 < sections.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
+  return out.good();
+}
+
+}  // namespace probe::util

@@ -1,0 +1,27 @@
+#ifndef PROBE_UTIL_BENCH_JSON_H_
+#define PROBE_UTIL_BENCH_JSON_H_
+
+#include <string>
+
+/// \file
+/// Machine-readable bench output.
+///
+/// Benches that track a perf trajectory across PRs write their numbers to
+/// a JSON file next to the human-readable tables. Several benches share
+/// one file (e.g. BENCH_parallel.json), each owning a top-level section;
+/// UpdateJsonSection replaces just that section so the benches can run in
+/// any order — or individually — without clobbering each other.
+
+namespace probe::util {
+
+/// Rewrites `path` so that it is a JSON object whose `section` key maps to
+/// `payload` (itself a JSON value, serialized by the caller). Other
+/// top-level sections already in the file are preserved. The file is
+/// created if missing; unparseable content is discarded. Returns false if
+/// the file could not be written.
+bool UpdateJsonSection(const std::string& path, const std::string& section,
+                       const std::string& payload);
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_BENCH_JSON_H_

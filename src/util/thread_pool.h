@@ -1,0 +1,90 @@
+#ifndef PROBE_UTIL_THREAD_POOL_H_
+#define PROBE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+/// \file
+/// A fixed-size thread pool for the parallel query paths.
+///
+/// The paper reduces every spatial retrieval to merges over *disjoint*
+/// z intervals (Sections 3.3 and 4), and disjoint intervals can be worked
+/// on independently. This pool is the execution substrate: a plain
+/// shared-queue design (no work stealing — partition counts are small and
+/// chosen by the caller, so a single queue is never contended enough to
+/// matter) with a futures API for irregular tasks and ParallelFor for
+/// fixed fan-out. The calling thread always participates, so a pool of
+/// `threads` workers runs `threads + 1` lanes and `ThreadPool(0)` degrades
+/// gracefully to serial execution on the caller.
+
+namespace probe::util {
+
+/// Fixed-size shared-queue thread pool.
+///
+/// Task submission and ParallelFor are thread-safe. Destruction drains the
+/// queue: already-submitted tasks run to completion before the workers
+/// exit.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 is allowed: every call then runs inline
+  /// on the calling thread (useful as the serial baseline of a sweep).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (not counting the calling thread).
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of parallel lanes a caller-blocking operation effectively has:
+  /// the workers plus the calling thread itself.
+  int lanes() const { return thread_count() + 1; }
+
+  /// Hardware concurrency with a sane floor (std::thread reports 0 when it
+  /// cannot tell).
+  static int DefaultThreads();
+
+  /// Enqueues `fn` and returns a future for its result. The future also
+  /// carries any exception `fn` throws.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs `fn(i)` for every i in [0, n), spread across the workers and the
+  /// calling thread, and blocks until all calls have returned. Iterations
+  /// are independent tasks: `fn` must be safe to call concurrently with
+  /// itself. The first exception thrown by any iteration is rethrown on
+  /// the caller.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  // Pops one task and runs it; false when the queue is empty. Used by the
+  // calling thread to help drain its own ParallelFor.
+  bool RunOneTask();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_THREAD_POOL_H_

@@ -2,9 +2,35 @@
 
 #include <cassert>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define PROBE_HAVE_BMI2_TARGET 1
+#include <immintrin.h>
+#else
+#define PROBE_HAVE_BMI2_TARGET 0
+#endif
+
 namespace probe::zorder {
 
-uint64_t SpreadBits2(uint32_t x) {
+namespace {
+
+// Bit masks of the alternating schedules: dimension 0 owns the higher bit
+// of each group.
+constexpr uint64_t kEven2 = 0x5555555555555555ULL;  // positions 0, 2, 4, …
+constexpr uint64_t kEvery3 = 0x1249249249249249ULL;  // positions 0, 3, 6, …
+
+#if PROBE_HAVE_BMI2_TARGET
+bool DetectBmi2() { return __builtin_cpu_supports("bmi2"); }
+#else
+bool DetectBmi2() { return false; }
+#endif
+
+const bool g_has_bmi2 = DetectBmi2();
+
+}  // namespace
+
+bool HasBmi2() { return g_has_bmi2; }
+
+uint64_t SpreadBits2Portable(uint32_t x) {
   uint64_t v = x;
   v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
   v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
@@ -14,7 +40,7 @@ uint64_t SpreadBits2(uint32_t x) {
   return v;
 }
 
-uint32_t GatherBits2(uint64_t x) {
+uint32_t GatherBits2Portable(uint64_t x) {
   uint64_t v = x & 0x5555555555555555ULL;
   v = (v | (v >> 1)) & 0x3333333333333333ULL;
   v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
@@ -24,7 +50,7 @@ uint32_t GatherBits2(uint64_t x) {
   return static_cast<uint32_t>(v);
 }
 
-uint64_t SpreadBits3(uint32_t x) {
+uint64_t SpreadBits3Portable(uint32_t x) {
   uint64_t v = x & 0x1FFFFF;  // 21 bits
   v = (v | (v << 32)) & 0x001F00000000FFFFULL;
   v = (v | (v << 16)) & 0x001F0000FF0000FFULL;
@@ -34,7 +60,7 @@ uint64_t SpreadBits3(uint32_t x) {
   return v;
 }
 
-uint32_t GatherBits3(uint64_t x) {
+uint32_t GatherBits3Portable(uint64_t x) {
   uint64_t v = x & 0x1249249249249249ULL;
   v = (v | (v >> 2)) & 0x10C30C30C30C30C3ULL;
   v = (v | (v >> 4)) & 0x100F00F00F00F00FULL;
@@ -42,6 +68,49 @@ uint32_t GatherBits3(uint64_t x) {
   v = (v | (v >> 16)) & 0x001F00000000FFFFULL;
   v = (v | (v >> 32)) & 0x00000000001FFFFFULL;
   return static_cast<uint32_t>(v);
+}
+
+#if PROBE_HAVE_BMI2_TARGET
+
+__attribute__((target("bmi2"))) uint64_t SpreadBits2Bmi2(uint32_t x) {
+  return _pdep_u64(x, kEven2);
+}
+
+__attribute__((target("bmi2"))) uint32_t GatherBits2Bmi2(uint64_t x) {
+  return static_cast<uint32_t>(_pext_u64(x, kEven2));
+}
+
+__attribute__((target("bmi2"))) uint64_t SpreadBits3Bmi2(uint32_t x) {
+  return _pdep_u64(x & 0x1FFFFF, kEvery3);
+}
+
+__attribute__((target("bmi2"))) uint32_t GatherBits3Bmi2(uint64_t x) {
+  return static_cast<uint32_t>(_pext_u64(x, kEvery3));
+}
+
+#else  // !PROBE_HAVE_BMI2_TARGET — keep the symbols linkable everywhere.
+
+uint64_t SpreadBits2Bmi2(uint32_t x) { return SpreadBits2Portable(x); }
+uint32_t GatherBits2Bmi2(uint64_t x) { return GatherBits2Portable(x); }
+uint64_t SpreadBits3Bmi2(uint32_t x) { return SpreadBits3Portable(x); }
+uint32_t GatherBits3Bmi2(uint64_t x) { return GatherBits3Portable(x); }
+
+#endif  // PROBE_HAVE_BMI2_TARGET
+
+uint64_t SpreadBits2(uint32_t x) {
+  return g_has_bmi2 ? SpreadBits2Bmi2(x) : SpreadBits2Portable(x);
+}
+
+uint32_t GatherBits2(uint64_t x) {
+  return g_has_bmi2 ? GatherBits2Bmi2(x) : GatherBits2Portable(x);
+}
+
+uint64_t SpreadBits3(uint32_t x) {
+  return g_has_bmi2 ? SpreadBits3Bmi2(x) : SpreadBits3Portable(x);
+}
+
+uint32_t GatherBits3(uint64_t x) {
+  return g_has_bmi2 ? GatherBits3Bmi2(x) : GatherBits3Portable(x);
 }
 
 uint64_t MortonEncode2(uint32_t x, uint32_t y, int bits) {

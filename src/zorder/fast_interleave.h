@@ -14,20 +14,41 @@
 /// instead of one loop iteration per bit); Shuffle and Unshuffle dispatch
 /// to them automatically. Exposed for direct use and for the equivalence
 /// tests/micro benches.
+///
+/// On x86-64 with BMI2, spread/gather are single instructions: PDEP
+/// deposits a value's bits at mask positions, PEXT extracts them. The
+/// unsuffixed entry points dispatch at runtime (one predictable branch on
+/// a cached CPUID bit) between the BMI2 path and the portable
+/// magic-constant fallback; the suffixed variants pin one implementation
+/// for equivalence tests and microbenches. The *Bmi2 functions must only
+/// be called when HasBmi2() is true (they are compiled for the bmi2
+/// target; on non-x86 builds they forward to the portable code).
 
 namespace probe::zorder {
 
+/// True when this CPU executes PDEP/PEXT (x86 BMI2) and the *Bmi2
+/// variants are callable. Detected once per process.
+bool HasBmi2();
+
 /// Spreads the low 32 bits of `x` so bit i lands at position 2i.
 uint64_t SpreadBits2(uint32_t x);
+uint64_t SpreadBits2Portable(uint32_t x);
+uint64_t SpreadBits2Bmi2(uint32_t x);
 
 /// Inverse of SpreadBits2: gathers every second bit (positions 0, 2, ...).
 uint32_t GatherBits2(uint64_t x);
+uint32_t GatherBits2Portable(uint64_t x);
+uint32_t GatherBits2Bmi2(uint64_t x);
 
 /// Spreads the low 21 bits of `x` so bit i lands at position 3i.
 uint64_t SpreadBits3(uint32_t x);
+uint64_t SpreadBits3Portable(uint32_t x);
+uint64_t SpreadBits3Bmi2(uint32_t x);
 
 /// Inverse of SpreadBits3: gathers every third bit.
 uint32_t GatherBits3(uint64_t x);
+uint32_t GatherBits3Portable(uint64_t x);
+uint32_t GatherBits3Bmi2(uint64_t x);
 
 /// Morton rank of (x, y) with `bits` bits per dimension (bits <= 32),
 /// x contributing the higher bit of each pair (the alternating schedule

@@ -79,6 +79,44 @@ TEST(FastInterleaveTest, Encode3MatchesBitByBit) {
   }
 }
 
+TEST(FastInterleaveTest, Bmi2AndPortablePathsAgree) {
+  // The BMI2 PDEP/PEXT variants must be bit-identical to the portable
+  // magic-constant code; the unsuffixed dispatchers must agree with both.
+  // On machines without BMI2 only the portable/dispatcher half runs.
+  util::Rng rng(6600);
+  for (int t = 0; t < 5000; ++t) {
+    const uint32_t x2 = static_cast<uint32_t>(rng.Next());
+    const uint32_t x3 = x2 & 0x1FFFFF;
+    const uint64_t z = rng.Next();
+
+    EXPECT_EQ(SpreadBits2(x2), SpreadBits2Portable(x2));
+    EXPECT_EQ(GatherBits2(z), GatherBits2Portable(z));
+    EXPECT_EQ(SpreadBits3(x3), SpreadBits3Portable(x3));
+    EXPECT_EQ(GatherBits3(z), GatherBits3Portable(z));
+
+    if (HasBmi2()) {
+      EXPECT_EQ(SpreadBits2Bmi2(x2), SpreadBits2Portable(x2)) << x2;
+      EXPECT_EQ(GatherBits2Bmi2(z), GatherBits2Portable(z)) << z;
+      EXPECT_EQ(SpreadBits3Bmi2(x3), SpreadBits3Portable(x3)) << x3;
+      EXPECT_EQ(GatherBits3Bmi2(z), GatherBits3Portable(z)) << z;
+    }
+  }
+}
+
+TEST(FastInterleaveTest, Bmi2EdgeValues) {
+  if (!HasBmi2()) GTEST_SKIP() << "no BMI2 on this CPU";
+  for (const uint32_t x : {0u, 1u, 0xFFFFFFFFu, 0x80000001u, 0x55555555u,
+                           0xAAAAAAAAu}) {
+    EXPECT_EQ(SpreadBits2Bmi2(x), SpreadBits2Portable(x));
+    EXPECT_EQ(SpreadBits3Bmi2(x & 0x1FFFFF), SpreadBits3Portable(x));
+  }
+  for (const uint64_t z : {0ULL, ~0ULL, 0x5555555555555555ULL,
+                           0xAAAAAAAAAAAAAAAAULL, 0x1249249249249249ULL}) {
+    EXPECT_EQ(GatherBits2Bmi2(z), GatherBits2Portable(z));
+    EXPECT_EQ(GatherBits3Bmi2(z), GatherBits3Portable(z));
+  }
+}
+
 TEST(FastInterleaveTest, ShuffleDispatchesToFastPathConsistently) {
   // Shuffle/Unshuffle must give identical results whether or not the fast
   // path applies; a custom schedule equal to the default alternation

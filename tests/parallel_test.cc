@@ -1,0 +1,391 @@
+// The parallel query layer: thread pool, concurrent buffer pool, and the
+// partitioned search/join paths. The load-bearing property everywhere is
+// *bitwise identity*: the parallel paths must return element-for-element
+// the same results, in the same order, as their serial counterparts —
+// partitioning at disjoint z intervals is a pure execution-strategy
+// change. Run under ThreadSanitizer (-DPROBE_TSAN=ON) to check the
+// concurrency claims, not just the results.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/primitives.h"
+#include "index/zkd_index.h"
+#include "relational/spatial_join.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+#include "zorder/zvalue.h"
+
+namespace probe {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  for (const size_t n : {0u, 1u, 3u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> counts(n);
+    pool.ParallelFor(n, [&](size_t i) { counts[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureResults) {
+  util::ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsWorkerException) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(16,
+                       [&](size_t i) {
+                         if (i == 7) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0);
+  EXPECT_EQ(pool.lanes(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(8, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+// ---------------------------------------------------------------- BufferPool
+
+TEST(ConcurrentBufferPoolTest, ManyReadersSeeConsistentPages) {
+  storage::MemPager pager;
+  constexpr int kPages = 512;
+  std::vector<storage::PageId> ids;
+  for (int p = 0; p < kPages; ++p) {
+    const storage::PageId id = pager.Allocate();
+    storage::Page page;
+    page.Clear();
+    // Stamp every page with a recognizable pattern.
+    for (size_t b = 0; b < 16; ++b) {
+      page.data()[b] = static_cast<uint8_t>((id * 31 + b) & 0xFF);
+    }
+    pager.Write(id, page);
+    ids.push_back(id);
+  }
+
+  // A pool big enough to auto-shard, deliberately smaller than the page
+  // count so readers force concurrent eviction.
+  storage::BufferPool pool(&pager, 256);
+  EXPECT_GT(pool.shard_count(), 1u);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      util::Rng rng(1000 + t);
+      for (int round = 0; round < 4000; ++round) {
+        const storage::PageId id = ids[rng.NextBelow(ids.size())];
+        storage::PageRef ref = pool.Fetch(id);
+        for (size_t b = 0; b < 16; ++b) {
+          if (ref.page().data()[b] !=
+              static_cast<uint8_t>((id * 31 + b) & 0xFF)) {
+            bad.fetch_add(1);
+          }
+        }
+      }
+      if (storage::BufferPool::PinnedByThisThread() != 0) bad.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  const storage::BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.fetches, static_cast<uint64_t>(kThreads) * 4000);
+  EXPECT_EQ(stats.hits + stats.misses, stats.fetches);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(ConcurrentBufferPoolTest, SmallPoolsKeepOneShardAndExactStats) {
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 8);
+  EXPECT_EQ(pool.shard_count(), 1u);
+
+  storage::PageId a, b;
+  { storage::PageRef ref = pool.New(&a); }
+  { storage::PageRef ref = pool.New(&b); }
+  { storage::PageRef ref = pool.Fetch(a); }
+  const storage::BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.fetches, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(ConcurrentBufferPoolTest, ExplicitShardCountIsHonored) {
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 64, storage::EvictionPolicy::kLru, 4);
+  EXPECT_EQ(pool.shard_count(), 4u);
+  // Round-trip through all policies sharded, single-threaded.
+  for (const auto policy :
+       {storage::EvictionPolicy::kLru, storage::EvictionPolicy::kFifo,
+        storage::EvictionPolicy::kClock}) {
+    storage::MemPager p2;
+    storage::BufferPool sharded(&p2, 32, policy, 4);
+    std::vector<storage::PageId> ids;
+    for (int i = 0; i < 100; ++i) {
+      storage::PageId id;
+      storage::PageRef ref = sharded.New(&id);
+      ref.page().data()[0] = static_cast<uint8_t>(i);
+      ref.MarkDirty();
+      ids.push_back(id);
+    }
+    for (int i = 0; i < 100; ++i) {
+      storage::PageRef ref = sharded.Fetch(ids[i]);
+      EXPECT_EQ(ref.page().data()[0], static_cast<uint8_t>(i));
+    }
+  }
+}
+
+// ------------------------------------------------------------ ParallelSearch
+
+struct IndexFixture {
+  zorder::GridSpec grid{2, 10};
+  storage::MemPager pager;
+  storage::BufferPool pool;
+  index::ZkdIndex index;
+
+  IndexFixture(size_t points, uint64_t seed,
+               workload::Distribution dist = workload::Distribution::kUniform)
+      : pool(&pager, 4096),
+        index(MakeIndex(grid, &pool, points, seed, dist)) {}
+
+  static index::ZkdIndex MakeIndex(const zorder::GridSpec& grid,
+                                   storage::BufferPool* pool, size_t points,
+                                   uint64_t seed,
+                                   workload::Distribution dist) {
+    workload::DataGenConfig config;
+    config.count = points;
+    config.seed = seed;
+    config.distribution = dist;
+    const auto records = GeneratePoints(grid, config);
+    btree::BTreeConfig tree_config;
+    tree_config.leaf_capacity = 20;
+    return index::ZkdIndex::Build(grid, pool, records, tree_config);
+  }
+};
+
+TEST(ParallelRangeSearchTest, IdenticalToSerialAcrossThreadsAndStrategies) {
+  IndexFixture fx(20000, 77);
+  util::Rng rng(901);
+  const auto boxes = workload::MakeQueryBoxes2D(fx.grid, 0.02, 2.0, 12, rng);
+
+  for (const int threads : {1, 2, 4, 8}) {
+    util::ThreadPool pool(threads);
+    for (const auto merge :
+         {index::SearchOptions::Merge::kSkipMerge,
+          index::SearchOptions::Merge::kPlainMerge,
+          index::SearchOptions::Merge::kBigMin}) {
+      index::SearchOptions options;
+      options.merge = merge;
+      for (const auto& box : boxes) {
+        index::QueryStats serial_stats, parallel_stats;
+        const auto serial = fx.index.RangeSearch(box, &serial_stats, options);
+        const auto parallel = fx.index.ParallelRangeSearch(
+            box, pool, /*partitions=*/0, &parallel_stats, options);
+        ASSERT_EQ(parallel, serial)
+            << "threads=" << threads
+            << " merge=" << static_cast<int>(merge);
+        EXPECT_EQ(parallel_stats.results, serial.size());
+      }
+    }
+    EXPECT_EQ(storage::BufferPool::PinnedByThisThread(), 0);
+  }
+}
+
+TEST(ParallelRangeSearchTest, ClusteredDataAndExplicitPartitionCounts) {
+  IndexFixture fx(15000, 31, workload::Distribution::kClustered);
+  util::Rng rng(902);
+  const auto boxes = workload::MakeQueryBoxes2D(fx.grid, 0.05, 0.5, 8, rng);
+  util::ThreadPool pool(4);
+  for (const int partitions : {1, 2, 3, 7, 16}) {
+    for (const auto& box : boxes) {
+      const auto serial = fx.index.RangeSearch(box);
+      const auto parallel =
+          fx.index.ParallelRangeSearch(box, pool, partitions);
+      ASSERT_EQ(parallel, serial) << "partitions=" << partitions;
+    }
+  }
+}
+
+TEST(ParallelRangeSearchTest, DepthCappedDecompositionStaysExact) {
+  IndexFixture fx(10000, 5);
+  util::Rng rng(903);
+  const auto boxes = workload::MakeQueryBoxes2D(fx.grid, 0.03, 1.0, 6, rng);
+  util::ThreadPool pool(4);
+  index::SearchOptions options;
+  options.max_element_depth = 8;  // coarse elements + candidate verification
+  for (const auto& box : boxes) {
+    const auto serial = fx.index.RangeSearch(box, nullptr, options);
+    const auto parallel =
+        fx.index.ParallelRangeSearch(box, pool, 0, nullptr, options);
+    ASSERT_EQ(parallel, serial);
+  }
+}
+
+TEST(ParallelSearchObjectTest, BallAndCapsuleMatchSerial) {
+  IndexFixture fx(12000, 13);
+  util::ThreadPool pool(8);
+  const geometry::BallObject ball({300.0, 700.0}, 120.0);
+  const geometry::CapsuleObject capsule({100.0, 100.0}, {900.0, 600.0},
+                                        40.0);
+  for (const geometry::SpatialObject* object :
+       {static_cast<const geometry::SpatialObject*>(&ball),
+        static_cast<const geometry::SpatialObject*>(&capsule)}) {
+    index::QueryStats serial_stats, parallel_stats;
+    const auto serial = fx.index.SearchObject(*object, &serial_stats);
+    const auto parallel =
+        fx.index.ParallelSearchObject(*object, pool, 0, &parallel_stats);
+    ASSERT_EQ(parallel, serial) << object->Describe();
+    EXPECT_EQ(parallel_stats.results, serial.size());
+  }
+}
+
+TEST(ParallelRangeSearchTest, ConcurrentQueriesOnOneIndex) {
+  // Several client threads issuing parallel searches against one shared
+  // index and pool at once — the production shape, and the TSan target.
+  IndexFixture fx(20000, 99);
+  util::ThreadPool pool(4);
+  util::Rng rng(904);
+  const auto boxes = workload::MakeQueryBoxes2D(fx.grid, 0.01, 1.0, 16, rng);
+  std::vector<std::vector<uint64_t>> expected;
+  for (const auto& box : boxes) expected.push_back(fx.index.RangeSearch(box));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t]() {
+      for (size_t q = t; q < boxes.size(); q += 4) {
+        // Serial API from many threads: concurrent readers of one tree.
+        const auto got = fx.index.RangeSearch(boxes[q]);
+        if (got != expected[q]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// -------------------------------------------------------- ParallelSpatialJoin
+
+relational::Relation RandomElementRelation(const std::string& prefix,
+                                           size_t rows, uint64_t seed,
+                                           int max_length) {
+  relational::Schema schema({{prefix + "_id", relational::ValueType::kInt},
+                             {prefix + "_z", relational::ValueType::kZValue}});
+  relational::Relation rel(schema);
+  util::Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    const int length = static_cast<int>(rng.NextBelow(
+        static_cast<uint64_t>(max_length + 1)));
+    const uint64_t bits =
+        length == 0 ? 0 : (rng.Next() & ((length == 64) ? ~0ULL
+                                                        : ((1ULL << length) - 1)));
+    relational::Tuple tuple;
+    tuple.emplace_back(static_cast<int64_t>(i));
+    tuple.emplace_back(zorder::ZValue::FromInteger(bits, length));
+    rel.Add(std::move(tuple));
+  }
+  return rel;
+}
+
+TEST(ParallelSpatialJoinTest, IdenticalToSerialAcrossThreadCounts) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const auto r = RandomElementRelation("r", 1500, seed * 10 + 1, 14);
+    const auto s = RandomElementRelation("s", 1200, seed * 10 + 2, 14);
+
+    relational::SpatialJoinStats serial_stats;
+    const auto serial =
+        relational::SpatialJoin(r, "r_z", s, "s_z", &serial_stats);
+
+    for (const int threads : {1, 2, 4, 8}) {
+      util::ThreadPool pool(threads);
+      relational::SpatialJoinStats parallel_stats;
+      const auto parallel = relational::ParallelSpatialJoin(
+          r, "r_z", s, "s_z", pool, 0, &parallel_stats);
+
+      ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+      for (size_t row = 0; row < serial.size(); ++row) {
+        const auto& a = serial.row(row);
+        const auto& b = parallel.row(row);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t col = 0; col < a.size(); ++col) {
+          ASSERT_TRUE(relational::ValueEquals(a[col], b[col]))
+              << "row " << row << " col " << col;
+        }
+      }
+      EXPECT_EQ(parallel_stats.pairs, serial_stats.pairs);
+      EXPECT_EQ(parallel_stats.max_stack_depth, serial_stats.max_stack_depth);
+      EXPECT_GE(parallel_stats.partitions, 1u);
+    }
+  }
+}
+
+TEST(ParallelSpatialJoinTest, DeepNestingLimitsCutsButStaysCorrect) {
+  // A chain of nested prefixes leaves no open-element-free boundary: the
+  // cut finder must degrade to few (possibly one) partitions, never split
+  // illegally.
+  relational::Schema r_schema({{"r_id", relational::ValueType::kInt},
+                               {"r_z", relational::ValueType::kZValue}});
+  relational::Schema s_schema({{"s_id", relational::ValueType::kInt},
+                               {"s_z", relational::ValueType::kZValue}});
+  relational::Relation r(r_schema), s(s_schema);
+  for (int i = 0; i < 40; ++i) {
+    relational::Tuple t1;
+    t1.emplace_back(static_cast<int64_t>(i));
+    t1.emplace_back(zorder::ZValue::FromInteger(0, i));  // 0, 00, 000, ...
+    r.Add(std::move(t1));
+    relational::Tuple t2;
+    t2.emplace_back(static_cast<int64_t>(i));
+    t2.emplace_back(zorder::ZValue::FromInteger(0, std::min(i + 1, 40)));
+    s.Add(std::move(t2));
+  }
+  const auto serial = relational::SpatialJoin(r, "r_z", s, "s_z");
+  util::ThreadPool pool(4);
+  relational::SpatialJoinStats stats;
+  const auto parallel =
+      relational::ParallelSpatialJoin(r, "r_z", s, "s_z", pool, 8, &stats);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t row = 0; row < serial.size(); ++row) {
+    for (size_t col = 0; col < serial.row(row).size(); ++col) {
+      ASSERT_TRUE(relational::ValueEquals(serial.row(row)[col],
+                                          parallel.row(row)[col]));
+    }
+  }
+}
+
+TEST(ParallelSpatialJoinTest, EmptyInputs) {
+  relational::Schema r_schema({{"r_id", relational::ValueType::kInt},
+                               {"r_z", relational::ValueType::kZValue}});
+  relational::Schema s_schema({{"s_id", relational::ValueType::kInt},
+                               {"s_z", relational::ValueType::kZValue}});
+  relational::Relation r(r_schema), s(s_schema);
+  util::ThreadPool pool(2);
+  const auto out = relational::ParallelSpatialJoin(r, "r_z", s, "s_z", pool);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+}  // namespace
+}  // namespace probe
