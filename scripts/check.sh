@@ -26,8 +26,10 @@ if [ -f "$TSAN_BUILD/CMakeCache.txt" ]; then
 else
   cmake -B "$TSAN_BUILD" -S . -G Ninja -DPROBE_TSAN=ON
 fi
-cmake --build "$TSAN_BUILD" --target parallel_test
+cmake --build "$TSAN_BUILD" --target parallel_test --target planner_test
 echo "=== parallel_test under ThreadSanitizer ==="
 "$TSAN_BUILD"/tests/parallel_test
+echo "=== planner_test under ThreadSanitizer ==="
+"$TSAN_BUILD"/tests/planner_test
 
 echo "ALL CHECKS PASSED"

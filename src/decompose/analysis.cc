@@ -1,5 +1,6 @@
 #include "decompose/analysis.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <map>
@@ -94,6 +95,29 @@ int ExtentBitSpan(std::span<const uint64_t> extents) {
   uint64_t combined = 0;
   for (uint64_t e : extents) combined |= e;
   return util::BitSpan(combined);
+}
+
+uint64_t CappedElementUpperBound(const zorder::GridSpec& grid,
+                                 std::span<const uint64_t> extents,
+                                 int max_depth) {
+  assert(grid.Valid());
+  assert(extents.size() == static_cast<size_t>(grid.dims));
+  int depth = max_depth;
+  if (depth < 0 || depth > grid.total_bits()) depth = grid.total_bits();
+  uint64_t bound = 1;
+  for (int dim = 0; dim < grid.dims; ++dim) {
+    const uint64_t extent = extents[static_cast<size_t>(dim)];
+    if (extent == 0) return 0;
+    const int region_bits = grid.bits_per_dim - grid.BitsConsumed(depth, dim);
+    const uint64_t side = 1ULL << region_bits;
+    const uint64_t blocks_total = grid.side() / side;
+    // Worst alignment: the box straddles one extra block boundary.
+    const uint64_t blocks = std::min(blocks_total, (extent - 1) / side + 2);
+    // The product cannot overflow: it is bounded by the cell count, which
+    // fits 64 bits by GridSpec's limits.
+    bound *= blocks;
+  }
+  return bound;
 }
 
 }  // namespace probe::decompose

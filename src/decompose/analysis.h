@@ -43,6 +43,20 @@ uint64_t ElementCount1D(uint64_t u);
 /// OR of the extents, inclusive. 0 when all extents are 0.
 int ExtentBitSpan(std::span<const uint64_t> extents);
 
+/// Upper bound on the elements a box with the given per-dimension extents
+/// produces when decomposition is capped at `max_depth` bits, wherever the
+/// box is placed. Elements are disjoint and each contains at least one
+/// depth-`max_depth` region intersecting the box, so the bound is the
+/// worst-case (unaligned) count of cap-level regions the box can touch:
+/// per dimension, floor((extent-1)/side)+2 aligned blocks of the region's
+/// side, clamped to the blocks that exist. The query planner walks this
+/// bound to pick the coarsest depth cap that stays inside an element
+/// budget (the Section 5.1 grid-coarsening optimization, applied at plan
+/// time). `max_depth` < 0 or >= total_bits() means full depth.
+uint64_t CappedElementUpperBound(const zorder::GridSpec& grid,
+                                 std::span<const uint64_t> extents,
+                                 int max_depth);
+
 }  // namespace probe::decompose
 
 #endif  // PROBE_DECOMPOSE_ANALYSIS_H_

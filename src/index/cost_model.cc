@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "decompose/analysis.h"
 #include "decompose/decomposer.h"
 
 namespace probe::index {
@@ -17,23 +18,14 @@ CostModel CostModel::FromIndex(const ZkdIndex& index) {
   return model;
 }
 
-CostModel::Estimate CostModel::EstimatePages(const geometry::GridBox& box,
-                                             int max_element_depth) const {
-  Estimate estimate;
-  estimate.full_depth =
-      max_element_depth < 0 || max_element_depth >= grid_.total_bits();
-  if (first_keys_.empty()) return estimate;
-
-  // Decompose (CPU only) and coalesce elements into maximal z runs.
+std::vector<CostModel::Run> CostModel::RunsForBox(
+    const geometry::GridBox& box, int max_element_depth,
+    uint64_t* elements_used) const {
   decompose::DecomposeOptions options;
   options.max_depth = max_element_depth;
   const auto elements = decompose::DecomposeBox(grid_, box, options);
-  estimate.elements_used = elements.size();
+  *elements_used = elements.size();
   const int total = grid_.total_bits();
-  struct Run {
-    uint64_t lo;
-    uint64_t hi;
-  };
   std::vector<Run> runs;
   for (const auto& e : elements) {
     const uint64_t lo = e.RangeLo(total);
@@ -44,7 +36,10 @@ CostModel::Estimate CostModel::EstimatePages(const geometry::GridBox& box,
       runs.push_back(Run{lo, hi});
     }
   }
+  return runs;
+}
 
+uint64_t CostModel::CountLeafPages(const std::vector<Run>& runs) const {
   // Leaf i owns the key interval [start_i, start_{i+1}) where start_0 is
   // pulled down to 0 (a seek below the first key lands on leaf 0) and the
   // last interval is open-ended. Two-pointer sweep over sorted runs.
@@ -57,6 +52,7 @@ CostModel::Estimate CostModel::EstimatePages(const geometry::GridBox& box,
     return i + 1 < n ? first_keys_[i + 1] : ~0ULL;
   };
 
+  uint64_t pages = 0;
   size_t leaf = 0;
   size_t last_counted = n;  // sentinel: nothing counted yet
   for (const Run& run : runs) {
@@ -67,7 +63,7 @@ CostModel::Estimate CostModel::EstimatePages(const geometry::GridBox& box,
     while (k < n && start_of(k) <= run.hi) {
       if (end_exclusive(k) > run.lo) {
         if (last_counted != k) {
-          ++estimate.pages;
+          ++pages;
           last_counted = k;
         }
       }
@@ -75,7 +71,88 @@ CostModel::Estimate CostModel::EstimatePages(const geometry::GridBox& box,
     }
     if (k > leaf) leaf = k - 1;  // the next run may share leaf k-1
   }
+  return pages;
+}
+
+CostModel::Estimate CostModel::EstimatePages(const geometry::GridBox& box,
+                                             int max_element_depth) const {
+  Estimate estimate;
+  estimate.full_depth =
+      max_element_depth < 0 || max_element_depth >= grid_.total_bits();
+  if (first_keys_.empty()) return estimate;
+
+  // Decompose (CPU only) and coalesce elements into maximal z runs.
+  const auto runs = RunsForBox(box, max_element_depth,
+                               &estimate.elements_used);
+  estimate.pages = CountLeafPages(runs);
   return estimate;
+}
+
+CostModel::JoinEstimate CostModel::EstimateJoinPages(
+    const CostModel& s_model, const geometry::GridBox& r_box,
+    const geometry::GridBox& s_box, int max_element_depth) const {
+  assert(grid_ == s_model.grid_);
+  JoinEstimate estimate;
+  if (!r_box.Intersects(s_box)) return estimate;
+  estimate.overlap = true;
+
+  uint64_t r_elements = 0;
+  uint64_t s_elements = 0;
+  const auto r_runs = RunsForBox(r_box, max_element_depth, &r_elements);
+  const auto s_runs = RunsForBox(s_box, max_element_depth, &s_elements);
+  estimate.elements_used = r_elements + s_elements;
+
+  // Intersect the two sorted, disjoint run lists: only z intervals both
+  // boxes cover can produce join pairs.
+  std::vector<Run> shared;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < r_runs.size() && j < s_runs.size()) {
+    const uint64_t lo = std::max(r_runs[i].lo, s_runs[j].lo);
+    const uint64_t hi = std::min(r_runs[i].hi, s_runs[j].hi);
+    if (lo <= hi) {
+      if (!shared.empty() && shared.back().hi + 1 == lo) {
+        shared.back().hi = hi;
+      } else {
+        shared.push_back(Run{lo, hi});
+      }
+    }
+    if (r_runs[i].hi < s_runs[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+
+  estimate.r_pages = CountLeafPages(shared);
+  estimate.s_pages = s_model.CountLeafPages(shared);
+  return estimate;
+}
+
+int CostModel::EstimateDepthCap(const zorder::GridSpec& grid,
+                                const geometry::GridBox& box,
+                                uint64_t element_budget) {
+  assert(box.dims() == grid.dims);
+  std::vector<uint64_t> extents;
+  extents.reserve(static_cast<size_t>(box.dims()));
+  for (int d = 0; d < box.dims(); ++d) {
+    extents.push_back(box.range(d).width());
+  }
+  // E(U,V) of the anchored analysis is the full-depth yardstick; when it
+  // already fits the budget no cap is needed (the exact element set is
+  // cheap enough to generate and estimate with).
+  if (decompose::AnchoredBoxElementCount(grid, extents) <= element_budget) {
+    return -1;
+  }
+  // Otherwise walk down from full depth to the finest cap whose worst-case
+  // element count fits. Depth 0 always fits (a single element).
+  for (int depth = grid.total_bits() - 1; depth > 0; --depth) {
+    if (decompose::CappedElementUpperBound(grid, extents, depth) <=
+        element_budget) {
+      return depth;
+    }
+  }
+  return 0;
 }
 
 }  // namespace probe::index

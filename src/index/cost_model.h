@@ -50,9 +50,65 @@ class CostModel {
   Estimate EstimatePages(const geometry::GridBox& box,
                          int max_element_depth = -1) const;
 
+  /// An estimate for a spatial join restricted to two box extents.
+  struct JoinEstimate {
+    /// True when the boxes share at least one cell (pairs are possible).
+    bool overlap = false;
+    /// Predicted data pages touched on this model's index.
+    uint64_t r_pages = 0;
+    /// Predicted data pages touched on `s_model`'s index.
+    uint64_t s_pages = 0;
+    /// Elements the estimator generated (both boxes).
+    uint64_t elements_used = 0;
+
+    uint64_t pages() const { return r_pages + s_pages; }
+  };
+
+  /// Estimates the pages a spatial join between this model's index
+  /// (restricted to `r_box`) and `s_model`'s index (restricted to `s_box`)
+  /// must touch. Pairs can only arise where the two boxes overlap, so both
+  /// boxes are decomposed into z runs, the run lists are intersected, and
+  /// each snapshot's leaves are counted against the shared runs — the
+  /// join's useful I/O. Disjoint boxes estimate zero pages (the planner
+  /// short-circuits to an empty result). Both models must be over the same
+  /// grid. `max_element_depth` as in EstimatePages.
+  JoinEstimate EstimateJoinPages(const CostModel& s_model,
+                                 const geometry::GridBox& r_box,
+                                 const geometry::GridBox& s_box,
+                                 int max_element_depth = -1) const;
+
+  /// Picks a decomposition depth cap for `box` from the Section 5.1
+  /// element-count analysis: the finest depth whose worst-case element
+  /// count (decompose::CappedElementUpperBound) stays within
+  /// `element_budget`. Returns -1 when full depth already fits — the
+  /// common case for small queries — so the result can be passed straight
+  /// to SearchOptions::max_element_depth / EstimatePages.
+  static int EstimateDepthCap(const zorder::GridSpec& grid,
+                              const geometry::GridBox& box,
+                              uint64_t element_budget);
+
   size_t leaf_count() const { return first_keys_.size(); }
 
+  const zorder::GridSpec& grid() const { return grid_; }
+
  private:
+  /// A maximal run of consecutive full-resolution z values covered by the
+  /// query's elements.
+  struct Run {
+    uint64_t lo;
+    uint64_t hi;
+  };
+
+  /// Decomposes `box` (CPU only) and coalesces the elements into maximal
+  /// z runs, counting the elements into `elements_used`.
+  std::vector<Run> RunsForBox(const geometry::GridBox& box,
+                              int max_element_depth,
+                              uint64_t* elements_used) const;
+
+  /// Leaves whose key interval meets at least one run (the two-pointer
+  /// sweep EstimatePages has always used; runs must be sorted/disjoint).
+  uint64_t CountLeafPages(const std::vector<Run>& runs) const;
+
   zorder::GridSpec grid_;
   std::vector<uint64_t> first_keys_;  // RangeLo of each leaf's first key
 };

@@ -1,0 +1,37 @@
+#include "query/executor.h"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+namespace probe::query {
+
+ExecutionResult Execute(PlanNode& root) {
+  const auto start = std::chrono::steady_clock::now();
+  ExecutionResult result;
+  root.Open();
+  result.rows = relational::Relation(root.schema());
+  relational::Tuple row;
+  while (root.Next(&row)) result.rows.Add(std::move(row));
+  root.Close();
+  result.total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return result;
+}
+
+std::vector<uint64_t> ExecuteIds(PlanNode& root) {
+  std::vector<uint64_t> ids;
+  root.Open();
+  const int id_index = root.schema().IndexOf("id");
+  assert(id_index >= 0);
+  relational::Tuple row;
+  while (root.Next(&row)) {
+    ids.push_back(
+        static_cast<uint64_t>(std::get<int64_t>(row[id_index])));
+  }
+  root.Close();
+  return ids;
+}
+
+}  // namespace probe::query

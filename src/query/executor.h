@@ -1,0 +1,36 @@
+#ifndef PROBE_QUERY_EXECUTOR_H_
+#define PROBE_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/plan.h"
+#include "relational/relation.h"
+
+/// \file
+/// Driving a physical plan: Open the root, pull every tuple, Close.
+///
+/// Execution also fills in each node's NodeStats actuals, so a plan that
+/// has been run through Execute can be handed to Explain for an
+/// estimated-vs-actual report.
+
+namespace probe::query {
+
+/// The materialized output of one plan execution.
+struct ExecutionResult {
+  relational::Relation rows;
+  /// End-to-end wall time of the pull loop (Open + all Next + Close).
+  double total_ms = 0.0;
+};
+
+/// Runs the tree rooted at `root` to completion and materializes its
+/// output.
+ExecutionResult Execute(PlanNode& root);
+
+/// Convenience for id-producing plans (range / object / proximity scans):
+/// runs the plan and extracts the "id" column as raw ids, in stream order.
+std::vector<uint64_t> ExecuteIds(PlanNode& root);
+
+}  // namespace probe::query
+
+#endif  // PROBE_QUERY_EXECUTOR_H_

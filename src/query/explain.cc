@@ -1,0 +1,90 @@
+#include "query/explain.h"
+
+#include <cstdio>
+
+#include "util/bench_json.h"
+
+namespace probe::query {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+void ExplainNode(const PlanNode& node, int depth, std::string* out) {
+  const NodeStats& stats = node.stats();
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += stats.op;
+  if (!stats.detail.empty()) {
+    *out += " (" + stats.detail + ")";
+  }
+  *out += "\n";
+
+  out->append(static_cast<size_t>(depth) * 2 + 2, ' ');
+  if (stats.has_estimate) {
+    *out += "est: " + std::to_string(stats.est_pages) + " pages, " +
+            std::to_string(stats.est_elements) + " elements";
+  } else {
+    *out += "est: -";
+  }
+  *out += " | ";
+  if (stats.executed) {
+    *out += "actual: " + std::to_string(stats.actual_pages) + " pages, " +
+            std::to_string(stats.actual_elements) + " elements, " +
+            std::to_string(stats.rows) + " rows, " + FormatMs(stats.ms) +
+            " ms";
+  } else {
+    *out += "actual: not executed";
+  }
+  *out += "\n";
+
+  for (int i = 0; i < node.child_count(); ++i) {
+    ExplainNode(*node.child(i), depth + 1, out);
+  }
+}
+
+void ExplainNodeJson(const PlanNode& node, std::string* out) {
+  const NodeStats& stats = node.stats();
+  *out += "{\"op\": \"" + util::JsonEscape(stats.op) + "\"";
+  if (!stats.detail.empty()) {
+    *out += ", \"detail\": \"" + util::JsonEscape(stats.detail) + "\"";
+  }
+  if (stats.has_estimate) {
+    *out += ", \"est_pages\": " + std::to_string(stats.est_pages);
+    *out += ", \"est_elements\": " + std::to_string(stats.est_elements);
+  }
+  if (stats.executed) {
+    *out += ", \"actual_pages\": " + std::to_string(stats.actual_pages);
+    *out += ", \"actual_elements\": " + std::to_string(stats.actual_elements);
+    *out += ", \"rows\": " + std::to_string(stats.rows);
+    *out += ", \"ms\": " + FormatMs(stats.ms);
+  }
+  if (node.child_count() > 0) {
+    *out += ", \"children\": [";
+    for (int i = 0; i < node.child_count(); ++i) {
+      if (i > 0) *out += ", ";
+      ExplainNodeJson(*node.child(i), out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string Explain(const PlanNode& root) {
+  std::string out;
+  ExplainNode(root, 0, &out);
+  return out;
+}
+
+std::string ExplainJson(const PlanNode& root) {
+  std::string out;
+  ExplainNodeJson(root, &out);
+  return out;
+}
+
+}  // namespace probe::query

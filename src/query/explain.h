@@ -1,0 +1,34 @@
+#ifndef PROBE_QUERY_EXPLAIN_H_
+#define PROBE_QUERY_EXPLAIN_H_
+
+#include <string>
+
+#include "query/plan.h"
+
+/// \file
+/// EXPLAIN: rendering a plan tree with its estimates and actuals.
+///
+/// Before execution the rendering shows the planner's choices and cost
+/// estimates; after Execute has pulled the tree, each node also shows the
+/// pages/elements/rows it actually produced and its own time — the
+/// estimated-vs-actual drift per operator, which is the feedback loop any
+/// cost model lives or dies by.
+
+namespace probe::query {
+
+/// Multi-line text rendering of the tree rooted at `root`:
+///
+///   ParallelRangeScan (depth=full partitions=4)
+///     est: 210 pages, 96 elements | actual: 203 pages, 96 elements,
+///     4012 rows, 1.8 ms
+///
+/// Children are indented beneath their parent.
+std::string Explain(const PlanNode& root);
+
+/// The same tree as a JSON object (op/detail/estimated/actual/children),
+/// for benches that archive plans alongside measurements.
+std::string ExplainJson(const PlanNode& root);
+
+}  // namespace probe::query
+
+#endif  // PROBE_QUERY_EXPLAIN_H_

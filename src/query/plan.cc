@@ -1,0 +1,594 @@
+#include "query/plan.h"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "index/nearest.h"
+#include "relational/operators.h"
+#include "relational/spatial_join.h"
+
+namespace probe::query {
+
+namespace {
+
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+/// Accumulates wall time into a NodeStats field for the enclosing scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* ms)
+      : ms_(ms), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    *ms_ += std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+  }
+
+ private:
+  double* ms_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+Schema IdSchema() {
+  return Schema({{"id", ValueType::kInt}});
+}
+
+/// Base for blocking nodes: Open materializes `result_`, Next streams it.
+class MaterializedNode : public PlanNode {
+ public:
+  explicit MaterializedNode(Schema schema) : result_(std::move(schema)) {}
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= result_.size()) return false;
+    *out = result_.row(pos_++);
+    ++stats_.rows;
+    return true;
+  }
+
+  const Schema& schema() const override { return result_.schema(); }
+
+ protected:
+  void ResetResult() {
+    result_ = Relation(result_.schema());
+    pos_ = 0;
+  }
+
+  Relation result_;
+  size_t pos_ = 0;
+};
+
+/// Fills a relation of (id) tuples from an id vector.
+void FillIds(Relation* rel, const std::vector<uint64_t>& ids) {
+  rel->Reserve(ids.size());
+  for (const uint64_t id : ids) {
+    Tuple t;
+    t.emplace_back(static_cast<int64_t>(id));
+    rel->Add(std::move(t));
+  }
+}
+
+// ----------------------------------------------------------- ZkdRangeScan
+
+class ZkdRangeScanNode final : public PlanNode {
+ public:
+  ZkdRangeScanNode(const index::ZkdIndex& index, const geometry::GridBox& box,
+                   const index::SearchOptions& options, util::ThreadPool* pool,
+                   int partitions)
+      : index_(index),
+        box_(box),
+        options_(options),
+        pool_(pool),
+        partitions_(partitions),
+        schema_(IdSchema()) {
+    stats_.op = pool_ != nullptr ? "ParallelRangeScan" : "ZkdRangeScan";
+  }
+
+  void Open() override {
+    ScopedTimer timer(&stats_.ms);
+    stats_.executed = true;
+    // The streaming cursor runs the default skip merge only; capped or
+    // non-default merges materialize through RangeSearch. Results are
+    // identical either way (same merge, same z order).
+    const bool default_options =
+        options_.merge == index::SearchOptions::Merge::kSkipMerge &&
+        options_.max_element_depth < 0 && options_.verify_candidates;
+    if (pool_ == nullptr && default_options) {
+      cursor_.emplace(index_, box_);
+      return;
+    }
+    index::QueryStats qstats;
+    if (pool_ != nullptr) {
+      ids_ = index_.ParallelRangeSearch(box_, *pool_, partitions_, &qstats,
+                                        options_);
+    } else {
+      ids_ = index_.RangeSearch(box_, &qstats, options_);
+    }
+    stats_.actual_pages = qstats.leaf_pages;
+    stats_.actual_elements = qstats.elements_generated;
+  }
+
+  bool Next(Tuple* out) override {
+    ScopedTimer timer(&stats_.ms);
+    uint64_t id = 0;
+    if (cursor_.has_value()) {
+      if (!cursor_->Next(&id)) {
+        // Final counters are known once the merge has run to the end.
+        stats_.actual_pages = cursor_->stats().leaf_pages;
+        stats_.actual_elements = cursor_->stats().elements_generated;
+        return false;
+      }
+      stats_.actual_pages = cursor_->stats().leaf_pages;
+      stats_.actual_elements = cursor_->stats().elements_generated;
+    } else {
+      if (pos_ >= ids_.size()) return false;
+      id = ids_[pos_++];
+    }
+    out->clear();
+    out->emplace_back(static_cast<int64_t>(id));
+    ++stats_.rows;
+    return true;
+  }
+
+  void Close() override {
+    // The cursor keeps its current leaf pinned; release it now rather than
+    // at node destruction.
+    if (cursor_.has_value()) {
+      stats_.actual_pages = cursor_->stats().leaf_pages;
+      stats_.actual_elements = cursor_->stats().elements_generated;
+      cursor_.reset();
+    }
+    PlanNode::Close();
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  const index::ZkdIndex& index_;
+  geometry::GridBox box_;
+  index::SearchOptions options_;
+  util::ThreadPool* pool_;
+  int partitions_;
+  Schema schema_;
+  std::optional<index::ZkdIndex::RangeCursor> cursor_;
+  std::vector<uint64_t> ids_;
+  size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------- ObjectSearch
+
+class ObjectSearchNode final : public MaterializedNode {
+ public:
+  ObjectSearchNode(const index::ZkdIndex& index,
+                   const geometry::SpatialObject* object,
+                   std::unique_ptr<const geometry::SpatialObject> owned,
+                   const index::SearchOptions& options, util::ThreadPool* pool,
+                   int partitions, const std::string& op_name)
+      : MaterializedNode(IdSchema()),
+        index_(index),
+        owned_(std::move(owned)),
+        object_(owned_ != nullptr ? owned_.get() : object),
+        options_(options),
+        pool_(pool),
+        partitions_(partitions) {
+    assert(object_ != nullptr);
+    stats_.op = !op_name.empty()
+                    ? op_name
+                    : (pool_ != nullptr ? "ParallelObjectSearch"
+                                        : "ObjectSearch");
+  }
+
+  void Open() override {
+    ScopedTimer timer(&stats_.ms);
+    stats_.executed = true;
+    ResetResult();
+    index::QueryStats qstats;
+    std::vector<uint64_t> ids;
+    if (pool_ != nullptr) {
+      ids = index_.ParallelSearchObject(*object_, *pool_, partitions_,
+                                        &qstats, options_);
+    } else {
+      ids = index_.SearchObject(*object_, &qstats, options_);
+    }
+    stats_.actual_pages = qstats.leaf_pages;
+    stats_.actual_elements = qstats.elements_generated;
+    FillIds(&result_, ids);
+  }
+
+ private:
+  const index::ZkdIndex& index_;
+  std::unique_ptr<const geometry::SpatialObject> owned_;
+  const geometry::SpatialObject* object_;
+  index::SearchOptions options_;
+  util::ThreadPool* pool_;
+  int partitions_;
+};
+
+// ----------------------------------------------------------- BucketKdScan
+
+class BucketKdScanNode final : public MaterializedNode {
+ public:
+  BucketKdScanNode(const baseline::BucketKdTree& tree,
+                   const geometry::GridBox& box)
+      : MaterializedNode(IdSchema()), tree_(tree), box_(box) {
+    stats_.op = "BucketKdScan";
+  }
+
+  void Open() override {
+    ScopedTimer timer(&stats_.ms);
+    stats_.executed = true;
+    ResetResult();
+    baseline::BucketKdStats kd_stats;
+    FillIds(&result_, tree_.RangeSearch(box_, &kd_stats));
+    stats_.actual_pages = kd_stats.leaf_pages;
+  }
+
+ private:
+  const baseline::BucketKdTree& tree_;
+  geometry::GridBox box_;
+};
+
+// --------------------------------------------------------------- KNearest
+
+class KNearestNode final : public MaterializedNode {
+ public:
+  KNearestNode(const index::ZkdIndex& index, const geometry::GridPoint& center,
+               size_t k)
+      : MaterializedNode(Schema(
+            {{"id", ValueType::kInt}, {"dist2", ValueType::kInt}})),
+        index_(index),
+        center_(center),
+        k_(k) {
+    stats_.op = "KNearest";
+  }
+
+  void Open() override {
+    ScopedTimer timer(&stats_.ms);
+    stats_.executed = true;
+    ResetResult();
+    index::NearestStats nstats;
+    const auto neighbors = index::KNearest(index_, center_, k_, &nstats);
+    result_.Reserve(neighbors.size());
+    for (const auto& n : neighbors) {
+      Tuple t;
+      t.emplace_back(static_cast<int64_t>(n.id));
+      t.emplace_back(static_cast<int64_t>(n.distance2));
+      result_.Add(std::move(t));
+    }
+    stats_.actual_pages = nstats.leaf_pages;
+    stats_.actual_elements = nstats.regions_expanded;
+  }
+
+ private:
+  const index::ZkdIndex& index_;
+  geometry::GridPoint center_;
+  size_t k_;
+};
+
+// ----------------------------------------------------------- RelationScan
+
+class RelationScanNode final : public PlanNode {
+ public:
+  explicit RelationScanNode(const Relation& rel) : rel_(rel) {
+    stats_.op = "RelationScan";
+  }
+
+  void Open() override {
+    stats_.executed = true;
+    pos_ = 0;
+  }
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= rel_.size()) return false;
+    *out = rel_.row(pos_++);
+    ++stats_.rows;
+    return true;
+  }
+
+  const Schema& schema() const override { return rel_.schema(); }
+
+ private:
+  const Relation& rel_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ EmptyResult
+
+class EmptyResultNode final : public PlanNode {
+ public:
+  explicit EmptyResultNode(Schema schema) : schema_(std::move(schema)) {
+    stats_.op = "EmptyResult";
+  }
+
+  void Open() override { stats_.executed = true; }
+  bool Next(Tuple*) override { return false; }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+};
+
+// -------------------------------------------------------------- Decompose
+
+/// Drains an already-open child into an in-memory relation.
+Relation DrainChild(PlanNode* child) {
+  Relation out(child->schema());
+  Tuple row;
+  while (child->Next(&row)) out.Add(std::move(row));
+  return out;
+}
+
+class DecomposeNode final : public MaterializedNode {
+ public:
+  DecomposeNode(std::unique_ptr<PlanNode> child, const zorder::GridSpec& grid,
+                std::string id_column,
+                const relational::ObjectCatalog& catalog, std::string z_column,
+                const decompose::DecomposeOptions& options)
+      : MaterializedNode(MakeSchema(child->schema(), z_column)),
+        grid_(grid),
+        id_column_(std::move(id_column)),
+        catalog_(catalog),
+        z_column_(std::move(z_column)),
+        options_(options) {
+    stats_.op = "Decompose";
+    AddChild(std::move(child));
+  }
+
+  void Open() override {
+    child(0)->Open();
+    const Relation input = DrainChild(child(0));
+    ScopedTimer timer(&stats_.ms);
+    stats_.executed = true;
+    ResetResult();
+    decompose::DecomposeStats dstats;
+    result_ = relational::DecomposeRelation(grid_, input, id_column_, catalog_,
+                                            z_column_, options_, &dstats);
+    stats_.actual_elements = dstats.elements;
+  }
+
+ private:
+  static Schema MakeSchema(const Schema& in, const std::string& z_column) {
+    std::vector<relational::Column> columns;
+    for (int i = 0; i < in.column_count(); ++i) columns.push_back(in.column(i));
+    columns.push_back({z_column, ValueType::kZValue});
+    return Schema(std::move(columns));
+  }
+
+  zorder::GridSpec grid_;
+  std::string id_column_;
+  const relational::ObjectCatalog& catalog_;
+  std::string z_column_;
+  decompose::DecomposeOptions options_;
+};
+
+// -------------------------------------------------------------- MergeJoin
+
+class MergeJoinNode final : public MaterializedNode {
+ public:
+  MergeJoinNode(std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right,
+                std::string left_z, std::string right_z,
+                util::ThreadPool* pool, int partitions)
+      : MaterializedNode(Schema::Concat(left->schema(), right->schema())),
+        left_z_(std::move(left_z)),
+        right_z_(std::move(right_z)),
+        pool_(pool),
+        partitions_(partitions) {
+    stats_.op = pool_ != nullptr ? "ParallelMergeSpatialJoin"
+                                 : "MergeSpatialJoin";
+    AddChild(std::move(left));
+    AddChild(std::move(right));
+  }
+
+  void Open() override {
+    child(0)->Open();
+    child(1)->Open();
+    const Relation left = DrainChild(child(0));
+    const Relation right = DrainChild(child(1));
+    ScopedTimer timer(&stats_.ms);
+    stats_.executed = true;
+    ResetResult();
+    relational::SpatialJoinStats jstats;
+    if (pool_ != nullptr) {
+      result_ = relational::ParallelSpatialJoin(left, left_z_, right, right_z_,
+                                                *pool_, partitions_, &jstats);
+    } else {
+      result_ = relational::SpatialJoin(left, left_z_, right, right_z_,
+                                        &jstats);
+    }
+    stats_.actual_elements = jstats.r_rows + jstats.s_rows;
+    stats_.detail += (stats_.detail.empty() ? "" : " ");
+    stats_.detail += "pairs=" + std::to_string(jstats.pairs) +
+                     " merge_partitions=" + std::to_string(jstats.partitions);
+  }
+
+ private:
+  std::string left_z_;
+  std::string right_z_;
+  util::ThreadPool* pool_;
+  int partitions_;
+};
+
+// ----------------------------------------------------------------- Filter
+
+class FilterNode final : public PlanNode {
+ public:
+  FilterNode(std::unique_ptr<PlanNode> child,
+             std::function<bool(const Tuple&)> predicate)
+      : predicate_(std::move(predicate)) {
+    stats_.op = "Filter";
+    AddChild(std::move(child));
+  }
+
+  void Open() override {
+    stats_.executed = true;
+    child(0)->Open();
+  }
+
+  bool Next(Tuple* out) override {
+    while (child(0)->Next(out)) {
+      if (predicate_(*out)) {
+        ++stats_.rows;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Schema& schema() const override { return child(0)->schema(); }
+
+ private:
+  std::function<bool(const Tuple&)> predicate_;
+};
+
+// ---------------------------------------------------------------- Project
+
+class ProjectNode final : public MaterializedNode {
+ public:
+  ProjectNode(std::unique_ptr<PlanNode> child, std::vector<std::string> columns,
+              bool deduplicate)
+      : MaterializedNode(MakeSchema(child->schema(), columns)),
+        columns_(std::move(columns)),
+        deduplicate_(deduplicate) {
+    stats_.op = "Project";
+    stats_.detail = deduplicate_ ? "dedup" : "";
+    AddChild(std::move(child));
+  }
+
+  void Open() override {
+    child(0)->Open();
+    const Relation input = DrainChild(child(0));
+    ScopedTimer timer(&stats_.ms);
+    stats_.executed = true;
+    ResetResult();
+    result_ = relational::Project(input, columns_, deduplicate_);
+  }
+
+ private:
+  static Schema MakeSchema(const Schema& in,
+                           const std::vector<std::string>& columns) {
+    std::vector<relational::Column> out;
+    for (const std::string& name : columns) {
+      const int idx = in.IndexOf(name);
+      assert(idx >= 0);
+      out.push_back(in.column(idx));
+    }
+    return Schema(std::move(out));
+  }
+
+  std::vector<std::string> columns_;
+  bool deduplicate_;
+};
+
+// ------------------------------------------------------------------ Limit
+
+class LimitNode final : public PlanNode {
+ public:
+  LimitNode(std::unique_ptr<PlanNode> child, size_t limit) : limit_(limit) {
+    stats_.op = "Limit";
+    stats_.detail = "n=" + std::to_string(limit);
+    AddChild(std::move(child));
+  }
+
+  void Open() override {
+    stats_.executed = true;
+    child(0)->Open();
+  }
+
+  bool Next(Tuple* out) override {
+    if (stats_.rows >= limit_) return false;
+    if (!child(0)->Next(out)) return false;
+    ++stats_.rows;
+    return true;
+  }
+
+  const Schema& schema() const override { return child(0)->schema(); }
+
+ private:
+  size_t limit_;
+};
+
+}  // namespace
+
+void PlanNode::Close() {
+  for (auto& child : children_) child->Close();
+}
+
+std::unique_ptr<PlanNode> MakeZkdRangeScan(const index::ZkdIndex& index,
+                                           const geometry::GridBox& box,
+                                           const index::SearchOptions& options,
+                                           util::ThreadPool* pool,
+                                           int partitions) {
+  return std::make_unique<ZkdRangeScanNode>(index, box, options, pool,
+                                            partitions);
+}
+
+std::unique_ptr<PlanNode> MakeObjectSearch(
+    const index::ZkdIndex& index, const geometry::SpatialObject* object,
+    std::unique_ptr<const geometry::SpatialObject> owned,
+    const index::SearchOptions& options, util::ThreadPool* pool,
+    int partitions, const std::string& op_name) {
+  return std::make_unique<ObjectSearchNode>(index, object, std::move(owned),
+                                            options, pool, partitions,
+                                            op_name);
+}
+
+std::unique_ptr<PlanNode> MakeBucketKdScan(const baseline::BucketKdTree& tree,
+                                           const geometry::GridBox& box) {
+  return std::make_unique<BucketKdScanNode>(tree, box);
+}
+
+std::unique_ptr<PlanNode> MakeKNearest(const index::ZkdIndex& index,
+                                       const geometry::GridPoint& center,
+                                       size_t k) {
+  return std::make_unique<KNearestNode>(index, center, k);
+}
+
+std::unique_ptr<PlanNode> MakeRelationScan(const relational::Relation& rel) {
+  return std::make_unique<RelationScanNode>(rel);
+}
+
+std::unique_ptr<PlanNode> MakeEmptyResult(relational::Schema schema) {
+  return std::make_unique<EmptyResultNode>(std::move(schema));
+}
+
+std::unique_ptr<PlanNode> MakeDecompose(
+    std::unique_ptr<PlanNode> child, const zorder::GridSpec& grid,
+    const std::string& id_column, const relational::ObjectCatalog& catalog,
+    const std::string& z_column, const decompose::DecomposeOptions& options) {
+  return std::make_unique<DecomposeNode>(std::move(child), grid, id_column,
+                                         catalog, z_column, options);
+}
+
+std::unique_ptr<PlanNode> MakeMergeJoin(std::unique_ptr<PlanNode> left,
+                                        std::unique_ptr<PlanNode> right,
+                                        const std::string& left_z,
+                                        const std::string& right_z,
+                                        util::ThreadPool* pool,
+                                        int partitions) {
+  return std::make_unique<MergeJoinNode>(std::move(left), std::move(right),
+                                         left_z, right_z, pool, partitions);
+}
+
+std::unique_ptr<PlanNode> MakeFilter(
+    std::unique_ptr<PlanNode> child,
+    std::function<bool(const relational::Tuple&)> predicate) {
+  return std::make_unique<FilterNode>(std::move(child), std::move(predicate));
+}
+
+std::unique_ptr<PlanNode> MakeProject(std::unique_ptr<PlanNode> child,
+                                      std::vector<std::string> columns,
+                                      bool deduplicate) {
+  return std::make_unique<ProjectNode>(std::move(child), std::move(columns),
+                                       deduplicate);
+}
+
+std::unique_ptr<PlanNode> MakeLimit(std::unique_ptr<PlanNode> child,
+                                    size_t limit) {
+  return std::make_unique<LimitNode>(std::move(child), limit);
+}
+
+}  // namespace probe::query

@@ -1,0 +1,177 @@
+#ifndef PROBE_QUERY_PLAN_H_
+#define PROBE_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/bucket_kdtree.h"
+#include "decompose/decomposer.h"
+#include "geometry/box.h"
+#include "geometry/object.h"
+#include "geometry/point.h"
+#include "index/zkd_index.h"
+#include "relational/catalog.h"
+#include "relational/relation.h"
+#include "util/thread_pool.h"
+#include "zorder/grid.h"
+
+/// \file
+/// Physical plan nodes: a pull-based (volcano) iterator tree.
+///
+/// Every node exposes Open / Next / Close and streams tuples to its
+/// parent. Leaf scans wrap the existing access paths (zkd merge, parallel
+/// partitioned merge, bucket kd tree, k-NN best-first); interior nodes are
+/// the relational operators (filter/refinement, project, limit, Decompose,
+/// merge spatial join). Blocking operators (join, project-with-dedup,
+/// Decompose) materialize in Open and stream from the result — the merge
+/// join needs both inputs sorted, exactly as the paper's sort-merge
+/// formulation expects.
+///
+/// Each node carries a NodeStats block: the planner writes the estimated
+/// side (pages, elements, the parameters it chose), execution fills the
+/// actual side (pages touched, elements generated, rows, time). EXPLAIN
+/// renders the tree with both, so estimated-vs-actual drift is visible per
+/// operator.
+
+namespace probe::query {
+
+/// Estimated and measured work for one plan node.
+struct NodeStats {
+  /// Physical operator name, e.g. "ParallelRangeScan".
+  std::string op;
+  /// Planner-chosen parameters, e.g. "threads=4 depth=full".
+  std::string detail;
+
+  /// True when the planner attached a cost estimate.
+  bool has_estimate = false;
+  uint64_t est_pages = 0;
+  uint64_t est_elements = 0;
+
+  /// True once the node has executed (Open reached).
+  bool executed = false;
+  uint64_t actual_pages = 0;
+  uint64_t actual_elements = 0;
+  /// Rows this node returned to its parent.
+  uint64_t rows = 0;
+  /// Time spent inside this node's own work (materialization for blocking
+  /// nodes, cumulative streaming for leaf scans); 0 for pass-through
+  /// nodes.
+  double ms = 0.0;
+};
+
+/// A physical operator in the volcano tree.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  /// Prepares the node (and its children) for iteration. Blocking nodes do
+  /// their work here.
+  virtual void Open() = 0;
+
+  /// Produces the next tuple; false at end of stream. `out` must not be
+  /// null.
+  virtual bool Next(relational::Tuple* out) = 0;
+
+  /// Releases resources. The default closes the children.
+  virtual void Close();
+
+  /// Schema of the tuples this node produces (valid after construction).
+  virtual const relational::Schema& schema() const = 0;
+
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+
+  int child_count() const { return static_cast<int>(children_.size()); }
+  PlanNode* child(int i) const { return children_[static_cast<size_t>(i)].get(); }
+
+ protected:
+  void AddChild(std::unique_ptr<PlanNode> child) {
+    children_.push_back(std::move(child));
+  }
+
+  std::vector<std::unique_ptr<PlanNode>> children_;
+  NodeStats stats_;
+};
+
+// ------------------------------------------------------------- leaf scans
+
+/// Range scan over the zkd index. With `pool` null the scan is the serial
+/// skip merge (streamed through ZkdIndex::RangeCursor when `options` are
+/// the defaults, materialized otherwise); with a pool it is
+/// ParallelRangeSearch cut into `partitions` z intervals. Output schema:
+/// (id: int), in z order — bitwise identical between the two forms.
+std::unique_ptr<PlanNode> MakeZkdRangeScan(const index::ZkdIndex& index,
+                                           const geometry::GridBox& box,
+                                           const index::SearchOptions& options,
+                                           util::ThreadPool* pool = nullptr,
+                                           int partitions = 0);
+
+/// Containment scan for an arbitrary object (serial SearchObject, or
+/// ParallelSearchObject when `pool` is set). `owned`, when non-null, is an
+/// object the plan keeps alive (e.g. the ball a within-distance query
+/// translates to); otherwise `object` must outlive the plan. `op_name`
+/// overrides the operator label shown by EXPLAIN (defaults to
+/// "ObjectSearch"/"ParallelObjectSearch").
+std::unique_ptr<PlanNode> MakeObjectSearch(
+    const index::ZkdIndex& index, const geometry::SpatialObject* object,
+    std::unique_ptr<const geometry::SpatialObject> owned,
+    const index::SearchOptions& options, util::ThreadPool* pool = nullptr,
+    int partitions = 0, const std::string& op_name = "");
+
+/// Range scan over the bucket kd tree fallback. Output schema (id: int) in
+/// the tree's traversal order (not z order).
+std::unique_ptr<PlanNode> MakeBucketKdScan(const baseline::BucketKdTree& tree,
+                                           const geometry::GridBox& box);
+
+/// Best-first k-NN search. Output schema (id: int, dist2: int), closest
+/// first.
+std::unique_ptr<PlanNode> MakeKNearest(const index::ZkdIndex& index,
+                                       const geometry::GridPoint& center,
+                                       size_t k);
+
+/// Streams an in-memory relation (a join input, typically). Not owned.
+std::unique_ptr<PlanNode> MakeRelationScan(const relational::Relation& rel);
+
+/// Produces no rows (the planner emits this when it can prove a join's
+/// bounding boxes are disjoint). `schema` is the shape the result would
+/// have had.
+std::unique_ptr<PlanNode> MakeEmptyResult(relational::Schema schema);
+
+// -------------------------------------------------------- interior nodes
+
+/// The Decompose operator: extends each child tuple with one row per
+/// element of its catalog object, sorted by the new `z_column`.
+std::unique_ptr<PlanNode> MakeDecompose(
+    std::unique_ptr<PlanNode> child, const zorder::GridSpec& grid,
+    const std::string& id_column, const relational::ObjectCatalog& catalog,
+    const std::string& z_column, const decompose::DecomposeOptions& options);
+
+/// The merge spatial join R[zr <> zs]S over two child streams (serial, or
+/// ParallelSpatialJoin when `pool` is set).
+std::unique_ptr<PlanNode> MakeMergeJoin(std::unique_ptr<PlanNode> left,
+                                        std::unique_ptr<PlanNode> right,
+                                        const std::string& left_z,
+                                        const std::string& right_z,
+                                        util::ThreadPool* pool = nullptr,
+                                        int partitions = 0);
+
+/// Refinement: keeps tuples satisfying `predicate`.
+std::unique_ptr<PlanNode> MakeFilter(
+    std::unique_ptr<PlanNode> child,
+    std::function<bool(const relational::Tuple&)> predicate);
+
+/// Projection onto `columns`; with `deduplicate` equal rows collapse.
+std::unique_ptr<PlanNode> MakeProject(std::unique_ptr<PlanNode> child,
+                                      std::vector<std::string> columns,
+                                      bool deduplicate);
+
+/// Stops after `limit` rows.
+std::unique_ptr<PlanNode> MakeLimit(std::unique_ptr<PlanNode> child,
+                                    size_t limit);
+
+}  // namespace probe::query
+
+#endif  // PROBE_QUERY_PLAN_H_

@@ -1,0 +1,105 @@
+#ifndef PROBE_QUERY_PLANNER_H_
+#define PROBE_QUERY_PLANNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "baseline/bucket_kdtree.h"
+#include "index/cost_model.h"
+#include "index/zkd_index.h"
+#include "query/plan.h"
+#include "query/query.h"
+#include "relational/catalog.h"
+#include "util/thread_pool.h"
+
+/// \file
+/// The cost-based planner: logical Query -> physical PlanNode tree.
+///
+/// The optimizer the paper's integration argument calls for. Decisions it
+/// makes, all priced with CostModel's leaf-snapshot estimates:
+///
+///  * serial vs parallel scan — a parallel partitioned merge only pays off
+///    when enough leaf pages are predicted; the thread count scales with
+///    the estimate (one lane per `pages_per_lane` pages).
+///  * decomposition depth cap — the Section 5 element-count analysis
+///    (CostModel::EstimateDepthCap) caps decomposition when a full-depth
+///    cover would blow `element_budget`; capped plans keep candidate
+///    verification on, so results stay exact.
+///  * access method — when a bucket kd tree is registered and its
+///    analytic page estimate beats the z plan's by better than
+///    `kd_advantage`, the planner falls back to it (output order then
+///    follows the kd traversal, not z order).
+///  * join strategy — sides already carrying z columns merge-join
+///    directly; object sides get a Decompose operator. When both sides
+///    have bounding boxes, EstimateJoinPages prices the merge — and
+///    proves the join empty when the bounds are disjoint, collapsing the
+///    plan to EmptyResult without touching a page.
+
+namespace probe::query {
+
+/// Planner thresholds. The defaults suit the experiment workloads; every
+/// decision can be forced by pushing a threshold to an extreme.
+struct PlannerOptions {
+  /// Predicted leaf pages at or above which a parallel scan is planned
+  /// (when a pool is available).
+  uint64_t parallel_page_threshold = 64;
+
+  /// One scan partition per this many predicted leaf pages (clamped to the
+  /// pool's lanes).
+  uint64_t pages_per_lane = 32;
+
+  /// Element budget for the decomposition depth cap (Section 5 analysis):
+  /// full depth is kept while its worst-case element count fits.
+  uint64_t element_budget = 1u << 16;
+
+  /// The kd fallback is chosen only when its predicted cost is below
+  /// `kd_advantage` times the best z plan's (strictly better, with margin
+  /// — the z plan streams and keeps z order, so ties favor it).
+  double kd_advantage = 0.5;
+
+  /// Cost coefficients turning page/element estimates into one comparable
+  /// cost figure per candidate plan. The defaults price a leaf page of
+  /// either structure at 1 and everything else at 0, reducing every
+  /// decision to page counts — the paper's I/O-bound assumption. An
+  /// in-memory deployment is CPU-bound instead and calibrates these to
+  /// measured milliseconds (bench_planner does, with a few probe scans).
+  double z_cost_per_page = 1.0;
+  double z_cost_per_element = 0.0;
+  double kd_cost_per_page = 1.0;
+  /// Fixed fan-out cost added to a parallel scan (same units).
+  double parallel_overhead = 0.0;
+
+  /// Combined join input rows at or above which the merge join is
+  /// parallelized (when a pool is available).
+  uint64_t join_parallel_row_threshold = 1u << 13;
+};
+
+/// Everything the planner may plan against. `index` is required; the rest
+/// are optional capabilities (no pool: serial plans only; no cost model:
+/// default plans without estimates; no kd tree: no fallback; no catalog:
+/// join sides must be pre-decomposed).
+struct PlannerContext {
+  const index::ZkdIndex* index = nullptr;
+  const index::CostModel* cost_model = nullptr;
+  const baseline::BucketKdTree* kd_tree = nullptr;
+  const relational::ObjectCatalog* catalog = nullptr;
+  util::ThreadPool* pool = nullptr;
+};
+
+/// A planned query: the physical tree plus a one-line decision trace
+/// ("range: ParallelRangeScan threads=4 est_pages=210 ...").
+struct PlannedQuery {
+  std::unique_ptr<PlanNode> root;
+  std::string summary;
+};
+
+/// Plans `query` against `ctx`. The returned tree borrows everything the
+/// context and query point to (index, relations, catalog, pool, query
+/// object); those must outlive it.
+PlannedQuery Plan(const Query& query, const PlannerContext& ctx,
+                  const PlannerOptions& options = {});
+
+}  // namespace probe::query
+
+#endif  // PROBE_QUERY_PLANNER_H_

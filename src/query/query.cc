@@ -1,0 +1,21 @@
+#include "query/query.h"
+
+namespace probe::query {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRange:
+      return "range";
+    case QueryKind::kObjectSearch:
+      return "object-search";
+    case QueryKind::kWithinDistance:
+      return "within-distance";
+    case QueryKind::kKNearest:
+      return "k-nearest";
+    case QueryKind::kSpatialJoin:
+      return "spatial-join";
+  }
+  return "?";
+}
+
+}  // namespace probe::query

@@ -1,0 +1,149 @@
+#ifndef PROBE_QUERY_QUERY_H_
+#define PROBE_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/object.h"
+#include "geometry/point.h"
+#include "relational/catalog.h"
+#include "relational/relation.h"
+
+/// \file
+/// The logical query description the planner consumes.
+///
+/// The paper's central integration claim is that spatial search belongs
+/// *inside* the DBMS query processor: a range query is the relational plan
+/// `R := Decompose(P); RS := R[zr <> zs]S` and an optimizer chooses how to
+/// run it. `Query` is the logical side of that claim — it says *what* is
+/// wanted (a box, an object containment, a join, a proximity predicate,
+/// plus optional refinement/projection/limit decoration) and nothing about
+/// *how*. The planner (planner.h) maps it to a physical plan tree;
+/// the executor (executor.h) pulls the tree; EXPLAIN (explain.h) renders
+/// what was chosen and what it cost.
+
+namespace probe::query {
+
+/// What a query asks for.
+enum class QueryKind {
+  /// Points inside an axis-aligned box (Figure 1 / Section 3.3).
+  kRange,
+  /// Points inside an arbitrary spatial object (decomposed on demand).
+  kObjectSearch,
+  /// Points within Euclidean distance r of a center (Section 6's
+  /// proximity-to-containment translation).
+  kWithinDistance,
+  /// The k nearest stored points to a center.
+  kKNearest,
+  /// The spatial join R[zr <> zs]S of Section 4 between two relations.
+  kSpatialJoin,
+};
+
+/// Short operator-style name ("range", "join", ...) for traces.
+const char* QueryKindName(QueryKind kind);
+
+/// One input of a spatial join. A side is either an *element relation*
+/// (`z_column` names the z-value column — the side is already decomposed)
+/// or an *object relation* (`z_column` empty; `id_column` names the object
+/// ids the planner must run through Decompose via the catalog).
+struct JoinSide {
+  const relational::Relation* relation = nullptr;
+  std::string id_column = "id";
+  std::string z_column;
+};
+
+/// A logical query. Build with the factory helpers; decorate by assigning
+/// `filter` / `projection` / `limit` afterwards.
+struct Query {
+  QueryKind kind = QueryKind::kRange;
+
+  /// kRange: the query box.
+  std::optional<geometry::GridBox> box;
+
+  /// kObjectSearch: the query object (not owned; must outlive the plan)
+  /// and an optional bounding box the planner may use for cost estimation
+  /// (without one the whole space is assumed).
+  const geometry::SpatialObject* object = nullptr;
+  std::optional<geometry::GridBox> object_bound;
+
+  /// kWithinDistance / kKNearest: the center point; radius or k.
+  geometry::GridPoint center;
+  double radius = 0.0;
+  size_t k = 0;
+
+  /// kSpatialJoin: the two inputs, the names given to z columns produced
+  /// by Decompose, and optional per-side bounding boxes (of all the side's
+  /// objects) that let the planner price the join against an index
+  /// snapshot — including proving it empty when the bounds are disjoint.
+  JoinSide r;
+  JoinSide s;
+  std::string r_z_out = "zr";
+  std::string s_z_out = "zs";
+  std::optional<geometry::GridBox> r_bound;
+  std::optional<geometry::GridBox> s_bound;
+
+  /// Optional refinement predicate applied to every output tuple (the
+  /// "attribute filter" of a mixed spatial/non-spatial query).
+  std::function<bool(const relational::Tuple&)> filter;
+
+  /// Optional projection onto the named columns; with `deduplicate`, equal
+  /// projected rows collapse (the paper's redundancy-removing projection).
+  std::vector<std::string> projection;
+  bool deduplicate = false;
+
+  /// Keep only the first `limit` rows (0 = unlimited).
+  size_t limit = 0;
+
+  // ---------------------------------------------------------- factories
+
+  static Query Range(const geometry::GridBox& range_box) {
+    Query q;
+    q.kind = QueryKind::kRange;
+    q.box = range_box;
+    return q;
+  }
+
+  static Query ObjectSearch(
+      const geometry::SpatialObject& search_object,
+      std::optional<geometry::GridBox> bound = std::nullopt) {
+    Query q;
+    q.kind = QueryKind::kObjectSearch;
+    q.object = &search_object;
+    q.object_bound = bound;
+    return q;
+  }
+
+  static Query WithinDistance(const geometry::GridPoint& query_center,
+                              double query_radius) {
+    Query q;
+    q.kind = QueryKind::kWithinDistance;
+    q.center = query_center;
+    q.radius = query_radius;
+    return q;
+  }
+
+  static Query KNearest(const geometry::GridPoint& query_center,
+                        size_t neighbors) {
+    Query q;
+    q.kind = QueryKind::kKNearest;
+    q.center = query_center;
+    q.k = neighbors;
+    return q;
+  }
+
+  static Query SpatialJoin(JoinSide r_side, JoinSide s_side) {
+    Query q;
+    q.kind = QueryKind::kSpatialJoin;
+    q.r = std::move(r_side);
+    q.s = std::move(s_side);
+    return q;
+  }
+};
+
+}  // namespace probe::query
+
+#endif  // PROBE_QUERY_QUERY_H_

@@ -159,11 +159,25 @@ Relation GroupBy(const Relation& input,
   return out;
 }
 
+namespace {
+
+// Accumulates one tuple's decomposition counters into the operator total.
+void AccumulateDecomposeStats(decompose::DecomposeStats* total,
+                              const decompose::DecomposeStats& one) {
+  if (total == nullptr) return;
+  total->elements += one.elements;
+  total->classify_calls += one.classify_calls;
+  total->boundary_elements += one.boundary_elements;
+}
+
+}  // namespace
+
 Relation DecomposeRelation(const zorder::GridSpec& grid,
                            const Relation& input, const std::string& id_column,
                            const ObjectCatalog& catalog,
                            const std::string& z_column,
-                           const decompose::DecomposeOptions& options) {
+                           const decompose::DecomposeOptions& options,
+                           decompose::DecomposeStats* stats) {
   const int id_idx = input.schema().IndexOf(id_column);
   assert(id_idx >= 0);
   assert(input.schema().column(id_idx).type == ValueType::kInt);
@@ -179,12 +193,14 @@ Relation DecomposeRelation(const zorder::GridSpec& grid,
     const uint64_t id = static_cast<uint64_t>(std::get<int64_t>(row[id_idx]));
     const geometry::SpatialObject* object = catalog.Get(id);
     assert(object != nullptr);
+    decompose::DecomposeStats one;
     for (const zorder::ZValue& element :
-         decompose::Decompose(grid, *object, options)) {
+         decompose::Decompose(grid, *object, options, &one)) {
       Tuple extended = row;
       extended.push_back(element);
       out.Add(std::move(extended));
     }
+    AccumulateDecomposeStats(stats, one);
   }
   out.SortBy(z_column);
   return out;
@@ -195,7 +211,8 @@ Relation DecomposeHeapFile(const zorder::GridSpec& grid, const HeapFile& input,
                            const ObjectCatalog& catalog,
                            const std::string& z_column,
                            const decompose::DecomposeOptions& options,
-                           uint64_t* pages_read) {
+                           uint64_t* pages_read,
+                           decompose::DecomposeStats* stats) {
   const int id_idx = input.schema().IndexOf(id_column);
   assert(id_idx >= 0);
   assert(input.schema().column(id_idx).type == ValueType::kInt);
@@ -213,12 +230,14 @@ Relation DecomposeHeapFile(const zorder::GridSpec& grid, const HeapFile& input,
         static_cast<uint64_t>(std::get<int64_t>((*row)[id_idx]));
     const geometry::SpatialObject* object = catalog.Get(id);
     assert(object != nullptr);
+    decompose::DecomposeStats one;
     for (const zorder::ZValue& element :
-         decompose::Decompose(grid, *object, options)) {
+         decompose::Decompose(grid, *object, options, &one)) {
       Tuple extended = *row;
       extended.push_back(element);
       out.Add(std::move(extended));
     }
+    AccumulateDecomposeStats(stats, one);
   }
   if (pages_read != nullptr) *pages_read = scanner.pages_read();
   out.SortBy(z_column);

@@ -37,12 +37,15 @@ Relation Project(const Relation& input, std::span<const std::string> columns,
 /// emits one output tuple per element — the input tuple extended with a
 /// z-value column named `z_column` ("the result is a set of sets that must
 /// be flattened", Section 4). The output is sorted by the new column so it
-/// is ready for a merge join.
+/// is ready for a merge join. `stats`, if non-null, accumulates the
+/// decomposition counters summed over all input tuples (the executor's
+/// EXPLAIN reports them as the operator's actual work).
 Relation DecomposeRelation(const zorder::GridSpec& grid,
                            const Relation& input, const std::string& id_column,
                            const ObjectCatalog& catalog,
                            const std::string& z_column,
-                           const decompose::DecomposeOptions& options = {});
+                           const decompose::DecomposeOptions& options = {},
+                           decompose::DecomposeStats* stats = nullptr);
 
 /// A copy of `input` with every column renamed through `prefix` + name.
 /// Joins require disjoint column names, so self-joins rename one side:
@@ -80,7 +83,8 @@ Relation DecomposeHeapFile(const zorder::GridSpec& grid, const HeapFile& input,
                            const ObjectCatalog& catalog,
                            const std::string& z_column,
                            const decompose::DecomposeOptions& options = {},
-                           uint64_t* pages_read = nullptr);
+                           uint64_t* pages_read = nullptr,
+                           decompose::DecomposeStats* stats = nullptr);
 
 }  // namespace probe::relational
 

@@ -1,6 +1,7 @@
 #include "util/bench_json.h"
 
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -104,6 +105,39 @@ bool UpdateJsonSection(const std::string& path, const std::string& section,
   }
   out << "}\n";
   return out.good();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace probe::util

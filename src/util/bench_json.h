@@ -2,6 +2,7 @@
 #define PROBE_UTIL_BENCH_JSON_H_
 
 #include <string>
+#include <string_view>
 
 /// \file
 /// Machine-readable bench output.
@@ -21,6 +22,12 @@ namespace probe::util {
 /// the file could not be written.
 bool UpdateJsonSection(const std::string& path, const std::string& section,
                        const std::string& payload);
+
+/// `text` escaped for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Benches that serialize free-form
+/// strings — operator names, EXPLAIN details — go through this instead of
+/// trusting the text.
+std::string JsonEscape(std::string_view text);
 
 }  // namespace probe::util
 

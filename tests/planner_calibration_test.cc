@@ -1,0 +1,138 @@
+// Planner calibration: the page estimates the planner attaches to its
+// plans must track what execution actually touches — the acceptance bar
+// is an aggregate drift under ~15% on range queries across all four
+// point distributions, measured through the planner itself (plan, read
+// the estimate off the root scan's stats, execute, read the actual).
+
+#include <cmath>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "index/cost_model.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "util/rng.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+#include "workload/querygen.h"
+
+namespace probe::query {
+namespace {
+
+using geometry::GridBox;
+using workload::Distribution;
+using zorder::GridSpec;
+
+/// Finds the scan node (the single leaf) in a decorated plan.
+const PlanNode* FindLeaf(const PlanNode* node) {
+  while (node->child_count() > 0) node = node->child(0);
+  return node;
+}
+
+TEST(PlannerCalibrationTest, RangeEstimatesTrackExecutedPages) {
+  const GridSpec grid{2, 10};
+  for (const auto dist :
+       {Distribution::kUniform, Distribution::kClustered,
+        Distribution::kDiagonal, Distribution::kRoadNetwork}) {
+    workload::DataGenConfig data;
+    data.distribution = dist;
+    data.count = 5000;
+    data.seed = 7900;
+    const auto points = GeneratePoints(grid, data);
+    auto built = workload::BuildZkdIndex(grid, points, 20, 256);
+    const index::CostModel model = index::CostModel::FromIndex(*built.index);
+
+    PlannerContext ctx;
+    ctx.index = built.index.get();
+    ctx.cost_model = &model;
+
+    util::Rng rng(7910);
+    double total_estimated = 0;
+    double total_actual = 0;
+    double total_error = 0;
+    for (const double volume : {0.01, 0.02, 0.05, 0.10}) {
+      for (const double aspect : {1.0, 4.0}) {
+        for (const auto& box :
+             workload::MakeQueryBoxes2D(grid, volume, aspect, 5, rng)) {
+          PlannedQuery planned = Plan(Query::Range(box), ctx);
+          ExecuteIds(*planned.root);
+          const NodeStats& stats = FindLeaf(planned.root.get())->stats();
+          ASSERT_TRUE(stats.has_estimate) << planned.summary;
+          ASSERT_TRUE(stats.executed) << planned.summary;
+          total_estimated += static_cast<double>(stats.est_pages);
+          total_actual += static_cast<double>(stats.actual_pages);
+          total_error +=
+              std::abs(static_cast<double>(stats.est_pages) -
+                       static_cast<double>(stats.actual_pages));
+        }
+      }
+    }
+    ASSERT_GT(total_actual, 0.0);
+    // Aggregate drift band: mean absolute error and the bias both under
+    // 15% of the executed total.
+    EXPECT_LT(total_error / total_actual, 0.15)
+        << workload::DistributionName(dist);
+    EXPECT_LT(std::abs(total_estimated - total_actual) / total_actual, 0.15)
+        << workload::DistributionName(dist);
+  }
+}
+
+TEST(PlannerCalibrationTest, JoinEstimateEqualsIntersectionEstimate) {
+  const GridSpec grid{2, 10};
+  workload::DataGenConfig data;
+  data.count = 5000;
+  data.seed = 7950;
+  const auto points = GeneratePoints(grid, data);
+  auto built = workload::BuildZkdIndex(grid, points, 20, 256);
+  const index::CostModel model = index::CostModel::FromIndex(*built.index);
+
+  util::Rng rng(7960);
+  for (int i = 0; i < 8; ++i) {
+    const auto r_box = workload::MakeQueryBoxes2D(grid, 0.05, 1.0, 1, rng)[0];
+    const auto s_box = workload::MakeQueryBoxes2D(grid, 0.05, 2.0, 1, rng)[0];
+    const auto join = model.EstimateJoinPages(model, r_box, s_box);
+    const auto overlap = r_box.Intersection(s_box);
+    ASSERT_EQ(join.overlap, overlap.has_value());
+    if (!overlap.has_value()) {
+      EXPECT_EQ(join.pages(), 0u);
+      continue;
+    }
+    // At full depth the intersected run lists of the two boxes cover
+    // exactly the cells of the boxes' intersection, so the join estimate
+    // must agree with the plain range estimate of the intersection box —
+    // on both snapshots (here the same index twice).
+    const auto direct = model.EstimatePages(*overlap);
+    EXPECT_EQ(join.r_pages, direct.pages);
+    EXPECT_EQ(join.s_pages, direct.pages);
+
+    // And that shared estimate tracks execution over the intersection.
+    index::QueryStats stats;
+    built.index->RangeSearch(*overlap, &stats);
+    EXPECT_NEAR(static_cast<double>(join.r_pages),
+                static_cast<double>(stats.leaf_pages),
+                4.0 + 0.25 * static_cast<double>(stats.leaf_pages));
+  }
+}
+
+TEST(PlannerCalibrationTest, DepthCapKeepsEstimateUsable) {
+  const GridSpec grid{2, 10};
+  workload::DataGenConfig data;
+  data.count = 5000;
+  data.seed = 7970;
+  const auto points = GeneratePoints(grid, data);
+  auto built = workload::BuildZkdIndex(grid, points, 20, 256);
+  const index::CostModel model = index::CostModel::FromIndex(*built.index);
+
+  const auto box = GridBox::Make2D(100, 500, 200, 900);
+  const int cap = index::CostModel::EstimateDepthCap(grid, box, 256);
+  ASSERT_GE(cap, 0) << "a 400x700 box must not fit 256 elements at full depth";
+  // The capped cover stays within the element budget...
+  const auto capped = model.EstimatePages(box, cap);
+  EXPECT_LE(capped.elements_used, 256u);
+  // ...and remains an upper estimate of the full-depth one.
+  EXPECT_GE(capped.pages, model.EstimatePages(box).pages);
+}
+
+}  // namespace
+}  // namespace probe::query
