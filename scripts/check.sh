@@ -1,35 +1,63 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, run tests, run every bench, then
-# run the concurrency tests again under ThreadSanitizer.
+# Full verification: configure, build, run tests, run every bench, then the
+# sanitizer matrix (ASan+UBSan over everything, TSan over the concurrency
+# label) and the clang-tidy gate.
+#
 # Usage: scripts/check.sh [build-dir]
+#
+# Each sanitizer gets its own build directory (sanitized objects can't link
+# against plain ones):
+#   <build>        default RelWithDebInfo, audits compiled out
+#   <build>-asan   ASan + UBSan + PROBE_AUDIT=ON, full ctest
+#   <build>-tsan   TSan, ctest -L concurrency
+# Skip the sanitizer passes (e.g. on a machine without the runtimes) with
+# CHECK_SKIP_SANITIZERS=1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-if [ -f "$BUILD/CMakeCache.txt" ]; then
-  cmake -B "$BUILD"  # keep whatever generator the dir was configured with
-else
-  cmake -B "$BUILD" -G Ninja
-fi
+configure() {
+  # Keep whatever generator an existing dir was configured with; prefer
+  # Ninja for fresh ones.
+  local dir="$1"
+  shift
+  if [ -f "$dir/CMakeCache.txt" ]; then
+    cmake -B "$dir" "$@"
+  else
+    cmake -B "$dir" -S . -G Ninja "$@"
+  fi
+}
+
+configure "$BUILD"
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" --output-on-failure
+
 for b in "$BUILD"/bench/*; do
+  # The bench dir also holds CMake bookkeeping; only run real binaries.
+  [ -x "$b" ] && [ -f "$b" ] || continue
   echo "=== running $b ==="
   "$b"
 done
 
-# ThreadSanitizer pass over the parallel/concurrency tests. Separate build
-# dir: TSan objects can't link against the normal ones.
-TSAN_BUILD="${BUILD}-tsan"
-if [ -f "$TSAN_BUILD/CMakeCache.txt" ]; then
-  cmake -B "$TSAN_BUILD" -DPROBE_TSAN=ON
-else
-  cmake -B "$TSAN_BUILD" -S . -G Ninja -DPROBE_TSAN=ON
+if [ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]; then
+  # ASan + UBSan over the full suite, with the invariant audits compiled in
+  # so the sanitizers run over audited code paths. The fuzz drivers (ctest
+  # label `fuzz`) are the main UBSan payload: 10k+ seeded cases across the
+  # bit-twiddling hot paths.
+  ASAN_BUILD="${BUILD}-asan"
+  configure "$ASAN_BUILD" -DPROBE_ASAN=ON -DPROBE_UBSAN=ON -DPROBE_AUDIT=ON
+  cmake --build "$ASAN_BUILD"
+  ctest --test-dir "$ASAN_BUILD" --output-on-failure
+
+  # ThreadSanitizer over the tests that exercise the thread pool and the
+  # sharded buffer pool (ctest label `concurrency`).
+  TSAN_BUILD="${BUILD}-tsan"
+  configure "$TSAN_BUILD" -DPROBE_TSAN=ON
+  cmake --build "$TSAN_BUILD" --target concurrency_tests
+  ctest --test-dir "$TSAN_BUILD" -L concurrency --output-on-failure
 fi
-cmake --build "$TSAN_BUILD" --target parallel_test --target planner_test
-echo "=== parallel_test under ThreadSanitizer ==="
-"$TSAN_BUILD"/tests/parallel_test
-echo "=== planner_test under ThreadSanitizer ==="
-"$TSAN_BUILD"/tests/planner_test
+
+# clang-tidy gate (no-op with a notice when clang-tidy is unavailable).
+scripts/lint.sh "$BUILD"
 
 echo "ALL CHECKS PASSED"

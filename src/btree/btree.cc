@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "btree/audit.h"
+#include "probe/check.h"
+
 namespace probe::btree {
 
 namespace {
@@ -59,7 +62,10 @@ void BTree::InsertRec(PageId page_id, const ZKey& key, uint64_t payload,
     }
     leaf.InsertAt(idx, LeafEntry{key, payload});
     ref.MarkDirty();
-    if (leaf.count() <= config_.leaf_capacity) return;
+    if (leaf.count() <= config_.leaf_capacity) {
+      PROBE_AUDIT(AuditLeafPage(leaf, 1, config_.leaf_capacity));
+      return;
+    }
 
     // Overflow: split. Prefer a split point that does not divide a run of
     // equal keys, so prefix separators stay strict where possible.
@@ -96,6 +102,9 @@ void BTree::InsertRec(PageId page_id, const ZKey& key, uint64_t payload,
     result->separator =
         PrefixSeparator(leaf.Get(split - 1).key, right.Get(0).key);
     result->new_page = right_id;
+    // Both halves of a split must hold sorted keys and at least one entry.
+    PROBE_AUDIT(AuditLeafPage(leaf, 1, config_.leaf_capacity));
+    PROBE_AUDIT(AuditLeafPage(right, 1, config_.leaf_capacity));
     return;
   }
 
@@ -107,7 +116,10 @@ void BTree::InsertRec(PageId page_id, const ZKey& key, uint64_t payload,
 
   node.InsertPairAt(child_idx, child_result.separator, child_result.new_page);
   ref.MarkDirty();
-  if (node.count() <= config_.internal_capacity) return;
+  if (node.count() <= config_.internal_capacity) {
+    PROBE_AUDIT(AuditInternalPage(node, 1, config_.internal_capacity));
+    return;
+  }
 
   // Split the internal node: the middle separator moves up.
   const int n = node.count();
@@ -124,6 +136,8 @@ void BTree::InsertRec(PageId page_id, const ZKey& key, uint64_t payload,
   result->new_page = right_id;
   node.set_count(mid);
   right_ref.MarkDirty();
+  PROBE_AUDIT(AuditInternalPage(node, 1, config_.internal_capacity));
+  PROBE_AUDIT(AuditInternalPage(right, 1, config_.internal_capacity));
 }
 
 bool BTree::Delete(const ZKey& key, uint64_t payload) {
@@ -156,6 +170,9 @@ bool BTree::DeleteRec(PageId page_id, const ZKey& key, uint64_t payload,
         leaf.RemoveAt(i);
         ref.MarkDirty();
         *underflow = page_id != root_ && leaf.count() < MinLeafCount();
+        // Order must survive removal; occupancy is the parent's problem
+        // (it rebalances on *underflow).
+        PROBE_AUDIT(AuditLeafPage(leaf, 0, config_.leaf_capacity));
         return true;
       }
     }
@@ -174,6 +191,7 @@ bool BTree::DeleteRec(PageId page_id, const ZKey& key, uint64_t payload,
         FixUnderflow(node, child_idx);
         ref.MarkDirty();
         *underflow = page_id != root_ && node.count() < MinInternalCount();
+        PROBE_AUDIT(AuditInternalPage(node, 0, config_.internal_capacity));
       }
       return true;
     }
@@ -493,6 +511,8 @@ BTree::BulkBuilder::BulkBuilder(storage::BufferPool* pool,
 
 void BTree::BulkBuilder::Add(const LeafEntry& entry) {
   assert(!have_last_key_ || !(entry.key < last_key_));
+  PROBE_ASSERT_MSG(!have_last_key_ || !(entry.key < last_key_),
+                   "bulk-load feed out of z order");
   last_key_ = entry.key;
   have_last_key_ = true;
   pending_.push_back(entry);
@@ -511,6 +531,7 @@ void BTree::BulkBuilder::CloseLeaf() {
   }
   leaf.set_count(static_cast<int>(pending_.size()));
   ref.MarkDirty();
+  PROBE_AUDIT(AuditLeafPage(leaf, 1, config_.leaf_capacity));
   if (prev_leaf_ != storage::kInvalidPageId) {
     PageRef prev_ref = pool_->Fetch(prev_leaf_);
     LeafView(&prev_ref.page()).set_next_leaf(id);

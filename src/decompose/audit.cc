@@ -1,0 +1,41 @@
+#include "decompose/audit.h"
+
+#include "probe/check.h"
+#include "zorder/audit.h"
+
+namespace probe::decompose {
+
+void AuditDecomposition(const zorder::GridSpec& grid,
+                        std::span<const zorder::ZValue> elements) {
+  zorder::AuditElementCover(grid, elements, /*expected_cells=*/-1,
+                            /*max_elements=*/0);
+}
+
+void AuditBoxCover(const zorder::GridSpec& grid, const geometry::GridBox& box,
+                   std::span<const zorder::ZValue> elements, bool exact,
+                   bool include_boundary) {
+  zorder::AuditElementCover(grid, elements, /*expected_cells=*/-1,
+                            /*max_elements=*/0);
+  const uint64_t want = box.Volume();
+  const uint64_t covered = CoveredVolume(grid, std::vector<zorder::ZValue>(
+                                                   elements.begin(),
+                                                   elements.end()));
+  if (exact) {
+    if (covered != want) {
+      check::AuditFailure(__FILE__, __LINE__, "covered == box.Volume()",
+                          "exact box cover volume mismatch");
+    }
+  } else if (include_boundary) {
+    if (covered < want) {
+      check::AuditFailure(__FILE__, __LINE__, "covered >= box.Volume()",
+                          "outside approximation lost cells of the box");
+    }
+  } else {
+    if (covered > want) {
+      check::AuditFailure(__FILE__, __LINE__, "covered <= box.Volume()",
+                          "inside approximation covers cells off the box");
+    }
+  }
+}
+
+}  // namespace probe::decompose

@@ -1,0 +1,39 @@
+#ifndef PROBE_DECOMPOSE_AUDIT_H_
+#define PROBE_DECOMPOSE_AUDIT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "decompose/decomposer.h"
+#include "geometry/box.h"
+#include "zorder/grid.h"
+#include "zorder/zvalue.h"
+
+/// \file
+/// Auditors for decomposition outputs (Section 3.1/5.1).
+///
+/// A decomposition must be a disjoint cover: elements strictly ascending in
+/// z order, pairwise disjoint as z intervals, and — for an exact (full
+/// depth) box decomposition — covering exactly the box's cells. These abort
+/// on violation and are wrapped in PROBE_AUDIT at the emit sites.
+
+namespace probe::decompose {
+
+/// Audits a general decomposition result: sorted, disjoint, within the
+/// grid's resolution. Does not check coverage (general objects are only
+/// approximated by their covers).
+void AuditDecomposition(const zorder::GridSpec& grid,
+                        std::span<const zorder::ZValue> elements);
+
+/// Audits a box decomposition. When `exact` (full-resolution decomposition
+/// of an aligned box) the union of elements must cover exactly
+/// `box.Volume()` cells; otherwise at least that many (a depth-capped cover
+/// approximates the box from outside) — unless boundary elements were
+/// dropped, in which case at most that many.
+void AuditBoxCover(const zorder::GridSpec& grid, const geometry::GridBox& box,
+                   std::span<const zorder::ZValue> elements, bool exact,
+                   bool include_boundary);
+
+}  // namespace probe::decompose
+
+#endif  // PROBE_DECOMPOSE_AUDIT_H_

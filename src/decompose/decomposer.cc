@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "decompose/audit.h"
 #include "geometry/primitives.h"
+#include "probe/check.h"
 #include "zorder/shuffle.h"
 
 namespace probe::decompose {
@@ -68,6 +70,7 @@ std::vector<ZValue> Decompose(const GridSpec& grid,
   DecomposeRecursive(grid, object, options, ZValue(),
                      EffectiveDepthCap(grid, options), stats,
                      [&](const ZValue& z, bool) { elements.push_back(z); });
+  PROBE_AUDIT(AuditDecomposition(grid, elements));
   return elements;
 }
 
@@ -90,7 +93,15 @@ std::vector<ZValue> DecomposeBox(const GridSpec& grid, const GridBox& box,
                                  const DecomposeOptions& options,
                                  DecomposeStats* stats) {
   const geometry::BoxObject object(box);
-  return Decompose(grid, object, options, stats);
+  std::vector<ZValue> elements = Decompose(grid, object, options, stats);
+  // A full-resolution box decomposition is an exact disjoint cover; a
+  // depth-capped one approximates from outside (or inside, when boundary
+  // elements are dropped).
+  PROBE_AUDIT(AuditBoxCover(
+      grid, box, elements,
+      /*exact=*/EffectiveDepthCap(grid, options) == grid.total_bits(),
+      options.include_boundary));
+  return elements;
 }
 
 uint64_t CountElements(const GridSpec& grid, const SpatialObject& object,

@@ -53,6 +53,8 @@ bool ElementGenerator::Advance(uint64_t target, zorder::ZValue* out) {
         continue;
       case geometry::RegionClass::kInside:
         ++stats_.elements;
+        PROBE_AUDIT(
+            emit_order_.Observe(region.RangeLo(total), "element generator"));
         *out = region;
         return true;
       case geometry::RegionClass::kCrossing:
@@ -60,6 +62,8 @@ bool ElementGenerator::Advance(uint64_t target, zorder::ZValue* out) {
           if (options_.include_boundary) {
             ++stats_.elements;
             ++stats_.boundary_elements;
+            PROBE_AUDIT(emit_order_.Observe(region.RangeLo(total),
+                                            "element generator"));
             *out = region;
             return true;
           }

@@ -6,6 +6,7 @@
 
 #include "decompose/decomposer.h"
 #include "geometry/object.h"
+#include "probe/check.h"
 #include "zorder/grid.h"
 #include "zorder/zvalue.h"
 
@@ -60,6 +61,8 @@ class ElementGenerator {
   const int depth_cap_;
   std::vector<zorder::ZValue> stack_;
   DecomposeStats stats_;
+  // Audit state: emitted elements must be strictly ascending in z order.
+  check::ZMonotone emit_order_{/*strict=*/true};
 };
 
 }  // namespace probe::decompose

@@ -6,6 +6,9 @@
 
 #include "decompose/generator.h"
 #include "geometry/primitives.h"
+#include "probe/check.h"
+#include "storage/audit.h"
+#include "zorder/audit.h"
 #include "zorder/bigmin.h"
 #include "zorder/shuffle.h"
 
@@ -182,10 +185,19 @@ void ZkdIndex::MergePartition(const geometry::SpatialObject& object,
     results->push_back(entry.payload);
   };
 
+  // Merge-order invariants (Section 3.3): the element sequence B advances
+  // strictly in z order, and reported points never move backwards. Every
+  // page pinned by this partition is released before it returns — the
+  // scope must outlive the cursor, which keeps its current leaf pinned.
+  storage::PinBalanceScope pin_scope("ZkdIndex::MergePartition");
+
   btree::BTree::Cursor cursor(&tree_);
   ZValue element;
   uint64_t points_scanned = 0;
   uint64_t point_seeks = 0;
+
+  check::ZMonotone element_order(/*strict=*/true);
+  check::ZMonotone report_order(/*strict=*/false);
 
   // The optimized merge of Section 3.3: random access on B (SeekForward)
   // and on P (Seek) skips the parts of the space that cannot contribute.
@@ -204,6 +216,7 @@ void ZkdIndex::MergePartition(const geometry::SpatialObject& object,
   if (have_element) {
     uint64_t zlo = element.RangeLo(total);
     uint64_t zhi = element.RangeHi(total);
+    PROBE_AUDIT(element_order.Observe(zlo, "skip-merge element sequence"));
     ++point_seeks;
     bool have_point = cursor.Seek(IntegerKey(grid_, zlo));
     while (have_point) {
@@ -216,6 +229,7 @@ void ZkdIndex::MergePartition(const geometry::SpatialObject& object,
         continue;
       }
       if (pz <= zhi) {
+        PROBE_AUDIT(report_order.Observe(pz, "skip-merge reported points"));
         report(cursor.entry());
         have_point = cursor.Next();
         continue;
@@ -224,6 +238,7 @@ void ZkdIndex::MergePartition(const geometry::SpatialObject& object,
       if (!generator.SeekForward(pz, &element)) break;
       zlo = element.RangeLo(total);
       zhi = element.RangeHi(total);
+      PROBE_AUDIT(element_order.Observe(zlo, "skip-merge element sequence"));
       if (zlo > owned_hi) break;  // the next element is another partition's
       if (pz < zlo) {
         ++point_seeks;
@@ -309,13 +324,19 @@ std::vector<uint64_t> ZkdIndex::SearchDecomposed(
 void ZkdIndex::BigMinPartition(uint64_t zmin, uint64_t zmax, uint64_t from,
                                uint64_t upto, std::vector<uint64_t>* results,
                                QueryStats* stats) const {
+  // The BIGMIN walk must move strictly forward in z (each skip lands past
+  // the current point) and leave no pinned pages behind. The scope must
+  // outlive the cursor, which keeps its current leaf pinned.
+  storage::PinBalanceScope pin_scope("ZkdIndex::BigMinPartition");
   btree::BTree::Cursor cursor(&tree_);
   uint64_t points_scanned = 0;
   uint64_t point_seeks = 1;
+  check::ZMonotone scan_order(/*strict=*/false);
   bool have_point = cursor.Seek(IntegerKey(grid_, from));
   while (have_point) {
     const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
     if (pz > upto) break;
+    PROBE_AUDIT(scan_order.Observe(pz, "BIGMIN point scan"));
     ++points_scanned;
     if (InBox(grid_, pz, zmin, zmax)) {
       results->push_back(cursor.entry().payload);
@@ -323,7 +344,10 @@ void ZkdIndex::BigMinPartition(uint64_t zmin, uint64_t zmax, uint64_t from,
       continue;
     }
     uint64_t next_z = 0;
-    if (!BigMin(grid_, pz, zmin, zmax, &next_z)) break;
+    const bool found = BigMin(grid_, pz, zmin, zmax, &next_z);
+    PROBE_AUDIT(zorder::AuditBigMinResult(grid_, pz, zmin, zmax, found,
+                                          next_z, /*is_bigmin=*/true));
+    if (!found) break;
     if (next_z > upto) break;  // the rest of the box is another partition's
     ++point_seeks;
     have_point = cursor.Seek(IntegerKey(grid_, next_z));
@@ -477,6 +501,7 @@ bool ZkdIndex::RangeCursor::Next(uint64_t* id, geometry::GridPoint* point) {
       continue;
     }
     if (pz <= zhi_) {
+      PROBE_AUDIT(match_order_.Observe(pz, "RangeCursor match stream"));
       *id = cursor_->entry().payload;
       if (point != nullptr) {
         *point = geometry::GridPoint(std::span<const uint32_t>(

@@ -15,6 +15,7 @@
 #include "geometry/object.h"
 #include "geometry/point.h"
 #include "geometry/primitives.h"
+#include "probe/check.h"
 #include "util/thread_pool.h"
 #include "zorder/grid.h"
 
@@ -198,6 +199,8 @@ class ZkdIndex {
     bool have_element_ = false;
     bool have_point_ = false;
     QueryStats stats_;
+    // Audit state: matches must stream in non-decreasing z order.
+    check::ZMonotone match_order_;
   };
 
   /// First key of every leaf page, in z order, plus per-leaf entry counts.

@@ -1,0 +1,30 @@
+#include "probe/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace probe::check {
+
+void AuditFailure(const char* file, int line, const char* expr,
+                  const char* message) {
+  std::fprintf(stderr, "PROBE_AUDIT failure at %s:%d: %s%s%s\n", file, line,
+               expr, message != nullptr ? " — " : "",
+               message != nullptr ? message : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+void ZMonotone::Observe(uint64_t z, const char* where) {
+  if (have_) {
+    if (strict_ ? z <= last_ : z < last_) {
+      AuditFailure(__FILE__, __LINE__,
+                   strict_ ? "z cursor moved non-forward"
+                           : "z cursor moved backwards",
+                   where);
+    }
+  }
+  have_ = true;
+  last_ = z;
+}
+
+}  // namespace probe::check

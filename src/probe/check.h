@@ -1,0 +1,107 @@
+#ifndef PROBE_PROBE_CHECK_H_
+#define PROBE_PROBE_CHECK_H_
+
+#include <cstdint>
+
+/// \file
+/// The invariant-audit layer.
+///
+/// Everything in this library rests on a handful of algebraic invariants:
+/// z values are totally ordered and containment is exactly the prefix
+/// relation (Section 2); decompositions are disjoint z-interval covers
+/// (Section 3); the skip merge, the BIGMIN skip, and the spatial join never
+/// move backwards in z order (Sections 3.3-4); B-tree pages keep their keys
+/// sorted and their occupancy bounds; every buffer-pool pin is eventually
+/// unpinned by its own thread. This header provides the machinery to state
+/// those invariants *at the point where they must hold* and to check them
+/// in auditing builds while costing nothing in Release:
+///
+///   PROBE_ASSERT(cond)            O(1) invariant at a hot-path site.
+///   PROBE_ASSERT_MSG(cond, msg)   Same, with a diagnostic string.
+///   PROBE_AUDIT(stmt)             An arbitrary (possibly expensive) audit
+///                                 statement, e.g. a call into one of the
+///                                 per-subsystem auditors.
+///
+/// All three compile to nothing — operands unevaluated — unless
+/// PROBE_AUDIT_ENABLED is 1, which happens in Debug builds (no NDEBUG) and
+/// in any build configured with -DPROBE_AUDIT=ON. The per-subsystem auditor
+/// *functions* (zorder/audit.h, decompose/audit.h, btree/audit.h,
+/// storage/audit.h) are compiled unconditionally, so tests can invoke them
+/// directly in any configuration; only the hot-path call sites vanish.
+///
+/// A failed check prints the expression, location, and message to stderr
+/// and calls abort() — deliberately signal-unfriendly so sanitizers, ctest,
+/// and gtest death tests all see a hard failure.
+
+#if defined(PROBE_AUDIT_ON) || !defined(NDEBUG)
+#define PROBE_AUDIT_ENABLED 1
+#else
+#define PROBE_AUDIT_ENABLED 0
+#endif
+
+namespace probe::check {
+
+/// Prints a diagnostic and aborts. `message` may be null.
+[[noreturn]] void AuditFailure(const char* file, int line, const char* expr,
+                               const char* message);
+
+/// True when the running binary was built with audits compiled in. Lets
+/// benches and tests report which mode they measured without macro games.
+constexpr bool AuditsEnabled() { return PROBE_AUDIT_ENABLED != 0; }
+
+/// Tracks a sequence that must be non-decreasing (optionally strictly
+/// increasing) in z order. Cursors and merges embed one of these and feed
+/// it through PROBE_AUDIT; the object is cheap enough to keep unconditionally
+/// but its Observe calls are compiled out with the rest of the audits.
+class ZMonotone {
+ public:
+  /// `strict` requires each observation to strictly exceed the last.
+  explicit ZMonotone(bool strict = false) : strict_(strict) {}
+
+  /// Checks `z` against the previous observation and records it.
+  void Observe(uint64_t z, const char* where);
+
+  /// Forgets the history (e.g. after an intentional rewind via Seek).
+  void Reset() { have_ = false; }
+
+  bool has_observation() const { return have_; }
+  uint64_t last() const { return last_; }
+
+ private:
+  uint64_t last_ = 0;
+  bool have_ = false;
+  bool strict_ = false;
+};
+
+}  // namespace probe::check
+
+#if PROBE_AUDIT_ENABLED
+
+#define PROBE_ASSERT(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::probe::check::AuditFailure(__FILE__, __LINE__, #cond, nullptr); \
+    }                                                                   \
+  } while (0)
+
+#define PROBE_ASSERT_MSG(cond, msg)                                 \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::probe::check::AuditFailure(__FILE__, __LINE__, #cond, msg); \
+    }                                                               \
+  } while (0)
+
+#define PROBE_AUDIT(stmt) \
+  do {                    \
+    stmt;                 \
+  } while (0)
+
+#else  // !PROBE_AUDIT_ENABLED — operands must not be evaluated.
+
+#define PROBE_ASSERT(cond) ((void)0)
+#define PROBE_ASSERT_MSG(cond, msg) ((void)0)
+#define PROBE_AUDIT(stmt) ((void)0)
+
+#endif  // PROBE_AUDIT_ENABLED
+
+#endif  // PROBE_PROBE_CHECK_H_

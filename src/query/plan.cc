@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "index/nearest.h"
+#include "probe/check.h"
 #include "relational/operators.h"
 #include "relational/spatial_join.h"
+#include "zorder/zvalue.h"
 
 namespace probe::query {
 
@@ -348,6 +350,16 @@ class DecomposeNode final : public MaterializedNode {
     result_ = relational::DecomposeRelation(grid_, input, id_column_, catalog_,
                                             z_column_, options_, &dstats);
     stats_.actual_elements = dstats.elements;
+    // Every emitted element must be a region of this grid: a z value longer
+    // than the grid's bit budget cannot come from a legal decomposition.
+    PROBE_AUDIT({
+      const int z_idx = result_.schema().IndexOf(z_column_);
+      for (size_t row = 0; row < result_.size(); ++row) {
+        const auto& z = std::get<zorder::ZValue>(result_.row(row)[z_idx]);
+        PROBE_ASSERT_MSG(z.length() <= grid_.total_bits(),
+                         "decomposed element deeper than the grid");
+      }
+    });
   }
 
  private:
@@ -400,6 +412,11 @@ class MergeJoinNode final : public MaterializedNode {
                                         &jstats);
     }
     stats_.actual_elements = jstats.r_rows + jstats.s_rows;
+    // The pair counter and the materialized output are maintained
+    // independently (per-slice counters vs. emitted tuples); they must
+    // agree or a parallel slice lost or duplicated work.
+    PROBE_ASSERT_MSG(jstats.pairs == result_.size(),
+                     "spatial-join pair count disagrees with output size");
     stats_.detail += (stats_.detail.empty() ? "" : " ");
     stats_.detail += "pairs=" + std::to_string(jstats.pairs) +
                      " merge_partitions=" + std::to_string(jstats.partitions);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "probe/check.h"
 #include "zorder/zvalue.h"
 
 namespace probe::relational {
@@ -56,6 +57,20 @@ void MergeSlice(const JoinInputs& in, const JoinSlice& slice,
   // prefixes by the nesting theorem of Section 3.2.
   std::vector<size_t> r_stack, s_stack;
 
+  // Merge-order invariants: the merge position never moves backwards in z,
+  // and each containment stack stays a chain of prefixes top to bottom.
+  check::ZMonotone merge_order(/*strict=*/false);
+#if PROBE_AUDIT_ENABLED
+  auto audit_chain = [&](const Relation& rel, int z_col,
+                         const std::vector<size_t>& stack) {
+    for (size_t d = 1; d < stack.size(); ++d) {
+      PROBE_ASSERT_MSG(
+          ZOf(rel, stack[d - 1], z_col).Contains(ZOf(rel, stack[d], z_col)),
+          "spatial-join stack is not a prefix chain");
+    }
+  };
+#endif
+
   size_t i = slice.i_begin;  // position in r_order
   size_t j = slice.j_begin;  // position in s_order
   while (i < slice.i_end || j < slice.j_end) {
@@ -86,14 +101,19 @@ void MergeSlice(const JoinInputs& in, const JoinSlice& slice,
       s_stack.pop_back();
     }
 
+    PROBE_AUDIT(
+        merge_order.Observe(z.RangeLo(ZValue::kMaxBits), "spatial-join merge"));
+
     // Every open element of the other side contains z, hence overlaps it.
     if (take_r) {
       for (size_t s_row : s_stack) emit(in.r_order[i], s_row);
       r_stack.push_back(in.r_order[i]);
+      PROBE_AUDIT(audit_chain(in.r, in.zr, r_stack));
       ++i;
     } else {
       for (size_t r_row : r_stack) emit(r_row, in.s_order[j]);
       s_stack.push_back(in.s_order[j]);
+      PROBE_AUDIT(audit_chain(in.s, in.zs, s_stack));
       ++j;
     }
     if (stats != nullptr) {

@@ -1,0 +1,54 @@
+#ifndef PROBE_STORAGE_AUDIT_H_
+#define PROBE_STORAGE_AUDIT_H_
+
+#include <cstdint>
+
+#include "probe/check.h"
+#include "storage/buffer_pool.h"
+
+/// \file
+/// Pin-balance auditing for the buffer pool.
+///
+/// Every query path must release every page it pins before it finishes —
+/// the parallel partitions rely on it (a leaked pin on another thread's
+/// frame would wedge eviction), and PR 1's per-thread pin accounting exists
+/// precisely to make this checkable. PinBalanceScope snapshots the calling
+/// thread's pin count at construction and verifies it is restored at
+/// destruction. The object always compiles; its checks vanish with the
+/// audit layer.
+
+namespace probe::storage {
+
+/// RAII audit: the calling thread's buffer-pool pin count must return to
+/// its construction-time value by destruction time.
+class PinBalanceScope {
+ public:
+  explicit PinBalanceScope(const char* where) {
+#if PROBE_AUDIT_ENABLED
+    where_ = where;
+    entry_pins_ = BufferPool::PinnedByThisThread();
+#else
+    (void)where;
+#endif
+  }
+
+  PinBalanceScope(const PinBalanceScope&) = delete;
+  PinBalanceScope& operator=(const PinBalanceScope&) = delete;
+
+  ~PinBalanceScope() { Check(); }
+
+  /// Mid-scope check, e.g. between partitions of a loop.
+  void Check() const {
+    PROBE_ASSERT_MSG(BufferPool::PinnedByThisThread() == entry_pins_, where_);
+  }
+
+#if PROBE_AUDIT_ENABLED
+ private:
+  const char* where_ = nullptr;
+  int64_t entry_pins_ = 0;
+#endif
+};
+
+}  // namespace probe::storage
+
+#endif  // PROBE_STORAGE_AUDIT_H_

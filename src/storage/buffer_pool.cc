@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "probe/check.h"
+
 namespace probe::storage {
 
 namespace {
@@ -85,7 +87,17 @@ BufferPool::BufferPool(Pager* pager, size_t capacity, EvictionPolicy policy,
   }
 }
 
-BufferPool::~BufferPool() { FlushAll(); }
+BufferPool::~BufferPool() {
+  FlushAll();
+  // Every frame must be unpinned by now: a PageRef outliving its pool
+  // would write through a dangling pointer on release.
+  PROBE_AUDIT({
+    for (size_t f = 0; f < capacity_; ++f) {
+      PROBE_ASSERT_MSG(frames_[f].pins == 0,
+                       "page still pinned at pool destruction");
+    }
+  });
+}
 
 BufferPool::Shard& BufferPool::ShardFor(PageId id) {
   // Page ids are dense and sequential; a multiplicative hash spreads runs

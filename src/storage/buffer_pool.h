@@ -163,6 +163,13 @@ class BufferPool {
  private:
   friend class PageRef;
 
+  // Thread-safety contract (the TSan `concurrency` suite runs against it):
+  // `id`, `pins`, `queue_pos`, `in_queue`, and `referenced` are guarded by
+  // the owning shard's mutex. `page` bytes are touched only while the frame
+  // is pinned; concurrent access to one pinned page is the *caller's*
+  // contract (readers may share, writers must be exclusive — the parallel
+  // query paths only ever read shared pages). `dirty` is atomic because
+  // MarkDirty writes it under a pin but outside the shard lock.
   struct Frame {
     Page page;
     PageId id = kInvalidPageId;

@@ -47,8 +47,9 @@ constexpr int BitSpan(uint64_t x) {
 /// construction of Section 5.1: "replace U by U' such that U' >= U and the
 /// last m bits of U' are zero").
 constexpr uint64_t RoundUpToZeroBits(uint64_t x, int m) {
-  const uint64_t unit = 1ULL << m;
-  return (x + unit - 1) & ~(unit - 1);
+  // Phrased via LowMask so the shift stays defined over the whole legal
+  // range [0, 64]; m == 64 wraps to 0, the only 64-bit multiple of 2^64.
+  return (x + LowMask(m)) & ~LowMask(m);
 }
 
 /// True iff x is a power of two (and nonzero).

@@ -71,6 +71,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
   // Shared iteration counter: lanes grab indices until exhausted. The
   // caller enqueues one helper per worker, then drains alongside them.
+  //
+  // Lifetime/visibility contract (TSan-audited): `fn` is captured by
+  // reference, which is safe because the caller blocks until done == n and
+  // a lane only touches fn for a claimed index i < n — once every claimed
+  // index has been counted done, no lane is inside fn or can enter it
+  // again. `state` is a shared_ptr so stragglers that lose the final
+  // next.fetch_add race can still read it after the caller returns. The
+  // acq_rel on done pairs with the acquire load in the wait predicate, so
+  // every write fn made is visible to the caller before ParallelFor
+  // returns.
   struct State {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};

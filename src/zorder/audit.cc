@@ -1,0 +1,102 @@
+#include "zorder/audit.h"
+
+#include "probe/check.h"
+#include "zorder/bigmin.h"
+
+namespace probe::zorder {
+
+namespace {
+
+// Prefix relation computed the slow, obviously-correct way: bit by bit.
+bool IsPrefixBitwise(const ZValue& p, const ZValue& x) {
+  if (p.length() > x.length()) return false;
+  for (int i = 0; i < p.length(); ++i) {
+    if (p.BitAt(i) != x.BitAt(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void AuditZOrderLaws(const ZValue& a, const ZValue& b) {
+  // Containment == prefix, both directions, against the bitwise oracle.
+  if (a.Contains(b) != IsPrefixBitwise(a, b)) {
+    check::AuditFailure(__FILE__, __LINE__,
+                        "Contains(a,b) == prefix(a,b)", "z containment law");
+  }
+  if (b.Contains(a) != IsPrefixBitwise(b, a)) {
+    check::AuditFailure(__FILE__, __LINE__,
+                        "Contains(b,a) == prefix(b,a)", "z containment law");
+  }
+
+  // Nest-or-disjoint: the z intervals [RangeLo, RangeHi] of two z values
+  // either nest (exactly when one contains the other) or do not touch.
+  const int total = ZValue::kMaxBits;
+  const uint64_t alo = a.RangeLo(total), ahi = a.RangeHi(total);
+  const uint64_t blo = b.RangeLo(total), bhi = b.RangeHi(total);
+  const bool nested = a.Contains(b) || b.Contains(a);
+  const bool overlap = alo <= bhi && blo <= ahi;
+  if (nested != overlap) {
+    check::AuditFailure(__FILE__, __LINE__, "nest-or-disjoint",
+                        "z intervals overlap without containment");
+  }
+
+  // Order law: for disjoint values, operator<=> agrees with interval order.
+  if (!nested) {
+    const bool less = a < b;
+    if (less != (ahi < blo)) {
+      check::AuditFailure(__FILE__, __LINE__, "order == interval order",
+                          "z precedence law");
+    }
+  }
+}
+
+void AuditElementCover(const GridSpec& grid, std::span<const ZValue> elements,
+                       int64_t expected_cells, uint64_t max_elements) {
+  const int total = grid.total_bits();
+  uint64_t covered = 0;
+  bool have_prev = false;
+  uint64_t prev_hi = 0;
+  for (const ZValue& z : elements) {
+    if (z.length() > total) {
+      check::AuditFailure(__FILE__, __LINE__, "length <= total_bits",
+                          "element deeper than the grid's resolution");
+    }
+    const uint64_t lo = z.RangeLo(total);
+    const uint64_t hi = z.RangeHi(total);
+    if (have_prev && lo <= prev_hi) {
+      check::AuditFailure(__FILE__, __LINE__, "lo > prev_hi",
+                          "element cover not disjoint/sorted in z order");
+    }
+    have_prev = true;
+    prev_hi = hi;
+    covered += hi - lo + 1;
+  }
+  if (expected_cells >= 0 &&
+      covered != static_cast<uint64_t>(expected_cells)) {
+    check::AuditFailure(__FILE__, __LINE__, "covered == expected_cells",
+                        "element cover volume mismatch");
+  }
+  if (max_elements > 0 && elements.size() > max_elements) {
+    check::AuditFailure(__FILE__, __LINE__, "count <= max_elements",
+                        "element count exceeds the Section 5.1 budget");
+  }
+}
+
+void AuditBigMinResult(const GridSpec& grid, uint64_t zcur, uint64_t zmin,
+                       uint64_t zmax, bool found, uint64_t out,
+                       bool is_bigmin) {
+  if (!found) return;
+  if (!InBox(grid, out, zmin, zmax)) {
+    check::AuditFailure(__FILE__, __LINE__, "InBox(out)",
+                        is_bigmin ? "BIGMIN result outside the query box"
+                                  : "LITMAX result outside the query box");
+  }
+  if (is_bigmin ? out <= zcur : out >= zcur) {
+    check::AuditFailure(__FILE__, __LINE__,
+                        is_bigmin ? "out > zcur" : "out < zcur",
+                        "BIGMIN/LITMAX did not move past the cursor");
+  }
+}
+
+}  // namespace probe::zorder

@@ -1,0 +1,47 @@
+#ifndef PROBE_ZORDER_AUDIT_H_
+#define PROBE_ZORDER_AUDIT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "zorder/grid.h"
+#include "zorder/zvalue.h"
+
+/// \file
+/// Auditors for the z-value algebra (Sections 2-3 of the paper).
+///
+/// These functions abort (via probe::check::AuditFailure) when an invariant
+/// is violated; they return normally otherwise. They are compiled in every
+/// configuration so tests and fuzz drivers can call them directly; hot-path
+/// call sites wrap them in PROBE_AUDIT so Release builds pay nothing.
+
+namespace probe::zorder {
+
+/// The two laws of Section 2/3.2 for a pair of z values:
+///  * containment is exactly the prefix relation (checked bit by bit,
+///    independently of ZValue::Contains' masked compare);
+///  * two z values either nest or name disjoint z intervals — overlap
+///    without containment cannot occur — and the interval order matches
+///    operator<=>.
+void AuditZOrderLaws(const ZValue& a, const ZValue& b);
+
+/// A decomposition output: `elements` must be strictly ascending in z
+/// order, pairwise disjoint as z intervals, and each no longer than the
+/// grid's full resolution. `expected_cells` >= 0 additionally requires the
+/// union of the intervals to cover exactly that many grid cells (the
+/// disjoint-cover law of Section 3); pass -1 to skip. `max_elements` > 0
+/// bounds the element count (the Section 5.1 budget); pass 0 to skip.
+void AuditElementCover(const GridSpec& grid, std::span<const ZValue> elements,
+                       int64_t expected_cells, uint64_t max_elements);
+
+/// One BIGMIN/LITMAX step. For BigMin (`is_bigmin` true): a `found` result
+/// must lie inside the box [zmin, zmax] (bitwise, per dimension) and be
+/// strictly greater than `zcur`. For LitMax: inside the box and strictly
+/// less than `zcur`. A swapped or corrupted bound fails the in-box check.
+void AuditBigMinResult(const GridSpec& grid, uint64_t zcur, uint64_t zmin,
+                       uint64_t zmax, bool found, uint64_t out,
+                       bool is_bigmin);
+
+}  // namespace probe::zorder
+
+#endif  // PROBE_ZORDER_AUDIT_H_

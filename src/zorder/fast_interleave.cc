@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "probe/check.h"
+
 #if defined(__x86_64__) && defined(__GNUC__)
 #define PROBE_HAVE_BMI2_TARGET 1
 #include <immintrin.h>
@@ -115,6 +117,13 @@ uint32_t GatherBits3(uint64_t x) {
 
 uint64_t MortonEncode2(uint32_t x, uint32_t y, int bits) {
   assert(bits >= 1 && bits <= 32);
+  // Coordinates must fit the grid; stray high bits would interleave into
+  // positions a `bits`-bit z value does not own. (Widened to 64 bits so the
+  // shift is defined at bits == 32.)
+  PROBE_ASSERT_MSG((static_cast<uint64_t>(x) >> bits) == 0,
+                   "x coordinate wider than the grid");
+  PROBE_ASSERT_MSG((static_cast<uint64_t>(y) >> bits) == 0,
+                   "y coordinate wider than the grid");
   // The alternating schedule starting with x gives x the *higher* bit of
   // each (x, y) pair.
   (void)bits;
@@ -130,6 +139,12 @@ void MortonDecode2(uint64_t z, int bits, uint32_t* x, uint32_t* y) {
 
 uint64_t MortonEncode3(uint32_t x, uint32_t y, uint32_t w, int bits) {
   assert(bits >= 1 && bits <= 21);
+  PROBE_ASSERT_MSG((static_cast<uint64_t>(x) >> bits) == 0,
+                   "x coordinate wider than the grid");
+  PROBE_ASSERT_MSG((static_cast<uint64_t>(y) >> bits) == 0,
+                   "y coordinate wider than the grid");
+  PROBE_ASSERT_MSG((static_cast<uint64_t>(w) >> bits) == 0,
+                   "w coordinate wider than the grid");
   (void)bits;
   return (SpreadBits3(x) << 2) | (SpreadBits3(y) << 1) | SpreadBits3(w);
 }

@@ -77,12 +77,17 @@ struct GridSpec {
   /// Total bits of a full-resolution (single-pixel) z value.
   int total_bits() const { return dims * bits_per_dim; }
 
-  /// Cells per side, 2^d.
-  uint64_t side() const { return 1ULL << bits_per_dim; }
+  /// Cells per side, 2^d. The 1-d 64-bit grid's side (2^64) is not
+  /// representable and yields 0; the branch keeps the shift defined.
+  uint64_t side() const {
+    return bits_per_dim >= 64 ? 0 : 1ULL << bits_per_dim;
+  }
 
-  /// Total number of cells in the grid, 2^(k*d).
-  /// Requires total_bits() < 64 to be representable.
-  uint64_t cell_count() const { return 1ULL << total_bits(); }
+  /// Total number of cells in the grid, 2^(k*d). Requires total_bits() < 64
+  /// to be representable; a full 64-bit grid yields 0 (defined, not UB).
+  uint64_t cell_count() const {
+    return total_bits() >= 64 ? 0 : 1ULL << total_bits();
+  }
 
   /// Dimension consumed by split `level` (0-based).
   int SplitDimAt(int level) const {

@@ -64,6 +64,9 @@ bool ZValue::Contains(const ZValue& other) const {
 
 uint64_t ZValue::RangeLo(int total_bits) const {
   assert(total_bits >= length_ && total_bits <= kMaxBits);
+  // length_ == 0 on a 64-bit grid would shift by 64; the root's range
+  // starts at 0 regardless.
+  if (length_ == 0) return 0;
   return ToInteger() << (total_bits - length_);
 }
 

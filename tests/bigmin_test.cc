@@ -125,5 +125,44 @@ TEST(BigMinTest, ReturnsFalsePastTheBox) {
   EXPECT_FALSE(BigMin(grid, grid.cell_count() - 1, zmin, zmax, &out));
 }
 
+TEST(BigMinTest, WorksOnFullWidth64BitGrid) {
+  // total_bits() == 64: every shift in the bit walk runs at its extreme
+  // (p == 63) and cell_count() is unrepresentable. The skip logic must
+  // still be exact.
+  const GridSpec grid{2, 32};
+  const uint64_t zmin = Shuffle2D(grid, 1u << 30, 1u << 29).ToInteger();
+  const uint64_t zmax = Shuffle2D(grid, ~0u - 5, ~0u - 9).ToInteger();
+
+  EXPECT_TRUE(InBox(grid, zmin, zmin, zmax));
+  EXPECT_TRUE(InBox(grid, zmax, zmin, zmax));
+  EXPECT_FALSE(InBox(grid, 0, zmin, zmax));
+  EXPECT_FALSE(InBox(grid, ~0ULL, zmin, zmax));
+
+  uint64_t out = 0;
+  // From below the box the first in-box value is its lower corner.
+  ASSERT_TRUE(BigMin(grid, 0, zmin, zmax, &out));
+  EXPECT_EQ(out, zmin);
+  // From the top of z space nothing remains.
+  EXPECT_FALSE(BigMin(grid, ~0ULL, zmin, zmax, &out));
+  // And the mirror: from above the box LitMax is its upper corner.
+  ASSERT_TRUE(LitMax(grid, ~0ULL, zmin, zmax, &out));
+  EXPECT_EQ(out, zmax);
+  EXPECT_FALSE(LitMax(grid, 0, zmin, zmax, &out));
+}
+
+TEST(BigMinTest, WholeSpaceBoxOn64BitGrid) {
+  // The degenerate box covering all of z space: BigMin must advance by
+  // exactly one everywhere, with no skips possible.
+  const GridSpec grid{2, 32};
+  const uint64_t zmin = 0;
+  const uint64_t zmax = ~0ULL;
+  uint64_t out = 0;
+  for (const uint64_t zcur : {0ULL, 1ULL, 0x123456789ABCDEFULL, ~0ULL - 1}) {
+    ASSERT_TRUE(BigMin(grid, zcur, zmin, zmax, &out));
+    EXPECT_EQ(out, zcur + 1);
+  }
+  EXPECT_FALSE(BigMin(grid, ~0ULL, zmin, zmax, &out));
+}
+
 }  // namespace
 }  // namespace probe::zorder

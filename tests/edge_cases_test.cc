@@ -10,6 +10,10 @@
 #include "index/nearest.h"
 #include "index/object_index.h"
 #include "index/zkd_index.h"
+#include "query/executor.h"
+#include "query/plan.h"
+#include "relational/catalog.h"
+#include "relational/relation.h"
 #include "util/rng.h"
 #include "zorder/shuffle.h"
 
@@ -191,6 +195,143 @@ TEST(EdgeCaseTest, ObjectIndexWholeSpaceObjectAndProbe) {
   // A tiny probe still finds the whole-space object via ancestors.
   EXPECT_EQ(Sorted(objects.QueryBox(GridBox::Make2D(20, 20, 3, 3))),
             (std::vector<uint64_t>{1}));
+}
+
+TEST(EdgeCaseTest, SinglePointRangesThroughEveryMerge) {
+  // A zero-extent query box (lo == hi in every dimension) through each
+  // merge strategy, probing both an occupied and an empty cell.
+  const GridSpec grid{3, 4};
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 16);
+  ZkdIndex index(grid, &pool);
+  index.Insert(GridPoint({3, 7, 11}), 42);
+  index.Insert(GridPoint({3, 7, 12}), 43);
+  for (const auto merge :
+       {index::SearchOptions::Merge::kSkipMerge,
+        index::SearchOptions::Merge::kPlainMerge,
+        index::SearchOptions::Merge::kBigMin}) {
+    index::SearchOptions options;
+    options.merge = merge;
+    EXPECT_EQ(index.RangeSearch(GridBox::Make3D(3, 3, 7, 7, 11, 11), nullptr,
+                                options),
+              (std::vector<uint64_t>{42}));
+    EXPECT_TRUE(index.RangeSearch(GridBox::Make3D(3, 3, 7, 7, 13, 13),
+                                  nullptr, options)
+                    .empty());
+  }
+}
+
+TEST(EdgeCaseTest, MaxDepthDecompositions) {
+  const GridSpec grid{2, 5};
+  const geometry::BallObject ball({16.0, 16.0}, 9.5);
+
+  // Depth 0: one boundary-crossing region — the whole space — so the cover
+  // is everything (boundary in) or nothing (boundary out).
+  decompose::DecomposeOptions coarse;
+  coarse.max_depth = 0;
+  const auto whole = decompose::Decompose(grid, ball, coarse);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_TRUE(whole[0].IsEmpty());
+  coarse.include_boundary = false;
+  EXPECT_TRUE(decompose::Decompose(grid, ball, coarse).empty());
+
+  // A cap at exactly total_bits is the same as no cap at all.
+  decompose::DecomposeOptions capped;
+  capped.max_depth = grid.total_bits();
+  EXPECT_EQ(decompose::Decompose(grid, ball, capped),
+            decompose::Decompose(grid, ball));
+
+  // Tightening the cap one bit at a time never grows the element count
+  // beyond the cap's budget and keeps the bracket property.
+  const uint64_t exact = decompose::CoveredVolume(
+      grid, decompose::Decompose(grid, ball));
+  for (int depth = 0; depth <= grid.total_bits(); ++depth) {
+    decompose::DecomposeOptions outer;
+    outer.max_depth = depth;
+    decompose::DecomposeOptions inner = outer;
+    inner.include_boundary = false;
+    EXPECT_LE(decompose::CoveredVolume(
+                  grid, decompose::Decompose(grid, ball, inner)),
+              exact);
+    EXPECT_GE(decompose::CoveredVolume(
+                  grid, decompose::Decompose(grid, ball, outer)),
+              exact);
+  }
+}
+
+TEST(EdgeCaseTest, EmptyRelationsThroughEveryPlanNode) {
+  using relational::Column;
+  using relational::Relation;
+  using relational::Schema;
+  using relational::ValueType;
+
+  const GridSpec grid{2, 6};
+  relational::ObjectCatalog catalog;
+  const Relation empty(
+      Schema({Column{"id", ValueType::kInt}}));
+
+  // RelationScan over an empty relation yields nothing.
+  {
+    auto scan = query::MakeRelationScan(empty);
+    EXPECT_EQ(query::Execute(*scan).rows.size(), 0u);
+  }
+  // EmptyResult is, by construction, empty.
+  {
+    auto node = query::MakeEmptyResult(empty.schema());
+    EXPECT_EQ(query::Execute(*node).rows.size(), 0u);
+  }
+  // Decompose of zero objects yields zero elements.
+  {
+    auto plan = query::MakeDecompose(query::MakeRelationScan(empty), grid,
+                                     "id", catalog, "z", {});
+    const auto result = query::Execute(*plan);
+    EXPECT_EQ(result.rows.size(), 0u);
+    EXPECT_EQ(result.rows.schema().column_count(), 2);
+  }
+  // A merge join with one (or both) empty inputs yields no pairs — via
+  // both the serial and the parallel implementation.
+  {
+    const Relation z_empty(Schema({Column{"za", ValueType::kZValue}}));
+    const Relation z_empty2(Schema({Column{"zb", ValueType::kZValue}}));
+    Relation z_one(Schema({Column{"zb", ValueType::kZValue}}));
+    z_one.Add({relational::Value(ZValue::FromInteger(0b01, 2))});
+
+    auto serial = query::MakeMergeJoin(
+        query::MakeRelationScan(z_empty), query::MakeRelationScan(z_one),
+        "za", "zb", nullptr, 0);
+    EXPECT_EQ(query::Execute(*serial).rows.size(), 0u);
+
+    util::ThreadPool pool(2);
+    auto parallel = query::MakeMergeJoin(
+        query::MakeRelationScan(z_empty), query::MakeRelationScan(z_empty2),
+        "za", "zb", &pool, 4);
+    EXPECT_EQ(query::Execute(*parallel).rows.size(), 0u);
+  }
+  // Filter, Project, and Limit over empty children.
+  {
+    auto filtered = query::MakeFilter(query::MakeRelationScan(empty),
+                                      [](const relational::Tuple&) {
+                                        return true;
+                                      });
+    EXPECT_EQ(query::Execute(*filtered).rows.size(), 0u);
+
+    auto projected = query::MakeProject(query::MakeRelationScan(empty),
+                                        {"id"}, /*deduplicate=*/true);
+    EXPECT_EQ(query::Execute(*projected).rows.size(), 0u);
+
+    auto limited =
+        query::MakeLimit(query::MakeRelationScan(empty), /*limit=*/5);
+    EXPECT_EQ(query::Execute(*limited).rows.size(), 0u);
+  }
+  // An index range scan over an empty index, streamed and materialized.
+  {
+    storage::MemPager pager;
+    storage::BufferPool pool(&pager, 16);
+    ZkdIndex index(grid, &pool);
+    auto scan = query::MakeZkdRangeScan(index, GridBox::Make2D(0, 63, 0, 63),
+                                        {}, nullptr, 0);
+    EXPECT_TRUE(query::ExecuteIds(*scan).empty());
+  }
 }
 
 TEST(EdgeCaseTest, DecomposeDegenerateBoxes) {

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include "util/bits.h"
 #include "util/rng.h"
+#include "zorder/fast_interleave.h"
+#include "zorder/grid.h"
+#include "zorder/shuffle.h"
 
 namespace probe::zorder {
 namespace {
@@ -171,6 +175,68 @@ TEST(ZValueTest, SiblingRangesAreConsecutive) {
     EXPECT_EQ(c1.RangeHi(16), parent.RangeHi(16));
     EXPECT_EQ(c0.RangeHi(16) + 1, c1.RangeLo(16));
   }
+}
+
+TEST(BitsTest, MasksHandleFullWordWidths) {
+  // The 0- and 64-bit widths are where a naive `~0 << (64 - n)` is UB.
+  EXPECT_EQ(util::HighMask(0), 0u);
+  EXPECT_EQ(util::HighMask(64), ~0ULL);
+  EXPECT_EQ(util::HighMask(1), 1ULL << 63);
+  EXPECT_EQ(util::LowMask(0), 0u);
+  EXPECT_EQ(util::LowMask(64), ~0ULL);
+  EXPECT_EQ(util::LowMask(1), 1u);
+}
+
+TEST(BitsTest, RoundUpToZeroBitsAcrossTheShiftRange) {
+  EXPECT_EQ(util::RoundUpToZeroBits(5, 0), 5u);
+  EXPECT_EQ(util::RoundUpToZeroBits(5, 3), 8u);
+  EXPECT_EQ(util::RoundUpToZeroBits(8, 3), 8u);
+  EXPECT_EQ(util::RoundUpToZeroBits(0, 3), 0u);
+  // m == 63: the largest representable unit.
+  EXPECT_EQ(util::RoundUpToZeroBits(1, 63), 1ULL << 63);
+  // m == 64 used to shift by the full word width (UB); the only 64-bit
+  // multiple of 2^64 is 0.
+  EXPECT_EQ(util::RoundUpToZeroBits(5, 64), 0u);
+  EXPECT_EQ(util::RoundUpToZeroBits(0, 64), 0u);
+}
+
+TEST(GridSpecTest, FullWidthGridsStayDefined) {
+  // 2 x 32 and 1 x 64 are legal specs whose cell counts exceed 64 bits;
+  // side()/cell_count() must wrap to 0, not shift by the word width.
+  const GridSpec square{2, 32};
+  EXPECT_TRUE(square.Valid());
+  EXPECT_EQ(square.side(), 1ULL << 32);
+  EXPECT_EQ(square.cell_count(), 0u);
+
+  const GridSpec line{1, 64};
+  EXPECT_TRUE(line.Valid());
+  EXPECT_EQ(line.side(), 0u);
+  EXPECT_EQ(line.cell_count(), 0u);
+}
+
+TEST(ZValueTest, FullResolutionShuffleOn64BitGrid) {
+  // The widest 2-d grid: every z-value bit significant. The corner cells
+  // and an arbitrary interior cell must round-trip.
+  const GridSpec grid{2, 32};
+  const uint32_t top = ~0u;
+  EXPECT_EQ(Shuffle2D(grid, 0, 0).ToInteger(), 0u);
+  EXPECT_EQ(Shuffle2D(grid, top, top).ToInteger(), ~0ULL);
+  const uint64_t z = MortonEncode2(0xDEADBEEF, 0x12345678, 32);
+  EXPECT_EQ(z, Shuffle2D(grid, 0xDEADBEEF, 0x12345678).ToInteger());
+  uint32_t x = 0, y = 0;
+  MortonDecode2(z, 32, &x, &y);
+  EXPECT_EQ(x, 0xDEADBEEFu);
+  EXPECT_EQ(y, 0x12345678u);
+}
+
+TEST(ZValueTest, RootElementRangeOn64BitGrid) {
+  // The empty prefix covers the whole space; on a 64-bit grid the naive
+  // range computation would shift by 64 (UBSan-caught regression).
+  const ZValue root;
+  EXPECT_EQ(root.RangeLo(64), 0u);
+  EXPECT_EQ(root.RangeHi(64), ~0ULL);
+  EXPECT_EQ(ZValue::FromInteger(1, 1).RangeLo(64), 1ULL << 63);
+  EXPECT_EQ(ZValue::FromInteger(1, 1).RangeHi(64), ~0ULL);
 }
 
 }  // namespace
