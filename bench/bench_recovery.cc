@@ -1,0 +1,182 @@
+// Durability tax and recovery time (DESIGN.md §11).
+//
+// Two questions a WAL answers for a price:
+//
+//   1. What does logging cost at insert time? Same batched workload run
+//      twice — through DurableIndex (page images + commit record + fsync
+//      per batch) and through the bare FilePager stack with a force+fsync
+//      per batch (the non-logging engine with equivalent durability
+//      effort). The ratio must stay under 2.5x; the bench fails loudly if
+//      it doesn't.
+//
+//   2. How does recovery time grow with log length? Logs of increasing
+//      batch counts are built, the engine dropped cold, and the redo pass
+//      timed on reopen. Linear in log bytes is the designed behavior —
+//      and the reason Checkpoint() exists.
+//
+// Results land in BENCH_recovery.json.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "index/durable_index.h"
+#include "index/zkd_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_pager.h"
+#include "storage/recovery.h"
+#include "util/bench_json.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace probe;
+using Op = index::DurableIndex::Op;
+
+constexpr double kMaxWalSlowdown = 2.5;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<std::vector<Op>> MakeBatches(int batches, int per_batch,
+                                         uint32_t side) {
+  util::Rng rng(0x57AB1E);
+  std::vector<std::vector<Op>> out;
+  uint64_t id = 0;
+  for (int b = 0; b < batches; ++b) {
+    std::vector<Op> batch;
+    for (int i = 0; i < per_batch; ++i) {
+      batch.push_back(Op::Insert(
+          geometry::GridPoint({static_cast<uint32_t>(rng.NextBelow(side)),
+                               static_cast<uint32_t>(rng.NextBelow(side))}),
+          id++));
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+void RemoveDb(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((path + ".wal.tmp").c_str());
+}
+
+}  // namespace
+
+int main() {
+  const zorder::GridSpec grid{2, 10};
+  constexpr int kBatches = 100;
+  constexpr int kPerBatch = 50;
+  const std::string wal_on_path = "/tmp/probe_bench_recovery_on.db";
+  const std::string wal_off_path = "/tmp/probe_bench_recovery_off.db";
+  btree::BTreeConfig config;
+  config.leaf_capacity = 20;
+
+  std::printf("=== durability tax: WAL-on vs WAL-off batched inserts ===\n\n");
+  const auto batches = MakeBatches(kBatches, kPerBatch, grid.side());
+
+  // --- WAL-on: DurableIndex, one atomic commit per batch --------------
+  RemoveDb(wal_on_path);
+  double wal_on_ms = 0.0;
+  uint64_t log_bytes = 0;
+  {
+    index::DurableIndex::Options options;
+    options.config = config;
+    options.truncate = true;
+    index::DurableIndex db(grid, wal_on_path, options);
+    if (!db.ok()) {
+      std::printf("cannot open %s\n", wal_on_path.c_str());
+      return 1;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& batch : batches) {
+      if (!db.Apply(batch)) return 1;
+    }
+    wal_on_ms = MsSince(t0);
+    log_bytes = db.wal().size_bytes();
+  }
+
+  // --- WAL-off: bare pager, force + fsync per batch --------------------
+  double wal_off_ms = 0.0;
+  {
+    std::remove(wal_off_path.c_str());
+    storage::FilePager pager(wal_off_path, /*truncate=*/true);
+    storage::BufferPool pool(&pager, 256);
+    index::ZkdIndex index(grid, &pool, config);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& batch : batches) {
+      for (const Op& op : batch) index.Insert(op.point, op.id);
+      pool.FlushAll();
+      pager.Sync();
+    }
+    wal_off_ms = MsSince(t0);
+    std::remove(wal_off_path.c_str());
+  }
+
+  const double slowdown = wal_on_ms / wal_off_ms;
+  const double inserts = static_cast<double>(kBatches) * kPerBatch;
+  std::printf("  WAL-off  %8.2f ms  (%.0f inserts/s)\n", wal_off_ms,
+              inserts / (wal_off_ms / 1000.0));
+  std::printf("  WAL-on   %8.2f ms  (%.0f inserts/s, log %.1f MiB)\n",
+              wal_on_ms, inserts / (wal_on_ms / 1000.0),
+              static_cast<double>(log_bytes) / (1024.0 * 1024.0));
+  std::printf("  slowdown %.2fx (budget %.1fx)\n\n", slowdown,
+              kMaxWalSlowdown);
+
+  // --- recovery time vs log length -------------------------------------
+  std::printf("=== recovery time vs log length ===\n\n");
+  std::string recovery_rows;
+  for (const int n : {25, 50, 100, 200}) {
+    RemoveDb(wal_on_path);
+    uint64_t bytes = 0;
+    {
+      index::DurableIndex::Options options;
+      options.config = config;
+      options.truncate = true;
+      index::DurableIndex db(grid, wal_on_path, options);
+      for (const auto& batch : MakeBatches(n, kPerBatch, grid.side())) {
+        if (!db.Apply(batch)) return 1;
+      }
+      bytes = db.wal().size_bytes();
+      // Dropped cold: recovery on the next open replays the whole log.
+    }
+    storage::FilePager base(wal_on_path);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = storage::Recover(wal_on_path + ".wal", &base);
+    const double ms = MsSince(t0);
+    std::printf("  %4d batches  %7.2f MiB log  %4llu pages redone  %7.2f ms\n",
+                n, static_cast<double>(bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(result.records_redone), ms);
+    if (!recovery_rows.empty()) recovery_rows += ",";
+    recovery_rows += "{\"batches\":" + std::to_string(n) +
+                     ",\"log_bytes\":" + std::to_string(bytes) +
+                     ",\"pages_redone\":" + std::to_string(result.records_redone) +
+                     ",\"recover_ms\":" + std::to_string(ms) + "}";
+  }
+  RemoveDb(wal_on_path);
+
+  const std::string payload =
+      "{\"inserts\":" + std::to_string(static_cast<uint64_t>(inserts)) +
+      ",\"wal_off_ms\":" + std::to_string(wal_off_ms) +
+      ",\"wal_on_ms\":" + std::to_string(wal_on_ms) +
+      ",\"log_bytes\":" + std::to_string(log_bytes) +
+      ",\"slowdown\":" + std::to_string(slowdown) +
+      ",\"slowdown_budget\":" + std::to_string(kMaxWalSlowdown) +
+      ",\"recovery\":[" + recovery_rows + "]}";
+  if (util::UpdateJsonSection("BENCH_recovery.json", "recovery", payload)) {
+    std::printf("\nwrote BENCH_recovery.json\n");
+  }
+
+  if (slowdown > kMaxWalSlowdown) {
+    std::printf("FAIL: WAL slowdown %.2fx exceeds the %.1fx budget\n",
+                slowdown, kMaxWalSlowdown);
+    return 1;
+  }
+  return 0;
+}

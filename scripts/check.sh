@@ -49,6 +49,10 @@ if [ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]; then
   cmake --build "$ASAN_BUILD"
   ctest --test-dir "$ASAN_BUILD" --output-on-failure
 
+  # The recovery tier (WAL, redo, 240-cycle crash matrix) again by name:
+  # every recovery path must hold under ASan, not just the plain build.
+  ctest --test-dir "$ASAN_BUILD" -L recovery --output-on-failure
+
   # ThreadSanitizer over the tests that exercise the thread pool and the
   # sharded buffer pool (ctest label `concurrency`).
   TSAN_BUILD="${BUILD}-tsan"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "btree/audit.h"
 #include "probe/check.h"
@@ -484,6 +485,29 @@ bool BTree::CheckInvariants() {
     }
   }
   return true;
+}
+
+void BTree::PersistentState::EncodeTo(uint8_t* out) const {
+  const uint32_t r = root;
+  const int32_t h = height;
+  const uint64_t s = size;
+  std::memcpy(out, &r, 4);
+  std::memcpy(out + 4, &h, 4);
+  std::memcpy(out + 8, &s, 8);
+}
+
+BTree::PersistentState BTree::PersistentState::Decode(const uint8_t* bytes) {
+  PersistentState state;
+  uint32_t r;
+  int32_t h;
+  uint64_t s;
+  std::memcpy(&r, bytes, 4);
+  std::memcpy(&h, bytes + 4, 4);
+  std::memcpy(&s, bytes + 8, 8);
+  state.root = r;
+  state.height = h;
+  state.size = s;
+  return state;
 }
 
 BTree BTree::Attach(storage::BufferPool* pool, const PersistentState& state,

@@ -163,11 +163,21 @@ class BTree {
 
   /// The durable identity of a tree: everything needed to re-open it over
   /// the same page store (pages must have been flushed; the state itself
-  /// is the caller's to persist, e.g. in a superblock or catalog).
+  /// is the caller's to persist, e.g. in a superblock, catalog, or the
+  /// metadata blob of a WAL commit record).
   struct PersistentState {
     storage::PageId root = storage::kInvalidPageId;
     int height = 0;
     uint64_t size = 0;
+
+    /// Fixed-width little-endian encoding (root, height, size).
+    static constexpr size_t kEncodedBytes = 16;
+
+    /// Serializes into `out[0, kEncodedBytes)`.
+    void EncodeTo(uint8_t* out) const;
+
+    /// Inverse of EncodeTo.
+    static PersistentState Decode(const uint8_t* bytes);
   };
 
   /// Snapshot of the tree's identity. Call pool()->FlushAll() (and sync

@@ -1,0 +1,117 @@
+#include "index/durable_index.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace probe::index {
+
+namespace {
+
+// Metadata blob: magic (4) + dims (4) + bits (4) + reserved (4) + tree
+// state (16). Grid shape is stored so an attach with the wrong spec fails
+// loudly instead of misinterpreting every key.
+constexpr uint32_t kMetaMagic = 0x314B5A50u;  // "PZK1"
+constexpr size_t kMetaBytes = 16 + btree::BTree::PersistentState::kEncodedBytes;
+
+void PutU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+uint32_t GetU32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+
+}  // namespace
+
+DurableIndex::DurableIndex(const zorder::GridSpec& grid,
+                           const std::string& path, const Options& options)
+    : grid_(grid),
+      config_(options.config),
+      path_(path),
+      wal_path_(path + ".wal") {
+  if (options.truncate) {
+    std::remove(wal_path_.c_str());
+    std::remove((wal_path_ + ".tmp").c_str());
+  }
+  base_ = std::make_unique<storage::FilePager>(path_, options.truncate);
+  if (!base_->ok()) return;
+
+  // Recovery happens against the raw file, before any fault injection or
+  // logging stacks on top: opening IS recovering.
+  recovery_ = storage::Recover(wal_path_, base_.get());
+
+  fault_ = std::make_unique<storage::FaultInjectingPager>(base_.get());
+  wal_ = std::make_unique<storage::Wal>(wal_path_);
+  if (!wal_->ok()) return;
+  txn_ = std::make_unique<storage::TxnPager>(fault_.get(), wal_.get());
+  pool_ = std::make_unique<storage::BufferPool>(txn_.get(), options.pool_pages,
+                                                options.policy);
+
+  if (!recovery_.meta.empty()) {
+    // Reopen: the boundary record's blob says what tree to attach.
+    if (recovery_.meta.size() != kMetaBytes ||
+        GetU32(recovery_.meta.data()) != kMetaMagic ||
+        GetU32(recovery_.meta.data() + 4) != static_cast<uint32_t>(grid_.dims) ||
+        GetU32(recovery_.meta.data() + 8) !=
+            static_cast<uint32_t>(grid_.bits_per_dim)) {
+      return;  // corrupt or mismatched metadata: refuse to attach
+    }
+    const auto state =
+        btree::BTree::PersistentState::Decode(recovery_.meta.data() + 16);
+    index_.emplace(ZkdIndex::Attach(grid_, pool_.get(), state, config_));
+    ok_ = true;
+    return;
+  }
+
+  if (base_->page_count() != 0) {
+    // Pages but no metadata: not a database this layer wrote.
+    return;
+  }
+
+  // Fresh database. Commit the empty tree immediately so a crash straight
+  // after creation recovers to "empty index", not "no database".
+  index_.emplace(grid_, pool_.get(), config_);
+  ok_ = true;
+  ok_ = CommitBatch();
+}
+
+std::vector<uint8_t> DurableIndex::MetaBlob() const {
+  std::vector<uint8_t> meta(kMetaBytes, 0);
+  PutU32(meta.data(), kMetaMagic);
+  PutU32(meta.data() + 4, static_cast<uint32_t>(grid_.dims));
+  PutU32(meta.data() + 8, static_cast<uint32_t>(grid_.bits_per_dim));
+  index_->DetachState().EncodeTo(meta.data() + 16);
+  return meta;
+}
+
+bool DurableIndex::CommitBatch() {
+  // FlushAll pushes every dirty frame through the TxnPager, which logs the
+  // after-images; the commit record then makes them the recoverable state.
+  pool_->FlushAll();
+  return txn_->Commit(MetaBlob());
+}
+
+bool DurableIndex::Apply(std::span<const Op> ops) {
+  if (!ok_ || !txn_->ok()) return false;
+  for (const Op& op : ops) {
+    if (op.kind == Op::Kind::kInsert) {
+      index_->Insert(op.point, op.id);
+    } else {
+      index_->Delete(op.point, op.id);
+    }
+  }
+  return CommitBatch();
+}
+
+bool DurableIndex::Checkpoint() {
+  if (!ok_ || !txn_->ok()) return false;
+  // A checkpoint must sit on a commit boundary; flushing may surface dirty
+  // pages (e.g. of a batch the caller never committed), which get a commit
+  // of their own first.
+  pool_->FlushAll();
+  if (txn_->uncommitted_writes() != 0 && !txn_->Commit(MetaBlob())) {
+    return false;
+  }
+  return txn_->Checkpoint(MetaBlob());
+}
+
+}  // namespace probe::index

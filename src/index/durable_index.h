@@ -1,0 +1,140 @@
+#ifndef PROBE_INDEX_DURABLE_INDEX_H_
+#define PROBE_INDEX_DURABLE_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "index/zkd_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_pager.h"
+#include "storage/file_pager.h"
+#include "storage/recovery.h"
+#include "storage/txn_pager.h"
+#include "storage/wal.h"
+
+/// \file
+/// The crash-safe zkd index: the full durability stack in one object.
+///
+/// Assembles, bottom to top: a FilePager on `path` (the database file), a
+/// FaultInjectingPager (disarmed unless a test arms it), a Wal on
+/// `path + ".wal"`, a TxnPager enforcing no-steal / force-on-checkpoint,
+/// a BufferPool, and the ZkdIndex. Opening always runs recovery first, so
+/// a database killed at any instant — mid-batch, mid-append, mid-
+/// checkpoint — comes back as of its last committed batch.
+///
+/// The unit of atomicity is the **batch**: Apply() runs a group of
+/// inserts/deletes, flushes the dirty pages through the log, and commits
+/// them with the tree's re-attach state serialized into the commit
+/// record. Either the whole batch is recoverable or none of it is.
+/// Checkpoint() bounds the log (and recovery time) by forcing committed
+/// pages into the database file and restarting the log.
+///
+/// Queries go through index(): the planner and executor open recovered
+/// indexes exactly like freshly built ones — durability is invisible
+/// above the pager, which is the paper's "ordinary machinery" argument
+/// applied to recovery.
+
+namespace probe::index {
+
+/// A ZkdIndex with write-ahead logging and crash recovery.
+class DurableIndex {
+ public:
+  struct Options {
+    btree::BTreeConfig config;
+    /// Buffer pool frames.
+    size_t pool_pages = 256;
+    storage::EvictionPolicy policy = storage::EvictionPolicy::kLru;
+    /// Wipe any existing database and log instead of recovering them.
+    bool truncate = false;
+  };
+
+  /// One mutation of a batch.
+  struct Op {
+    enum class Kind { kInsert, kDelete };
+    Kind kind = Kind::kInsert;
+    geometry::GridPoint point;
+    uint64_t id = 0;
+
+    static Op Insert(const geometry::GridPoint& p, uint64_t id) {
+      return Op{Kind::kInsert, p, id};
+    }
+    static Op Delete(const geometry::GridPoint& p, uint64_t id) {
+      return Op{Kind::kDelete, p, id};
+    }
+  };
+
+  /// Opens (creating, recovering, or re-attaching) the database at `path`;
+  /// the log lives beside it at `path + ".wal"`. Check ok() before use.
+  DurableIndex(const zorder::GridSpec& grid, const std::string& path,
+               const Options& options);
+  DurableIndex(const zorder::GridSpec& grid, const std::string& path)
+      : DurableIndex(grid, path, Options()) {}
+
+  DurableIndex(const DurableIndex&) = delete;
+  DurableIndex& operator=(const DurableIndex&) = delete;
+
+  /// False when the files could not be opened, the stored metadata is
+  /// corrupt, or it disagrees with `grid`/config.
+  bool ok() const { return ok_; }
+
+  /// What recovery did when this handle opened.
+  const storage::RecoveryResult& recovery() const { return recovery_; }
+
+  /// The live index, for queries and the planner. Requires ok().
+  ZkdIndex& index() { return *index_; }
+  const ZkdIndex& index() const { return *index_; }
+
+  /// Applies `ops` in order and commits them as one atomic batch. Returns
+  /// false on a dead engine: the batch is then not durable (and after a
+  /// reopen it will have vanished entirely).
+  bool Apply(std::span<const Op> ops);
+
+  /// Single-op batches.
+  bool Insert(const geometry::GridPoint& point, uint64_t id) {
+    const Op op = Op::Insert(point, id);
+    return Apply({&op, 1});
+  }
+  bool Delete(const geometry::GridPoint& point, uint64_t id) {
+    const Op op = Op::Delete(point, id);
+    return Apply({&op, 1});
+  }
+
+  /// Forces committed state into the database file and restarts the log.
+  bool Checkpoint();
+
+  /// Test seams: the log (arm WalFaultPlan) and the injected base pager
+  /// (arm FaultPlan); the transactional pager for its counters.
+  storage::Wal& wal() { return *wal_; }
+  storage::FaultInjectingPager& base_faults() { return *fault_; }
+  storage::TxnPager& txn_pager() { return *txn_; }
+  storage::BufferPool& pool() { return *pool_; }
+
+  const std::string& path() const { return path_; }
+  const std::string& wal_path() const { return wal_path_; }
+
+ private:
+  // The commit/checkpoint metadata blob: magic, grid shape, tree state.
+  std::vector<uint8_t> MetaBlob() const;
+
+  // Flushes dirty pages into the log and appends a commit record.
+  bool CommitBatch();
+
+  zorder::GridSpec grid_;
+  btree::BTreeConfig config_;
+  std::string path_;
+  std::string wal_path_;
+  std::unique_ptr<storage::FilePager> base_;
+  std::unique_ptr<storage::FaultInjectingPager> fault_;
+  std::unique_ptr<storage::Wal> wal_;
+  std::unique_ptr<storage::TxnPager> txn_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::optional<ZkdIndex> index_;
+  storage::RecoveryResult recovery_;
+  bool ok_ = false;
+};
+
+}  // namespace probe::index
+
+#endif  // PROBE_INDEX_DURABLE_INDEX_H_

@@ -75,6 +75,14 @@ ZkdIndex::ZkdIndex(const zorder::GridSpec& grid, storage::BufferPool* pool,
   assert(grid_.Valid());
 }
 
+ZkdIndex ZkdIndex::Attach(const zorder::GridSpec& grid,
+                          storage::BufferPool* pool,
+                          const btree::BTree::PersistentState& state,
+                          const btree::BTreeConfig& config) {
+  assert(grid.Valid());
+  return ZkdIndex(grid, btree::BTree::Attach(pool, state, config));
+}
+
 ZkdIndex ZkdIndex::Build(const zorder::GridSpec& grid,
                          storage::BufferPool* pool,
                          std::span<const PointRecord> points,

@@ -119,6 +119,21 @@ class ZkdIndex {
                                 double fill = 1.0,
                                 btree::ExternalSortStats* sort_stats = nullptr);
 
+  /// Snapshot of the underlying tree's durable identity. Flush the pool
+  /// (and sync the pager) before persisting it; see BTree::DetachState.
+  btree::BTree::PersistentState DetachState() const {
+    return tree_.DetachState();
+  }
+
+  /// Re-opens an index previously described by DetachState() over a pool
+  /// whose pager holds the flushed pages — the reopen half of the
+  /// durability story (recovery hands this the state blob of the last
+  /// committed batch). Grid and config must match the original build.
+  static ZkdIndex Attach(const zorder::GridSpec& grid,
+                         storage::BufferPool* pool,
+                         const btree::BTree::PersistentState& state,
+                         const btree::BTreeConfig& config = {});
+
   /// Inserts one point (step 1 of Section 3.3: shuffle, then store).
   void Insert(const geometry::GridPoint& point, uint64_t id);
 
@@ -220,6 +235,11 @@ class ZkdIndex {
   btree::BTree& tree() const { return tree_; }
 
  private:
+  // Tag constructor for Attach: adopts an existing tree instead of
+  // creating an empty one.
+  ZkdIndex(const zorder::GridSpec& grid, btree::BTree&& tree)
+      : grid_(grid), tree_(std::move(tree)) {}
+
   std::vector<uint64_t> SearchDecomposed(const geometry::SpatialObject& object,
                                          QueryStats* stats,
                                          const SearchOptions& options) const;

@@ -73,6 +73,41 @@ void ExplainNodeJson(const PlanNode& node, std::string* out) {
   *out += "}";
 }
 
+void ExplainNodeJsonPretty(const PlanNode& node, int depth, std::string* out) {
+  const NodeStats& stats = node.stats();
+  const std::string pad(static_cast<size_t>(depth) * 2 + 2, ' ');
+  *out += "{\n";
+  *out += pad + "\"op\": \"" + util::JsonEscape(stats.op) + "\"";
+  if (!stats.detail.empty()) {
+    *out += ",\n" + pad + "\"detail\": \"" + util::JsonEscape(stats.detail) +
+            "\"";
+  }
+  if (stats.has_estimate) {
+    *out += ",\n" + pad + "\"est_pages\": " + std::to_string(stats.est_pages);
+    *out +=
+        ",\n" + pad + "\"est_elements\": " + std::to_string(stats.est_elements);
+  }
+  if (stats.executed) {
+    *out +=
+        ",\n" + pad + "\"actual_pages\": " + std::to_string(stats.actual_pages);
+    *out += ",\n" + pad +
+            "\"actual_elements\": " + std::to_string(stats.actual_elements);
+    *out += ",\n" + pad + "\"rows\": " + std::to_string(stats.rows);
+    *out += ",\n" + pad + "\"ms\": " + FormatMs(stats.ms);
+  }
+  if (node.child_count() > 0) {
+    *out += ",\n" + pad + "\"children\": [";
+    for (int i = 0; i < node.child_count(); ++i) {
+      if (i > 0) *out += ", ";
+      ExplainNodeJsonPretty(*node.child(i), depth + 1, out);
+    }
+    *out += "]";
+  }
+  *out += "\n";
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += "}";
+}
+
 }  // namespace
 
 std::string Explain(const PlanNode& root) {
@@ -84,6 +119,13 @@ std::string Explain(const PlanNode& root) {
 std::string ExplainJson(const PlanNode& root) {
   std::string out;
   ExplainNodeJson(root, &out);
+  return out;
+}
+
+std::string ExplainJsonPretty(const PlanNode& root) {
+  std::string out;
+  ExplainNodeJsonPretty(root, 0, &out);
+  out += "\n";
   return out;
 }
 

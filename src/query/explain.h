@@ -29,6 +29,11 @@ std::string Explain(const PlanNode& root);
 /// for benches that archive plans alongside measurements.
 std::string ExplainJson(const PlanNode& root);
 
+/// ExplainJson with one key per line and two-space indentation, ending in
+/// a newline — the stable, diffable form the golden plan snapshots under
+/// tests/golden/ are stored in.
+std::string ExplainJsonPretty(const PlanNode& root);
+
 }  // namespace probe::query
 
 #endif  // PROBE_QUERY_EXPLAIN_H_

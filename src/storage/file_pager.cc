@@ -61,4 +61,13 @@ void FilePager::Sync() {
   ::fsync(fd_);
 }
 
+void FilePager::TruncateTo(uint32_t page_count) {
+  assert(ok());
+  const off_t size =
+      static_cast<off_t>(page_count) * static_cast<off_t>(Page::kSize);
+  [[maybe_unused]] const int rc = ::ftruncate(fd_, size);
+  assert(rc == 0);
+  page_count_ = page_count;
+}
+
 }  // namespace probe::storage

@@ -30,7 +30,7 @@ class FilePager final : public Pager {
   FilePager& operator=(const FilePager&) = delete;
 
   /// True iff the file opened successfully; all other calls require it.
-  bool ok() const { return fd_ >= 0; }
+  bool ok() const override { return fd_ >= 0; }
 
   PageId Allocate() override;
   void Read(PageId id, Page* out) override;
@@ -40,7 +40,12 @@ class FilePager final : public Pager {
   void ResetStats() override { stats_.Reset(); }
 
   /// Flushes the OS file buffers (fsync).
-  void Sync();
+  void Sync() override;
+
+  /// Shrinks (or, with zero pages, extends) the file to exactly
+  /// `page_count` pages. Recovery uses this to discard pages a crashed
+  /// checkpoint allocated past the last committed state.
+  void TruncateTo(uint32_t page_count);
 
  private:
   int fd_ = -1;

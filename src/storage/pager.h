@@ -44,6 +44,15 @@ class Pager {
 
   /// Zeroes the I/O counters (page contents are untouched).
   virtual void ResetStats() = 0;
+
+  /// True while the pager can serve requests. A plain pager is always
+  /// healthy; file-backed pagers report open failures here and the
+  /// fault-injecting wrapper reports an injected crash.
+  virtual bool ok() const { return true; }
+
+  /// Makes prior writes durable. A no-op for memory-backed pagers;
+  /// file-backed ones fsync.
+  virtual void Sync() {}
 };
 
 /// In-memory pager: the simulated disk used throughout the reproduction.

@@ -1,0 +1,79 @@
+#include "storage/txn_pager.h"
+
+#include <cassert>
+
+namespace probe::storage {
+
+TxnPager::TxnPager(Pager* base, Wal* wal)
+    : base_(base), wal_(wal), count_(base->page_count()) {}
+
+PageId TxnPager::Allocate() {
+  // The base file is not extended here: the allocation becomes durable
+  // via the page count carried by the next commit record, and the page
+  // itself via its logged image. An uncommitted allocation simply
+  // evaporates at recovery.
+  const PageId id = count_++;
+  ++stats_.allocations;
+  return id;
+}
+
+void TxnPager::Read(PageId id, Page* out) {
+  assert(id < count_);
+  ++stats_.reads;
+  const auto it = pending_.find(id);
+  if (it != pending_.end()) {
+    *out = it->second;
+    return;
+  }
+  if (id < base_->page_count()) {
+    base_->Read(id, out);
+    return;
+  }
+  // Allocated since the last checkpoint and never written back: zeros,
+  // the fresh-page contract of every pager here.
+  out->Clear();
+}
+
+void TxnPager::Write(PageId id, const Page& page) {
+  assert(id < count_);
+  ++stats_.writes;
+  // A dead log is a crashed engine: nothing written now can ever become
+  // durable, so nothing is parked either — matching what a real crash
+  // leaves behind.
+  if (wal_->AppendPageImage(id, page) == 0) return;
+  ++uncommitted_writes_;
+  pending_[id] = page;
+}
+
+bool TxnPager::Commit(std::span<const uint8_t> meta) {
+  if (!ok()) return false;
+  if (wal_->AppendCommit(count_, meta) == 0) return false;
+  uncommitted_writes_ = 0;
+  return true;
+}
+
+bool TxnPager::Checkpoint(std::span<const uint8_t> meta) {
+  if (!ok()) return false;
+  // Forcing mid-batch would push uncommitted images into the base file —
+  // exactly the torn state no-steal exists to prevent.
+  if (uncommitted_writes_ != 0) return false;
+
+  // The log must be durable before the base changes: if the force below
+  // tears a page, recovery redoes it from these records.
+  if (!wal_->Sync()) return false;
+
+  while (base_->page_count() < count_) base_->Allocate();
+  for (const auto& [id, page] : pending_) {
+    base_->Write(id, page);
+  }
+  base_->Sync();
+  if (!base_->ok()) return false;  // injected crash mid-force
+
+  // Atomic cut-over: after this the checkpoint record alone describes the
+  // database, and the pending table's job is done.
+  if (wal_->RewriteWithCheckpoint(count_, meta) == 0) return false;
+  pending_.clear();
+  return true;
+}
+
+}  // namespace probe::storage

@@ -1,0 +1,93 @@
+#ifndef PROBE_STORAGE_TXN_PAGER_H_
+#define PROBE_STORAGE_TXN_PAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "storage/pager.h"
+#include "storage/wal.h"
+
+/// \file
+/// Transactional pager: routes page writes through the write-ahead log.
+///
+/// TxnPager is a Pager, so a BufferPool (and through it the B-tree and the
+/// zkd index) stacks on top unchanged — the pool's dirty-page table and
+/// FlushAll are the only hooks durability needs. Underneath, it enforces a
+/// **no-steal / force-on-checkpoint** policy against the base file:
+///
+///   * `Write` appends the page's after-image to the log and parks the
+///     page in an in-memory pending table. The base file is *never*
+///     touched by ordinary traffic, so an uncommitted batch can't leak
+///     half its pages to disk (no steal).
+///   * `Commit` appends a commit record carrying the page count and the
+///     caller's metadata blob, then fsyncs the log. Everything logged so
+///     far is now the recoverable state.
+///   * `Checkpoint` — only at a commit boundary — forces the pending
+///     pages into the base file, fsyncs it, and atomically replaces the
+///     log with a single checkpoint record (force on checkpoint). The
+///     pending table empties and the log length resets.
+///
+/// Between checkpoints the pending table caches every page written since
+/// the last force, bounded by the working set of updates — the price of
+/// keeping the base file bytes exactly equal to the last checkpoint, which
+/// is what makes recovery pure redo.
+///
+/// Reads prefer the pending table (it holds the newest images), then the
+/// base file; pages allocated but never yet written read as zeros, the
+/// same contract MemPager and FilePager have for fresh pages.
+
+namespace probe::storage {
+
+/// Write-ahead-logging Pager wrapper (see file comment). Single-writer,
+/// like every mutating path of the engine.
+class TxnPager final : public Pager {
+ public:
+  /// Both `base` and `wal` must outlive the pager. Existing base pages
+  /// become the initial committed state (reopen after Recover()).
+  TxnPager(Pager* base, Wal* wal);
+
+  PageId Allocate() override;
+  void Read(PageId id, Page* out) override;
+  void Write(PageId id, const Page& page) override;
+  uint32_t page_count() const override { return count_; }
+  const PagerStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Reset(); }
+  bool ok() const override { return base_->ok() && wal_->ok() && !wal_->dead(); }
+  /// Durability is the log's job; syncing the base outside a checkpoint
+  /// would break no-steal, so this syncs the log only.
+  void Sync() override { wal_->Sync(); }
+
+  /// Commits the batch written since the last Commit: logs a commit record
+  /// (with `meta`, the application's re-attach state) and fsyncs the log.
+  /// Returns false on a dead engine — the batch is then not recoverable.
+  bool Commit(std::span<const uint8_t> meta);
+
+  /// Forces the committed state into the base file and resets the log to a
+  /// single checkpoint record carrying `meta`. Requires a clean commit
+  /// boundary: returns false (and does nothing) if writes arrived since
+  /// the last Commit, or on a dead engine.
+  bool Checkpoint(std::span<const uint8_t> meta);
+
+  /// Pages parked in memory awaiting the next checkpoint.
+  size_t pending_pages() const { return pending_.size(); }
+
+  /// Writes since the last successful Commit (must be zero to checkpoint).
+  uint64_t uncommitted_writes() const { return uncommitted_writes_; }
+
+  Wal& wal() { return *wal_; }
+  Pager& base() { return *base_; }
+
+ private:
+  Pager* base_;
+  Wal* wal_;
+  uint32_t count_;
+  uint64_t uncommitted_writes_ = 0;
+  // Ordered so a checkpoint forces pages in file order.
+  std::map<PageId, Page> pending_;
+  PagerStats stats_;
+};
+
+}  // namespace probe::storage
+
+#endif  // PROBE_STORAGE_TXN_PAGER_H_

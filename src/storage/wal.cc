@@ -1,0 +1,257 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace probe::storage {
+
+namespace {
+
+// crc(4) + len(4) + lsn(8) + type(1).
+constexpr size_t kHeaderBytes = 17;
+// Largest payload a reader will believe: a page image plus slack for
+// metadata blobs. Anything bigger is treated as a torn/corrupt record.
+constexpr uint32_t kMaxPayload = static_cast<uint32_t>(Page::kSize) + 4096;
+
+void PutU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+void PutU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+uint32_t GetU32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+bool ValidType(uint8_t t) {
+  return t >= static_cast<uint8_t>(WalRecordType::kPageImage) &&
+         t <= static_cast<uint8_t>(WalRecordType::kCheckpoint);
+}
+
+// Serializes one complete record (header + payload parts) into `out`.
+void BuildRecord(uint64_t lsn, WalRecordType type,
+                 std::span<const uint8_t> prefix,
+                 std::span<const uint8_t> body, std::vector<uint8_t>* out) {
+  const uint32_t len = static_cast<uint32_t>(prefix.size() + body.size());
+  out->resize(kHeaderBytes + len);
+  uint8_t* p = out->data();
+  PutU32(p + 4, len);
+  PutU64(p + 8, lsn);
+  p[16] = static_cast<uint8_t>(type);
+  if (!prefix.empty()) {
+    std::memcpy(p + kHeaderBytes, prefix.data(), prefix.size());
+  }
+  if (!body.empty()) {
+    std::memcpy(p + kHeaderBytes + prefix.size(), body.data(), body.size());
+  }
+  // The checksum covers everything after itself, so a record is valid iff
+  // its length, LSN, type, and payload all survived intact.
+  PutU32(p, util::Crc32(p + 4, kHeaderBytes - 4 + len));
+}
+
+}  // namespace
+
+Wal::Wal(const std::string& path, bool truncate) : path_(path) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return;
+  if (!truncate) {
+    // Resume after the existing valid prefix; a torn tail left by a crash
+    // is overwritten by the next append.
+    WalReader reader(path);
+    WalRecord record;
+    while (reader.Next(&record)) {
+      next_lsn_ = record.lsn + 1;
+    }
+    offset_ = reader.valid_bytes();
+  }
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t Wal::AppendRecord(WalRecordType type,
+                           std::span<const uint8_t> header_extra,
+                           std::span<const uint8_t> payload) {
+  assert(ok());
+  if (dead_) return 0;
+  const uint64_t lsn = next_lsn_;
+  std::vector<uint8_t> buf;
+  BuildRecord(lsn, type, header_extra, payload, &buf);
+
+  if (stats_.records >= fault_.fail_after_records) {
+    // The armed crash point: at most a strict prefix of the record reaches
+    // the file, then the log goes dead.
+    const size_t torn =
+        static_cast<size_t>(std::min<uint64_t>(fault_.tear_bytes,
+                                               buf.size() - 1));
+    if (torn > 0) {
+      [[maybe_unused]] const ssize_t n =
+          ::pwrite(fd_, buf.data(), torn, static_cast<off_t>(offset_));
+    }
+    dead_ = true;
+    return 0;
+  }
+
+  const ssize_t written =
+      ::pwrite(fd_, buf.data(), buf.size(), static_cast<off_t>(offset_));
+  if (written != static_cast<ssize_t>(buf.size())) {
+    dead_ = true;
+    return 0;
+  }
+  offset_ += buf.size();
+  next_lsn_ = lsn + 1;
+  ++stats_.records;
+  stats_.bytes += buf.size();
+  return lsn;
+}
+
+uint64_t Wal::AppendPageImage(PageId id, const Page& page) {
+  uint8_t prefix[4];
+  PutU32(prefix, id);
+  return AppendRecord(WalRecordType::kPageImage, std::span(prefix, 4),
+                      std::span(page.data(), Page::kSize));
+}
+
+uint64_t Wal::AppendCommit(uint32_t page_count,
+                           std::span<const uint8_t> meta) {
+  uint8_t prefix[4];
+  PutU32(prefix, page_count);
+  const uint64_t lsn =
+      AppendRecord(WalRecordType::kCommit, std::span(prefix, 4), meta);
+  if (lsn == 0) return 0;
+  if (!Sync()) return 0;
+  return lsn;
+}
+
+uint64_t Wal::RewriteWithCheckpoint(uint32_t page_count,
+                                    std::span<const uint8_t> meta) {
+  assert(ok());
+  if (dead_) return 0;
+  const uint64_t lsn = next_lsn_;
+  uint8_t prefix[4];
+  PutU32(prefix, page_count);
+  std::vector<uint8_t> buf;
+  BuildRecord(lsn, WalRecordType::kCheckpoint, std::span(prefix, 4), meta,
+              &buf);
+
+  if (stats_.records >= fault_.fail_after_records) {
+    // Crash while writing the replacement log: the temp file never gets
+    // renamed, so the previous log (and its recovery story) is untouched.
+    dead_ = true;
+    return 0;
+  }
+
+  const std::string tmp = path_ + ".tmp";
+  const int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    dead_ = true;
+    return 0;
+  }
+  const ssize_t written = ::pwrite(tmp_fd, buf.data(), buf.size(), 0);
+  if (written != static_cast<ssize_t>(buf.size()) || ::fsync(tmp_fd) != 0) {
+    ::close(tmp_fd);
+    dead_ = true;
+    return 0;
+  }
+  ::close(tmp_fd);
+  // The atomic cut-over: before the rename the old log governs recovery,
+  // after it the checkpoint does. There is no in-between state.
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    dead_ = true;
+    return 0;
+  }
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR, 0644);
+  if (fd_ < 0) {
+    dead_ = true;
+    return 0;
+  }
+  offset_ = buf.size();
+  next_lsn_ = lsn + 1;
+  ++stats_.records;
+  stats_.bytes += buf.size();
+  ++stats_.syncs;
+  return lsn;
+}
+
+bool Wal::Sync() {
+  assert(ok());
+  if (dead_) return false;
+  ::fsync(fd_);
+  ++stats_.syncs;
+  return true;
+}
+
+WalReader::WalReader(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) return;
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  file_size_ = size < 0 ? 0 : static_cast<uint64_t>(size);
+}
+
+WalReader::~WalReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool WalReader::Next(WalRecord* out) {
+  if (fd_ < 0) return false;
+  if (offset_ + kHeaderBytes > file_size_) return false;
+
+  uint8_t header[kHeaderBytes];
+  ssize_t n = ::pread(fd_, header, kHeaderBytes, static_cast<off_t>(offset_));
+  if (n != static_cast<ssize_t>(kHeaderBytes)) return false;
+
+  const uint32_t crc = GetU32(header);
+  const uint32_t len = GetU32(header + 4);
+  const uint64_t lsn = GetU64(header + 8);
+  const uint8_t type = header[16];
+  // A torn or corrupt header shows up as an absurd length, a bad type, a
+  // non-advancing LSN, or a payload running past the file; all of them end
+  // the valid prefix.
+  if (len > kMaxPayload || !ValidType(type)) return false;
+  if (offset_ + kHeaderBytes + len > file_size_) return false;
+  if (lsn <= prev_lsn_) return false;
+
+  std::vector<uint8_t> payload(len);
+  n = ::pread(fd_, payload.data(), len,
+              static_cast<off_t>(offset_ + kHeaderBytes));
+  if (n != static_cast<ssize_t>(len)) return false;
+
+  uint32_t actual = util::Crc32(header + 4, kHeaderBytes - 4);
+  actual = util::Crc32(payload.data(), payload.size(), actual);
+  if (actual != crc) return false;
+
+  out->lsn = lsn;
+  out->type = static_cast<WalRecordType>(type);
+  out->page_id = kInvalidPageId;
+  out->page_count = 0;
+  if (out->type == WalRecordType::kPageImage) {
+    if (len != 4 + Page::kSize) return false;
+    out->page_id = GetU32(payload.data());
+    out->payload.assign(payload.begin() + 4, payload.end());
+  } else {
+    if (len < 4) return false;
+    out->page_count = GetU32(payload.data());
+    out->payload.assign(payload.begin() + 4, payload.end());
+  }
+  offset_ += kHeaderBytes + len;
+  out->end_offset = offset_;
+  valid_bytes_ = offset_;
+  prev_lsn_ = lsn;
+  return true;
+}
+
+}  // namespace probe::storage

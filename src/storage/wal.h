@@ -1,0 +1,194 @@
+#ifndef PROBE_STORAGE_WAL_H_
+#define PROBE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+
+/// \file
+/// Write-ahead log: the durability substrate under the paged storage.
+///
+/// The paper's thesis is that z-order spatial search rides on "ordinary
+/// database machinery"; a real DBMS's ordinary machinery includes a
+/// recovery log. This WAL is the classic physical-redo design:
+///
+///   * Records are appended sequentially, each stamped with a monotonically
+///     increasing LSN and a CRC-32 over everything after the checksum
+///     field, so recovery can distinguish a complete record from the torn
+///     tail a crash mid-append leaves behind.
+///   * Page-image records carry the full after-image of one page (physical
+///     redo is idempotent: replaying twice lands on the same bytes).
+///   * Commit records mark a consistent boundary. Recovery replays page
+///     images only up to the last durable commit; images after it belong
+///     to an unfinished batch and are discarded, which is what makes a
+///     batch of B-tree mutations atomic.
+///   * Checkpoint records open a fresh log: once every page up to the
+///     checkpoint has been forced to the database file, the log is
+///     rewritten to contain just the checkpoint (with the application's
+///     metadata), so the log's length tracks the write rate since the last
+///     checkpoint, not the database's lifetime.
+///
+/// Record layout (little-endian, packed by explicit serialization):
+///
+///   +--------+--------+--------+------+-----------------+
+///   | crc:4  | len:4  | lsn:8  | type | payload (len B) |
+///   +--------+--------+--------+------+-----------------+
+///            ^~~~~~~~~~~~ crc covers [len .. payload end)
+///
+/// Commit and checkpoint payloads are `page_count` (the pager's size at
+/// the boundary) followed by an opaque metadata blob — the index layer
+/// serializes its root/shape there, so the log is self-contained: opening
+/// a database is "recover, read the last metadata, attach".
+///
+/// Fault injection. Crash testing needs to kill the engine at every record
+/// boundary, deterministically. A WalFaultPlan arms the log to stop (or
+/// tear) the Nth appended record; once tripped the log is dead() and every
+/// later append or sync is a no-op returning failure, exactly like a
+/// process that lost its disk. Tests then reopen from the files alone.
+
+namespace probe::storage {
+
+/// WAL record types.
+enum class WalRecordType : uint8_t {
+  /// Full after-image of one page. Payload: page id (4B) + Page::kSize
+  /// bytes.
+  kPageImage = 1,
+  /// Batch boundary. Payload: page_count (4B) + metadata blob.
+  kCommit = 2,
+  /// Log rewrite boundary. Payload: page_count (4B) + metadata blob.
+  kCheckpoint = 3,
+};
+
+/// Deterministic crash plan for a Wal (see file comment).
+struct WalFaultPlan {
+  /// Records appended successfully before the fault trips; the
+  /// (fail_after_records+1)-th append is the victim. ~0 = never.
+  uint64_t fail_after_records = ~0ull;
+
+  /// Bytes of the victim record that still reach the file (a torn tail);
+  /// 0 = the record vanishes entirely (crash just before the write).
+  /// Values >= the record size are clamped to leave at least one byte
+  /// missing, so the victim is always incomplete.
+  uint64_t tear_bytes = 0;
+};
+
+/// One decoded record, as recovery sees it.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kPageImage;
+  /// kPageImage: the page id; unused otherwise.
+  PageId page_id = kInvalidPageId;
+  /// kPageImage: the page bytes. kCommit/kCheckpoint: the metadata blob.
+  std::vector<uint8_t> payload;
+  /// kCommit/kCheckpoint: the pager's page count at the boundary.
+  uint32_t page_count = 0;
+  /// Byte offset one past this record in the log file.
+  uint64_t end_offset = 0;
+};
+
+/// Append counters of a Wal.
+struct WalStats {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  uint64_t syncs = 0;
+};
+
+/// Append-only log file. Not thread-safe (single-writer, like the B-tree).
+class Wal {
+ public:
+  /// Opens (or creates) the log at `path`, appending after any existing
+  /// content. `truncate` starts an empty log. The next LSN continues from
+  /// the last valid record already in the file.
+  explicit Wal(const std::string& path, bool truncate = false);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// True iff the file opened; all appends require it.
+  bool ok() const { return fd_ >= 0; }
+
+  /// True once an armed fault has tripped; every later mutation fails.
+  bool dead() const { return dead_; }
+
+  /// Arms (or clears, with the default plan) the crash plan.
+  void SetFaultPlan(const WalFaultPlan& plan) { fault_ = plan; }
+
+  /// Appends a page after-image. Returns the record's LSN, or 0 if the log
+  /// is dead (LSNs start at 1).
+  uint64_t AppendPageImage(PageId id, const Page& page);
+
+  /// Appends a commit boundary and flushes it to disk. Returns the LSN, or
+  /// 0 on a dead log (the batch is then not durable).
+  uint64_t AppendCommit(uint32_t page_count, std::span<const uint8_t> meta);
+
+  /// Replaces the log with a single checkpoint record, atomically: the new
+  /// content is written to a temp file, fsynced, and renamed over `path`.
+  /// LSNs keep counting. Returns the LSN, or 0 on a dead log.
+  uint64_t RewriteWithCheckpoint(uint32_t page_count,
+                                 std::span<const uint8_t> meta);
+
+  /// fsyncs the log file. Returns false on a dead log.
+  bool Sync();
+
+  /// Next LSN to be assigned.
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  /// Current log size in bytes (as appended; the file may be shorter after
+  /// a tripped tear fault).
+  uint64_t size_bytes() const { return offset_; }
+
+  const WalStats& stats() const { return stats_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  // Serializes and appends one record; applies the fault plan.
+  uint64_t AppendRecord(WalRecordType type,
+                        std::span<const uint8_t> header_extra,
+                        std::span<const uint8_t> payload);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t next_lsn_ = 1;
+  uint64_t offset_ = 0;
+  bool dead_ = false;
+  WalFaultPlan fault_;
+  WalStats stats_;
+};
+
+/// Forward scanner over a WAL file, stopping at the first record whose
+/// header or checksum does not validate — the torn tail.
+class WalReader {
+ public:
+  explicit WalReader(const std::string& path);
+  ~WalReader();
+
+  WalReader(const WalReader&) = delete;
+  WalReader& operator=(const WalReader&) = delete;
+
+  /// False when the file does not exist (an empty log is ok()).
+  bool ok() const { return fd_ >= 0; }
+
+  /// Decodes the next valid record into `*out`. Returns false at the end
+  /// of the valid prefix (clean end, torn record, or bad CRC alike).
+  bool Next(WalRecord* out);
+
+  /// Byte offset one past the last successfully decoded record: the length
+  /// recovery truncates the log to.
+  uint64_t valid_bytes() const { return valid_bytes_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  uint64_t valid_bytes_ = 0;
+  uint64_t file_size_ = 0;
+  uint64_t prev_lsn_ = 0;  // LSNs must strictly increase within one log
+};
+
+}  // namespace probe::storage
+
+#endif  // PROBE_STORAGE_WAL_H_

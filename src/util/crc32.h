@@ -1,0 +1,23 @@
+#ifndef PROBE_UTIL_CRC32_H_
+#define PROBE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// CRC-32 (IEEE 802.3 polynomial, reflected) for on-disk integrity checks.
+///
+/// The write-ahead log stamps every record with a checksum so recovery can
+/// tell a complete record from a torn or corrupted tail. A table-driven
+/// software CRC is plenty: log appends are dominated by the page-image
+/// memcpy and the eventual fsync, not the checksum.
+
+namespace probe::util {
+
+/// CRC-32 of `data[0, size)`, continuing from `seed` (pass 0 to start).
+/// Chain calls to checksum discontiguous spans as one logical stream.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_CRC32_H_

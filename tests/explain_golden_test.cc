@@ -1,0 +1,159 @@
+// Golden-file EXPLAIN tests: the planner's decisions for a fixed workload,
+// snapshotted as pretty-printed ExplainJson under tests/golden/.
+//
+// Plans are snapshotted *before* execution, so the JSON holds only the
+// chosen operators, their shapes, and the cost estimates — all pure
+// functions of the (seeded) dataset and the planner options, never wall
+// clock. A diff in a golden file is a planner behavior change: estimates
+// moved, a threshold flipped, an operator was renamed. Review the diff,
+// then regenerate with
+//
+//   ./explain_golden_test --update-golden
+//
+// which rewrites every snapshot in the source tree and exits green.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "index/cost_model.h"
+#include "query/explain.h"
+#include "query/planner.h"
+#include "util/thread_pool.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+
+namespace probe::query {
+namespace {
+
+bool g_update_golden = false;
+
+using geometry::GridBox;
+using geometry::GridPoint;
+using zorder::GridSpec;
+
+/// The one fixture every snapshot is planned against. Everything is
+/// seeded: a different dataset would change every estimate in every file.
+struct GoldenFixture {
+  GridSpec grid{2, 10};
+  std::vector<index::PointRecord> points;
+  workload::BuiltIndex built;
+  index::CostModel model;
+  baseline::BucketKdTree kd_tree;
+
+  GoldenFixture()
+      : points([&] {
+          workload::DataGenConfig data;
+          data.distribution = workload::Distribution::kUniform;
+          data.count = 5000;
+          data.seed = 7100;
+          return GeneratePoints(grid, data);
+        }()),
+        built(workload::BuildZkdIndex(grid, points, 20, 256)),
+        model(index::CostModel::FromIndex(*built.index)),
+        kd_tree(baseline::BucketKdTree::Build(grid.dims, points, 20)) {}
+
+  PlannerContext Context(util::ThreadPool* pool = nullptr,
+                         bool with_kd = false) const {
+    PlannerContext ctx;
+    ctx.index = built.index.get();
+    ctx.cost_model = &model;
+    ctx.pool = pool;
+    if (with_kd) ctx.kd_tree = &kd_tree;
+    return ctx;
+  }
+};
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(PROBE_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+/// Compares `json` against the named snapshot — or rewrites the snapshot
+/// when --update-golden was passed.
+void CheckGolden(const std::string& name, const std::string& json) {
+  const std::string path = GoldenPath(name);
+  if (g_update_golden) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << json;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path
+                         << " is missing; run with --update-golden to create";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(json, want.str())
+      << "plan for '" << name << "' drifted from " << path
+      << "\nif the change is intended, rerun with --update-golden";
+}
+
+TEST(ExplainGoldenTest, SerialRangeScan) {
+  const GoldenFixture fx;
+  PlannedQuery planned =
+      Plan(Query::Range(GridBox::Make2D(100, 400, 100, 400)), fx.Context());
+  CheckGolden("range_serial", ExplainJsonPretty(*planned.root));
+}
+
+TEST(ExplainGoldenTest, ParallelRangeScan) {
+  const GoldenFixture fx;
+  util::ThreadPool pool(3);
+  PlannerOptions options;
+  options.parallel_page_threshold = 1;
+  options.pages_per_lane = 1;
+  PlannedQuery planned = Plan(Query::Range(GridBox::Make2D(50, 800, 50, 800)),
+                              fx.Context(&pool), options);
+  CheckGolden("range_parallel", ExplainJsonPretty(*planned.root));
+}
+
+TEST(ExplainGoldenTest, DepthCappedRangeScan) {
+  const GoldenFixture fx;
+  PlannerOptions options;
+  options.element_budget = 64;
+  PlannedQuery planned = Plan(Query::Range(GridBox::Make2D(10, 900, 10, 900)),
+                              fx.Context(), options);
+  CheckGolden("range_depth_capped", ExplainJsonPretty(*planned.root));
+}
+
+TEST(ExplainGoldenTest, BucketKdFallback) {
+  const GoldenFixture fx;
+  PlannerOptions options;
+  options.kd_advantage = 1e9;  // any finite kd estimate wins
+  PlannedQuery planned =
+      Plan(Query::Range(GridBox::Make2D(100, 400, 100, 400)),
+           fx.Context(nullptr, /*with_kd=*/true), options);
+  CheckGolden("range_kd_fallback", ExplainJsonPretty(*planned.root));
+}
+
+TEST(ExplainGoldenTest, WithinDistance) {
+  const GoldenFixture fx;
+  PlannedQuery planned = Plan(
+      Query::WithinDistance(GridPoint({512, 512}), 60.0), fx.Context());
+  CheckGolden("within_distance", ExplainJsonPretty(*planned.root));
+}
+
+TEST(ExplainGoldenTest, KNearest) {
+  const GoldenFixture fx;
+  PlannedQuery planned =
+      Plan(Query::KNearest(GridPoint({512, 512}), 16), fx.Context());
+  CheckGolden("k_nearest", ExplainJsonPretty(*planned.root));
+}
+
+}  // namespace
+}  // namespace probe::query
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      probe::query::g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

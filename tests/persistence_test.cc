@@ -1,4 +1,4 @@
-#include <cstdio>
+#include <algorithm>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -7,6 +7,7 @@
 #include "index/zkd_index.h"
 #include "storage/buffer_pool.h"
 #include "storage/file_pager.h"
+#include "temp_file.h"
 #include "util/rng.h"
 
 namespace probe {
@@ -17,16 +18,13 @@ using btree::LeafEntry;
 using btree::ZKey;
 using zorder::ZValue;
 
-std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
-}
-
 ZKey Key(uint64_t value) {
   return ZKey::FromZValue(ZValue::FromInteger(value, 20));
 }
 
 TEST(FilePagerTest, PagesSurviveReopen) {
-  const std::string path = TempPath("filepager_basic.db");
+  testutil::TempFile tmp("filepager_basic.db");
+  const std::string& path = tmp.path();
   {
     storage::FilePager pager(path, /*truncate=*/true);
     ASSERT_TRUE(pager.ok());
@@ -49,11 +47,11 @@ TEST(FilePagerTest, PagesSurviveReopen) {
     pager.Read(1, &page);
     EXPECT_EQ(page.Read<uint64_t>(0), 222u);
   }
-  std::remove(path.c_str());
 }
 
 TEST(FilePagerTest, TruncateWipes) {
-  const std::string path = TempPath("filepager_trunc.db");
+  testutil::TempFile tmp("filepager_trunc.db");
+  const std::string& path = tmp.path();
   {
     storage::FilePager pager(path, /*truncate=*/true);
     pager.Allocate();
@@ -63,11 +61,11 @@ TEST(FilePagerTest, TruncateWipes) {
     storage::FilePager pager(path, /*truncate=*/true);
     EXPECT_EQ(pager.page_count(), 0u);
   }
-  std::remove(path.c_str());
 }
 
 TEST(BTreePersistenceTest, DetachAndAttachRoundTrip) {
-  const std::string path = TempPath("btree_persist.db");
+  testutil::TempFile tmp("btree_persist.db");
+  const std::string& path = tmp.path();
   btree::BTreeConfig config;
   config.leaf_capacity = 10;
   config.internal_capacity = 6;
@@ -118,12 +116,12 @@ TEST(BTreePersistenceTest, DetachAndAttachRoundTrip) {
     EXPECT_TRUE(tree.Delete(Key(424242), 99));
     EXPECT_TRUE(tree.CheckInvariants());
   }
-  std::remove(path.c_str());
 }
 
 TEST(BTreePersistenceTest, IndexOverFilePager) {
   // Full stack: zkd index on a file, reopened and queried.
-  const std::string path = TempPath("zkd_persist.db");
+  testutil::TempFile tmp("zkd_persist.db");
+  const std::string& path = tmp.path();
   const zorder::GridSpec grid{2, 8};
   btree::BTreeConfig config;
   config.leaf_capacity = 20;
@@ -149,8 +147,7 @@ TEST(BTreePersistenceTest, IndexOverFilePager) {
   {
     storage::FilePager pager(path);
     storage::BufferPool pool(&pager, 64);
-    index::ZkdIndex index(grid, &pool, config);
-    index.tree() = BTree::Attach(&pool, state, config);
+    auto index = index::ZkdIndex::Attach(grid, &pool, state, config);
 
     const geometry::GridBox box = geometry::GridBox::Make2D(50, 120, 30, 180);
     auto got = index.RangeSearch(box);
@@ -161,7 +158,6 @@ TEST(BTreePersistenceTest, IndexOverFilePager) {
     }
     EXPECT_EQ(got, expect);
   }
-  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,60 @@
+#ifndef PROBE_TESTS_TEMP_FILE_H_
+#define PROBE_TESTS_TEMP_FILE_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+/// \file
+/// Scoped temp-file paths for tests that touch real files.
+///
+/// Every test database used to be removed with a trailing std::remove —
+/// which leaked the file whenever an assertion failed first, and never
+/// covered sibling files (a ".wal" beside the database). TempFile is the
+/// RAII replacement: a unique path under gtest's TempDir that is deleted —
+/// along with its WAL siblings — when the object goes out of scope,
+/// pass or fail. Uniqueness (pid + counter) keeps parallel ctest runs and
+/// repeated in-process tests from colliding.
+
+namespace probe::testutil {
+
+/// A unique temp path, removed (with `.wal` / `.wal.tmp` siblings) on
+/// destruction. The file itself is not created; the path is handed to
+/// whatever pager or log wants to create it.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string(::testing::TempDir()) + "probe_" +
+              std::to_string(::getpid()) + "_" +
+              std::to_string(counter_.fetch_add(1)) + "_" + name) {
+    Remove();  // a colliding leftover from a crashed run would be stale
+  }
+
+  ~TempFile() { Remove(); }
+
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Path of the WAL that a DurableIndex/Wal opened on path() would use.
+  std::string wal_path() const { return path_ + ".wal"; }
+
+ private:
+  void Remove() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+    std::remove((path_ + ".wal.tmp").c_str());
+  }
+
+  static inline std::atomic<int> counter_{0};
+  std::string path_;
+};
+
+}  // namespace probe::testutil
+
+#endif  // PROBE_TESTS_TEMP_FILE_H_

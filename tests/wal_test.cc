@@ -1,0 +1,230 @@
+// Write-ahead log unit tests: LSN sequencing, CRC rejection of corrupt and
+// torn records, checkpoint rewrite, and the deterministic fault plans the
+// crash tier is built on.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/wal.h"
+#include "temp_file.h"
+
+namespace probe::storage {
+namespace {
+
+Page PageOf(uint64_t tag) {
+  Page page;
+  for (size_t off = 0; off + 8 <= Page::kSize; off += 512) {
+    page.Write<uint64_t>(off, tag ^ off);
+  }
+  return page;
+}
+
+std::vector<uint8_t> Meta(std::initializer_list<uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes);
+}
+
+std::vector<WalRecord> ReadAll(const std::string& path) {
+  WalReader reader(path);
+  std::vector<WalRecord> records;
+  WalRecord record;
+  while (reader.Next(&record)) records.push_back(record);
+  return records;
+}
+
+uint64_t SizeOf(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  EXPECT_GE(fd, 0);
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  ::close(fd);
+  return static_cast<uint64_t>(size);
+}
+
+TEST(WalTest, LsnsAreStrictlyMonotonic) {
+  testutil::TempFile tmp("wal_lsn");
+  Wal wal(tmp.path(), /*truncate=*/true);
+  ASSERT_TRUE(wal.ok());
+
+  std::vector<uint64_t> lsns;
+  for (uint64_t i = 0; i < 10; ++i) {
+    lsns.push_back(wal.AppendPageImage(static_cast<PageId>(i), PageOf(i)));
+  }
+  const auto meta = Meta({1, 2, 3});
+  lsns.push_back(wal.AppendCommit(11, meta));
+
+  for (size_t i = 0; i < lsns.size(); ++i) {
+    EXPECT_EQ(lsns[i], i + 1) << "LSNs count up from 1 without gaps";
+  }
+
+  const auto records = ReadAll(tmp.path());
+  ASSERT_EQ(records.size(), lsns.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].lsn, lsns[i]);
+  }
+  EXPECT_EQ(records.back().type, WalRecordType::kCommit);
+  EXPECT_EQ(records.back().page_count, 11u);
+  EXPECT_EQ(records.back().payload, meta);
+}
+
+TEST(WalTest, PageImagesRoundTrip) {
+  testutil::TempFile tmp("wal_roundtrip");
+  Wal wal(tmp.path(), /*truncate=*/true);
+  wal.AppendPageImage(7, PageOf(0xAB));
+  wal.AppendPageImage(3, PageOf(0xCD));
+
+  const auto records = ReadAll(tmp.path());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].page_id, 7u);
+  EXPECT_EQ(records[1].page_id, 3u);
+  const Page expect = PageOf(0xCD);
+  ASSERT_EQ(records[1].payload.size(), Page::kSize);
+  EXPECT_EQ(0, std::memcmp(records[1].payload.data(), expect.data(),
+                           Page::kSize));
+}
+
+TEST(WalTest, ReopenResumesLsnSequence) {
+  testutil::TempFile tmp("wal_reopen");
+  {
+    Wal wal(tmp.path(), /*truncate=*/true);
+    EXPECT_EQ(wal.AppendPageImage(0, PageOf(1)), 1u);
+    EXPECT_EQ(wal.AppendPageImage(1, PageOf(2)), 2u);
+  }
+  {
+    Wal wal(tmp.path());
+    EXPECT_EQ(wal.next_lsn(), 3u);
+    EXPECT_EQ(wal.AppendPageImage(2, PageOf(3)), 3u);
+  }
+  EXPECT_EQ(ReadAll(tmp.path()).size(), 3u);
+}
+
+TEST(WalTest, CrcRejectsCorruptedRecord) {
+  testutil::TempFile tmp("wal_corrupt");
+  {
+    Wal wal(tmp.path(), /*truncate=*/true);
+    for (uint64_t i = 0; i < 5; ++i) {
+      wal.AppendPageImage(static_cast<PageId>(i), PageOf(i));
+    }
+  }
+  // Flip one payload byte in the middle of the third record.
+  const uint64_t record_bytes = SizeOf(tmp.path()) / 5;
+  const int fd = ::open(tmp.path().c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  const off_t victim = static_cast<off_t>(2 * record_bytes + record_bytes / 2);
+  uint8_t byte;
+  ASSERT_EQ(::pread(fd, &byte, 1, victim), 1);
+  byte ^= 0x40;
+  ASSERT_EQ(::pwrite(fd, &byte, 1, victim), 1);
+  ::close(fd);
+
+  // The scan ends at the corruption: the two clean records before it are
+  // the whole valid prefix (nothing after a bad record can be trusted —
+  // record boundaries themselves are unverifiable there).
+  const auto records = ReadAll(tmp.path());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].lsn, 1u);
+  EXPECT_EQ(records[1].lsn, 2u);
+}
+
+TEST(WalTest, TornTailIsRejected) {
+  testutil::TempFile tmp("wal_torn");
+  {
+    Wal wal(tmp.path(), /*truncate=*/true);
+    for (uint64_t i = 0; i < 3; ++i) {
+      wal.AppendPageImage(static_cast<PageId>(i), PageOf(i));
+    }
+  }
+  // Cut the last record short, as a crash mid-append would.
+  const uint64_t size = SizeOf(tmp.path());
+  ASSERT_EQ(0, ::truncate(tmp.path().c_str(),
+                          static_cast<off_t>(size - Page::kSize / 2)));
+
+  WalReader reader(tmp.path());
+  WalRecord record;
+  int seen = 0;
+  while (reader.Next(&record)) ++seen;
+  EXPECT_EQ(seen, 2);
+  // valid_bytes marks exactly where recovery should truncate.
+  EXPECT_EQ(reader.valid_bytes(), (size / 3) * 2);
+}
+
+TEST(WalTest, CheckpointRewriteLeavesSingleRecordWithContinuingLsn) {
+  testutil::TempFile tmp("wal_ckpt");
+  Wal wal(tmp.path(), /*truncate=*/true);
+  for (uint64_t i = 0; i < 20; ++i) {
+    wal.AppendPageImage(static_cast<PageId>(i), PageOf(i));
+  }
+  const auto meta = Meta({9, 9});
+  wal.AppendCommit(20, meta);
+  const uint64_t before = SizeOf(tmp.path());
+
+  EXPECT_EQ(wal.RewriteWithCheckpoint(20, meta), 22u);
+  EXPECT_LT(SizeOf(tmp.path()), before);
+
+  const auto records = ReadAll(tmp.path());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, WalRecordType::kCheckpoint);
+  EXPECT_EQ(records[0].lsn, 22u);
+  EXPECT_EQ(records[0].page_count, 20u);
+  EXPECT_EQ(records[0].payload, meta);
+
+  // The log keeps appending after the rewrite, LSNs still monotone.
+  EXPECT_EQ(wal.AppendPageImage(0, PageOf(7)), 23u);
+  EXPECT_EQ(ReadAll(tmp.path()).size(), 2u);
+}
+
+TEST(WalTest, FaultPlanStopsTheLogDead) {
+  testutil::TempFile tmp("wal_fault_stop");
+  Wal wal(tmp.path(), /*truncate=*/true);
+  wal.SetFaultPlan({.fail_after_records = 2, .tear_bytes = 0});
+
+  EXPECT_NE(wal.AppendPageImage(0, PageOf(0)), 0u);
+  EXPECT_NE(wal.AppendPageImage(1, PageOf(1)), 0u);
+  EXPECT_FALSE(wal.dead());
+  // The third append is the victim: nothing lands, the log dies.
+  EXPECT_EQ(wal.AppendPageImage(2, PageOf(2)), 0u);
+  EXPECT_TRUE(wal.dead());
+  // Every later mutation fails too.
+  EXPECT_EQ(wal.AppendCommit(3, Meta({1})), 0u);
+  EXPECT_FALSE(wal.Sync());
+  EXPECT_EQ(wal.RewriteWithCheckpoint(3, Meta({1})), 0u);
+
+  EXPECT_EQ(ReadAll(tmp.path()).size(), 2u);
+}
+
+TEST(WalTest, FaultPlanTearsTheVictimRecord) {
+  testutil::TempFile tmp("wal_fault_tear");
+  uint64_t clean_two_records = 0;
+  {
+    Wal wal(tmp.path(), /*truncate=*/true);
+    wal.AppendPageImage(0, PageOf(0));
+    wal.AppendPageImage(1, PageOf(1));
+    clean_two_records = wal.size_bytes();
+  }
+  {
+    Wal wal(tmp.path(), /*truncate=*/true);
+    wal.SetFaultPlan({.fail_after_records = 2, .tear_bytes = 100});
+    wal.AppendPageImage(0, PageOf(0));
+    wal.AppendPageImage(1, PageOf(1));
+    EXPECT_EQ(wal.AppendPageImage(2, PageOf(2)), 0u);
+    EXPECT_TRUE(wal.dead());
+  }
+  // 100 bytes of the victim reached the file...
+  EXPECT_EQ(SizeOf(tmp.path()), clean_two_records + 100);
+  // ...and the reader treats them as the torn tail they are.
+  const auto records = ReadAll(tmp.path());
+  ASSERT_EQ(records.size(), 2u);
+
+  // A reopened log resumes over the torn tail, exactly at the valid end.
+  Wal wal(tmp.path());
+  EXPECT_EQ(wal.next_lsn(), 3u);
+  EXPECT_NE(wal.AppendPageImage(5, PageOf(5)), 0u);
+  ASSERT_EQ(ReadAll(tmp.path()).size(), 3u);
+  EXPECT_EQ(ReadAll(tmp.path()).back().page_id, 5u);
+}
+
+}  // namespace
+}  // namespace probe::storage
