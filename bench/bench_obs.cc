@@ -1,0 +1,202 @@
+// Observability overhead gate: the metrics/tracing instrumentation added
+// across the storage, index, and executor layers must stay under a 3%
+// wall-clock budget on the PR 1 parallel range and join workloads.
+//
+// Method: each workload runs in alternating obs-disabled / obs-enabled
+// pairs (obs::SetEnabled toggles the single global kill switch every
+// instrumentation site checks), repeated kRepeats times; the *minimum*
+// of each mode is compared. Min-of-N is the standard noise filter for a
+// throughput bench — any scheduler hiccup inflates one repeat, never
+// deflates one. A small absolute cushion guards the ratio against timer
+// granularity on workloads that finish in a few milliseconds.
+//
+// Exit status is the gate: nonzero when any workload exceeds the budget,
+// so scripts/check.sh and CI fail loudly on an instrumentation
+// regression. Numbers land in BENCH_obs.json (section "overhead").
+//
+// Sizes default small enough for CI; scale with
+//   bench_obs [points] [queries] [join_rows]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "btree/btree.h"
+#include "index/zkd_index.h"
+#include "obs/runtime_metrics.h"
+#include "relational/relation.h"
+#include "relational/spatial_join.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "util/bench_json.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+#include "zorder/zvalue.h"
+
+namespace {
+
+using namespace probe;
+
+constexpr int kRepeats = 7;
+constexpr double kBudgetRatio = 1.03;   // <3% overhead
+constexpr double kCushionMs = 2.0;      // timer-noise floor for short runs
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// As in bench_parallel_join: element z values deep enough that most pairs
+// are disjoint, shallow enough that containment chains still form.
+relational::Relation ElementRelation(const std::string& prefix, size_t rows,
+                                     uint64_t seed, int min_len,
+                                     int max_len) {
+  relational::Schema schema({{prefix + "_id", relational::ValueType::kInt},
+                             {prefix + "_z", relational::ValueType::kZValue}});
+  relational::Relation rel(schema);
+  rel.Reserve(rows);
+  util::Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    const int length =
+        min_len + static_cast<int>(rng.NextBelow(
+                      static_cast<uint64_t>(max_len - min_len + 1)));
+    const uint64_t bits = rng.Next() & ((1ULL << length) - 1);
+    relational::Tuple tuple;
+    tuple.emplace_back(static_cast<int64_t>(i));
+    tuple.emplace_back(zorder::ZValue::FromInteger(bits, length));
+    rel.Add(std::move(tuple));
+  }
+  return rel;
+}
+
+struct GateResult {
+  std::string name;
+  double disabled_ms = 0.0;
+  double enabled_ms = 0.0;
+  double overhead = 0.0;  // (enabled - disabled) / disabled
+  bool pass = false;
+};
+
+/// Runs `work` in alternating disabled/enabled pairs and gates the
+/// min-of-repeats pair against the budget.
+template <typename Fn>
+GateResult Gate(const std::string& name, Fn&& work) {
+  GateResult result;
+  result.name = name;
+  double min_disabled = 0.0;
+  double min_enabled = 0.0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (const bool enabled : {false, true}) {
+      obs::SetEnabled(enabled);
+      const auto start = std::chrono::steady_clock::now();
+      work();
+      const double ms = MsSince(start);
+      double& slot = enabled ? min_enabled : min_disabled;
+      if (rep == 0 || ms < slot) slot = ms;
+    }
+  }
+  obs::SetEnabled(true);
+  result.disabled_ms = min_disabled;
+  result.enabled_ms = min_enabled;
+  result.overhead =
+      min_disabled > 0 ? (min_enabled - min_disabled) / min_disabled : 0.0;
+  result.pass =
+      min_enabled <= min_disabled * kBudgetRatio + kCushionMs;
+  std::printf("  %-22s  off %8.2f ms  on %8.2f ms  overhead %+6.2f%%  %s\n",
+              result.name.c_str(), result.disabled_ms, result.enabled_ms,
+              result.overhead * 100.0, result.pass ? "ok" : "OVER BUDGET");
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n_points =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 120000;
+  const int n_queries = argc > 2 ? std::atoi(argv[2]) : 48;
+  const size_t join_rows =
+      argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 20000;
+
+  std::printf("=== Observability overhead: %zu points, %d queries, "
+              "|R|=|S|=%zu join elements, budget <%.0f%% ===\n\n",
+              n_points, n_queries, join_rows, (kBudgetRatio - 1.0) * 100.0);
+
+  const zorder::GridSpec grid{2, 16};
+  workload::DataGenConfig data;
+  data.count = n_points;
+  data.seed = 11;
+  data.distribution = workload::Distribution::kUniform;
+  const auto points = GeneratePoints(grid, data);
+
+  util::Rng qrng(1234);
+  const auto boxes =
+      workload::MakeQueryBoxes2D(grid, 0.002, 1.0, n_queries, qrng);
+
+  btree::BTreeConfig tree_config;
+  tree_config.leaf_capacity = 64;
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 1024);
+  index::ZkdIndex index =
+      index::ZkdIndex::Build(grid, &pool, points, tree_config);
+
+  const auto r = ElementRelation("r", join_rows, 21, 8, 22);
+  const auto s = ElementRelation("s", join_rows, 22, 8, 22);
+
+  util::ThreadPool tp(3);
+  tp.EnableMetrics(&obs::ThreadPoolMetrics::Default());
+
+  std::vector<GateResult> gates;
+  size_t sink = 0;  // defeats dead-code elimination of the query results
+
+  gates.push_back(Gate("range_serial", [&] {
+    for (const auto& box : boxes) sink += index.RangeSearch(box).size();
+  }));
+  gates.push_back(Gate("range_parallel", [&] {
+    for (const auto& box : boxes) {
+      sink += index.ParallelRangeSearch(box, tp).size();
+    }
+  }));
+  gates.push_back(Gate("join_serial", [&] {
+    sink += relational::SpatialJoin(r, "r_z", s, "s_z").size();
+  }));
+  gates.push_back(Gate("join_parallel", [&] {
+    sink += relational::ParallelSpatialJoin(r, "r_z", s, "s_z", tp).size();
+  }));
+
+  bool all_pass = true;
+  std::string workloads_json = "[";
+  for (const auto& g : gates) {
+    all_pass = all_pass && g.pass;
+    if (workloads_json.size() > 1) workloads_json += ",";
+    workloads_json += "{\"workload\":\"" + g.name +
+                      "\",\"disabled_ms\":" + std::to_string(g.disabled_ms) +
+                      ",\"enabled_ms\":" + std::to_string(g.enabled_ms) +
+                      ",\"overhead\":" + std::to_string(g.overhead) +
+                      ",\"pass\":" + (g.pass ? "true" : "false") + "}";
+  }
+  workloads_json += "]";
+
+  const std::string payload =
+      "{\"points\":" + std::to_string(n_points) +
+      ",\"queries\":" + std::to_string(n_queries) +
+      ",\"join_rows\":" + std::to_string(join_rows) +
+      ",\"repeats\":" + std::to_string(kRepeats) +
+      ",\"budget_ratio\":" + std::to_string(kBudgetRatio) +
+      ",\"cushion_ms\":" + std::to_string(kCushionMs) +
+      ",\"workloads\":" + workloads_json +
+      ",\"all_pass\":" + (all_pass ? "true" : "false") + "}";
+  util::UpdateJsonSection("BENCH_obs.json", "overhead", payload);
+
+  std::printf("\n%s (checksum %zu)\n",
+              all_pass ? "all workloads within the <3% overhead budget"
+                       : "OVERHEAD BUDGET EXCEEDED",
+              sink);
+  return all_pass ? 0 : 1;
+}

@@ -10,8 +10,9 @@
 #   <build>        default RelWithDebInfo, audits compiled out
 #   <build>-asan   ASan + UBSan + PROBE_AUDIT=ON, full ctest
 #   <build>-tsan   TSan, ctest -L concurrency
+#   <build>-cov    gcov instrumentation, ctest -L obs + coverage floor
 # Skip the sanitizer passes (e.g. on a machine without the runtimes) with
-# CHECK_SKIP_SANITIZERS=1.
+# CHECK_SKIP_SANITIZERS=1, the coverage pass with CHECK_SKIP_COVERAGE=1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
@@ -59,6 +60,13 @@ if [ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]; then
   configure "$TSAN_BUILD" -DPROBE_TSAN=ON
   cmake --build "$TSAN_BUILD" --target concurrency_tests
   ctest --test-dir "$TSAN_BUILD" -L concurrency --output-on-failure
+fi
+
+# Coverage gate: gcov build, obs-labeled tests, >=80% line floor on
+# src/obs/. Its own build dir, like the sanitizers (instrumented objects
+# can't link against plain ones). Skip with CHECK_SKIP_COVERAGE=1.
+if [ "${CHECK_SKIP_COVERAGE:-0}" != "1" ]; then
+  scripts/coverage.sh "${BUILD}-cov" 80
 fi
 
 # clang-tidy gate (no-op with a notice when clang-tidy is unavailable).

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "decompose/generator.h"
+#include "obs/runtime_metrics.h"
 #include "geometry/primitives.h"
 #include "probe/check.h"
 #include "storage/audit.h"
@@ -21,6 +22,19 @@ using btree::ZKey;
 using geometry::GridBox;
 using geometry::GridPoint;
 using zorder::ZValue;
+
+
+// Flushes one finished query's aggregates to the process-wide registry —
+// a handful of relaxed adds per *query*, so instrumentation cost never
+// scales with elements or points (the bench_obs overhead budget depends
+// on this). point_seeks is published as the BIGMIN-skip family: every
+// seek past the current position is a skip the merge earned.
+void FlushQueryMetrics(const QueryStats* stats, size_t result_count) {
+  if (stats == nullptr || !obs::Enabled()) return;
+  obs::QueryMetrics::Default().RecordQuery(
+      stats->leaf_pages, stats->internal_pages, stats->points_scanned,
+      stats->elements_generated, stats->point_seeks, result_count);
+}
 
 // Full-resolution key of a point.
 ZKey PointKey(const zorder::GridSpec& grid, const GridPoint& point) {
@@ -132,11 +146,19 @@ bool ZkdIndex::Delete(const GridPoint& point, uint64_t id) {
 std::vector<uint64_t> ZkdIndex::RangeSearch(const GridBox& box,
                                             QueryStats* stats,
                                             const SearchOptions& options) const {
+  // When the caller doesn't want stats but metrics are on, collect into a
+  // local so the registry still sees the query.
+  QueryStats local;
+  QueryStats* s = stats != nullptr ? stats : (obs::Enabled() ? &local : nullptr);
+  std::vector<uint64_t> results;
   if (options.merge == SearchOptions::Merge::kBigMin) {
-    return SearchBigMin(box, stats);
+    results = SearchBigMin(box, s);
+  } else {
+    const geometry::BoxObject object(box);
+    results = SearchDecomposed(object, s, options);
   }
-  const geometry::BoxObject object(box);
-  return SearchDecomposed(object, stats, options);
+  FlushQueryMetrics(s, results.size());
+  return results;
 }
 
 std::vector<uint64_t> ZkdIndex::SearchObject(
@@ -146,7 +168,11 @@ std::vector<uint64_t> ZkdIndex::SearchObject(
   if (effective.merge == SearchOptions::Merge::kBigMin) {
     effective.merge = SearchOptions::Merge::kSkipMerge;  // needs a box
   }
-  return SearchDecomposed(object, stats, effective);
+  QueryStats local;
+  QueryStats* s = stats != nullptr ? stats : (obs::Enabled() ? &local : nullptr);
+  std::vector<uint64_t> results = SearchDecomposed(object, s, effective);
+  FlushQueryMetrics(s, results.size());
+  return results;
 }
 
 std::vector<uint64_t> ZkdIndex::PartialMatch(
@@ -415,6 +441,8 @@ std::vector<uint64_t> ZkdIndex::ParallelRangeSearch(
     const GridBox& box, util::ThreadPool& pool, int partitions,
     QueryStats* stats, const SearchOptions& options) const {
   assert(box.dims() == grid_.dims);
+  QueryStats local;
+  if (stats == nullptr && obs::Enabled()) stats = &local;
   if (stats != nullptr) *stats = QueryStats{};
   const int parts = partitions > 0 ? partitions : pool.lanes();
 
@@ -460,22 +488,31 @@ std::vector<uint64_t> ZkdIndex::ParallelRangeSearch(
       results.insert(results.end(), partial[k].begin(), partial[k].end());
       if (stats != nullptr) AccumulateStats(stats, partial_stats[k]);
     }
+    FlushQueryMetrics(stats, results.size());
     return results;
   }
 
   const geometry::BoxObject object(box);
-  return ParallelDecomposed(object, splits, pool, stats, options);
+  std::vector<uint64_t> results =
+      ParallelDecomposed(object, splits, pool, stats, options);
+  FlushQueryMetrics(stats, results.size());
+  return results;
 }
 
 std::vector<uint64_t> ZkdIndex::ParallelSearchObject(
     const geometry::SpatialObject& object, util::ThreadPool& pool,
     int partitions, QueryStats* stats, const SearchOptions& options) const {
+  QueryStats local;
+  if (stats == nullptr && obs::Enabled()) stats = &local;
   if (stats != nullptr) *stats = QueryStats{};
   const int parts = partitions > 0 ? partitions : pool.lanes();
   const int total = grid_.total_bits();
   const uint64_t zmax = total < 64 ? (1ULL << total) - 1 : ~0ULL;
   const std::vector<uint64_t> splits = EvenSplits(0, zmax, parts);
-  return ParallelDecomposed(object, splits, pool, stats, options);
+  std::vector<uint64_t> results =
+      ParallelDecomposed(object, splits, pool, stats, options);
+  FlushQueryMetrics(stats, results.size());
+  return results;
 }
 
 ZkdIndex::RangeCursor::RangeCursor(const ZkdIndex& index,
@@ -495,7 +532,11 @@ ZkdIndex::RangeCursor::RangeCursor(const ZkdIndex& index,
   }
 }
 
-ZkdIndex::RangeCursor::~RangeCursor() = default;
+ZkdIndex::RangeCursor::~RangeCursor() {
+  // A cursor is one query from the registry's point of view: flush its
+  // aggregates when it dies, however far the caller drained it.
+  FlushQueryMetrics(&stats_, stats_.results);
+}
 
 bool ZkdIndex::RangeCursor::Next(uint64_t* id, geometry::GridPoint* point) {
   const int total = index_.grid_.total_bits();

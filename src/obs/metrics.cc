@@ -1,0 +1,282 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace probe::obs {
+
+namespace {
+
+/// Escapes a label value for the text exposition (backslash, quote,
+/// newline — the three characters Prometheus requires escaped).
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}`; empty labels render as nothing. `extra` appends
+/// one more pair (the histogram `le` label) without copying the set.
+std::string RenderLabels(const Labels& labels,
+                         const std::pair<std::string, std::string>* extra =
+                             nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ",";
+    out += extra->first + "=\"" + EscapeLabelValue(extra->second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Shortest %g-style rendering of a double (Prometheus values are floats;
+/// integral values render without a trailing ".000000").
+std::string RenderValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+Labels Normalized(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Histogram
+
+std::vector<uint64_t> HistogramSnapshot::Cumulative() const {
+  std::vector<uint64_t> out;
+  out.reserve(counts.size());
+  uint64_t running = 0;
+  for (const uint64_t c : counts) {
+    running += c;
+    out.push_back(running);
+  }
+  return out;
+}
+
+bool HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (bounds != other.bounds) return false;
+  assert(counts.size() == other.counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  sum += other.sum;
+  count += other.count;
+  return true;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end() &&
+         "histogram bounds must be strictly increasing");
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value; everything past the last bound lands in +Inf.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts.push_back(counts_[i].load(std::memory_order_relaxed));
+  }
+  // Derived from the counts actually read: "sum of buckets == count" holds
+  // in every snapshot, even mid-write.
+  for (const uint64_t c : snap.counts) snap.count += c;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> Histogram::LatencyBucketsMs() {
+  return {0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 10000};
+}
+
+// ------------------------------------------------------ RegistrySnapshot
+
+double RegistrySnapshot::CounterValue(std::string_view name,
+                                      const Labels& labels) const {
+  const Labels want = Normalized(labels);
+  double total = 0.0;
+  for (const Sample& s : counters) {
+    if (s.name != name) continue;
+    if (!want.empty() && Normalized(s.labels) != want) continue;
+    total += s.value;
+  }
+  return total;
+}
+
+std::string RegistrySnapshot::RenderText() const {
+  std::string out;
+  std::string last_type_line;
+  const auto type_line = [&out, &last_type_line](const std::string& name,
+                                                 const char* type) {
+    std::string line = "# TYPE " + name + " " + type + "\n";
+    if (line != last_type_line) {
+      out += line;
+      last_type_line = std::move(line);
+    }
+  };
+  for (const Sample& s : counters) {
+    type_line(s.name, "counter");
+    out += s.name + RenderLabels(s.labels) + " " + RenderValue(s.value) + "\n";
+  }
+  for (const Sample& s : gauges) {
+    type_line(s.name, "gauge");
+    out += s.name + RenderLabels(s.labels) + " " + RenderValue(s.value) + "\n";
+  }
+  for (const HistogramSample& h : histograms) {
+    type_line(h.name, "histogram");
+    const std::vector<uint64_t> cumulative = h.hist.Cumulative();
+    for (size_t i = 0; i < cumulative.size(); ++i) {
+      const std::pair<std::string, std::string> le = {
+          "le", i < h.hist.bounds.size() ? RenderValue(h.hist.bounds[i])
+                                         : std::string("+Inf")};
+      out += h.name + "_bucket" + RenderLabels(h.labels, &le) + " " +
+             std::to_string(cumulative[i]) + "\n";
+    }
+    out += h.name + "_sum" + RenderLabels(h.labels) + " " +
+           RenderValue(h.hist.sum) + "\n";
+    out += h.name + "_count" + RenderLabels(h.labels) + " " +
+           std::to_string(h.hist.count) + "\n";
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- Registry
+
+Counter* Registry::GetCounter(std::string_view name, const Labels& labels) {
+  const Key key{std::string(name), Normalized(labels)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_.emplace(key, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, const Labels& labels) {
+  const Key key{std::string(name), Normalized(labels)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(key, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name, const Labels& labels,
+                                  std::vector<double> bounds) {
+  const Key key{std::string(name), Normalized(labels)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(key, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Registry::CollectorHandle Registry::AddCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return CollectorHandle(this, id);
+}
+
+void Registry::RemoveCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.erase(id);
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, counter] : counters_) {
+      snap.counters.push_back(
+          {key.first, key.second, static_cast<double>(counter->value())});
+    }
+    for (const auto& [key, gauge] : gauges_) {
+      snap.gauges.push_back(
+          {key.first, key.second, static_cast<double>(gauge->value())});
+    }
+    for (const auto& [key, hist] : histograms_) {
+      snap.histograms.push_back({key.first, key.second, hist->Snapshot()});
+    }
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
+  }
+  // Collectors run outside the registry lock: they may read component
+  // state guarded by the component's own locks, and must be free to call
+  // back into the registry.
+  for (const Collector& fn : collectors) fn(&snap);
+  return snap;
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// -------------------------------------------------------- CollectorHandle
+
+Registry::CollectorHandle::CollectorHandle(CollectorHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+}
+
+Registry::CollectorHandle& Registry::CollectorHandle::operator=(
+    CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+  }
+  return *this;
+}
+
+Registry::CollectorHandle::~CollectorHandle() { Release(); }
+
+void Registry::CollectorHandle::Release() {
+  if (registry_ != nullptr) {
+    registry_->RemoveCollector(id_);
+    registry_ = nullptr;
+  }
+}
+
+}  // namespace probe::obs

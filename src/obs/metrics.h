@@ -1,0 +1,211 @@
+#ifndef PROBE_OBS_METRICS_H_
+#define PROBE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Runtime metrics: lock-cheap counters for a serving system.
+///
+/// The paper's argument is that z-order search runs on ordinary DBMS
+/// machinery with *predictable* page-access costs; the planner (Section 9
+/// of DESIGN.md) estimates those costs, and this subsystem measures them
+/// in production-shaped workloads so estimates can be validated outside
+/// hand-run benches.
+///
+/// Design constraints, in order:
+///
+///   1. Hot paths are wait-free: Counter/Gauge/Histogram updates are single
+///      relaxed atomic RMWs (the histogram's sum is an atomic double, a CAS
+///      loop on hardware without native FP fetch_add). The parallel query
+///      lanes hammer these from every worker.
+///   2. Registration is rare and locked: a Registry hands out stable
+///      pointers under a mutex once, and the caller caches them.
+///   3. Snapshots are *per-metric coherent* under concurrent writers: a
+///      counter is one atomic load; a histogram snapshot derives its total
+///      from the bucket counts it actually read, so "sum of buckets ==
+///      count" holds in every snapshot even while writers run. Cross-metric
+///      coherence (counter A vs counter B) is not promised — totals are
+///      exact once writers quiesce.
+///
+/// Components that already keep their own counters (BufferPool, Wal) join
+/// a Registry through collector callbacks instead of double-counting on
+/// the hot path; the RAII CollectorHandle unregisters on destruction so
+/// short-lived pools can participate safely.
+
+namespace probe::obs {
+
+/// Monotonic event counter. All operations are thread-safe and wait-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, pending pages). Thread-safe.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// One histogram read: bucket upper bounds (ascending; an implicit +Inf
+/// bucket follows), per-bucket counts, and the derived total. `count` is
+/// always the sum of `counts`, so the bucket invariants hold in any
+/// snapshot, concurrent writers or not.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // size == bounds.size() + 1
+  double sum = 0.0;
+  uint64_t count = 0;
+
+  /// Cumulative counts in Prometheus `le` form (last entry == count).
+  std::vector<uint64_t> Cumulative() const;
+
+  /// Adds `other` into this snapshot. Returns false (and leaves *this
+  /// untouched) when the bucket bounds differ — merging histograms of
+  /// different shape has no meaning.
+  bool Merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket histogram: values are classified into the bucket whose
+/// upper bound is the first >= the value (Prometheus `le` semantics), with
+/// a catch-all +Inf bucket at the end. Observe is wait-free per bucket.
+class Histogram {
+ public:
+  /// `bounds` are the finite upper bounds, strictly increasing. An empty
+  /// list degenerates to a single +Inf bucket (count + sum only).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Per-metric-coherent read (see file comment).
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Latency-flavored default bounds (milliseconds), 0.01 .. 10000.
+  static std::vector<double> LatencyBucketsMs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+/// Metric labels, e.g. {{"pool", "main"}}. Order-insensitive: families
+/// normalize by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// One scalar sample in a registry snapshot.
+struct Sample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+/// One histogram sample in a registry snapshot.
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  HistogramSnapshot hist;
+};
+
+/// Everything a registry knew at one Collect() call.
+struct RegistrySnapshot {
+  std::vector<Sample> counters;
+  std::vector<Sample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Value of the named counter (summed over matching label sets when
+  /// `labels` is empty); 0 when absent.
+  double CounterValue(std::string_view name, const Labels& labels = {}) const;
+
+  /// Prometheus text exposition of the snapshot.
+  std::string RenderText() const;
+};
+
+/// Labeled metric families plus collector callbacks. Getters dedupe on
+/// (name, labels): the same family member is returned to every caller, so
+/// two subsystems asking for the same counter share one cell. Returned
+/// pointers are stable for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(std::string_view name, const Labels& labels = {});
+  Gauge* GetGauge(std::string_view name, const Labels& labels = {});
+  /// `bounds` is used on first creation; later calls with the same
+  /// (name, labels) return the existing histogram regardless of bounds.
+  Histogram* GetHistogram(std::string_view name, const Labels& labels,
+                          std::vector<double> bounds);
+
+  /// A collector contributes samples of a component that keeps its own
+  /// counters (a BufferPool, a Wal) at every Snapshot()/RenderText(). The
+  /// handle unregisters on destruction; destroy it before the component.
+  class CollectorHandle {
+   public:
+    CollectorHandle() = default;
+    CollectorHandle(CollectorHandle&& other) noexcept;
+    CollectorHandle& operator=(CollectorHandle&& other) noexcept;
+    CollectorHandle(const CollectorHandle&) = delete;
+    CollectorHandle& operator=(const CollectorHandle&) = delete;
+    ~CollectorHandle();
+
+    void Release();
+
+   private:
+    friend class Registry;
+    CollectorHandle(Registry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    Registry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  using Collector = std::function<void(RegistrySnapshot*)>;
+  [[nodiscard]] CollectorHandle AddCollector(Collector fn);
+
+  /// Consistent-per-metric snapshot of every family plus every collector's
+  /// contribution (see file comment for the exact guarantee).
+  RegistrySnapshot Snapshot() const;
+
+  /// Prometheus text exposition — the scrape endpoint's body.
+  std::string RenderText() const { return Snapshot().RenderText(); }
+
+  /// The process-wide registry the built-in instrumentation publishes to.
+  static Registry& Default();
+
+ private:
+  friend class CollectorHandle;
+  using Key = std::pair<std::string, Labels>;
+  void RemoveCollector(uint64_t id);
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<uint64_t, Collector> collectors_;
+  uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace probe::obs
+
+#endif  // PROBE_OBS_METRICS_H_

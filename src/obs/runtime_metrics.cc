@@ -1,0 +1,82 @@
+#include "obs/runtime_metrics.h"
+
+#include <atomic>
+
+namespace probe::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void QueryMetrics::RecordQuery(uint64_t leaf, uint64_t internal,
+                               uint64_t scanned, uint64_t elements,
+                               uint64_t skips, uint64_t result_count) {
+  if (!Enabled()) return;
+  queries->Increment();
+  leaf_pages->Increment(leaf);
+  internal_pages->Increment(internal);
+  points_scanned->Increment(scanned);
+  elements_generated->Increment(elements);
+  bigmin_skips->Increment(skips);
+  results->Increment(result_count);
+}
+
+QueryMetrics& QueryMetrics::Default() {
+  static QueryMetrics* metrics = [] {
+    Registry& r = Registry::Default();
+    auto* m = new QueryMetrics();
+    m->queries = r.GetCounter("probe_index_queries_total");
+    m->leaf_pages = r.GetCounter("probe_index_leaf_pages_total");
+    m->internal_pages = r.GetCounter("probe_index_internal_pages_total");
+    m->points_scanned = r.GetCounter("probe_index_points_scanned_total");
+    m->elements_generated = r.GetCounter("probe_index_elements_total");
+    m->bigmin_skips = r.GetCounter("probe_index_bigmin_skips_total");
+    m->results = r.GetCounter("probe_index_results_total");
+    return m;
+  }();
+  return *metrics;
+}
+
+StorageMetrics& StorageMetrics::Default() {
+  static StorageMetrics* metrics = [] {
+    Registry& r = Registry::Default();
+    auto* m = new StorageMetrics();
+    m->pager_reads = r.GetCounter("probe_pager_reads_total");
+    m->pager_writes = r.GetCounter("probe_pager_writes_total");
+    m->pager_bytes_read = r.GetCounter("probe_pager_bytes_read_total");
+    m->pager_bytes_written = r.GetCounter("probe_pager_bytes_written_total");
+    m->pager_syncs = r.GetCounter("probe_pager_syncs_total");
+    m->wal_appends = r.GetCounter("probe_wal_appends_total");
+    m->wal_bytes = r.GetCounter("probe_wal_bytes_total");
+    m->wal_syncs = r.GetCounter("probe_wal_syncs_total");
+    m->wal_commits = r.GetCounter("probe_wal_commits_total");
+    m->checkpoints = r.GetCounter("probe_checkpoints_total");
+    m->checkpoint_ms = r.GetHistogram("probe_checkpoint_ms", {},
+                                      Histogram::LatencyBucketsMs());
+    return m;
+  }();
+  return *metrics;
+}
+
+ThreadPoolMetrics& ThreadPoolMetrics::Default() {
+  static ThreadPoolMetrics* metrics = [] {
+    Registry& r = Registry::Default();
+    auto* m = new ThreadPoolMetrics();
+    m->queue_depth = r.GetGauge("probe_threadpool_queue_depth");
+    m->tasks = r.GetCounter("probe_threadpool_tasks_total");
+    m->task_ms = r.GetHistogram("probe_threadpool_task_ms", {},
+                                Histogram::LatencyBucketsMs());
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace probe::obs

@@ -1,0 +1,78 @@
+#ifndef PROBE_OBS_RUNTIME_METRICS_H_
+#define PROBE_OBS_RUNTIME_METRICS_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+/// \file
+/// The process-wide metric families the engine's built-in instrumentation
+/// publishes to, all living in Registry::Default().
+///
+/// Layering: obs sits at the bottom of the dependency graph (below util,
+/// storage, index, query), so these structs speak in raw numbers — the
+/// index layer flushes its QueryStats here at the *end* of each query (a
+/// handful of relaxed adds per query, not per element), and the storage
+/// layer bumps counters per physical I/O, where an atomic increment is
+/// noise against the actual work. bench_obs holds the whole arrangement
+/// under a <3% overhead budget.
+///
+/// SetEnabled(false) turns every built-in recording site into an early
+/// return — the uninstrumented baseline the overhead bench compares
+/// against, and an escape hatch for workloads that want the last percent.
+
+namespace probe::obs {
+
+/// Process-wide switch for the built-in instrumentation (default on).
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// Index-side aggregates: one Record call per completed query.
+struct QueryMetrics {
+  Counter* queries;
+  Counter* leaf_pages;
+  Counter* internal_pages;
+  Counter* points_scanned;
+  Counter* elements_generated;
+  Counter* bigmin_skips;
+  Counter* results;
+
+  /// Flushes one query's counters (no-op when disabled).
+  void RecordQuery(uint64_t leaf, uint64_t internal, uint64_t scanned,
+                   uint64_t elements, uint64_t skips, uint64_t result_count);
+
+  static QueryMetrics& Default();
+};
+
+/// Storage-side counters: pager I/O, WAL traffic, checkpoints.
+struct StorageMetrics {
+  Counter* pager_reads;
+  Counter* pager_writes;
+  Counter* pager_bytes_read;
+  Counter* pager_bytes_written;
+  Counter* pager_syncs;
+  Counter* wal_appends;
+  Counter* wal_bytes;
+  Counter* wal_syncs;
+  Counter* wal_commits;
+  Counter* checkpoints;
+  Histogram* checkpoint_ms;
+
+  static StorageMetrics& Default();
+};
+
+/// Thread-pool counters: queue depth and task latency. A pool opts in via
+/// ThreadPool::EnableMetrics; with no metrics attached the pool's hot path
+/// is untouched.
+struct ThreadPoolMetrics {
+  Gauge* queue_depth;
+  Counter* tasks;
+  /// Enqueue-to-completion latency (queue wait + execution), milliseconds.
+  Histogram* task_ms;
+
+  static ThreadPoolMetrics& Default();
+};
+
+}  // namespace probe::obs
+
+#endif  // PROBE_OBS_RUNTIME_METRICS_H_

@@ -1,0 +1,110 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace probe::obs {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+Trace::Span& Trace::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    Finish();
+    trace_ = other.trace_;
+    index_ = other.index_;
+    other.trace_ = nullptr;
+  }
+  return *this;
+}
+
+void Trace::Span::Count(std::string_view name, uint64_t delta) {
+  if (trace_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(trace_->mutex_);
+  auto& counters = trace_->spans_[index_].counters;
+  for (auto& [n, v] : counters) {
+    if (n == name) {
+      v += delta;
+      return;
+    }
+  }
+  counters.emplace_back(std::string(name), delta);
+}
+
+void Trace::Span::Finish() {
+  if (trace_ == nullptr) return;
+  const double end = trace_->SinceStartMs();
+  {
+    std::lock_guard<std::mutex> lock(trace_->mutex_);
+    SpanRecord& record = trace_->spans_[index_];
+    record.ms = end - record.start_ms;
+  }
+  trace_ = nullptr;
+}
+
+double Trace::SinceStartMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+Trace::Span Trace::StartSpan(std::string name) {
+  const double at = SinceStartMs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t index = spans_.size();
+  spans_.push_back({std::move(name), at, -1.0, {}});
+  return Span(this, index);
+}
+
+void Trace::Count(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::vector<Trace::SpanRecord> Trace::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Trace::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+double Trace::ElapsedMs() const { return SinceStartMs(); }
+
+std::string Trace::RenderText(int indent) const {
+  const std::string pad(static_cast<size_t>(std::max(indent, 0)), ' ');
+  std::string out;
+  for (const SpanRecord& span : Spans()) {
+    out += pad + span.name + "  " +
+           (span.ms < 0 ? std::string("(open)") : FormatMs(span.ms) + " ms");
+    for (const auto& [name, value] : span.counters) {
+      out += "  " + name + "=" + std::to_string(value);
+    }
+    out += "\n";
+  }
+  const auto counters = Counters();
+  if (!counters.empty()) {
+    out += pad + "counters:";
+    for (const auto& [name, value] : counters) {
+      out += " " + name + "=" + std::to_string(value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace probe::obs

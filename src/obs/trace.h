@@ -1,0 +1,107 @@
+#ifndef PROBE_OBS_TRACE_H_
+#define PROBE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Per-query tracing: what one execution did, stage by stage.
+///
+/// A Trace is scoped to a single query execution (ExplainAnalyze creates
+/// one per run). Spans are RAII: StartSpan stamps a steady-clock start,
+/// destruction (or Finish) records the duration, and counters attached to
+/// a span land in its record. EXPLAIN ANALYZE maps spans one-to-one onto
+/// plan nodes — a span's wall time covers the node's Open..Close lifetime,
+/// so a parent's span nests its children's work, exactly like the plan
+/// tree nests its operators.
+///
+/// The trace itself is thread-safe: the parallel z-partition workers of a
+/// ParallelRangeScan may all contribute counters to the same trace while
+/// the coordinating thread holds the node's span. Span *handles* follow
+/// the usual value rule — one owner at a time.
+
+namespace probe::obs {
+
+class Trace {
+ public:
+  /// One finished (or still-open) span.
+  struct SpanRecord {
+    std::string name;
+    /// Start offset from the trace's construction, milliseconds.
+    double start_ms = 0.0;
+    /// Wall duration; negative while the span is still open.
+    double ms = -1.0;
+    /// Counters attached through Span::Count, in attachment order.
+    std::vector<std::pair<std::string, uint64_t>> counters;
+  };
+
+  /// RAII span handle. Movable, not copyable; finishes at destruction.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept : trace_(other.trace_), index_(other.index_) {
+      other.trace_ = nullptr;
+    }
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { Finish(); }
+
+    /// Attaches (or bumps) a counter on this span's record.
+    void Count(std::string_view name, uint64_t delta);
+
+    /// Records the duration now; later calls are no-ops.
+    void Finish();
+
+    bool active() const { return trace_ != nullptr; }
+
+   private:
+    friend class Trace;
+    Span(Trace* trace, size_t index) : trace_(trace), index_(index) {}
+    Trace* trace_ = nullptr;
+    size_t index_ = 0;
+  };
+
+  Trace() : start_(std::chrono::steady_clock::now()) {}
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a span. Thread-safe; spans from different threads interleave in
+  /// start order.
+  Span StartSpan(std::string name);
+
+  /// Bumps a trace-level counter (not tied to any span). Thread-safe —
+  /// this is the call parallel partition workers make.
+  void Count(std::string_view name, uint64_t delta);
+
+  /// Snapshot of the span records so far (open spans have ms < 0).
+  std::vector<SpanRecord> Spans() const;
+
+  /// Snapshot of the trace-level counters, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Counters() const;
+
+  /// Milliseconds since the trace was created.
+  double ElapsedMs() const;
+
+  /// Human-readable rendering: one line per span (indented by `indent`
+  /// spaces), then the trace-level counters.
+  std::string RenderText(int indent = 0) const;
+
+ private:
+  double SinceStartMs() const;
+
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+};
+
+}  // namespace probe::obs
+
+#endif  // PROBE_OBS_TRACE_H_

@@ -1,7 +1,10 @@
 #include "query/explain.h"
 
 #include <cstdio>
+#include <utility>
 
+#include "query/executor.h"
+#include "storage/buffer_pool.h"
 #include "util/bench_json.h"
 
 namespace probe::query {
@@ -36,6 +39,10 @@ void ExplainNode(const PlanNode& node, int depth, std::string* out) {
             std::to_string(stats.actual_elements) + " elements, " +
             std::to_string(stats.rows) + " rows, " + FormatMs(stats.ms) +
             " ms";
+    if (stats.has_pool_stats) {
+      *out += ", " + std::to_string(stats.pool_misses) + " pool misses (" +
+              std::to_string(stats.pool_hits) + " hits)";
+    }
   } else {
     *out += "actual: not executed";
   }
@@ -61,6 +68,10 @@ void ExplainNodeJson(const PlanNode& node, std::string* out) {
     *out += ", \"actual_elements\": " + std::to_string(stats.actual_elements);
     *out += ", \"rows\": " + std::to_string(stats.rows);
     *out += ", \"ms\": " + FormatMs(stats.ms);
+  }
+  if (stats.has_pool_stats) {
+    *out += ", \"pool_misses\": " + std::to_string(stats.pool_misses);
+    *out += ", \"pool_hits\": " + std::to_string(stats.pool_hits);
   }
   if (node.child_count() > 0) {
     *out += ", \"children\": [";
@@ -95,6 +106,11 @@ void ExplainNodeJsonPretty(const PlanNode& node, int depth, std::string* out) {
     *out += ",\n" + pad + "\"rows\": " + std::to_string(stats.rows);
     *out += ",\n" + pad + "\"ms\": " + FormatMs(stats.ms);
   }
+  if (stats.has_pool_stats) {
+    *out +=
+        ",\n" + pad + "\"pool_misses\": " + std::to_string(stats.pool_misses);
+    *out += ",\n" + pad + "\"pool_hits\": " + std::to_string(stats.pool_hits);
+  }
   if (node.child_count() > 0) {
     *out += ",\n" + pad + "\"children\": [";
     for (int i = 0; i < node.child_count(); ++i) {
@@ -126,6 +142,71 @@ std::string ExplainJsonPretty(const PlanNode& root) {
   std::string out;
   ExplainNodeJsonPretty(root, 0, &out);
   out += "\n";
+  return out;
+}
+
+namespace {
+
+/// Re-indents a pretty-printed block by `spaces` (every line but the
+/// first, which sits after its key).
+std::string IndentBlock(const std::string& block, int spaces) {
+  std::string out;
+  const std::string pad(static_cast<size_t>(spaces), ' ');
+  for (size_t i = 0; i < block.size(); ++i) {
+    out += block[i];
+    if (block[i] == '\n' && i + 1 < block.size()) out += pad;
+  }
+  return out;
+}
+
+}  // namespace
+
+ExplainAnalyzeResult ExplainAnalyze(PlanNode& root,
+                                    const ExplainAnalyzeOptions& options) {
+  obs::Trace local_trace;
+  obs::Trace* trace = options.trace != nullptr ? options.trace : &local_trace;
+  root.AttachInstrumentation(options.pool, trace);
+
+  storage::BufferPoolStats before;
+  if (options.pool != nullptr) before = options.pool->stats();
+
+  ExecutionResult exec = Execute(root);
+
+  ExplainAnalyzeResult out;
+  out.rows = std::move(exec.rows);
+  out.total_ms = exec.total_ms;
+  if (options.pool != nullptr) {
+    const storage::BufferPoolStats after = options.pool->stats();
+    out.has_pool_stats = true;
+    out.pool_fetches = after.fetches - before.fetches;
+    out.pool_misses = after.misses - before.misses;
+    out.pool_hits = after.hits - before.hits;
+  }
+
+  out.text = "Execution: " + std::to_string(out.rows.size()) + " rows, " +
+             FormatMs(out.total_ms) + " ms";
+  if (out.has_pool_stats) {
+    out.text += ", pool: " + std::to_string(out.pool_misses) + " misses / " +
+                std::to_string(out.pool_hits) + " hits (" +
+                std::to_string(out.pool_fetches) + " fetches)";
+  }
+  out.text += "\n" + Explain(root);
+  out.text += "trace:\n" + trace->RenderText(2);
+
+  out.json = "{\n";
+  out.json += "  \"rows\": " + std::to_string(out.rows.size()) + ",\n";
+  out.json += "  \"total_ms\": " + FormatMs(out.total_ms) + ",\n";
+  if (out.has_pool_stats) {
+    out.json += "  \"pool_fetches\": " + std::to_string(out.pool_fetches) +
+                ",\n";
+    out.json +=
+        "  \"pool_misses\": " + std::to_string(out.pool_misses) + ",\n";
+    out.json += "  \"pool_hits\": " + std::to_string(out.pool_hits) + ",\n";
+  }
+  std::string plan = ExplainJsonPretty(root);
+  if (!plan.empty() && plan.back() == '\n') plan.pop_back();
+  out.json += "  \"plan\": " + IndentBlock(plan, 2) + "\n";
+  out.json += "}\n";
   return out;
 }
 

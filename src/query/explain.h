@@ -34,6 +34,46 @@ std::string ExplainJson(const PlanNode& root);
 /// tests/golden/ are stored in.
 std::string ExplainJsonPretty(const PlanNode& root);
 
+// ------------------------------------------------------- EXPLAIN ANALYZE
+
+/// What ExplainAnalyze instruments the run with. Both members optional.
+struct ExplainAnalyzeOptions {
+  /// When set, the whole-run fetch/hit/miss delta is reported and every
+  /// scan node samples its own Open..Close window (NodeStats.pool_*). The
+  /// pool must be the one the plan's access paths actually read through.
+  const storage::BufferPool* pool = nullptr;
+  /// When set, spans land in the caller's trace; otherwise ExplainAnalyze
+  /// uses a private per-run trace, rendered into `text`.
+  obs::Trace* trace = nullptr;
+};
+
+/// The output of one instrumented execution.
+struct ExplainAnalyzeResult {
+  /// The query's materialized output.
+  relational::Relation rows;
+  /// End-to-end wall time of the pull loop.
+  double total_ms = 0.0;
+
+  /// Whole-run buffer-pool delta (valid when options.pool was set).
+  bool has_pool_stats = false;
+  uint64_t pool_fetches = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_hits = 0;
+
+  /// Summary line + the executed Explain tree + the per-node trace.
+  std::string text;
+  /// Pretty JSON: rows/total_ms/pool_* plus the executed plan tree under
+  /// "plan" — the shape the explain_analyze golden snapshots store.
+  std::string json;
+};
+
+/// EXPLAIN ANALYZE: attaches instrumentation to the tree, executes it to
+/// completion, and renders estimated-vs-measured work per node. The plan
+/// is left executed, so callers can also inspect per-node stats() or
+/// re-render with Explain.
+ExplainAnalyzeResult ExplainAnalyze(PlanNode& root,
+                                    const ExplainAnalyzeOptions& options = {});
+
 }  // namespace probe::query
 
 #endif  // PROBE_QUERY_EXPLAIN_H_

@@ -6,6 +6,7 @@
 
 #include "index/nearest.h"
 #include "probe/check.h"
+#include "storage/buffer_pool.h"
 #include "relational/operators.h"
 #include "relational/spatial_join.h"
 #include "zorder/zvalue.h"
@@ -45,16 +46,15 @@ class MaterializedNode : public PlanNode {
  public:
   explicit MaterializedNode(Schema schema) : result_(std::move(schema)) {}
 
-  bool Next(Tuple* out) override {
-    if (pos_ >= result_.size()) return false;
-    *out = result_.row(pos_++);
-    ++stats_.rows;
-    return true;
-  }
-
   const Schema& schema() const override { return result_.schema(); }
 
  protected:
+  bool DoNext(Tuple* out) override {
+    if (pos_ >= result_.size()) return false;
+    *out = result_.row(pos_++);
+    return true;
+  }
+
   void ResetResult() {
     result_ = Relation(result_.schema());
     pos_ = 0;
@@ -88,11 +88,14 @@ class ZkdRangeScanNode final : public PlanNode {
         partitions_(partitions),
         schema_(IdSchema()) {
     stats_.op = pool_ != nullptr ? "ParallelRangeScan" : "ZkdRangeScan";
+    wants_pool_window_ = true;
   }
 
-  void Open() override {
+  const Schema& schema() const override { return schema_; }
+
+ protected:
+  void DoOpen() override {
     ScopedTimer timer(&stats_.ms);
-    stats_.executed = true;
     // The streaming cursor runs the default skip merge only; capped or
     // non-default merges materialize through RangeSearch. Results are
     // identical either way (same merge, same z order).
@@ -114,7 +117,7 @@ class ZkdRangeScanNode final : public PlanNode {
     stats_.actual_elements = qstats.elements_generated;
   }
 
-  bool Next(Tuple* out) override {
+  bool DoNext(Tuple* out) override {
     ScopedTimer timer(&stats_.ms);
     uint64_t id = 0;
     if (cursor_.has_value()) {
@@ -132,11 +135,10 @@ class ZkdRangeScanNode final : public PlanNode {
     }
     out->clear();
     out->emplace_back(static_cast<int64_t>(id));
-    ++stats_.rows;
     return true;
   }
 
-  void Close() override {
+  void DoClose() override {
     // The cursor keeps its current leaf pinned; release it now rather than
     // at node destruction.
     if (cursor_.has_value()) {
@@ -144,10 +146,7 @@ class ZkdRangeScanNode final : public PlanNode {
       stats_.actual_elements = cursor_->stats().elements_generated;
       cursor_.reset();
     }
-    PlanNode::Close();
   }
-
-  const Schema& schema() const override { return schema_; }
 
  private:
   const index::ZkdIndex& index_;
@@ -182,11 +181,12 @@ class ObjectSearchNode final : public MaterializedNode {
                     ? op_name
                     : (pool_ != nullptr ? "ParallelObjectSearch"
                                         : "ObjectSearch");
+    wants_pool_window_ = true;
   }
 
-  void Open() override {
+ protected:
+  void DoOpen() override {
     ScopedTimer timer(&stats_.ms);
-    stats_.executed = true;
     ResetResult();
     index::QueryStats qstats;
     std::vector<uint64_t> ids;
@@ -220,9 +220,9 @@ class BucketKdScanNode final : public MaterializedNode {
     stats_.op = "BucketKdScan";
   }
 
-  void Open() override {
+ protected:
+  void DoOpen() override {
     ScopedTimer timer(&stats_.ms);
-    stats_.executed = true;
     ResetResult();
     baseline::BucketKdStats kd_stats;
     FillIds(&result_, tree_.RangeSearch(box_, &kd_stats));
@@ -246,11 +246,12 @@ class KNearestNode final : public MaterializedNode {
         center_(center),
         k_(k) {
     stats_.op = "KNearest";
+    wants_pool_window_ = true;
   }
 
-  void Open() override {
+ protected:
+  void DoOpen() override {
     ScopedTimer timer(&stats_.ms);
-    stats_.executed = true;
     ResetResult();
     index::NearestStats nstats;
     const auto neighbors = index::KNearest(index_, center_, k_, &nstats);
@@ -279,19 +280,16 @@ class RelationScanNode final : public PlanNode {
     stats_.op = "RelationScan";
   }
 
-  void Open() override {
-    stats_.executed = true;
-    pos_ = 0;
-  }
+  const Schema& schema() const override { return rel_.schema(); }
 
-  bool Next(Tuple* out) override {
+ protected:
+  void DoOpen() override { pos_ = 0; }
+
+  bool DoNext(Tuple* out) override {
     if (pos_ >= rel_.size()) return false;
     *out = rel_.row(pos_++);
-    ++stats_.rows;
     return true;
   }
-
-  const Schema& schema() const override { return rel_.schema(); }
 
  private:
   const Relation& rel_;
@@ -306,9 +304,11 @@ class EmptyResultNode final : public PlanNode {
     stats_.op = "EmptyResult";
   }
 
-  void Open() override { stats_.executed = true; }
-  bool Next(Tuple*) override { return false; }
   const Schema& schema() const override { return schema_; }
+
+ protected:
+  void DoOpen() override {}
+  bool DoNext(Tuple*) override { return false; }
 
  private:
   Schema schema_;
@@ -340,11 +340,11 @@ class DecomposeNode final : public MaterializedNode {
     AddChild(std::move(child));
   }
 
-  void Open() override {
+ protected:
+  void DoOpen() override {
     child(0)->Open();
     const Relation input = DrainChild(child(0));
     ScopedTimer timer(&stats_.ms);
-    stats_.executed = true;
     ResetResult();
     decompose::DecomposeStats dstats;
     result_ = relational::DecomposeRelation(grid_, input, id_column_, catalog_,
@@ -395,13 +395,13 @@ class MergeJoinNode final : public MaterializedNode {
     AddChild(std::move(right));
   }
 
-  void Open() override {
+ protected:
+  void DoOpen() override {
     child(0)->Open();
     child(1)->Open();
     const Relation left = DrainChild(child(0));
     const Relation right = DrainChild(child(1));
     ScopedTimer timer(&stats_.ms);
-    stats_.executed = true;
     ResetResult();
     relational::SpatialJoinStats jstats;
     if (pool_ != nullptr) {
@@ -440,22 +440,17 @@ class FilterNode final : public PlanNode {
     AddChild(std::move(child));
   }
 
-  void Open() override {
-    stats_.executed = true;
-    child(0)->Open();
-  }
+  const Schema& schema() const override { return child(0)->schema(); }
 
-  bool Next(Tuple* out) override {
+ protected:
+  void DoOpen() override { child(0)->Open(); }
+
+  bool DoNext(Tuple* out) override {
     while (child(0)->Next(out)) {
-      if (predicate_(*out)) {
-        ++stats_.rows;
-        return true;
-      }
+      if (predicate_(*out)) return true;
     }
     return false;
   }
-
-  const Schema& schema() const override { return child(0)->schema(); }
 
  private:
   std::function<bool(const Tuple&)> predicate_;
@@ -475,11 +470,11 @@ class ProjectNode final : public MaterializedNode {
     AddChild(std::move(child));
   }
 
-  void Open() override {
+ protected:
+  void DoOpen() override {
     child(0)->Open();
     const Relation input = DrainChild(child(0));
     ScopedTimer timer(&stats_.ms);
-    stats_.executed = true;
     ResetResult();
     result_ = relational::Project(input, columns_, deduplicate_);
   }
@@ -510,19 +505,17 @@ class LimitNode final : public PlanNode {
     AddChild(std::move(child));
   }
 
-  void Open() override {
-    stats_.executed = true;
-    child(0)->Open();
-  }
-
-  bool Next(Tuple* out) override {
-    if (stats_.rows >= limit_) return false;
-    if (!child(0)->Next(out)) return false;
-    ++stats_.rows;
-    return true;
-  }
-
   const Schema& schema() const override { return child(0)->schema(); }
+
+ protected:
+  void DoOpen() override { child(0)->Open(); }
+
+  bool DoNext(Tuple* out) override {
+    // stats_.rows counts rows already emitted (the base increments it
+    // after each successful DoNext), so it doubles as the limit cursor.
+    if (stats_.rows >= limit_) return false;
+    return child(0)->Next(out);
+  }
 
  private:
   size_t limit_;
@@ -530,8 +523,47 @@ class LimitNode final : public PlanNode {
 
 }  // namespace
 
+void PlanNode::Open() {
+  stats_.executed = true;
+  if (trace_ != nullptr) span_ = trace_->StartSpan(stats_.op);
+  if (pool_ != nullptr && wants_pool_window_) {
+    const storage::BufferPoolStats before = pool_->stats();
+    window_misses_ = before.misses;
+    window_hits_ = before.hits;
+    window_open_ = true;
+  }
+  DoOpen();
+}
+
+bool PlanNode::Next(relational::Tuple* out) {
+  if (!DoNext(out)) return false;
+  ++stats_.rows;
+  return true;
+}
+
 void PlanNode::Close() {
+  DoClose();
+  if (window_open_) {
+    const storage::BufferPoolStats after = pool_->stats();
+    stats_.pool_misses = after.misses - window_misses_;
+    stats_.pool_hits = after.hits - window_hits_;
+    stats_.has_pool_stats = true;
+    window_open_ = false;
+  }
+  if (span_.active()) {
+    span_.Count("rows", stats_.rows);
+    if (stats_.actual_pages != 0) span_.Count("pages", stats_.actual_pages);
+    if (stats_.has_pool_stats) span_.Count("pool_misses", stats_.pool_misses);
+    span_.Finish();
+  }
   for (auto& child : children_) child->Close();
+}
+
+void PlanNode::AttachInstrumentation(const storage::BufferPool* pool,
+                                     obs::Trace* trace) {
+  pool_ = pool;
+  trace_ = trace;
+  for (auto& child : children_) child->AttachInstrumentation(pool, trace);
 }
 
 std::unique_ptr<PlanNode> MakeZkdRangeScan(const index::ZkdIndex& index,

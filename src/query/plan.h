@@ -13,10 +13,15 @@
 #include "geometry/object.h"
 #include "geometry/point.h"
 #include "index/zkd_index.h"
+#include "obs/trace.h"
 #include "relational/catalog.h"
 #include "relational/relation.h"
 #include "util/thread_pool.h"
 #include "zorder/grid.h"
+
+namespace probe::storage {
+class BufferPool;
+}  // namespace probe::storage
 
 /// \file
 /// Physical plan nodes: a pull-based (volcano) iterator tree.
@@ -60,26 +65,52 @@ struct NodeStats {
   /// nodes, cumulative streaming for leaf scans); 0 for pass-through
   /// nodes.
   double ms = 0.0;
+
+  /// True when a BufferPool was attached (AttachInstrumentation) and this
+  /// node sampled it across its Open..Close window. Only scan nodes that
+  /// read through the pool open a window; for a serial plan the window is
+  /// exact (misses == physical reads this node caused), for parallel scans
+  /// it may include traffic from sibling partitions of the same query.
+  bool has_pool_stats = false;
+  uint64_t pool_misses = 0;
+  uint64_t pool_hits = 0;
 };
 
 /// A physical operator in the volcano tree.
+///
+/// The iteration surface (Open/Next/Close) is non-virtual: the base class
+/// owns the bookkeeping every operator needs — the executed flag, the row
+/// count, the optional buffer-pool window and trace span — and delegates
+/// the actual work to the DoOpen/DoNext/DoClose hooks. Operators implement
+/// only the hooks, so no node can forget (or double-count) its stats.
 class PlanNode {
  public:
   virtual ~PlanNode() = default;
 
-  /// Prepares the node (and its children) for iteration. Blocking nodes do
-  /// their work here.
-  virtual void Open() = 0;
+  /// Prepares the node for iteration (blocking nodes do their work here):
+  /// marks the node executed, opens its trace span and pool window when
+  /// instrumentation is attached, then runs DoOpen. Children are opened by
+  /// the operators that consume them (from DoOpen), not implicitly.
+  void Open();
 
   /// Produces the next tuple; false at end of stream. `out` must not be
-  /// null.
-  virtual bool Next(relational::Tuple* out) = 0;
+  /// null. Rows are counted here.
+  bool Next(relational::Tuple* out);
 
-  /// Releases resources. The default closes the children.
-  virtual void Close();
+  /// Releases resources: runs DoClose, finalizes the pool window and trace
+  /// span, then closes the children. Idempotent.
+  void Close();
 
   /// Schema of the tuples this node produces (valid after construction).
   virtual const relational::Schema& schema() const = 0;
+
+  /// Attaches a buffer pool and/or trace to this subtree (either may be
+  /// null). Scan nodes sample `pool`'s counters at Open and Close and
+  /// report the delta in stats(); every node contributes a trace span
+  /// spanning its Open..Close lifetime. Call before Open; both must
+  /// outlive the plan's execution.
+  void AttachInstrumentation(const storage::BufferPool* pool,
+                             obs::Trace* trace);
 
   NodeStats& stats() { return stats_; }
   const NodeStats& stats() const { return stats_; }
@@ -88,12 +119,30 @@ class PlanNode {
   PlanNode* child(int i) const { return children_[static_cast<size_t>(i)].get(); }
 
  protected:
+  /// The operator hooks. DoClose defaults to nothing (the base Close
+  /// already closes children).
+  virtual void DoOpen() = 0;
+  virtual bool DoNext(relational::Tuple* out) = 0;
+  virtual void DoClose() {}
+
   void AddChild(std::unique_ptr<PlanNode> child) {
     children_.push_back(std::move(child));
   }
 
   std::vector<std::unique_ptr<PlanNode>> children_;
   NodeStats stats_;
+  /// Scan nodes that read pages through the buffer pool set this in their
+  /// constructor; the base then samples the attached pool around the
+  /// node's Open..Close window.
+  bool wants_pool_window_ = false;
+
+ private:
+  const storage::BufferPool* pool_ = nullptr;
+  obs::Trace* trace_ = nullptr;
+  obs::Trace::Span span_;
+  uint64_t window_misses_ = 0;
+  uint64_t window_hits_ = 0;
+  bool window_open_ = false;
 };
 
 // ------------------------------------------------------------- leaf scans

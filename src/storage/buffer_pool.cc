@@ -107,11 +107,20 @@ BufferPool::Shard& BufferPool::ShardFor(PageId id) {
 }
 
 PageRef BufferPool::Fetch(PageId id) {
-  fetches_.fetch_add(1, std::memory_order_relaxed);
+  fetches_.Increment();
+  // Pairs with the acquire fence in stats(): any snapshot that sees this
+  // fetch's hit/miss classification also sees the fetch itself, keeping
+  // `fetches >= hits + misses` true in every snapshot.
+  std::atomic_thread_fence(std::memory_order_release);
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  // Contention probe: a failed try_lock means this fetch waited to pin.
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    pin_waits_.Increment();
+    lock.lock();
+  }
   if (auto it = shard.resident.find(id); it != shard.resident.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.Increment();
     Frame& frame = frames_[it->second];
     switch (policy_) {
       case EvictionPolicy::kLru:
@@ -132,7 +141,7 @@ PageRef BufferPool::Fetch(PageId id) {
     ++tls_pinned_pages;
     return PageRef(this, it->second);
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Increment();
   const size_t slot = AcquireFrame(shard);
   Frame& frame = frames_[slot];
   {
@@ -189,7 +198,7 @@ void BufferPool::FlushAll() {
         std::lock_guard<std::mutex> io_lock(io_mutex_);
         pager_->Write(frame.id, frame.page);
         frame.dirty.store(false, std::memory_order_relaxed);
-        writebacks_.fetch_add(1, std::memory_order_relaxed);
+        writebacks_.Increment();
       }
     }
   }
@@ -197,23 +206,47 @@ void BufferPool::FlushAll() {
 
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats snapshot;
-  snapshot.fetches = fetches_.load(std::memory_order_relaxed);
-  snapshot.hits = hits_.load(std::memory_order_relaxed);
-  snapshot.misses = misses_.load(std::memory_order_relaxed);
-  snapshot.writebacks = writebacks_.load(std::memory_order_relaxed);
-  snapshot.evictions = evictions_.load(std::memory_order_relaxed);
+  // Classifications first, the fetch total last: together with the
+  // release fence in Fetch, every hit/miss this snapshot counts has its
+  // fetch included too — `fetches >= hits + misses` in any snapshot.
+  snapshot.hits = hits_.value();
+  snapshot.misses = misses_.value();
+  snapshot.writebacks = writebacks_.value();
+  snapshot.evictions = evictions_.value();
+  snapshot.pin_waits = pin_waits_.value();
+  std::atomic_thread_fence(std::memory_order_acquire);
+  snapshot.fetches = fetches_.value();
   return snapshot;
 }
 
 void BufferPool::ResetStats() {
-  fetches_.store(0, std::memory_order_relaxed);
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  writebacks_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
+  fetches_.Reset();
+  hits_.Reset();
+  misses_.Reset();
+  writebacks_.Reset();
+  evictions_.Reset();
+  pin_waits_.Reset();
 }
 
 int64_t BufferPool::PinnedByThisThread() { return tls_pinned_pages; }
+
+obs::Registry::CollectorHandle RegisterPoolMetrics(obs::Registry& registry,
+                                                   const std::string& name,
+                                                   const BufferPool& pool) {
+  const obs::Labels labels = {{"pool", name}};
+  return registry.AddCollector([labels, &pool](obs::RegistrySnapshot* snap) {
+    const BufferPoolStats s = pool.stats();
+    const auto add = [&](const char* metric, uint64_t v) {
+      snap->counters.push_back({metric, labels, static_cast<double>(v)});
+    };
+    add("probe_bufferpool_fetches_total", s.fetches);
+    add("probe_bufferpool_hits_total", s.hits);
+    add("probe_bufferpool_misses_total", s.misses);
+    add("probe_bufferpool_writebacks_total", s.writebacks);
+    add("probe_bufferpool_evictions_total", s.evictions);
+    add("probe_bufferpool_pin_waits_total", s.pin_waits);
+  });
+}
 
 void BufferPool::Unpin(size_t slot) {
   Frame& frame = frames_[slot];
@@ -294,9 +327,9 @@ size_t BufferPool::AcquireFrame(Shard& shard) {
   if (frame.dirty.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> io_lock(io_mutex_);
     pager_->Write(frame.id, frame.page);
-    writebacks_.fetch_add(1, std::memory_order_relaxed);
+    writebacks_.Increment();
   }
-  evictions_.fetch_add(1, std::memory_order_relaxed);
+  evictions_.Increment();
   shard.resident.erase(frame.id);
   frame.id = kInvalidPageId;
   return slot;

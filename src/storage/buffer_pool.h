@@ -7,9 +7,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/pager.h"
 
@@ -70,6 +72,8 @@ struct BufferPoolStats {
   uint64_t writebacks = 0;
   /// Frames evicted.
   uint64_t evictions = 0;
+  /// Fetches that had to wait for a contended shard lock before pinning.
+  uint64_t pin_waits = 0;
 
   void Reset() { *this = BufferPoolStats{}; }
 };
@@ -140,10 +144,10 @@ class BufferPool {
   /// pages being mutated concurrently may be written in either state.
   void FlushAll();
 
-  /// Snapshot of the counters. Under concurrency the fields are summed
-  /// from relaxed atomics: totals are exact once quiescent, transiently
-  /// they may be mid-update (e.g. a fetch counted whose hit/miss is not
-  /// yet).
+  /// Snapshot of the counters — each an obs::Counter read atomically, so a
+  /// snapshot taken while workers run is per-field coherent: totals are
+  /// exact once quiescent, transiently a fetch may be counted whose
+  /// hit/miss classification is not yet (fetches >= hits + misses always).
   BufferPoolStats stats() const;
   void ResetStats();
 
@@ -217,12 +221,23 @@ class BufferPool {
   // a shard lock, never before one.
   std::mutex io_mutex_;
 
-  std::atomic<uint64_t> fetches_{0};
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> writebacks_{0};
-  std::atomic<uint64_t> evictions_{0};
+  // The stats are obs::Counters (wait-free relaxed atomics) so concurrent
+  // snapshots — stats() from a monitoring thread, a registry collector —
+  // never race the query workers updating them.
+  obs::Counter fetches_;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter writebacks_;
+  obs::Counter evictions_;
+  obs::Counter pin_waits_;
 };
+
+/// Publishes `pool`'s counters into `registry` as the
+/// `probe_bufferpool_*_total` families, labeled {pool="<name>"}. The
+/// returned handle unregisters on destruction and must not outlive the
+/// pool.
+[[nodiscard]] obs::Registry::CollectorHandle RegisterPoolMetrics(
+    obs::Registry& registry, const std::string& name, const BufferPool& pool);
 
 }  // namespace probe::storage
 

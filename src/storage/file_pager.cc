@@ -5,6 +5,8 @@
 
 #include <cassert>
 
+#include "obs/runtime_metrics.h"
+
 namespace probe::storage {
 
 FilePager::FilePager(const std::string& path, bool truncate) {
@@ -43,6 +45,11 @@ void FilePager::Read(PageId id, Page* out) {
   assert(bytes == static_cast<ssize_t>(Page::kSize));
   (void)bytes;
   ++stats_.reads;
+  if (obs::Enabled()) {
+    obs::StorageMetrics& m = obs::StorageMetrics::Default();
+    m.pager_reads->Increment();
+    m.pager_bytes_read->Increment(Page::kSize);
+  }
 }
 
 void FilePager::Write(PageId id, const Page& page) {
@@ -54,11 +61,17 @@ void FilePager::Write(PageId id, const Page& page) {
   assert(bytes == static_cast<ssize_t>(Page::kSize));
   (void)bytes;
   ++stats_.writes;
+  if (obs::Enabled()) {
+    obs::StorageMetrics& m = obs::StorageMetrics::Default();
+    m.pager_writes->Increment();
+    m.pager_bytes_written->Increment(Page::kSize);
+  }
 }
 
 void FilePager::Sync() {
   assert(ok());
   ::fsync(fd_);
+  if (obs::Enabled()) obs::StorageMetrics::Default().pager_syncs->Increment();
 }
 
 void FilePager::TruncateTo(uint32_t page_count) {

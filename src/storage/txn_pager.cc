@@ -1,6 +1,9 @@
 #include "storage/txn_pager.h"
 
 #include <cassert>
+#include <chrono>
+
+#include "obs/runtime_metrics.h"
 
 namespace probe::storage {
 
@@ -57,6 +60,7 @@ bool TxnPager::Checkpoint(std::span<const uint8_t> meta) {
   // Forcing mid-batch would push uncommitted images into the base file —
   // exactly the torn state no-steal exists to prevent.
   if (uncommitted_writes_ != 0) return false;
+  const auto checkpoint_start = std::chrono::steady_clock::now();
 
   // The log must be durable before the base changes: if the force below
   // tears a page, recovery redoes it from these records.
@@ -73,6 +77,14 @@ bool TxnPager::Checkpoint(std::span<const uint8_t> meta) {
   // database, and the pending table's job is done.
   if (wal_->RewriteWithCheckpoint(count_, meta) == 0) return false;
   pending_.clear();
+  if (obs::Enabled()) {
+    obs::StorageMetrics& m = obs::StorageMetrics::Default();
+    m.checkpoints->Increment();
+    m.checkpoint_ms->Observe(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() -
+                                 checkpoint_start)
+                                 .count());
+  }
   return true;
 }
 

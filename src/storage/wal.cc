@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/runtime_metrics.h"
 #include "util/crc32.h"
 
 namespace probe::storage {
@@ -115,6 +116,12 @@ uint64_t Wal::AppendRecord(WalRecordType type,
   next_lsn_ = lsn + 1;
   ++stats_.records;
   stats_.bytes += buf.size();
+  if (obs::Enabled()) {
+    obs::StorageMetrics& m = obs::StorageMetrics::Default();
+    m.wal_appends->Increment();
+    m.wal_bytes->Increment(buf.size());
+    if (type == WalRecordType::kCommit) m.wal_commits->Increment();
+  }
   return lsn;
 }
 
@@ -184,6 +191,12 @@ uint64_t Wal::RewriteWithCheckpoint(uint32_t page_count,
   ++stats_.records;
   stats_.bytes += buf.size();
   ++stats_.syncs;
+  if (obs::Enabled()) {
+    obs::StorageMetrics& m = obs::StorageMetrics::Default();
+    m.wal_appends->Increment();
+    m.wal_bytes->Increment(buf.size());
+    m.wal_syncs->Increment();
+  }
   return lsn;
 }
 
@@ -192,6 +205,7 @@ bool Wal::Sync() {
   if (dead_) return false;
   ::fsync(fd_);
   ++stats_.syncs;
+  if (obs::Enabled()) obs::StorageMetrics::Default().wal_syncs->Increment();
   return true;
 }
 

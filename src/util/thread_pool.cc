@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+
+#include "obs/runtime_metrics.h"
 
 namespace probe::util {
 
@@ -29,6 +32,22 @@ int ThreadPool::DefaultThreads() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  if (metrics_ != nullptr && obs::Enabled()) {
+    // Wrap rather than instrument the queue itself: the wrapper runs on
+    // whichever lane dequeues the task, so depth and latency cover the
+    // caller-drain path (RunOneTask) too.
+    obs::ThreadPoolMetrics* m = metrics_;
+    m->queue_depth->Add(1);
+    const auto enqueued = std::chrono::steady_clock::now();
+    task = [m, enqueued, inner = std::move(task)]() {
+      m->queue_depth->Add(-1);
+      inner();
+      m->tasks->Increment();
+      m->task_ms->Observe(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - enqueued)
+                              .count());
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

@@ -23,6 +23,10 @@
 /// `threads` workers runs `threads + 1` lanes and `ThreadPool(0)` degrades
 /// gracefully to serial execution on the caller.
 
+namespace probe::obs {
+struct ThreadPoolMetrics;
+}  // namespace probe::obs
+
 namespace probe::util {
 
 /// Fixed-size shared-queue thread pool.
@@ -50,6 +54,13 @@ class ThreadPool {
   /// Hardware concurrency with a sane floor (std::thread reports 0 when it
   /// cannot tell).
   static int DefaultThreads();
+
+  /// Publishes queue depth, task count, and enqueue-to-completion latency
+  /// to `metrics` (e.g. obs::ThreadPoolMetrics::Default()). Opt-in: with
+  /// no metrics attached — the default — submission is untouched. Call
+  /// before tasks are in flight; the pointer must outlive the pool.
+  /// nullptr detaches.
+  void EnableMetrics(obs::ThreadPoolMetrics* metrics) { metrics_ = metrics; }
 
   /// Enqueues `fn` and returns a future for its result. The future also
   /// carries any exception `fn` throws.
@@ -83,6 +94,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  obs::ThreadPoolMetrics* metrics_ = nullptr;
 };
 
 }  // namespace probe::util

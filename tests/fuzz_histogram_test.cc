@@ -1,0 +1,203 @@
+// Histogram fuzz: random record/merge sequences checked against a naive
+// std::map oracle. The histogram's wait-free bucket RMWs must classify
+// exactly like the oracle's linear scan — bucket boundaries (Prometheus
+// upper-inclusive `le`), the +Inf catch-all, sums, counts, cumulative
+// form, and snapshot merging all have to agree on every sequence.
+//
+// Joins the `fuzz` ctest label alongside the recovery and z-order fuzzers.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace probe::obs {
+namespace {
+
+/// The oracle: classification by linear scan over a sorted bound list.
+class OracleHistogram {
+ public:
+  explicit OracleHistogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)) {}
+
+  void Observe(double value) {
+    sum_ += value;
+    ++count_;
+    for (const double bound : bounds_) {
+      if (value <= bound) {
+        ++by_bound_[bound];
+        return;
+      }
+    }
+    ++overflow_;
+  }
+
+  void MergeFrom(const OracleHistogram& other) {
+    sum_ += other.sum_;
+    count_ += other.count_;
+    overflow_ += other.overflow_;
+    for (const auto& [bound, n] : other.by_bound_) by_bound_[bound] += n;
+  }
+
+  std::vector<uint64_t> Counts() const {
+    std::vector<uint64_t> out;
+    out.reserve(bounds_.size() + 1);
+    for (const double bound : bounds_) {
+      const auto it = by_bound_.find(bound);
+      out.push_back(it == by_bound_.end() ? 0 : it->second);
+    }
+    out.push_back(overflow_);
+    return out;
+  }
+
+  double sum() const { return sum_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::map<double, uint64_t> by_bound_;
+  uint64_t overflow_ = 0;
+  double sum_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+std::vector<double> RandomBounds(std::mt19937* rng) {
+  std::uniform_int_distribution<int> count_dist(0, 8);
+  std::uniform_real_distribution<double> step_dist(0.001, 50.0);
+  const int n = count_dist(*rng);
+  std::vector<double> bounds;
+  double bound = 0.0;
+  for (int i = 0; i < n; ++i) {
+    bound += step_dist(*rng);
+    bounds.push_back(bound);
+  }
+  return bounds;
+}
+
+void ExpectMatchesOracle(const HistogramSnapshot& snap,
+                         const OracleHistogram& oracle, uint32_t seed) {
+  const std::vector<uint64_t> want = oracle.Counts();
+  ASSERT_EQ(snap.counts.size(), want.size()) << "seed " << seed;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(snap.counts[i], want[i]) << "bucket " << i << ", seed " << seed;
+  }
+  EXPECT_EQ(snap.count, oracle.count()) << "seed " << seed;
+  // Sums accumulate in different orders; allow relative FP slack.
+  const double tolerance =
+      1e-9 * std::max(1.0, std::abs(oracle.sum()));
+  EXPECT_NEAR(snap.sum, oracle.sum(), tolerance) << "seed " << seed;
+  // Structural invariants that must hold on every snapshot.
+  const std::vector<uint64_t> cumulative = snap.Cumulative();
+  ASSERT_EQ(cumulative.size(), snap.counts.size()) << "seed " << seed;
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]) << "seed " << seed;
+  }
+  EXPECT_EQ(cumulative.empty() ? 0 : cumulative.back(), snap.count)
+      << "seed " << seed;
+}
+
+// 10k random sequences: random bucket shapes, values skewed across all
+// boundary neighborhoods (exact bounds, nextafter neighbors, negatives,
+// huge outliers), interleaved with snapshot+merge operations.
+TEST(HistogramFuzzTest, MatchesMapOracleOn10kSequences) {
+  constexpr int kSequences = 10000;
+  for (int round = 0; round < kSequences; ++round) {
+    const uint32_t seed = 424200 + static_cast<uint32_t>(round);
+    std::mt19937 rng(seed);
+    const std::vector<double> bounds = RandomBounds(&rng);
+    Histogram hist(bounds);
+    OracleHistogram oracle(bounds);
+
+    std::uniform_int_distribution<int> ops_dist(1, 40);
+    std::uniform_int_distribution<int> kind_dist(0, 5);
+    std::uniform_real_distribution<double> wide(-10.0, 500.0);
+    std::uniform_int_distribution<size_t> pick_bound(
+        0, bounds.empty() ? 0 : bounds.size() - 1);
+    const int ops = ops_dist(rng);
+    for (int op = 0; op < ops; ++op) {
+      double value = 0.0;
+      switch (kind_dist(rng)) {
+        case 0:  // exactly on a bound — the upper-inclusive edge case
+          value = bounds.empty() ? 0.0 : bounds[pick_bound(rng)];
+          break;
+        case 1:  // just below a bound
+          value = bounds.empty()
+                      ? -1.0
+                      : std::nextafter(bounds[pick_bound(rng)], -1e300);
+          break;
+        case 2:  // just above a bound
+          value = bounds.empty()
+                      ? 1.0
+                      : std::nextafter(bounds[pick_bound(rng)], 1e300);
+          break;
+        case 3:  // far outlier
+          value = 1e12;
+          break;
+        case 4:  // negative (below every bound)
+          value = -std::abs(wide(rng));
+          break;
+        default:
+          value = wide(rng);
+          break;
+      }
+      hist.Observe(value);
+      oracle.Observe(value);
+    }
+    ExpectMatchesOracle(hist.Snapshot(), oracle, seed);
+    if (testing::Test::HasFailure()) return;  // one seed is enough to debug
+  }
+}
+
+// Merge fuzz: two independently filled histograms of the same shape must
+// merge into exactly the oracle's union; a shape mismatch must be refused
+// without touching the target.
+TEST(HistogramFuzzTest, MergeMatchesOracleAndRejectsShapeMismatch) {
+  constexpr int kSequences = 2000;
+  for (int round = 0; round < kSequences; ++round) {
+    const uint32_t seed = 777000 + static_cast<uint32_t>(round);
+    std::mt19937 rng(seed);
+    const std::vector<double> bounds = RandomBounds(&rng);
+    Histogram a(bounds);
+    Histogram b(bounds);
+    OracleHistogram oracle_a(bounds);
+    OracleHistogram oracle_b(bounds);
+
+    std::uniform_int_distribution<int> ops_dist(0, 30);
+    std::uniform_real_distribution<double> wide(-50.0, 300.0);
+    for (int i = ops_dist(rng); i > 0; --i) {
+      const double v = wide(rng);
+      a.Observe(v);
+      oracle_a.Observe(v);
+    }
+    for (int i = ops_dist(rng); i > 0; --i) {
+      const double v = wide(rng);
+      b.Observe(v);
+      oracle_b.Observe(v);
+    }
+
+    HistogramSnapshot merged = a.Snapshot();
+    ASSERT_TRUE(merged.Merge(b.Snapshot())) << "seed " << seed;
+    oracle_a.MergeFrom(oracle_b);
+    ExpectMatchesOracle(merged, oracle_a, seed);
+
+    // A different shape must be refused and leave the target untouched.
+    std::vector<double> other_bounds = bounds;
+    other_bounds.push_back(other_bounds.empty() ? 1.0
+                                                : other_bounds.back() + 1.0);
+    Histogram c(other_bounds);
+    c.Observe(0.5);
+    const HistogramSnapshot before = merged;
+    ASSERT_FALSE(merged.Merge(c.Snapshot())) << "seed " << seed;
+    EXPECT_EQ(merged.counts, before.counts) << "seed " << seed;
+    EXPECT_EQ(merged.count, before.count) << "seed " << seed;
+    if (testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace probe::obs

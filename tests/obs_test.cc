@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/runtime_metrics.h"
+#include "obs/trace.h"
+
+// Unit and property tests for the observability layer: metric primitives,
+// the registry (including snapshot consistency under concurrent writers —
+// the contract the TSan `concurrency` run checks), and per-query traces.
+
+namespace probe::obs {
+namespace {
+
+// ------------------------------------------------------------- primitives
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAddGoNegative) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+  g.Set(0);
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreUpperInclusive) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // -> le=1
+  h.Observe(1.0);    // boundary lands in le=1 (Prometheus semantics)
+  h.Observe(1.5);    // -> le=10
+  h.Observe(100.0);  // -> le=100
+  h.Observe(1e9);    // -> +Inf
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 100.0 + 1e9);
+}
+
+TEST(HistogramTest, CountEqualsSumOfBuckets) {
+  Histogram h(Histogram::LatencyBucketsMs());
+  std::mt19937 rng(101);
+  std::uniform_real_distribution<double> dist(0.0, 20000.0);
+  for (int i = 0; i < 1000; ++i) h.Observe(dist(rng));
+  const HistogramSnapshot snap = h.Snapshot();
+  uint64_t total = 0;
+  for (const uint64_t c : snap.counts) total += c;
+  EXPECT_EQ(total, snap.count);
+  EXPECT_EQ(snap.count, 1000u);
+}
+
+TEST(HistogramTest, CumulativeIsMonotone) {
+  Histogram h({0.1, 1.0, 10.0});
+  for (double v : {0.05, 0.5, 5.0, 50.0, 0.5, 5.0}) h.Observe(v);
+  const std::vector<uint64_t> cum = h.Snapshot().Cumulative();
+  ASSERT_EQ(cum.size(), 4u);
+  for (size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+  EXPECT_EQ(cum.back(), 6u);
+}
+
+TEST(HistogramTest, MergeRequiresMatchingBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  Histogram c({1.0, 3.0});
+  a.Observe(0.5);
+  b.Observe(1.5);
+  c.Observe(2.5);
+  HistogramSnapshot merged = a.Snapshot();
+  EXPECT_TRUE(merged.Merge(b.Snapshot()));
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.counts[0], 1u);
+  EXPECT_EQ(merged.counts[1], 1u);
+  EXPECT_FALSE(merged.Merge(c.Snapshot()));  // refused, left unchanged
+  EXPECT_EQ(merged.count, 2u);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(RegistryTest, LabelsDedupToTheSameInstrument) {
+  Registry r;
+  Counter* a = r.GetCounter("requests_total", {{"method", "get"}});
+  Counter* b =
+      r.GetCounter("requests_total", {{"method", "get"}});
+  Counter* c = r.GetCounter("requests_total", {{"method", "put"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Label order must not matter: {a=1,b=2} == {b=2,a=1}.
+  Counter* d = r.GetCounter("multi", {{"a", "1"}, {"b", "2"}});
+  Counter* e = r.GetCounter("multi", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(d, e);
+}
+
+TEST(RegistryTest, SnapshotCarriesAllFamilies) {
+  Registry r;
+  r.GetCounter("c_total", {{"k", "v"}})->Increment(3);
+  r.GetGauge("g")->Set(-7);
+  r.GetHistogram("h_ms", {}, {1.0, 10.0})->Observe(0.5);
+  const RegistrySnapshot snap = r.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.CounterValue("c_total", {{"k", "v"}}), 3.0);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, -7.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.count, 1u);
+}
+
+TEST(RegistryTest, RenderTextIsPrometheusShaped) {
+  Registry r;
+  r.GetCounter("probe_requests_total", {{"op", "range"}})->Increment(5);
+  r.GetGauge("probe_depth")->Set(2);
+  r.GetHistogram("probe_lat_ms", {}, {1.0})->Observe(0.25);
+  const std::string text = r.RenderText();
+  EXPECT_NE(text.find("# TYPE probe_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("probe_requests_total{op=\"range\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE probe_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("probe_depth 2"), std::string::npos);
+  EXPECT_NE(text.find("probe_lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("probe_lat_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("probe_lat_ms_count 1"), std::string::npos);
+}
+
+TEST(RegistryTest, RenderTextEscapesLabelValues) {
+  Registry r;
+  r.GetCounter("c_total", {{"path", "a\"b\\c\nd"}})->Increment();
+  const std::string text = r.RenderText();
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(RegistryTest, CollectorsRunAtSnapshot) {
+  Registry r;
+  std::atomic<int> calls{0};
+  {
+    const Registry::CollectorHandle handle =
+        r.AddCollector([&](RegistrySnapshot* snap) {
+          ++calls;
+          snap->counters.push_back(Sample{"external_total", {}, 9});
+        });
+    const RegistrySnapshot snap = r.Snapshot();
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_DOUBLE_EQ(snap.CounterValue("external_total"), 9.0);
+  }
+  // Handle destroyed: the collector must be gone.
+  (void)r.Snapshot();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// Property: a Snapshot taken while writers hammer the registry is
+// per-metric coherent — every histogram's count equals the sum of its
+// bucket counts, even mid-Observe. TSan (probe's `concurrency` label)
+// additionally proves the reads are race-free.
+TEST(RegistryConcurrencyTest, SnapshotConsistentUnderConcurrentWriters) {
+  Registry r;
+  constexpr int kWriters = 8;
+  constexpr int kOpsPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&r, w]() {
+      Counter* counter =
+          r.GetCounter("ops_total", {{"writer", std::to_string(w % 4)}});
+      Gauge* gauge = r.GetGauge("depth");
+      Histogram* hist = r.GetHistogram("lat_ms", {}, {0.5, 5.0, 50.0});
+      std::mt19937 rng(static_cast<uint32_t>(1000 + w));
+      std::uniform_real_distribution<double> dist(0.0, 100.0);
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        counter->Increment();
+        gauge->Add(i % 2 == 0 ? 1 : -1);
+        hist->Observe(dist(rng));
+      }
+    });
+  }
+
+  // Snapshot continuously while the writers run.
+  int snapshots = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const RegistrySnapshot snap = r.Snapshot();
+    for (const HistogramSample& h : snap.histograms) {
+      uint64_t total = 0;
+      for (const uint64_t c : h.hist.counts) total += c;
+      ASSERT_EQ(total, h.hist.count)
+          << "histogram snapshot incoherent mid-write";
+    }
+    if (++snapshots >= 50) break;
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+
+  // Quiescent: totals are exact.
+  const RegistrySnapshot final_snap = r.Snapshot();
+  double ops = 0;
+  for (const Sample& s : final_snap.counters) ops += s.value;
+  EXPECT_DOUBLE_EQ(ops, static_cast<double>(kWriters) * kOpsPerWriter);
+  ASSERT_EQ(final_snap.histograms.size(), 1u);
+  EXPECT_EQ(final_snap.histograms[0].hist.count,
+            static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+  ASSERT_EQ(final_snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(final_snap.gauges[0].value, 0.0);
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(TraceTest, SpansRecordDurationsAndCounters) {
+  Trace trace;
+  {
+    Trace::Span outer = trace.StartSpan("scan");
+    outer.Count("rows", 10);
+    outer.Count("rows", 5);
+    Trace::Span inner = trace.StartSpan("filter");
+    inner.Count("dropped", 2);
+  }
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "scan");
+  EXPECT_EQ(spans[1].name, "filter");
+  for (const auto& span : spans) EXPECT_GE(span.ms, 0.0) << span.name;
+  ASSERT_EQ(spans[0].counters.size(), 1u);
+  EXPECT_EQ(spans[0].counters[0].first, "rows");
+  EXPECT_EQ(spans[0].counters[0].second, 15u);
+}
+
+TEST(TraceTest, OpenSpanRendersAsOpen) {
+  Trace trace;
+  Trace::Span span = trace.StartSpan("pending");
+  EXPECT_NE(trace.RenderText().find("(open)"), std::string::npos);
+  span.Finish();
+  EXPECT_EQ(trace.RenderText().find("(open)"), std::string::npos);
+  EXPECT_FALSE(span.active());
+}
+
+TEST(TraceTest, MoveTransfersOwnership) {
+  Trace trace;
+  Trace::Span a = trace.StartSpan("s");
+  Trace::Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): post-move test
+  EXPECT_TRUE(b.active());
+  b.Finish();
+  ASSERT_EQ(trace.Spans().size(), 1u);
+  EXPECT_GE(trace.Spans()[0].ms, 0.0);
+}
+
+// The contract the parallel z-partition workers rely on: many threads
+// bumping trace-level counters concurrently, totals exact afterwards.
+TEST(TraceTest, TraceLevelCountersAreThreadSafe) {
+  Trace trace;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trace]() {
+      for (int i = 0; i < kOps; ++i) trace.Count("points", 2);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const auto counters = trace.Counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "points");
+  EXPECT_EQ(counters[0].second,
+            static_cast<uint64_t>(kThreads) * kOps * 2);
+}
+
+// -------------------------------------------------------- global switches
+
+TEST(RuntimeMetricsTest, DisabledRecordingIsDropped) {
+  QueryMetrics& m = QueryMetrics::Default();
+  const uint64_t before = m.queries->value();
+  SetEnabled(false);
+  m.RecordQuery(1, 1, 1, 1, 1, 1);
+  EXPECT_EQ(m.queries->value(), before);
+  SetEnabled(true);
+  m.RecordQuery(1, 1, 1, 1, 1, 1);
+  EXPECT_EQ(m.queries->value(), before + 1);
+}
+
+TEST(RuntimeMetricsTest, DefaultFamiliesLiveInDefaultRegistry) {
+  (void)QueryMetrics::Default();
+  (void)StorageMetrics::Default();
+  (void)ThreadPoolMetrics::Default();
+  const std::string text = Registry::Default().RenderText();
+  EXPECT_NE(text.find("probe_index_queries_total"), std::string::npos);
+  EXPECT_NE(text.find("probe_pager_reads_total"), std::string::npos);
+  EXPECT_NE(text.find("probe_threadpool_task_ms_bucket"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace probe::obs

@@ -288,6 +288,43 @@ TEST(ParallelRangeSearchTest, ConcurrentQueriesOnOneIndex) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+TEST(ConcurrentBufferPoolTest, StatsSnapshotsAreCoherentWhileWorkersRun) {
+  // A monitoring thread snapshotting pool.stats() while query workers
+  // hammer the pool — the surface the obs::Counter rework fixed. The
+  // counters are independent atomics, so a snapshot is per-field coherent:
+  // a fetch may be counted before its hit/miss classification lands, but
+  // never the other way around (fetches >= hits + misses always), and
+  // totals are exact once the workers quiesce. TSan (the `concurrency`
+  // run) checks the reads are race-free, not merely plausible.
+  IndexFixture fx(20000, 321);
+  util::Rng rng(905);
+  const auto boxes = workload::MakeQueryBoxes2D(fx.grid, 0.01, 1.0, 8, rng);
+  fx.pool.ResetStats();
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&]() {
+      for (int round = 0; round < 20; ++round) {
+        for (const auto& box : boxes) (void)fx.index.RangeSearch(box);
+      }
+    });
+  }
+
+  constexpr uint64_t kSnapshots = 10000;
+  uint64_t incoherent = 0;
+  for (uint64_t i = 0; i < kSnapshots; ++i) {
+    const storage::BufferPoolStats stats = fx.pool.stats();
+    if (stats.hits + stats.misses > stats.fetches) ++incoherent;
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(incoherent, 0u) << "over " << kSnapshots << " snapshots";
+
+  // Quiescent: classification complete, every fetch accounted for.
+  const storage::BufferPoolStats final_stats = fx.pool.stats();
+  EXPECT_EQ(final_stats.hits + final_stats.misses, final_stats.fetches);
+  EXPECT_GT(final_stats.fetches, 0u);
+}
+
 // -------------------------------------------------------- ParallelSpatialJoin
 
 relational::Relation RandomElementRelation(const std::string& prefix,
