@@ -40,6 +40,44 @@ for b in "$BUILD"/bench/*; do
   "$b"
 done
 
+# Budget gates over the bench JSON the loop just refreshed.
+#
+# BENCH_leaf.json: the compressed-leaf format must keep paying for itself —
+# at least 1.3x more keys per page than v1 on every distribution, the SIMD
+# in-page filter at least 1.3x over its scalar fallback (when the host has
+# AVX2 at all), and the filter's ns/row within 1.25x of the committed
+# baseline so a slow kernel can't land silently.
+if [ -f BENCH_leaf.json ]; then
+  jq -e '[.leaf.datasets[].keys_per_page_gain] | min >= 1.3' BENCH_leaf.json \
+    > /dev/null || { echo "FAIL: keys-per-page gain below 1.3x"; exit 1; }
+  jq -e '[.leaf.datasets[].identical] | all' BENCH_leaf.json > /dev/null \
+    || { echo "FAIL: v2 results diverged from v1"; exit 1; }
+  jq -e '[.leaf.datasets[].materialized_rows] | max == 0' BENCH_leaf.json \
+    > /dev/null || { echo "FAIL: aggregate pushdown materialized rows"; exit 1; }
+  jq -e 'if .leaf.avx2 then .leaf.filter_speedup >= 1.3 else true end' \
+    BENCH_leaf.json > /dev/null \
+    || { echo "FAIL: SIMD filter speedup below 1.3x"; exit 1; }
+  if committed=$(git show HEAD:BENCH_leaf.json 2>/dev/null); then
+    echo "$committed" | jq -es --slurpfile fresh BENCH_leaf.json \
+      '.[0].leaf.filter_simd_ns_per_row as $base |
+       $fresh[0].leaf.filter_simd_ns_per_row <= $base * 1.25' > /dev/null \
+      || { echo "FAIL: filter ns/row regressed vs committed baseline"; exit 1; }
+  fi
+fi
+
+# BENCH_parallel.json: parallel results must stay identical to serial on
+# every row; speedup is only meaningful up to the hardware's core count, so
+# rows marked oversubscribed are excluded from regression judgement.
+if [ -f BENCH_parallel.json ]; then
+  jq -e '[.. | objects | select(has("identical")) | .identical] | all' \
+    BENCH_parallel.json > /dev/null \
+    || { echo "FAIL: parallel results diverged from serial"; exit 1; }
+  jq -e '[.. | objects | select(has("oversubscribed"))
+          | select(.oversubscribed | not) | .speedup >= 0.3] | all' \
+    BENCH_parallel.json > /dev/null \
+    || { echo "FAIL: in-budget parallel row collapsed vs serial"; exit 1; }
+fi
+
 if [ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]; then
   # ASan + UBSan over the full suite, with the invariant audits compiled in
   # so the sanitizers run over audited code paths. The fuzz drivers (ctest

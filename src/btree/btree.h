@@ -1,10 +1,12 @@
 #ifndef PROBE_BTREE_BTREE_H_
 #define PROBE_BTREE_BTREE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "btree/leaf_codec.h"
 #include "btree/node.h"
 #include "btree/zkey.h"
 #include "storage/buffer_pool.h"
@@ -26,15 +28,39 @@
 
 namespace probe::btree {
 
+/// Which on-page layout the tree writes for *new* leaves. Reads and
+/// mutations always dispatch on the page's own kind byte, so re-attaching
+/// a tree built with one format under a config naming the other stays
+/// correct — the flag only picks the layout of pages created afterwards.
+enum class LeafFormat : uint8_t {
+  kV1,  ///< fixed 17-byte entries (node.h)
+  kV2,  ///< shared-prefix + suffix-varint compression (leaf_codec.h)
+};
+
 /// Tree shape parameters.
 struct BTreeConfig {
   /// Max entries per leaf page. Must be in [2, LeafView::kMaxCapacity - 1]
-  /// (one slot of slack lets inserts land before splitting).
+  /// for v1 leaves and [2, kV2MaxEntries - 1] for v2 (one slot of slack
+  /// lets inserts land before splitting). v2 pages are additionally
+  /// bounded by bytes: a page admits entries while the sum of their
+  /// worst-case encoded sizes fits, so the real v2 capacity is usually
+  /// byte-driven.
   int leaf_capacity = LeafView::kMaxCapacity - 1;
 
   /// Max (separator, child) pairs per internal page. Must be in
   /// [2, InternalView::kMaxCapacity - 1].
   int internal_capacity = InternalView::kMaxCapacity - 1;
+
+  /// Leaf layout for newly created pages.
+  LeafFormat leaf_format = LeafFormat::kV1;
+
+  /// Config writing compressed leaves packed to the page's byte budget.
+  static BTreeConfig Compressed() {
+    BTreeConfig config;
+    config.leaf_format = LeafFormat::kV2;
+    config.leaf_capacity = kV2MaxEntries - 1;
+    return config;
+  }
 };
 
 /// Structural statistics, computed by walking the tree.
@@ -141,8 +167,34 @@ class BTree {
     /// data was relevant.
     uint64_t leaf_entries_seen() const { return leaf_entries_seen_; }
 
+    /// Length of the run of entries on the *current leaf*, starting at the
+    /// cursor, whose full-resolution z integers are <= `bound`. Backed by
+    /// the SIMD interval filter over the leaf's decoded z array; scalar
+    /// and vector paths return identical values. Requires Valid().
+    int RunLengthLE(uint64_t bound);
+
+    /// z integer / entry `k` positions ahead on the current leaf (0 = the
+    /// cursor position). Requires k < the current leaf's remaining count.
+    uint64_t PeekZ(int k);
+    const LeafEntry& PeekEntry(int k);
+
+    /// Advances by `k` entries; `k` may be at most the current leaf's
+    /// remaining count (crossing into the next leaf when it lands exactly
+    /// past the end). Returns false at the end of the tree.
+    bool Advance(int k);
+
+    /// Counts entries with z integer <= `bound` from the cursor forward,
+    /// leaving the cursor on the first entry past the bound (or invalid
+    /// at the end). Leaves fully below the bound are counted from their
+    /// header alone — no entry is decoded or materialized — which is the
+    /// aggregate pushdown's fast path.
+    uint64_t CountWhileLE(uint64_t bound);
+
    private:
-    void LoadEntry(const LeafView& leaf);
+    bool AdvanceLeaf();
+    void EnsureCache();
+    int LeafCountHeader();
+    uint64_t LeafLastZ();
 
     const BTree* tree_;
     storage::PageRef leaf_ref_;  // pin on the current leaf
@@ -150,6 +202,13 @@ class BTree {
     int index_ = 0;
     LeafEntry current_;
     bool valid_ = false;
+    // Decoded image of the current leaf, built lazily on first entry
+    // access and reused until the cursor leaves the page. v1 leaves batch
+    // their fixed-width entries into it too, so the merge loop reads one
+    // contiguous z array either way.
+    std::vector<LeafEntry> cache_entries_;
+    std::vector<uint64_t> cache_z_;
+    bool cache_valid_ = false;
     uint64_t leaf_loads_ = 0;
     uint64_t internal_loads_ = 0;
     uint64_t leaf_entries_seen_ = 0;
@@ -218,8 +277,10 @@ class BTree {
     BTreeConfig config_;
     int leaf_target_;
     int internal_target_;
+    size_t v2_byte_target_;  // fill-scaled worst-case byte budget (v2)
     std::vector<NodeInfo> leaves_;
     std::vector<LeafEntry> pending_;  // entries of the open leaf
+    size_t pending_worst_bytes_ = kV2EntriesOffset;
     storage::PageId prev_leaf_ = storage::kInvalidPageId;
     uint64_t total_entries_ = 0;
     bool have_last_key_ = false;
@@ -243,6 +304,11 @@ class BTree {
   void InsertRec(storage::PageId page_id, const ZKey& key, uint64_t payload,
                  SplitResult* result);
 
+  // Insert into a v2 leaf: decode, insert, re-encode; splits against the
+  // worst-case byte budget when the page no longer admits the set.
+  void InsertLeafV2(storage::PageRef& ref, const ZKey& key, uint64_t payload,
+                    SplitResult* result);
+
   // Recursive delete. Returns true if an entry was removed; sets
   // `*underflow` when `page_id` fell below its minimum occupancy.
   bool DeleteRec(storage::PageId page_id, const ZKey& key, uint64_t payload,
@@ -251,8 +317,29 @@ class BTree {
   // Rebalances the underfull child at position `child_idx` of `parent`.
   void FixUnderflow(InternalView& parent, int child_idx);
 
-  int MinLeafCount() const { return config_.leaf_capacity / 2; }
+  // Leaf rebalancing when a v2 page is involved: merge the neighbor pair
+  // when the union is admitted, else redistribute at a feasible split.
+  void FixLeafUnderflowV2(InternalView& parent, int child_idx);
+
+  int MinLeafCount() const { return V1LeafCap() / 2; }
   int MinInternalCount() const { return config_.internal_capacity / 2; }
+
+  // Entry-count cap for v1 pages: the configured capacity clamped to the
+  // fixed-width physical bound. A compressed-format config carries a v2
+  // capacity far above what a v1 page can hold, yet v1 leaves still get
+  // mutated in mixed trees (a v1 image re-attached under the compressed
+  // config), so their split/underflow thresholds must not follow it.
+  int V1LeafCap() const {
+    return std::min(config_.leaf_capacity, LeafView::kMaxCapacity - 1);
+  }
+
+  // Entry-count cap for v2 pages: the configured capacity when this tree
+  // writes v2 leaves, else the physical bound (covers mutating v2 pages
+  // of a tree re-attached with a v1 config).
+  int V2LeafCap() const {
+    return config_.leaf_format == LeafFormat::kV2 ? config_.leaf_capacity
+                                                  : kV2MaxEntries - 1;
+  }
 
   storage::BufferPool* pool_;
   BTreeConfig config_;

@@ -1,0 +1,190 @@
+#include "btree/leaf_codec.h"
+
+#include <bit>
+#include <cassert>
+
+#include "probe/check.h"
+
+namespace probe::btree {
+
+namespace {
+
+using storage::Page;
+
+/// Appends `v` as LEB128 at `data[pos]`; returns the new position.
+size_t PutVarint(uint8_t* data, size_t pos, uint64_t v) {
+  while (v >= 0x80) {
+    data[pos++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  data[pos++] = static_cast<uint8_t>(v);
+  return pos;
+}
+
+/// Reads a LEB128 varint at `data[pos]` into `*v`; returns the new
+/// position. `limit` bounds the read (corrupt pages abort in audit
+/// builds; release builds stop at the page edge).
+size_t GetVarint(const uint8_t* data, size_t pos, size_t limit, uint64_t* v) {
+  uint64_t out = 0;
+  int shift = 0;
+  while (pos < limit) {
+    const uint8_t byte = data[pos++];
+    out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = out;
+  return pos;
+}
+
+uint64_t PrefixMask(int prefix_len) {
+  if (prefix_len <= 0) return 0;
+  if (prefix_len >= 64) return ~0ULL;
+  return ~0ULL << (64 - prefix_len);
+}
+
+}  // namespace
+
+int CommonPrefixBits(const ZKey& a, const ZKey& b) {
+  const int max = a.len < b.len ? a.len : b.len;
+  const uint64_t diff = a.raw ^ b.raw;
+  const int lead = diff == 0 ? 64 : std::countl_zero(diff);
+  return lead < max ? lead : max;
+}
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+uint64_t SuffixValue(const ZKey& key, int prefix_len) {
+  const int suffix_bits = key.len - prefix_len;
+  if (suffix_bits <= 0) return 0;
+  return (key.raw << prefix_len) >> (64 - suffix_bits);
+}
+
+size_t V2EntryEncodedSize(const LeafEntry& entry, int prefix_len) {
+  return 1 + VarintLen(SuffixValue(entry.key, prefix_len)) +
+         VarintLen(entry.payload);
+}
+
+int V2PrefixFor(std::span<const LeafEntry> entries) {
+  if (entries.empty()) return 0;
+  // Keys are sorted, so the common prefix of first and last is a prefix
+  // of every key in between (lexicographic bitstring order).
+  return CommonPrefixBits(entries.front().key, entries.back().key);
+}
+
+size_t V2EncodedSize(std::span<const LeafEntry> entries) {
+  const int prefix = V2PrefixFor(entries);
+  size_t bytes = kV2EntriesOffset;
+  for (const LeafEntry& e : entries) bytes += V2EntryEncodedSize(e, prefix);
+  return bytes;
+}
+
+bool V2Fits(std::span<const LeafEntry> entries) {
+  return static_cast<int>(entries.size()) <= kV2MaxEntries &&
+         V2EncodedSize(entries) <= Page::kSize;
+}
+
+size_t V2EntryWorstSize(const LeafEntry& entry) {
+  return V2EntryEncodedSize(entry, 0);
+}
+
+size_t V2WorstSize(std::span<const LeafEntry> entries) {
+  size_t bytes = kV2EntriesOffset;
+  for (const LeafEntry& e : entries) bytes += V2EntryWorstSize(e);
+  return bytes;
+}
+
+bool V2Admits(std::span<const LeafEntry> entries) {
+  return static_cast<int>(entries.size()) <= kV2MaxEntries &&
+         V2WorstSize(entries) <= Page::kSize;
+}
+
+size_t V2Encode(Page* page, std::span<const LeafEntry> entries,
+                storage::PageId next_leaf) {
+  PROBE_ASSERT_MSG(V2Fits(entries), "v2 leaf encode overflow");
+  const int prefix = V2PrefixFor(entries);
+  const ZKey last = entries.empty() ? ZKey{0, 0} : entries.back().key;
+
+  page->Clear();
+  page->Write<uint8_t>(kKindOffset, kLeafV2Kind);
+  page->Write<uint16_t>(kCountOffset, static_cast<uint16_t>(entries.size()));
+  page->Write<storage::PageId>(kNextLeafOffset, next_leaf);
+  page->Write<uint8_t>(kV2PrefixLenOffset, static_cast<uint8_t>(prefix));
+  page->Write<uint8_t>(kV2LastLenOffset, last.len);
+  page->Write<uint64_t>(kV2PrefixOffset,
+                        entries.empty() ? 0
+                                        : entries.front().key.raw &
+                                              PrefixMask(prefix));
+  page->Write<uint64_t>(kV2LastRawOffset, last.raw);
+
+  uint8_t* data = page->data();
+  size_t pos = kV2EntriesOffset;
+  for (const LeafEntry& e : entries) {
+    assert(e.key.len >= prefix);
+    data[pos++] = e.key.len;
+    pos = PutVarint(data, pos, SuffixValue(e.key, prefix));
+    pos = PutVarint(data, pos, e.payload);
+  }
+  page->Write<uint16_t>(kV2UsedOffset, static_cast<uint16_t>(pos));
+  return pos;
+}
+
+int V2Decode(const Page& page, std::vector<LeafEntry>* out) {
+  assert(page.Read<uint8_t>(kKindOffset) == kLeafV2Kind);
+  const int count = page.Read<uint16_t>(kCountOffset);
+  const size_t used = page.Read<uint16_t>(kV2UsedOffset);
+  const int prefix = page.Read<uint8_t>(kV2PrefixLenOffset);
+  const uint64_t prefix_raw = page.Read<uint64_t>(kV2PrefixOffset);
+
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  const uint8_t* data = page.data();
+  size_t pos = kV2EntriesOffset;
+  for (int i = 0; i < count; ++i) {
+    PROBE_ASSERT_MSG(pos < used, "v2 leaf decode ran past used bytes");
+    LeafEntry e;
+    e.key.len = data[pos++];
+    uint64_t suffix = 0;
+    pos = GetVarint(data, pos, used, &suffix);
+    pos = GetVarint(data, pos, used, &e.payload);
+    const int suffix_bits = e.key.len - prefix;
+    e.key.raw = prefix_raw;
+    if (suffix_bits > 0) e.key.raw |= suffix << (64 - e.key.len);
+    out->push_back(e);
+  }
+  PROBE_ASSERT_MSG(pos == used, "v2 leaf used-bytes header inconsistent");
+  return count;
+}
+
+ZKey V2FirstKey(const Page& page) {
+  assert(page.Read<uint16_t>(kCountOffset) > 0);
+  const int prefix = page.Read<uint8_t>(kV2PrefixLenOffset);
+  const uint64_t prefix_raw = page.Read<uint64_t>(kV2PrefixOffset);
+  const uint8_t* data = page.data();
+  size_t pos = kV2EntriesOffset;
+  ZKey key;
+  key.len = data[pos++];
+  uint64_t suffix = 0;
+  GetVarint(data, pos, page.Read<uint16_t>(kV2UsedOffset), &suffix);
+  const int suffix_bits = key.len - prefix;
+  key.raw = prefix_raw;
+  if (suffix_bits > 0) key.raw |= suffix << (64 - key.len);
+  return key;
+}
+
+ZKey V2LastKey(const Page& page) {
+  assert(page.Read<uint16_t>(kCountOffset) > 0);
+  ZKey key;
+  key.raw = page.Read<uint64_t>(kV2LastRawOffset);
+  key.len = page.Read<uint8_t>(kV2LastLenOffset);
+  return key;
+}
+
+}  // namespace probe::btree

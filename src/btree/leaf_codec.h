@@ -1,0 +1,122 @@
+#ifndef PROBE_BTREE_LEAF_CODEC_H_
+#define PROBE_BTREE_LEAF_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "btree/node.h"
+#include "storage/page.h"
+
+/// \file
+/// The compressed leaf format (v2): shared-prefix + suffix-varint pages.
+///
+/// Consecutive z values in a leaf share long common bit prefixes by
+/// construction (a leaf owns a contiguous z interval), so the fixed
+/// 17-byte entry of the v1 layout wastes most of its key bytes repeating
+/// the leaf's prefix. The v2 page stores that prefix once in the header
+/// and each entry as
+///
+///     key_len (1 byte) | suffix varint | payload varint
+///
+/// where the suffix is the key's bits after the shared prefix,
+/// right-justified, LEB128-encoded. Typical full-resolution point pages
+/// shrink from 17 to 5-8 bytes per entry, which multiplies keys-per-page
+/// and divides the paper's page-access metric accordingly.
+///
+/// Layout (byte offsets; count and next-leaf sit at the same offsets as
+/// the v1 header so chain-walking code is format-blind):
+///
+///     0       kind = kLeafV2Kind
+///     2..3    entry count (uint16)
+///     4..7    next leaf PageId
+///     8..9    used bytes (uint16; end of the encoded entry area)
+///     10      shared prefix length in bits (uint8)
+///     11      last key length in bits (uint8)
+///     12..19  shared prefix, left-justified (uint64)
+///     20..27  last key raw, left-justified (uint64)
+///     28..    encoded entries
+///
+/// The last key is duplicated in the header so a reader can decide "does
+/// this whole leaf precede z?" without decoding any entry — the aggregate
+/// pushdown counts interior leaves from the header alone.
+///
+/// v2 pages are mutated by decode -> edit -> re-encode. Admission is
+/// deliberately *worst-case*: a page accepts entries while the sum of
+/// their prefix-independent upper bounds (V2EntryWorstSize, i.e. the size
+/// under an empty shared prefix) fits the page. The actual encoding is
+/// never larger, and — unlike the actual size — the worst-case sum is
+/// subset-additive, so any rebalancing subset of one or two admitted
+/// pages is itself admissible. Without this, inserting a key that
+/// collapses the shared prefix could widen every suffix at once and leave
+/// no single split point where both halves fit.
+
+namespace probe::btree {
+
+/// Header offsets of the v2 leaf (kind/count/next-leaf are shared with v1).
+inline constexpr size_t kV2UsedOffset = 8;
+inline constexpr size_t kV2PrefixLenOffset = 10;
+inline constexpr size_t kV2LastLenOffset = 11;
+inline constexpr size_t kV2PrefixOffset = 12;
+inline constexpr size_t kV2LastRawOffset = 20;
+inline constexpr size_t kV2EntriesOffset = 28;
+
+/// Hard cap on entries per v2 page: the smallest possible entry is 3
+/// bytes (len byte + 1-byte suffix varint + 1-byte payload varint).
+inline constexpr int kV2MaxEntries =
+    static_cast<int>((storage::Page::kSize - kV2EntriesOffset) / 3);
+
+/// Number of leading bits `a` and `b` share (clamped to the shorter key).
+int CommonPrefixBits(const ZKey& a, const ZKey& b);
+
+/// Bytes a LEB128 varint of `v` occupies (1..10).
+size_t VarintLen(uint64_t v);
+
+/// The key's bits after `prefix_len`, right-justified. Requires
+/// prefix_len <= key.len (returns 0 when equal).
+uint64_t SuffixValue(const ZKey& key, int prefix_len);
+
+/// Encoded bytes of one entry under a given shared prefix.
+size_t V2EntryEncodedSize(const LeafEntry& entry, int prefix_len);
+
+/// Shared prefix the encoder would choose for `entries` (the common
+/// prefix of first and last key; every key in a sorted run shares it).
+int V2PrefixFor(std::span<const LeafEntry> entries);
+
+/// Total page bytes (header + entries) `entries` encode to.
+size_t V2EncodedSize(std::span<const LeafEntry> entries);
+
+/// True when `entries` fit one v2 page (bytes and count).
+bool V2Fits(std::span<const LeafEntry> entries);
+
+/// Upper bound on one entry's encoded size under *any* shared prefix
+/// (the size with an empty prefix; shrinking a suffix never widens its
+/// varint). Page admission sums these so rebalancing subsets always fit.
+size_t V2EntryWorstSize(const LeafEntry& entry);
+
+/// Header + sum of V2EntryWorstSize over `entries`.
+size_t V2WorstSize(std::span<const LeafEntry> entries);
+
+/// Admission test: count cap and worst-case byte budget. Implies
+/// V2Fits, and any subset of one or two admitted pages that is at most
+/// half the combined worst-case bytes (plus one entry) is admitted too.
+bool V2Admits(std::span<const LeafEntry> entries);
+
+/// Encodes `entries` (sorted by key) into `page` as a v2 leaf with the
+/// given next-leaf link. Asserts V2Fits. Returns the used byte count.
+size_t V2Encode(storage::Page* page, std::span<const LeafEntry> entries,
+                storage::PageId next_leaf);
+
+/// Decodes all entries of a v2 page into `out` (cleared first). Returns
+/// the entry count.
+int V2Decode(const storage::Page& page, std::vector<LeafEntry>* out);
+
+/// First key of a v2 page without a full decode. Requires count > 0.
+ZKey V2FirstKey(const storage::Page& page);
+
+/// Last key of a v2 page, read from the header. Requires count > 0.
+ZKey V2LastKey(const storage::Page& page);
+
+}  // namespace probe::btree
+
+#endif  // PROBE_BTREE_LEAF_CODEC_H_

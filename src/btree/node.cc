@@ -11,6 +11,18 @@ size_t LeafEntryOffset(int i) {
   return kEntriesOffset + static_cast<size_t>(i) * LeafView::kEntryBytes;
 }
 
+/// The on-page image of one v1 leaf entry. Get/Set move a whole entry
+/// with a single 17-byte memcpy instead of three field-sized page
+/// accesses — the difference is measurable in the scan loop (bench_micro
+/// BM_LeafViewGet).
+struct PackedLeafEntry {
+  uint64_t raw;
+  uint8_t len;
+  uint64_t payload;
+} __attribute__((packed));
+
+static_assert(sizeof(PackedLeafEntry) == LeafView::kEntryBytes);
+
 size_t PairOffset(int i) {
   return InternalView::kPairsOffset +
          static_cast<size_t>(i) * InternalView::kEntryBytes;
@@ -27,20 +39,15 @@ void LeafView::Init() {
 
 LeafEntry LeafView::Get(int i) const {
   assert(i >= 0 && i < count());
-  const size_t off = LeafEntryOffset(i);
-  LeafEntry entry;
-  entry.key.raw = page_->Read<uint64_t>(off);
-  entry.key.len = page_->Read<uint8_t>(off + 8);
-  entry.payload = page_->Read<uint64_t>(off + 9);
-  return entry;
+  PackedLeafEntry packed;
+  std::memcpy(&packed, page_->data() + LeafEntryOffset(i), sizeof packed);
+  return LeafEntry{ZKey{packed.raw, packed.len}, packed.payload};
 }
 
 void LeafView::Set(int i, const LeafEntry& entry) {
   assert(i >= 0 && i < kMaxCapacity);
-  const size_t off = LeafEntryOffset(i);
-  page_->Write<uint64_t>(off, entry.key.raw);
-  page_->Write<uint8_t>(off + 8, entry.key.len);
-  page_->Write<uint64_t>(off + 9, entry.payload);
+  const PackedLeafEntry packed{entry.key.raw, entry.key.len, entry.payload};
+  std::memcpy(page_->data() + LeafEntryOffset(i), &packed, sizeof packed);
 }
 
 void LeafView::InsertAt(int i, const LeafEntry& entry) {

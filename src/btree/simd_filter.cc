@@ -1,0 +1,124 @@
+#include "btree/simd_filter.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define PROBE_HAVE_AVX2_TARGET 1
+#include <immintrin.h>
+#else
+#define PROBE_HAVE_AVX2_TARGET 0
+#endif
+
+namespace probe::btree {
+
+namespace {
+
+#if PROBE_HAVE_AVX2_TARGET
+bool DetectAvx2() { return __builtin_cpu_supports("avx2"); }
+#else
+bool DetectAvx2() { return false; }
+#endif
+
+const bool g_has_avx2 = DetectAvx2();
+bool g_force_scalar = false;
+
+}  // namespace
+
+bool HasAvx2() { return g_has_avx2; }
+
+void SetForceScalarFilter(bool force) { g_force_scalar = force; }
+
+bool ForceScalarFilter() { return g_force_scalar; }
+
+int UpperBoundZScalar(const uint64_t* z, int n, uint64_t bound) {
+  int i = 0;
+  while (i < n && z[i] <= bound) ++i;
+  return i;
+}
+
+int CountInRangeZScalar(const uint64_t* z, int n, uint64_t lo, uint64_t hi) {
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (z[i] >= lo && z[i] <= hi) ++count;
+  }
+  return count;
+}
+
+#if PROBE_HAVE_AVX2_TARGET
+
+namespace {
+
+// _mm256_cmpgt_epi64 compares signed; flipping the sign bit turns an
+// unsigned compare into the signed one.
+constexpr int64_t kSignBias = static_cast<int64_t>(0x8000000000000000ULL);
+
+}  // namespace
+
+__attribute__((target("avx2"))) int UpperBoundZAvx2(const uint64_t* z, int n,
+                                                    uint64_t bound) {
+  const __m256i bias = _mm256_set1_epi64x(kSignBias);
+  const __m256i vbound =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<int64_t>(bound)), bias);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z + i)), bias);
+    const __m256i gt = _mm256_cmpgt_epi64(v, vbound);
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(gt));
+    // Values are sorted ascending, so the first lane past the bound ends
+    // the run.
+    if (mask != 0) return i + __builtin_ctz(static_cast<unsigned>(mask));
+  }
+  for (; i < n; ++i) {
+    if (z[i] > bound) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) int CountInRangeZAvx2(const uint64_t* z, int n,
+                                                      uint64_t lo,
+                                                      uint64_t hi) {
+  const __m256i bias = _mm256_set1_epi64x(kSignBias);
+  const __m256i vlo =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<int64_t>(lo)), bias);
+  const __m256i vhi =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<int64_t>(hi)), bias);
+  int count = 0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z + i)), bias);
+    // in range == !(v < lo) && !(v > hi)
+    const __m256i below = _mm256_cmpgt_epi64(vlo, v);
+    const __m256i above = _mm256_cmpgt_epi64(v, vhi);
+    const __m256i out = _mm256_or_si256(below, above);
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(out));
+    count += 4 - __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; i < n; ++i) {
+    if (z[i] >= lo && z[i] <= hi) ++count;
+  }
+  return count;
+}
+
+#else  // !PROBE_HAVE_AVX2_TARGET — keep the symbols linkable everywhere.
+
+int UpperBoundZAvx2(const uint64_t* z, int n, uint64_t bound) {
+  return UpperBoundZScalar(z, n, bound);
+}
+
+int CountInRangeZAvx2(const uint64_t* z, int n, uint64_t lo, uint64_t hi) {
+  return CountInRangeZScalar(z, n, lo, hi);
+}
+
+#endif  // PROBE_HAVE_AVX2_TARGET
+
+int UpperBoundZ(const uint64_t* z, int n, uint64_t bound) {
+  return (g_has_avx2 && !g_force_scalar) ? UpperBoundZAvx2(z, n, bound)
+                                         : UpperBoundZScalar(z, n, bound);
+}
+
+int CountInRangeZ(const uint64_t* z, int n, uint64_t lo, uint64_t hi) {
+  return (g_has_avx2 && !g_force_scalar) ? CountInRangeZAvx2(z, n, lo, hi)
+                                         : CountInRangeZScalar(z, n, lo, hi);
+}
+
+}  // namespace probe::btree

@@ -1,0 +1,46 @@
+#ifndef PROBE_BTREE_SIMD_FILTER_H_
+#define PROBE_BTREE_SIMD_FILTER_H_
+
+#include <cstdint>
+
+/// \file
+/// Vectorized in-page interval filters for decoded z values.
+///
+/// Once a leaf's keys are decoded to full-resolution z integers, the
+/// range-search merge spends its inner loop comparing them against the
+/// current element's [zlo, zhi] interval. These kernels test four 64-bit
+/// values per iteration with AVX2 (unsigned compares via the sign-bias
+/// trick; _mm256_cmpgt_epi64 is signed). The dispatch mirrors the BMI2
+/// PDEP/PEXT path in zorder/fast_interleave: one predictable branch on a
+/// cached CPUID bit, suffixed variants pinned for equivalence tests and
+/// benches, and a portable scalar fallback that is bitwise-identical by
+/// construction. The *Avx2 functions must only be called when HasAvx2()
+/// is true.
+
+namespace probe::btree {
+
+/// True when this CPU executes AVX2 and the *Avx2 variants are callable.
+/// Detected once per process.
+bool HasAvx2();
+
+/// Forces the unsuffixed entry points onto the scalar path (benches use
+/// this to measure the SIMD win on identical data). Not thread-safe; set
+/// it before spawning query threads.
+void SetForceScalarFilter(bool force);
+bool ForceScalarFilter();
+
+/// First index i in [0, n) with z[i] > bound; n when every value is
+/// <= bound. Requires z sorted ascending (the decoded key order of a
+/// leaf), which makes the result the length of the matching run.
+int UpperBoundZ(const uint64_t* z, int n, uint64_t bound);
+int UpperBoundZScalar(const uint64_t* z, int n, uint64_t bound);
+int UpperBoundZAvx2(const uint64_t* z, int n, uint64_t bound);
+
+/// Number of values in [lo, hi] (inclusive); no order requirement.
+int CountInRangeZ(const uint64_t* z, int n, uint64_t lo, uint64_t hi);
+int CountInRangeZScalar(const uint64_t* z, int n, uint64_t lo, uint64_t hi);
+int CountInRangeZAvx2(const uint64_t* z, int n, uint64_t lo, uint64_t hi);
+
+}  // namespace probe::btree
+
+#endif  // PROBE_BTREE_SIMD_FILTER_H_

@@ -15,6 +15,10 @@ CostModel CostModel::FromIndex(const ZkdIndex& index) {
   for (const auto& leaf : index.LeafPartitions()) {
     model.first_keys_.push_back(leaf.first_key.ToZValue().RangeLo(total));
   }
+  if (!model.first_keys_.empty()) {
+    model.avg_leaf_entries_ = static_cast<double>(index.size()) /
+                              static_cast<double>(model.first_keys_.size());
+  }
   return model;
 }
 

@@ -89,6 +89,13 @@ class CostModel {
 
   size_t leaf_count() const { return first_keys_.size(); }
 
+  /// Mean entries per leaf at snapshot time. Leaf density depends on the
+  /// page format — compressed (v2) leaves pack several times more keys per
+  /// page than fixed-width v1 leaves — and the snapshot measures it instead
+  /// of assuming a compile-time capacity, so estimates convert between rows
+  /// and pages correctly for either format (or a mixed tree).
+  double avg_leaf_entries() const { return avg_leaf_entries_; }
+
   const zorder::GridSpec& grid() const { return grid_; }
 
  private:
@@ -111,6 +118,7 @@ class CostModel {
 
   zorder::GridSpec grid_;
   std::vector<uint64_t> first_keys_;  // RangeLo of each leaf's first key
+  double avg_leaf_entries_ = 0.0;
 };
 
 }  // namespace probe::index

@@ -62,6 +62,8 @@ void AccumulateStats(QueryStats* into, const QueryStats& part) {
   into->point_seeks += part.point_seeks;
   into->results += part.results;
   into->entries_on_touched_pages += part.entries_on_touched_pages;
+  into->contained_elements += part.contained_elements;
+  into->materialized_rows += part.materialized_rows;
 }
 
 // Interior split points for `partitions` contiguous slices of the z span
@@ -175,6 +177,100 @@ std::vector<uint64_t> ZkdIndex::SearchObject(
   return results;
 }
 
+uint64_t ZkdIndex::CountRange(uint64_t zlo, uint64_t zhi,
+                              QueryStats* stats) const {
+  storage::PinBalanceScope pin_scope("ZkdIndex::CountRange");
+  btree::BTree::Cursor cursor(&tree_);
+  uint64_t count = 0;
+  if (zlo <= zhi && cursor.Seek(IntegerKey(grid_, zlo))) {
+    count = cursor.CountWhileLE(zhi);
+  }
+  if (stats != nullptr) {
+    QueryStats part;
+    FillCursorStats(cursor, &part);
+    part.point_seeks = 1;
+    part.results = count;
+    AccumulateStats(stats, part);
+  }
+  return count;
+}
+
+uint64_t ZkdIndex::CountBox(const geometry::GridBox& box, QueryStats* stats,
+                            const SearchOptions& options) const {
+  const int total = grid_.total_bits();
+  const geometry::BoxObject object(box);
+  decompose::DecomposeOptions dopts;
+  dopts.max_depth = options.max_element_depth;
+  decompose::ElementGenerator generator(grid_, object, dopts);
+
+  // At full depth every element region lies inside the box, so whole
+  // elements count by interval arithmetic; a depth cap makes boundary
+  // elements overcover and forces per-row verification (same criterion
+  // as MergePartition).
+  const bool verify =
+      options.verify_candidates && options.max_element_depth >= 0 &&
+      options.max_element_depth < total;
+
+  storage::PinBalanceScope pin_scope("ZkdIndex::CountBox");
+  btree::BTree::Cursor cursor(&tree_);
+  QueryStats part;
+  uint64_t count = 0;
+  ZValue element;
+
+  bool have_element = generator.Next(&element);
+  if (have_element) {
+    uint64_t zlo = element.RangeLo(total);
+    uint64_t zhi = element.RangeHi(total);
+    ++part.point_seeks;
+    bool have_point = cursor.Seek(IntegerKey(grid_, zlo));
+    while (have_point) {
+      const uint64_t pz = cursor.entry().key.ToZValue().ToInteger();
+      if (pz < zlo) {
+        ++part.point_seeks;
+        have_point = cursor.Seek(IntegerKey(grid_, zlo));
+        continue;
+      }
+      if (pz <= zhi) {
+        if (!verify) {
+          // Contained element: sum run lengths and whole-leaf header
+          // counts; no row is decoded or materialized.
+          ++part.contained_elements;
+          count += cursor.CountWhileLE(zhi);
+          have_point = cursor.Valid();
+        } else {
+          while (have_point) {
+            const uint64_t qz = cursor.entry().key.ToZValue().ToInteger();
+            if (qz > zhi) break;
+            ++part.points_scanned;
+            ++part.materialized_rows;
+            const GridPoint candidate(std::span<const uint32_t>(
+                Unshuffle(grid_, cursor.entry().key.ToZValue())));
+            if (object.ContainsCell(candidate)) ++count;
+            have_point = cursor.Next();
+          }
+        }
+        continue;  // the cursor now sits past zhi (or is exhausted)
+      }
+      // The point ran past the element: random access on B.
+      if (!generator.SeekForward(pz, &element)) break;
+      zlo = element.RangeLo(total);
+      zhi = element.RangeHi(total);
+      if (pz < zlo) {
+        ++part.point_seeks;
+        have_point = cursor.Seek(IntegerKey(grid_, zlo));
+      }
+    }
+  }
+
+  FillCursorStats(cursor, &part);
+  part.elements_generated = generator.elements_emitted();
+  part.classify_calls = generator.classify_calls();
+  part.results = count;
+  if (stats != nullptr) AccumulateStats(stats, part);
+  FlushQueryMetrics(&part, static_cast<size_t>(count));
+  return count;
+}
+
 std::vector<uint64_t> ZkdIndex::PartialMatch(
     std::span<const std::optional<uint32_t>> fixed, QueryStats* stats,
     const SearchOptions& options) const {
@@ -263,9 +359,19 @@ void ZkdIndex::MergePartition(const geometry::SpatialObject& object,
         continue;
       }
       if (pz <= zhi) {
-        PROBE_AUDIT(report_order.Observe(pz, "skip-merge reported points"));
-        report(cursor.entry());
-        have_point = cursor.Next();
+        // The point is inside the element: consume the whole run of
+        // qualifying entries on this leaf at once. RunLengthLE is the
+        // SIMD interval filter over the leaf's decoded z array; the
+        // outer loop re-enters here when the element straddles leaves.
+        const int run = cursor.RunLengthLE(zhi);
+        for (int k = 0; k < run; ++k) {
+          PROBE_AUDIT(report_order.Observe(cursor.PeekZ(k),
+                                           "skip-merge reported points"));
+          report(cursor.PeekEntry(k));
+        }
+        // The first run entry was already counted at the loop head.
+        points_scanned += static_cast<uint64_t>(run) - 1;
+        have_point = cursor.Advance(run);
         continue;
       }
       // pz ran past the element: random access on B.

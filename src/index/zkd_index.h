@@ -62,6 +62,12 @@ struct QueryStats {
   uint64_t results = 0;
   /// Entries residing on the leaf pages entered.
   uint64_t entries_on_touched_pages = 0;
+  /// Aggregate pushdown: elements counted wholesale — their entries were
+  /// summed from run lengths and page headers, never decoded into rows.
+  uint64_t contained_elements = 0;
+  /// Rows an aggregate had to materialize and verify individually (only
+  /// depth-capped decompositions, whose boundary elements overcover).
+  uint64_t materialized_rows = 0;
 
   /// The paper's efficiency measure: fraction of retrieved data that was
   /// relevant (results / entries_on_touched_pages); 1 when nothing was
@@ -152,6 +158,23 @@ class ZkdIndex {
   std::vector<uint64_t> SearchObject(const geometry::SpatialObject& object,
                                      QueryStats* stats = nullptr,
                                      const SearchOptions& options = {}) const;
+
+  /// COUNT(*) over the z interval [zlo, zhi] (inclusive, full-resolution
+  /// integers): counts entries without materializing any row. Leaves
+  /// wholly inside the interval contribute their header count alone —
+  /// no entry on them is even decoded.
+  uint64_t CountRange(uint64_t zlo, uint64_t zhi,
+                      QueryStats* stats = nullptr) const;
+
+  /// COUNT(*) of points inside `box` — the aggregate pushdown. At full
+  /// decomposition depth every element is exactly contained in the box,
+  /// so each element's points are counted via CountRange-style run and
+  /// header arithmetic (stats->contained_elements) and zero rows are
+  /// materialized. A depth-capped decomposition must verify candidates,
+  /// so its rows materialize (stats->materialized_rows) but the count
+  /// stays exact. Matches RangeSearch(...).size() bit for bit.
+  uint64_t CountBox(const geometry::GridBox& box, QueryStats* stats = nullptr,
+                    const SearchOptions& options = {}) const;
 
   /// Partial-match query (Section 5.3.1): `fixed[i]` pins attribute i to a
   /// value; unset attributes are unrestricted.

@@ -43,6 +43,11 @@ void ExplainNode(const PlanNode& node, int depth, std::string* out) {
       *out += ", " + std::to_string(stats.pool_misses) + " pool misses (" +
               std::to_string(stats.pool_hits) + " hits)";
     }
+    if (stats.has_aggregate) {
+      *out += ", " + std::to_string(stats.contained_elements) +
+              " contained elements, " +
+              std::to_string(stats.materialized_rows) + " materialized rows";
+    }
   } else {
     *out += "actual: not executed";
   }
@@ -72,6 +77,12 @@ void ExplainNodeJson(const PlanNode& node, std::string* out) {
   if (stats.has_pool_stats) {
     *out += ", \"pool_misses\": " + std::to_string(stats.pool_misses);
     *out += ", \"pool_hits\": " + std::to_string(stats.pool_hits);
+  }
+  if (stats.has_aggregate) {
+    *out += ", \"contained_elements\": " +
+            std::to_string(stats.contained_elements);
+    *out += ", \"materialized_rows\": " +
+            std::to_string(stats.materialized_rows);
   }
   if (node.child_count() > 0) {
     *out += ", \"children\": [";
@@ -110,6 +121,12 @@ void ExplainNodeJsonPretty(const PlanNode& node, int depth, std::string* out) {
     *out +=
         ",\n" + pad + "\"pool_misses\": " + std::to_string(stats.pool_misses);
     *out += ",\n" + pad + "\"pool_hits\": " + std::to_string(stats.pool_hits);
+  }
+  if (stats.has_aggregate) {
+    *out += ",\n" + pad + "\"contained_elements\": " +
+            std::to_string(stats.contained_elements);
+    *out += ",\n" + pad + "\"materialized_rows\": " +
+            std::to_string(stats.materialized_rows);
   }
   if (node.child_count() > 0) {
     *out += ",\n" + pad + "\"children\": [";

@@ -210,6 +210,54 @@ class ObjectSearchNode final : public MaterializedNode {
   int partitions_;
 };
 
+// --------------------------------------------------------- AggregateCount
+
+/// COUNT(*) pushed down into the index: ZkdIndex::CountBox sums run entry
+/// counts (whole leaves via their header) for elements fully contained in
+/// the box, so a full-depth count materializes zero rows. Emits exactly one
+/// (count) tuple.
+class AggregateCountNode final : public PlanNode {
+ public:
+  AggregateCountNode(const index::ZkdIndex& index, const geometry::GridBox& box,
+                     const index::SearchOptions& options)
+      : index_(index), box_(box), options_(options),
+        schema_(Schema({{"count", ValueType::kInt}})) {
+    stats_.op = "AggregateCount";
+    wants_pool_window_ = true;
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+ protected:
+  void DoOpen() override {
+    ScopedTimer timer(&stats_.ms);
+    index::QueryStats qstats;
+    count_ = index_.CountBox(box_, &qstats, options_);
+    emitted_ = false;
+    stats_.actual_pages = qstats.leaf_pages;
+    stats_.actual_elements = qstats.elements_generated;
+    stats_.has_aggregate = true;
+    stats_.contained_elements = qstats.contained_elements;
+    stats_.materialized_rows = qstats.materialized_rows;
+  }
+
+  bool DoNext(Tuple* out) override {
+    if (emitted_) return false;
+    emitted_ = true;
+    out->clear();
+    out->emplace_back(static_cast<int64_t>(count_));
+    return true;
+  }
+
+ private:
+  const index::ZkdIndex& index_;
+  geometry::GridBox box_;
+  index::SearchOptions options_;
+  Schema schema_;
+  uint64_t count_ = 0;
+  bool emitted_ = false;
+};
+
 // ----------------------------------------------------------- BucketKdScan
 
 class BucketKdScanNode final : public MaterializedNode {
@@ -583,6 +631,12 @@ std::unique_ptr<PlanNode> MakeObjectSearch(
   return std::make_unique<ObjectSearchNode>(index, object, std::move(owned),
                                             options, pool, partitions,
                                             op_name);
+}
+
+std::unique_ptr<PlanNode> MakeAggregateCount(const index::ZkdIndex& index,
+                                             const geometry::GridBox& box,
+                                             const index::SearchOptions& options) {
+  return std::make_unique<AggregateCountNode>(index, box, options);
 }
 
 std::unique_ptr<PlanNode> MakeBucketKdScan(const baseline::BucketKdTree& tree,

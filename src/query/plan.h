@@ -74,6 +74,15 @@ struct NodeStats {
   bool has_pool_stats = false;
   uint64_t pool_misses = 0;
   uint64_t pool_hits = 0;
+
+  /// True for aggregate-pushdown nodes: `contained_elements` counts the
+  /// decomposed elements answered purely from leaf headers and entry
+  /// counts, `materialized_rows` the rows that still had to be decoded and
+  /// verified (boundary elements under a depth cap). A fully contained
+  /// query reports zero materialized rows.
+  bool has_aggregate = false;
+  uint64_t contained_elements = 0;
+  uint64_t materialized_rows = 0;
 };
 
 /// A physical operator in the volcano tree.
@@ -169,6 +178,15 @@ std::unique_ptr<PlanNode> MakeObjectSearch(
     std::unique_ptr<const geometry::SpatialObject> owned,
     const index::SearchOptions& options, util::ThreadPool* pool = nullptr,
     int partitions = 0, const std::string& op_name = "");
+
+/// Aggregate pushdown: COUNT(*) of points in `box`, answered inside the
+/// index (ZkdIndex::CountBox). Elements fully contained in the box add the
+/// run's entry count — whole leaves via their header — without decoding or
+/// materializing rows; only boundary elements under a depth cap decode and
+/// verify per row. Output schema (count: int), exactly one row.
+std::unique_ptr<PlanNode> MakeAggregateCount(
+    const index::ZkdIndex& index, const geometry::GridBox& box,
+    const index::SearchOptions& options = {});
 
 /// Range scan over the bucket kd tree fallback. Output schema (id: int) in
 /// the tree's traversal order (not z order).

@@ -174,6 +174,32 @@ PlannedQuery PlanRange(const Query& query, const PlannerContext& ctx,
   return planned;
 }
 
+// -------------------------------------------------------- aggregate count
+
+PlannedQuery PlanAggregateCount(const Query& query, const PlannerContext& ctx,
+                                const PlannerOptions& options) {
+  assert(query.box.has_value());
+  const GridBox& box = *query.box;
+  // Pushdown counts from leaf headers, so it never pays the per-row
+  // materialization the kd fallback would; price the scan for EXPLAIN but
+  // always take the index path, serial (the count is one cursor pass).
+  const ScanChoice choice =
+      ChooseBoxScan(box, ctx, options, /*allow_kd=*/false);
+
+  PlannedQuery planned;
+  planned.root = MakeAggregateCount(*ctx.index, box, choice.search);
+  const std::string detail = DepthDetail(choice.search.max_element_depth);
+  if (choice.estimate.has_value()) {
+    AttachEstimate(planned.root.get(), *choice.estimate, detail);
+  } else {
+    planned.root->stats().detail = detail;
+  }
+  planned.summary = "aggregate-count: " + planned.root->stats().op;
+  planned.summary += EstimateSummary(choice);
+  planned.root = Decorate(std::move(planned.root), query);
+  return planned;
+}
+
 // ---------------------------------------------------- object and proximity
 
 PlannedQuery PlanObjectLike(const Query& query, const PlannerContext& ctx,
@@ -367,6 +393,8 @@ PlannedQuery Plan(const Query& query, const PlannerContext& ctx,
       return PlanKNearest(query, ctx);
     case QueryKind::kSpatialJoin:
       return PlanSpatialJoin(query, ctx, options);
+    case QueryKind::kAggregateCount:
+      return PlanAggregateCount(query, ctx, options);
   }
   return {};
 }

@@ -41,6 +41,10 @@ enum class QueryKind {
   kKNearest,
   /// The spatial join R[zr <> zs]S of Section 4 between two relations.
   kSpatialJoin,
+  /// COUNT(*) of points inside a box, answered by aggregate pushdown:
+  /// elements fully contained in the box are counted from leaf headers
+  /// without materializing rows.
+  kAggregateCount,
 };
 
 /// Short operator-style name ("range", "join", ...) for traces.
@@ -140,6 +144,13 @@ struct Query {
     q.kind = QueryKind::kSpatialJoin;
     q.r = std::move(r_side);
     q.s = std::move(s_side);
+    return q;
+  }
+
+  static Query Count(const geometry::GridBox& count_box) {
+    Query q;
+    q.kind = QueryKind::kAggregateCount;
+    q.box = count_box;
     return q;
   }
 };

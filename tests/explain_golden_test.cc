@@ -128,6 +128,13 @@ TEST(ExplainGoldenTest, BucketKdFallback) {
   CheckGolden("range_kd_fallback", ExplainJsonPretty(*planned.root));
 }
 
+TEST(ExplainGoldenTest, AggregateCount) {
+  const GoldenFixture fx;
+  PlannedQuery planned =
+      Plan(Query::Count(GridBox::Make2D(100, 400, 100, 400)), fx.Context());
+  CheckGolden("aggregate_count", ExplainJsonPretty(*planned.root));
+}
+
 TEST(ExplainGoldenTest, WithinDistance) {
   const GoldenFixture fx;
   PlannedQuery planned = Plan(

@@ -1,0 +1,102 @@
+// The SIMD in-page filter must be bitwise-identical to its scalar
+// fallback: UpperBoundZ and CountInRangeZ over random sorted arrays,
+// adversarial boundary values (0, ~0, the signed-comparison bias point),
+// all alignments and tail lengths, with the dispatch forced both ways.
+
+#include "btree/simd_filter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace probe::btree {
+namespace {
+
+int OracleUpperBound(const std::vector<uint64_t>& zs, uint64_t bound) {
+  int i = 0;
+  while (i < static_cast<int>(zs.size()) && zs[static_cast<size_t>(i)] <= bound) ++i;
+  return i;
+}
+
+class SimdFilterTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetForceScalarFilter(false); }
+};
+
+TEST_F(SimdFilterTest, DispatchMatchesScalarOnRandomArrays) {
+  util::Rng rng(0x51ed);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t n = rng.NextBelow(70);  // covers sub-width and multi-lane
+    std::vector<uint64_t> zs(n);
+    for (auto& z : zs) z = rng.Next();
+    std::sort(zs.begin(), zs.end());
+
+    for (int b = 0; b < 8; ++b) {
+      uint64_t bound;
+      switch (b) {
+        case 0: bound = 0; break;
+        case 1: bound = ~0ULL; break;
+        case 2: bound = 0x8000000000000000ULL; break;        // sign-bias point
+        case 3: bound = 0x7fffffffffffffffULL; break;
+        default:
+          bound = n > 0 ? zs[rng.NextBelow(n)] + rng.NextBelow(3) - 1
+                        : rng.Next();
+      }
+      const int expect = OracleUpperBound(zs, bound);
+
+      SetForceScalarFilter(true);
+      EXPECT_EQ(UpperBoundZ(zs.data(), static_cast<int>(n), bound), expect);
+      EXPECT_EQ(UpperBoundZScalar(zs.data(), static_cast<int>(n), bound),
+                expect);
+      SetForceScalarFilter(false);
+      EXPECT_EQ(UpperBoundZ(zs.data(), static_cast<int>(n), bound), expect)
+          << "trial " << trial << " n " << n << " bound " << bound;
+    }
+  }
+}
+
+TEST_F(SimdFilterTest, CountInRangeMatchesScalar) {
+  util::Rng rng(0x52ed);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t n = rng.NextBelow(100);
+    std::vector<uint64_t> zs(n);
+    for (auto& z : zs) z = rng.Next() >> static_cast<int>(rng.NextBelow(32));
+    std::sort(zs.begin(), zs.end());
+
+    uint64_t lo = rng.Next();
+    uint64_t hi = rng.Next();
+    if (lo > hi) std::swap(lo, hi);
+
+    int expect = 0;
+    for (const uint64_t z : zs) expect += (z >= lo && z <= hi) ? 1 : 0;
+
+    SetForceScalarFilter(true);
+    EXPECT_EQ(CountInRangeZ(zs.data(), static_cast<int>(n), lo, hi), expect);
+    SetForceScalarFilter(false);
+    EXPECT_EQ(CountInRangeZ(zs.data(), static_cast<int>(n), lo, hi), expect);
+    EXPECT_EQ(CountInRangeZScalar(zs.data(), static_cast<int>(n), lo, hi),
+              expect);
+  }
+}
+
+TEST_F(SimdFilterTest, UnalignedBasePointers) {
+  // The kernels use unaligned loads; walk every offset of a bigger array.
+  util::Rng rng(0x53ed);
+  std::vector<uint64_t> zs(64);
+  for (auto& z : zs) z = rng.Next();
+  std::sort(zs.begin(), zs.end());
+  const uint64_t bound = zs[40];
+  for (size_t off = 0; off < 16; ++off) {
+    const int n = static_cast<int>(zs.size() - off);
+    int expect = 0;
+    while (expect < n && zs[off + static_cast<size_t>(expect)] <= bound) ++expect;
+    EXPECT_EQ(UpperBoundZ(zs.data() + off, n, bound), expect) << off;
+    EXPECT_EQ(UpperBoundZScalar(zs.data() + off, n, bound), expect) << off;
+  }
+}
+
+}  // namespace
+}  // namespace probe::btree
