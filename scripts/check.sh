@@ -78,6 +78,39 @@ if [ -f BENCH_parallel.json ]; then
     || { echo "FAIL: in-budget parallel row collapsed vs serial"; exit 1; }
 fi
 
+# BENCH_server.json: every answer a client read over the wire must match
+# the in-process result; throughput must hold the machine-scaled floor the
+# committed baseline recorded; and where the host has cores to back
+# multi-shard rows, shard-per-core scaling must at least match the best
+# single-pool (shared buffer pool) speedup from BENCH_parallel.json.
+if [ -f BENCH_server.json ]; then
+  jq -e '.server.all_identical and
+         ([.server.shard_sweep[].identical] | all)' BENCH_server.json \
+    > /dev/null \
+    || { echo "FAIL: server answers diverged from in-process results"; exit 1; }
+  jq -e '.server.best_qps >= .server.qps_floor' BENCH_server.json \
+    > /dev/null \
+    || { echo "FAIL: server qps below its own recorded floor"; exit 1; }
+  if committed=$(git show HEAD:BENCH_server.json 2>/dev/null); then
+    echo "$committed" | jq -es --slurpfile fresh BENCH_server.json \
+      '.[0].server.qps_floor as $floor |
+       $fresh[0].server.best_qps >= $floor' > /dev/null \
+      || { echo "FAIL: server qps regressed below committed floor"; exit 1; }
+  fi
+  if [ -f BENCH_parallel.json ]; then
+    jq -es '([.[0].server.shard_sweep[]
+              | select(.shards > 1 and (.oversubscribed | not))
+              | .speedup]) as $sharded |
+            ([.[1].range.threads[]
+              | select(.threads > 1 and (.oversubscribed | not))
+              | .speedup]) as $pooled |
+            if ($sharded | length) == 0 or ($pooled | length) == 0 then true
+            else ($sharded | max) >= ($pooled | max) end' \
+      BENCH_server.json BENCH_parallel.json > /dev/null \
+      || { echo "FAIL: shard scaling fell below the single-pool curve"; exit 1; }
+  fi
+fi
+
 if [ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]; then
   # ASan + UBSan over the full suite, with the invariant audits compiled in
   # so the sanitizers run over audited code paths. The fuzz drivers (ctest
@@ -91,6 +124,11 @@ if [ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]; then
   # The recovery tier (WAL, redo, 240-cycle crash matrix) again by name:
   # every recovery path must hold under ASan, not just the plain build.
   ctest --test-dir "$ASAN_BUILD" -L recovery --output-on-failure
+
+  # The server tier (wire codec fuzz, sessions, sharded scatter-gather,
+  # TCP end-to-end) likewise: hostile frames and socket teardown paths are
+  # exactly where ASan/UBSan earn their keep.
+  ctest --test-dir "$ASAN_BUILD" -L server --output-on-failure
 
   # ThreadSanitizer over the tests that exercise the thread pool and the
   # sharded buffer pool (ctest label `concurrency`).

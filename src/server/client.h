@@ -1,0 +1,114 @@
+#ifndef PROBE_SERVER_CLIENT_H_
+#define PROBE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "index/nearest.h"
+#include "server/protocol.h"
+
+/// \file
+/// A blocking client for the spatial query server.
+///
+/// Two usage styles:
+///
+///   * Call-per-query: Hello(), then Range()/Box()/Count()/Knn()/Explain();
+///     each call writes one request frame and blocks for its response.
+///     Errors surface as a false/empty return plus last_status().
+///   * Pipelined: Send() a window of request frames (each with a distinct
+///     request_id), then Recv() the window of responses. The server answers
+///     in order, so a pipeline of depth W keeps W requests in flight per
+///     connection — that, not raw parsing speed, is what pushes a loopback
+///     connection past the per-round-trip throughput wall.
+///
+/// Connect over TCP (ConnectTcp) or adopt any connected byte-stream fd
+/// (Adopt — the socketpair seam the hermetic tests use).
+
+namespace probe::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to 127.0.0.1:port. False on failure.
+  bool ConnectTcp(int port);
+
+  /// Adopts a connected fd (takes ownership).
+  void Adopt(int fd);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // ------------------------------------------------------- call-per-query
+
+  /// HELLO handshake. `max_element_depth` caps decomposition depth for
+  /// every query on this session (-1 = full depth).
+  bool Hello(HelloResponse* out, int32_t max_element_depth = -1,
+             const std::string& client_name = "probe-client");
+
+  /// Ids of points inside `box`, in z order.
+  bool Range(const geometry::GridBox& box, std::vector<uint64_t>* ids);
+
+  /// (id, point) rows inside `box`, in z order.
+  bool Box(const geometry::GridBox& box, std::vector<BoxResponse::Row>* rows);
+
+  /// COUNT(*) of points inside `box`.
+  bool Count(const geometry::GridBox& box, uint64_t* count);
+
+  /// k nearest neighbors of `center`.
+  bool Knn(const geometry::GridPoint& center, uint32_t k,
+           std::vector<index::Neighbor>* neighbors);
+
+  /// Planner/routing explanation of a box query.
+  bool Explain(const geometry::GridBox& box, bool count, std::string* text);
+
+  bool Ping();
+  bool Goodbye();
+
+  // ------------------------------------------------------------ pipelining
+
+  /// Writes one encoded request frame. Does not wait for the response.
+  bool Send(const Frame& frame);
+
+  /// Flushes frames batched by Send (Send already writes through; Flush
+  /// exists for symmetry and future buffering).
+  bool Flush() { return connected(); }
+
+  /// Blocks for the next response frame.
+  bool Recv(Frame* frame);
+
+  // ------------------------------------------------------------ diagnostics
+
+  /// Protocol status of the last failed call (kOk after a success).
+  Status last_status() const { return last_status_; }
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  // Sends `request` and receives its response, handling kError frames.
+  // Returns true when the response has the expected type and request_id.
+  bool RoundTrip(const Frame& request, FrameType expected, Frame* response);
+
+  bool WriteAll(const uint8_t* data, size_t size);
+  uint32_t NextRequestId() { return next_request_id_++; }
+
+  void Fail(Status status, std::string message);
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+  std::vector<uint8_t> rx_;  // bytes received but not yet decoded
+  Status last_status_ = Status::kOk;
+  std::string last_error_;
+};
+
+}  // namespace probe::server
+
+#endif  // PROBE_SERVER_CLIENT_H_

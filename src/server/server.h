@@ -1,0 +1,174 @@
+#ifndef PROBE_SERVER_SERVER_H_
+#define PROBE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/protocol.h"
+#include "server/session.h"
+#include "server/sharded_engine.h"
+#include "util/thread_pool.h"
+
+/// \file
+/// The spatial query server: a TCP front end for a ShardedEngine.
+///
+/// Architecture, bottom to top:
+///
+///   * One acceptor thread blocks in accept(); each accepted connection
+///     becomes a task on a util::ThreadPool, which handles it with a
+///     blocking read loop (thread-per-connection over a bounded pool).
+///   * Admission control is refuse-early, never queue-unbounded: beyond
+///     `max_connections` the acceptor answers a kBusy frame and closes
+///     without dispatching; beyond `max_inflight` concurrently executing
+///     queries a request gets a kBusy response instead of waiting.
+///   * One listener serves two protocols, discriminated by the first
+///     byte: binary frames start with the 'z''q' magic, anything else is
+///     treated as HTTP — `GET /metrics` returns the Prometheus exposition
+///     of obs::Registry::Default() (obs::RenderText) and `GET /healthz` a
+///     one-line JSON status, so the server is scrapeable with nothing but
+///     curl.
+///   * Stop() is graceful and bounded: the listener closes, open
+///     connections are shut down so their blocked reads wake, and the
+///     pool drains with util::ThreadPool::Shutdown's deadline — a hung
+///     handler can delay shutdown by at most one task, never hang it.
+///
+/// Hermetic tests bypass TCP entirely: ServeConnection() adopts any
+/// connected byte-stream fd (socketpair), and the whole request path is
+/// identical from the first byte on.
+
+namespace probe::server {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with port()). Start() is optional — a server used only through
+  /// ServeConnection never binds.
+  int port = 0;
+  /// Connection-handler pool size. Each live connection occupies one
+  /// worker for its lifetime.
+  int worker_threads = 8;
+  /// Admission control: connections beyond this are answered kBusy and
+  /// closed at accept time.
+  int max_connections = 64;
+  /// Admission control: queries executing concurrently beyond this are
+  /// answered kBusy instead of queued.
+  int max_inflight = 256;
+  /// Sessions idle past this are expired (next request: kSessionExpired).
+  std::chrono::milliseconds idle_timeout{60000};
+  /// Stop()'s drain budget (ThreadPool::Shutdown deadline).
+  std::chrono::milliseconds shutdown_deadline{2000};
+};
+
+/// Liveness counters, for tests and the bench.
+struct ServerCounters {
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t busy = 0;
+  uint64_t http_requests = 0;
+};
+
+class Server {
+ public:
+  /// The engine must outlive the server.
+  Server(ShardedEngine* engine, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:port, starts the acceptor. False on bind failure.
+  bool Start();
+
+  /// The bound port (after Start()).
+  int port() const { return port_; }
+
+  /// Adopts a connected stream fd (e.g. one end of a socketpair) as a
+  /// client connection, served on the pool like an accepted one. The
+  /// server takes ownership of the fd. Honors max_connections.
+  void ServeConnection(int fd);
+
+  /// Graceful stop: closes the listener, wakes and closes every open
+  /// connection, drains the pool within the shutdown deadline. True iff
+  /// all handlers finished in time. Idempotent.
+  bool Stop();
+
+  ServerCounters counters() const;
+  SessionManager& sessions() { return sessions_; }
+  ShardedEngine& engine() { return *engine_; }
+
+ private:
+  // Per-connection handler state.
+  struct Conn {
+    int fd = -1;
+    uint64_t session_id = 0;  // 0 = not HELLO'd
+    std::chrono::steady_clock::time_point last_frame;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  // Serves the binary protocol on an established connection; `buf` holds
+  // bytes already read (the protocol-discrimination peek).
+  void ServeBinary(Conn* conn, std::vector<uint8_t> buf);
+  void ServeHttp(Conn* conn, std::vector<uint8_t> buf);
+
+  // Dispatches one decoded frame; appends encoded response frames to
+  // `out`. Returns false when the connection should close.
+  bool HandleFrame(Conn* conn, const Frame& frame, std::vector<uint8_t>* out);
+
+  // Query execution under the in-flight admission gate; each returns the
+  // encoded response (result, error, or busy).
+  Frame ExecuteQuery(Conn* conn, const Frame& frame);
+
+  void SendError(std::vector<uint8_t>* out, uint32_t request_id, Status status,
+                 const std::string& message);
+
+  bool WriteAll(int fd, const uint8_t* data, size_t size);
+
+  void RegisterFd(int fd);
+  void UnregisterFd(int fd);
+
+  ShardedEngine* engine_;
+  ServerOptions options_;
+  SessionManager sessions_;
+  util::ThreadPool pool_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<int> active_connections_{0};
+  std::atomic<int> inflight_{0};
+
+  std::mutex fds_mutex_;
+  std::set<int> open_fds_;
+
+  // Liveness counters (mirrored into obs::Registry::Default()).
+  std::atomic<uint64_t> connections_total_{0};
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> errors_total_{0};
+  std::atomic<uint64_t> busy_total_{0};
+  std::atomic<uint64_t> http_total_{0};
+
+  // Hot-path metric cells from the default registry.
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_errors_ = nullptr;
+  obs::Counter* m_busy_ = nullptr;
+  obs::Counter* m_bytes_read_ = nullptr;
+  obs::Counter* m_bytes_written_ = nullptr;
+  obs::Gauge* m_sessions_ = nullptr;
+  obs::Gauge* m_connections_ = nullptr;
+  obs::Histogram* m_request_ms_ = nullptr;
+};
+
+}  // namespace probe::server
+
+#endif  // PROBE_SERVER_SERVER_H_

@@ -1,0 +1,58 @@
+#include "server/session.h"
+
+#include <utility>
+#include <vector>
+
+namespace probe::server {
+
+uint64_t SessionManager::Create(int32_t max_element_depth,
+                                std::string client_name) {
+  std::lock_guard lock(mutex_);
+  const uint64_t id = next_id_++;
+  sessions_.emplace(id, std::make_unique<Session>(id, max_element_depth,
+                                                  std::move(client_name)));
+  return id;
+}
+
+Session* SessionManager::Touch(uint64_t id) {
+  std::lock_guard lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  it->second->Touch();
+  return it->second.get();
+}
+
+bool SessionManager::Close(uint64_t id) {
+  std::lock_guard lock(mutex_);
+  return sessions_.erase(id) != 0;
+}
+
+bool SessionManager::Expired(uint64_t id) const {
+  std::lock_guard lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  return std::chrono::steady_clock::now() - it->second->last_active() >
+         idle_timeout_;
+}
+
+size_t SessionManager::ExpireIdle() {
+  std::lock_guard lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  size_t expired = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second->last_active() > idle_timeout_) {
+      it = sessions_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+size_t SessionManager::active() const {
+  std::lock_guard lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace probe::server

@@ -1,0 +1,159 @@
+#ifndef PROBE_SERVER_SHARDED_ENGINE_H_
+#define PROBE_SERVER_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "index/durable_index.h"
+#include "index/nearest.h"
+#include "index/zkd_index.h"
+#include "util/thread_pool.h"
+#include "zorder/grid.h"
+
+/// \file
+/// Shard-per-core execution: N independent engines over a range-partitioned
+/// z space.
+///
+/// BENCH_parallel showed the single-engine ceiling: partitioned execution
+/// is correct but flat, because every lane contends on one buffer pool (one
+/// latch set, one eviction clock, one WAL). The structural fix is to stop
+/// sharing: a ShardedEngine range-partitions the full-resolution z space
+/// into `shards` contiguous intervals and gives each interval its *own*
+/// DurableIndex — own database file, own WAL, own buffer pool. Shards share
+/// nothing, so a scatter-gathered query scales with cores instead of with
+/// one pool's latch throughput, and a crash recovers shard by shard.
+///
+/// Range partitioning (not hashing) is what keeps answers *bitwise
+/// identical* to a single engine: every query result this library produces
+/// is in ascending z order, shard i's interval wholly precedes shard
+/// i+1's, and a point's shard is determined by its z value — so
+/// concatenating per-shard results in shard order *is* the single-engine
+/// output, no merge or sort needed. This is the Zones-style scatter-gather
+/// (Gray et al.): partition by the sort key, fan out, concatenate.
+///
+/// Writes route each op to its point's shard and commit per-shard batches
+/// in parallel. A batch is atomic within each shard (the DurableIndex
+/// guarantee); cross-shard atomicity is not promised — a kill between
+/// shard commits can surface a prefix of the batch, which the identity
+/// tests pin down by replaying the per-shard commit oracle.
+
+namespace probe::server {
+
+/// Construction options; `config`/`pool_pages`/`policy`/`truncate` apply
+/// to every shard.
+struct ShardedEngineOptions {
+  int shards = 1;
+  size_t pool_pages_per_shard = 256;
+  btree::BTreeConfig config;
+  storage::EvictionPolicy policy = storage::EvictionPolicy::kLru;
+  bool truncate = false;
+};
+
+/// N DurableIndex shards behind one query facade.
+class ShardedEngine {
+ public:
+  /// Opens (creating or recovering) shard files `prefix + ".shardK"`.
+  /// `pool` drives the scatter-gather fan-out and the parallel per-shard
+  /// commits; it must outlive the engine. Check ok().
+  ShardedEngine(const zorder::GridSpec& grid, const std::string& path_prefix,
+                const ShardedEngineOptions& options, util::ThreadPool* pool);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// False when any shard failed to open or recover.
+  bool ok() const { return ok_; }
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const zorder::GridSpec& grid() const { return grid_; }
+
+  /// Total points across shards.
+  uint64_t size() const;
+
+  /// Routes each op to its point's shard and applies the per-shard batches
+  /// in parallel. True iff every involved shard committed.
+  bool Apply(std::span<const index::DurableIndex::Op> ops);
+
+  /// Checkpoints every shard (bounding each shard's log).
+  bool Checkpoint();
+
+  /// Scatter-gather range query: identical, element for element, to the
+  /// same query on a single engine holding all the points. Only shards
+  /// whose z interval meets the box's z range participate.
+  std::vector<uint64_t> RangeSearch(
+      const geometry::GridBox& box, index::QueryStats* stats = nullptr,
+      const index::SearchOptions& options = {}) const;
+
+  /// (id, point) rows of the box, in the same order as RangeSearch.
+  struct Row {
+    uint64_t id = 0;
+    geometry::GridPoint point;
+  };
+  std::vector<Row> RangeSearchRows(const geometry::GridBox& box,
+                                   index::QueryStats* stats = nullptr) const;
+
+  /// Scatter-gather COUNT(*): the sum of per-shard aggregate pushdowns;
+  /// equals RangeSearch(box).size().
+  uint64_t CountBox(const geometry::GridBox& box,
+                    index::QueryStats* stats = nullptr,
+                    const index::SearchOptions& options = {}) const;
+
+  /// Scatter-gather k-NN: every shard answers locally, the gather keeps
+  /// the k best by (distance2, id) — the single-engine tie-break order.
+  std::vector<index::Neighbor> KNearest(const geometry::GridPoint& center,
+                                        size_t k) const;
+
+  /// Routing + per-shard plan text for a box query (`count` = COUNT plan):
+  /// which shards the query scatters to, each shard's z interval, and the
+  /// planner's one-line decision for the shard-local query.
+  std::string Explain(const geometry::GridBox& box, bool count) const;
+
+  // -------------------------------------------------- routing arithmetic
+
+  /// Shard owning full-resolution z value `z`.
+  int ShardOf(uint64_t z) const;
+
+  /// Closed z interval [lo, hi] owned by `shard`.
+  std::pair<uint64_t, uint64_t> ShardZRange(int shard) const;
+
+  /// Closed shard interval [first, last] a box query must scatter to.
+  std::pair<int, int> ShardSpan(const geometry::GridBox& box) const;
+
+  /// Full-resolution z value of a point on this engine's grid.
+  uint64_t ZOf(const geometry::GridPoint& point) const;
+
+  // --------------------------------------------------------- test seams
+
+  /// Shard `i`'s engine, for fault injection and WAL kill tests.
+  index::DurableIndex& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+
+  static std::string ShardPath(const std::string& prefix, int shard);
+
+  /// Dimensionality and coordinate-bound validation against the grid; the
+  /// server layer rejects queries that fail these before any shard
+  /// arithmetic or Shuffle assertion can run on hostile input.
+  bool ValidBox(const geometry::GridBox& box) const;
+  bool ValidPoint(const geometry::GridPoint& point) const;
+
+ private:
+  zorder::GridSpec grid_;
+  util::ThreadPool* pool_;
+  std::vector<std::unique_ptr<index::DurableIndex>> shards_;
+  bool ok_ = false;
+
+  // Queries take the lock shared; Apply/Checkpoint take it exclusive. The
+  // underlying engines support concurrent readers (sharded buffer pools)
+  // but not reads overlapping a write batch.
+  mutable std::shared_mutex mutex_;
+};
+
+}  // namespace probe::server
+
+#endif  // PROBE_SERVER_SHARDED_ENGINE_H_

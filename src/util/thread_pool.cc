@@ -26,6 +26,29 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::Shutdown(std::chrono::milliseconds deadline) {
+  std::deque<std::function<void()>> dropped;
+  bool drained = true;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) return true;  // already shut down (or being destroyed)
+    draining_ = true;
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    drained = idle_cv_.wait_until(lock, until, [this]() {
+      return queue_.empty() && in_flight_ == 0;
+    });
+    if (!drained) dropped.swap(queue_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Destroying the dropped tasks outside the lock breaks their futures
+  // (broken_promise), which is how waiters learn their work was shed.
+  dropped.clear();
+  return drained;
+}
+
 int ThreadPool::DefaultThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : static_cast<int>(hw);
@@ -50,7 +73,16 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   }
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    if (!draining_) {
+      queue_.push_back(std::move(task));
+      task = nullptr;
+    }
+  }
+  if (task) {
+    // The pool is shutting down (or has shut down): run on the submitter
+    // so no work is silently lost and no queue grows behind a drain.
+    task();
+    return;
   }
   cv_.notify_one();
 }
@@ -64,8 +96,10 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++in_flight_;
     }
     task();
+    FinishTask();
   }
 }
 
@@ -76,9 +110,17 @@ bool ThreadPool::RunOneTask() {
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
+    ++in_flight_;
   }
   task();
+  FinishTask();
   return true;
+}
+
+void ThreadPool::FinishTask() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  --in_flight_;
+  if (draining_ && queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

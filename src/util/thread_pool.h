@@ -1,6 +1,7 @@
 #ifndef PROBE_UTIL_THREAD_POOL_H_
 #define PROBE_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -81,6 +82,16 @@ class ThreadPool {
   /// the caller.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Graceful shutdown: drain, then join, bounded by `deadline`. Waits for
+  /// queued and in-flight tasks to finish; when the deadline passes first,
+  /// tasks still *queued* are discarded (their futures report
+  /// broken_promise) and only in-flight ones are awaited — so stopping a
+  /// server is bounded by its longest single task, never by queue length.
+  /// Tasks submitted after shutdown begins run inline on the submitting
+  /// thread (ParallelFor likewise degrades to serial). Idempotent; returns
+  /// true iff everything queued at shutdown time completed.
+  bool Shutdown(std::chrono::milliseconds deadline);
+
  private:
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
@@ -89,11 +100,20 @@ class ThreadPool {
   // calling thread to help drain its own ParallelFor.
   bool RunOneTask();
 
+  // Completion bookkeeping shared by WorkerLoop and RunOneTask: decrements
+  // in_flight_ and wakes Shutdown's drain wait at idle.
+  void FinishTask();
+
   std::mutex mutex_;
   std::condition_variable cv_;
+  // Signalled when the pool goes idle (empty queue, nothing in flight);
+  // Shutdown's drain wait sleeps on it.
+  std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  bool draining_ = false;
+  size_t in_flight_ = 0;
   obs::ThreadPoolMetrics* metrics_ = nullptr;
 };
 

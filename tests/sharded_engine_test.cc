@@ -1,0 +1,382 @@
+#include "server/sharded_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "index/durable_index.h"
+#include "storage/wal.h"
+#include "temp_file.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+// The ShardedEngine's load-bearing promise: scatter-gather answers are
+// *bitwise identical* to a single engine holding all the points —
+// element for element, in the same order — across the paper's U/C/D
+// distributions, for RANGE, BOX (rows), COUNT, and k-NN, including with a
+// depth-capped search, and including after one shard's WAL is killed
+// mid-batch and recovered.
+
+namespace probe::server {
+namespace {
+
+using geometry::GridBox;
+using geometry::GridPoint;
+using index::DurableIndex;
+using probe::util::Rng;
+using workload::DataGenConfig;
+using workload::Distribution;
+
+constexpr zorder::GridSpec kGrid{2, 8};
+
+// Removes the per-shard database files TempFile's own cleanup does not
+// know about.
+class ShardFiles {
+ public:
+  ShardFiles(std::string prefix, int shards)
+      : prefix_(std::move(prefix)), shards_(shards) {
+    Remove();
+  }
+  ~ShardFiles() { Remove(); }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  void Remove() {
+    for (int i = 0; i < shards_; ++i) {
+      const std::string base = ShardedEngine::ShardPath(prefix_, i);
+      std::remove(base.c_str());
+      std::remove((base + ".wal").c_str());
+      std::remove((base + ".wal.tmp").c_str());
+    }
+  }
+
+  std::string prefix_;
+  int shards_;
+};
+
+std::vector<DurableIndex::Op> InsertOps(
+    const std::vector<index::PointRecord>& points) {
+  std::vector<DurableIndex::Op> ops;
+  ops.reserve(points.size());
+  for (const auto& r : points) ops.push_back(DurableIndex::Op::Insert(r.point, r.id));
+  return ops;
+}
+
+std::vector<index::PointRecord> Points(Distribution d, size_t count,
+                                       uint64_t seed) {
+  DataGenConfig config;
+  config.distribution = d;
+  config.count = count;
+  config.seed = seed;
+  return workload::GeneratePoints(kGrid, config);
+}
+
+void ExpectIdentical(const ShardedEngine& sharded, const ShardedEngine& single,
+                     const GridBox& box) {
+  // RANGE: same ids in the same (z) order.
+  EXPECT_EQ(sharded.RangeSearch(box), single.RangeSearch(box)) << box.ToString();
+
+  // BOX rows: same (id, point) pairs in the same order.
+  const auto sharded_rows = sharded.RangeSearchRows(box);
+  const auto single_rows = single.RangeSearchRows(box);
+  ASSERT_EQ(sharded_rows.size(), single_rows.size()) << box.ToString();
+  for (size_t i = 0; i < sharded_rows.size(); ++i) {
+    EXPECT_EQ(sharded_rows[i].id, single_rows[i].id);
+    EXPECT_EQ(sharded_rows[i].point, single_rows[i].point);
+  }
+
+  // COUNT: aggregate pushdown sums to the same total.
+  EXPECT_EQ(sharded.CountBox(box), single.CountBox(box)) << box.ToString();
+
+  // Depth-capped search (the session override path) stays exact too.
+  index::SearchOptions capped;
+  capped.max_element_depth = 8;
+  EXPECT_EQ(sharded.RangeSearch(box, nullptr, capped),
+            single.RangeSearch(box, nullptr, capped))
+      << box.ToString() << " depth-capped";
+}
+
+class ShardedEngineIdentityTest
+    : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(ShardedEngineIdentityTest, MatchesSingleShardBitwise) {
+  testutil::TempFile tmp_sharded("sharded_multi");
+  testutil::TempFile tmp_single("sharded_single");
+  ShardFiles multi_files(tmp_sharded.path(), 4);
+  ShardFiles single_files(tmp_single.path(), 1);
+  util::ThreadPool pool(4);
+
+  ShardedEngineOptions multi;
+  multi.shards = 4;
+  multi.truncate = true;
+  ShardedEngineOptions one;
+  one.shards = 1;
+  one.truncate = true;
+
+  ShardedEngine sharded(kGrid, multi_files.prefix(), multi, &pool);
+  ShardedEngine single(kGrid, single_files.prefix(), one, &pool);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(single.ok());
+
+  const auto points = Points(GetParam(), 3000, 42);
+  const auto ops = InsertOps(points);
+  ASSERT_TRUE(sharded.Apply(ops));
+  ASSERT_TRUE(single.Apply(ops));
+  EXPECT_EQ(sharded.size(), single.size());
+
+  Rng rng(7);
+  std::vector<GridBox> boxes;
+  for (const double volume : {0.001, 0.01, 0.1}) {
+    for (const auto& b :
+         workload::MakeQueryBoxes2D(kGrid, volume, 2.0, 5, rng)) {
+      boxes.push_back(b);
+    }
+  }
+  boxes.push_back(GridBox::Make2D(0, 255, 0, 255));  // everything
+  boxes.push_back(GridBox::Make2D(17, 17, 99, 99));  // a single cell
+
+  for (const auto& box : boxes) ExpectIdentical(sharded, single, box);
+
+  // k-NN: same neighbors in the same (distance, id) order.
+  for (int i = 0; i < 10; ++i) {
+    const GridPoint center({static_cast<uint32_t>(rng.NextBelow(256)),
+                            static_cast<uint32_t>(rng.NextBelow(256))});
+    const auto a = sharded.KNearest(center, 10);
+    const auto b = single.KNearest(center, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].id, b[j].id);
+      EXPECT_EQ(a[j].distance2, b[j].distance2);
+    }
+  }
+
+  // Deletes route like inserts; identity must survive them.
+  std::vector<DurableIndex::Op> deletes;
+  for (size_t i = 0; i < points.size(); i += 3) {
+    deletes.push_back(DurableIndex::Op::Delete(points[i].point, points[i].id));
+  }
+  ASSERT_TRUE(sharded.Apply(deletes));
+  ASSERT_TRUE(single.Apply(deletes));
+  for (const auto& box : boxes) ExpectIdentical(sharded, single, box);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ShardedEngineIdentityTest,
+                         ::testing::Values(Distribution::kUniform,
+                                           Distribution::kClustered,
+                                           Distribution::kDiagonal),
+                         [](const auto& info) {
+                           return workload::DistributionName(info.param);
+                         });
+
+TEST(ShardedEngineTest, RoutingPartitionsTheZSpace) {
+  testutil::TempFile tmp("sharded_routing");
+  ShardFiles files(tmp.path(), 5);
+  util::ThreadPool pool(2);
+  ShardedEngineOptions options;
+  options.shards = 5;  // deliberately not a power of two
+  options.truncate = true;
+  ShardedEngine engine(kGrid, files.prefix(), options, &pool);
+  ASSERT_TRUE(engine.ok());
+
+  // The shard intervals tile [0, 2^16) contiguously...
+  EXPECT_EQ(engine.ShardZRange(0).first, 0u);
+  EXPECT_EQ(engine.ShardZRange(4).second, 0xFFFFu);
+  for (int s = 0; s + 1 < 5; ++s) {
+    EXPECT_EQ(engine.ShardZRange(s).second + 1,
+              engine.ShardZRange(s + 1).first);
+  }
+  // ...and ShardOf agrees with the interval ends.
+  for (int s = 0; s < 5; ++s) {
+    const auto [lo, hi] = engine.ShardZRange(s);
+    EXPECT_EQ(engine.ShardOf(lo), s);
+    EXPECT_EQ(engine.ShardOf(hi), s);
+  }
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t z = rng.NextBelow(0x10000);
+    const int s = engine.ShardOf(z);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 5);
+    const auto [lo, hi] = engine.ShardZRange(s);
+    EXPECT_GE(z, lo);
+    EXPECT_LE(z, hi);
+  }
+}
+
+TEST(ShardedEngineTest, PointsLandOnTheirOwnShard) {
+  testutil::TempFile tmp("sharded_placement");
+  ShardFiles files(tmp.path(), 4);
+  util::ThreadPool pool(4);
+  ShardedEngineOptions options;
+  options.shards = 4;
+  options.truncate = true;
+  ShardedEngine engine(kGrid, files.prefix(), options, &pool);
+  ASSERT_TRUE(engine.ok());
+
+  const auto points = Points(Distribution::kUniform, 1000, 11);
+  ASSERT_TRUE(engine.Apply(InsertOps(points)));
+
+  const auto everything = GridBox::Make2D(0, 255, 0, 255);
+  for (int s = 0; s < 4; ++s) {
+    const auto [zlo, zhi] = engine.ShardZRange(s);
+    const auto ids = engine.shard(s).index().RangeSearch(everything);
+    std::set<uint64_t> on_shard(ids.begin(), ids.end());
+    for (const auto& r : points) {
+      const uint64_t z = engine.ZOf(r.point);
+      EXPECT_EQ(on_shard.count(r.id) != 0, z >= zlo && z <= zhi)
+          << "id " << r.id << " z " << z << " shard " << s;
+    }
+  }
+}
+
+TEST(ShardedEngineTest, ValidationRejectsWrongDimsAndOutOfGrid) {
+  testutil::TempFile tmp("sharded_validate");
+  ShardFiles files(tmp.path(), 2);
+  util::ThreadPool pool(2);
+  ShardedEngineOptions options;
+  options.shards = 2;
+  options.truncate = true;
+  ShardedEngine engine(kGrid, files.prefix(), options, &pool);
+  ASSERT_TRUE(engine.ok());
+
+  EXPECT_TRUE(engine.ValidBox(GridBox::Make2D(0, 255, 0, 255)));
+  EXPECT_FALSE(engine.ValidBox(GridBox::Make2D(0, 256, 0, 255)));  // off-grid
+  const uint32_t coords3[] = {1, 2, 3};
+  const zorder::DimRange ranges3[] = {{0, 1}, {0, 1}, {0, 1}};
+  EXPECT_FALSE(
+      engine.ValidBox(GridBox(std::span<const zorder::DimRange>(ranges3, 3))));
+  EXPECT_TRUE(engine.ValidPoint(GridPoint({255, 255})));
+  EXPECT_FALSE(engine.ValidPoint(GridPoint({256, 0})));
+  EXPECT_FALSE(
+      engine.ValidPoint(GridPoint(std::span<const uint32_t>(coords3, 3))));
+}
+
+TEST(ShardedEngineTest, KillAndRecoverOneShardKeepsIdentity) {
+  testutil::TempFile tmp("sharded_kill");
+  testutil::TempFile tmp_ref("sharded_kill_ref");
+  ShardFiles files(tmp.path(), 4);
+  ShardFiles ref_files(tmp_ref.path(), 1);
+  util::ThreadPool pool(4);
+
+  ShardedEngineOptions options;
+  options.shards = 4;
+
+  const auto batch1 = InsertOps(Points(Distribution::kClustered, 2000, 99));
+  const auto batch2 = InsertOps(Points(Distribution::kUniform, 500, 100));
+  const int victim = 2;
+
+  {
+    options.truncate = true;
+    ShardedEngine engine(kGrid, files.prefix(), options, &pool);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine.Apply(batch1));
+
+    // Arm the victim shard's WAL to tear a few records into the next
+    // batch's flush, then apply a batch that touches every shard.
+    auto& wal = engine.shard(victim).wal();
+    wal.SetFaultPlan(
+        {.fail_after_records = wal.stats().records + 3, .tear_bytes = 257});
+    EXPECT_FALSE(engine.Apply(batch2));
+  }
+
+  // Reopen: per-shard recovery truncates the victim's torn tail.
+  options.truncate = false;
+  ShardedEngine engine(kGrid, files.prefix(), options, &pool);
+  ASSERT_TRUE(engine.ok());
+
+  const auto everything = GridBox::Make2D(0, 255, 0, 255);
+
+  // The victim shard lost exactly the uncommitted batch: its contents are
+  // batch1's points routed to it, nothing more, nothing less.
+  {
+    std::set<uint64_t> expect;
+    const auto [zlo, zhi] = engine.ShardZRange(victim);
+    for (const auto& op : batch1) {
+      const uint64_t z = engine.ZOf(op.point);
+      if (z >= zlo && z <= zhi) expect.insert(op.id);
+    }
+    const auto got_ids = engine.shard(victim).index().RangeSearch(everything);
+    EXPECT_EQ(std::set<uint64_t>(got_ids.begin(), got_ids.end()), expect);
+  }
+
+  // Every shard holds batch1's share plus either all or none of batch2's
+  // share (per-shard batch atomicity).
+  for (int s = 0; s < 4; ++s) {
+    const auto [zlo, zhi] = engine.ShardZRange(s);
+    std::set<uint64_t> base;
+    std::set<uint64_t> extra;
+    for (const auto& op : batch1) {
+      const uint64_t z = engine.ZOf(op.point);
+      if (z >= zlo && z <= zhi) base.insert(op.id);
+    }
+    for (const auto& op : batch2) {
+      const uint64_t z = engine.ZOf(op.point);
+      if (z >= zlo && z <= zhi) extra.insert(op.id);
+    }
+    const auto got_ids = engine.shard(s).index().RangeSearch(everything);
+    const std::set<uint64_t> got(got_ids.begin(), got_ids.end());
+    std::set<uint64_t> with_batch2 = base;
+    with_batch2.insert(extra.begin(), extra.end());
+    EXPECT_TRUE(got == base || got == with_batch2) << "shard " << s;
+  }
+
+  // Scatter-gather over the recovered engine is still bitwise identical to
+  // a single engine loaded with exactly the surviving records.
+  const auto survivors = engine.RangeSearchRows(everything);
+  std::vector<DurableIndex::Op> rebuild;
+  rebuild.reserve(survivors.size());
+  for (const auto& row : survivors) {
+    rebuild.push_back(DurableIndex::Op::Insert(row.point, row.id));
+  }
+  ShardedEngineOptions ref_options;
+  ref_options.shards = 1;
+  ref_options.truncate = true;
+  ShardedEngine reference(kGrid, ref_files.prefix(), ref_options, &pool);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(reference.Apply(rebuild));
+
+  Rng rng(13);
+  for (const auto& box : workload::MakeQueryBoxes2D(kGrid, 0.05, 1.0, 8, rng)) {
+    ExpectIdentical(engine, reference, box);
+  }
+  ExpectIdentical(engine, reference, everything);
+
+  // The recovered engine accepts new batches.
+  EXPECT_TRUE(engine.Apply(InsertOps(Points(Distribution::kDiagonal, 50, 5))));
+  EXPECT_TRUE(engine.Checkpoint());
+}
+
+TEST(ShardedEngineTest, ReopenAfterCheckpointPreservesContents) {
+  testutil::TempFile tmp("sharded_reopen");
+  ShardFiles files(tmp.path(), 3);
+  util::ThreadPool pool(3);
+  ShardedEngineOptions options;
+  options.shards = 3;
+
+  const auto points = Points(Distribution::kDiagonal, 1000, 21);
+  std::vector<uint64_t> before;
+  {
+    options.truncate = true;
+    ShardedEngine engine(kGrid, files.prefix(), options, &pool);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine.Apply(InsertOps(points)));
+    ASSERT_TRUE(engine.Checkpoint());
+    before = engine.RangeSearch(GridBox::Make2D(0, 255, 0, 255));
+  }
+  options.truncate = false;
+  ShardedEngine engine(kGrid, files.prefix(), options, &pool);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.RangeSearch(GridBox::Make2D(0, 255, 0, 255)), before);
+  EXPECT_EQ(engine.size(), points.size());
+}
+
+}  // namespace
+}  // namespace probe::server

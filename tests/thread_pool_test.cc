@@ -1,0 +1,163 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+// ThreadPool::Shutdown: the graceful drain-then-join path the server's
+// Stop() depends on. The contract under test:
+//
+//   * drain path  — everything queued at shutdown time runs; returns true;
+//   * deadline    — a wedged task cannot hold shutdown past ~deadline;
+//     queued-but-never-started tasks are shed and their futures break;
+//   * afterlife   — submissions after shutdown run inline (nothing is
+//     silently dropped), and Shutdown is idempotent.
+
+namespace probe::util {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(ThreadPoolShutdownTest, DrainsQueuedTasksBeforeReturning) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&ran]() {
+      std::this_thread::sleep_for(milliseconds(1));
+      ran.fetch_add(1);
+    }));
+  }
+  EXPECT_TRUE(pool.Shutdown(milliseconds(10000)));
+  EXPECT_EQ(ran.load(), 64);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPoolShutdownTest, DeadlineBoundsShutdownAndBreaksShedFutures) {
+  ThreadPool pool(1);  // one worker: the wedge blocks everything behind it
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+
+  std::atomic<bool> started{false};
+  auto wedged = pool.Submit([gate, &started]() {
+    started.store(true);
+    gate.wait();
+  });
+  // Make sure the worker is wedged *inside* the task before queueing the
+  // victims, so exactly the 8 queued tasks get shed.
+  while (!started.load()) std::this_thread::yield();
+  std::vector<std::future<void>> shed;
+  shed.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    shed.push_back(pool.Submit([]() {}));
+  }
+
+  // Shutdown joins the workers, so the wedge must be released by a timer
+  // thread — after the deadline has certainly passed.
+  std::thread releaser([&release]() {
+    std::this_thread::sleep_for(milliseconds(200));
+    release.set_value();
+  });
+  EXPECT_FALSE(pool.Shutdown(milliseconds(50)));
+  releaser.join();
+
+  int broken = 0;
+  for (auto& f : shed) {
+    try {
+      f.get();
+    } catch (const std::future_error& e) {
+      EXPECT_EQ(e.code(), std::make_error_code(std::future_errc::broken_promise));
+      ++broken;
+    }
+  }
+  // Every task that never started was shed; the single worker can have
+  // started at most zero of them while wedged.
+  EXPECT_EQ(broken, 8);
+  EXPECT_NO_THROW(wedged.get());
+}
+
+TEST(ThreadPoolShutdownTest, DeadlineElapsesWhileTaskRuns) {
+  ThreadPool pool(2);
+  std::atomic<bool> stop{false};
+  auto slow = pool.Submit([&stop]() {
+    while (!stop.load()) std::this_thread::sleep_for(milliseconds(1));
+  });
+
+  // Release the wedge from a timer thread so Shutdown's join can finish.
+  std::thread releaser([&stop]() {
+    std::this_thread::sleep_for(milliseconds(200));
+    stop.store(true);
+  });
+  const auto start = steady_clock::now();
+  EXPECT_FALSE(pool.Shutdown(milliseconds(20)));
+  const auto elapsed = steady_clock::now() - start;
+  releaser.join();
+  EXPECT_NO_THROW(slow.get());
+  // Bounded by deadline + the in-flight task's remaining runtime (~200ms),
+  // with generous slack for CI scheduling.
+  EXPECT_LT(elapsed, milliseconds(5000));
+}
+
+TEST(ThreadPoolShutdownTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.Shutdown(milliseconds(1000)));
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on{};
+  auto f = pool.Submit([&ran_on]() { ran_on = std::this_thread::get_id(); });
+  f.get();
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolShutdownTest, IsIdempotent) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.Shutdown(milliseconds(1000)));
+  EXPECT_TRUE(pool.Shutdown(milliseconds(1000)));
+  EXPECT_TRUE(pool.Shutdown(milliseconds(0)));
+}
+
+TEST(ThreadPoolShutdownTest, ParallelForAfterShutdownDegradesToSerial) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.Shutdown(milliseconds(1000)));
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, [&sum](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolShutdownTest, ShutdownWithIdlePoolReturnsImmediately) {
+  ThreadPool pool(4);
+  const auto start = steady_clock::now();
+  EXPECT_TRUE(pool.Shutdown(milliseconds(10000)));
+  EXPECT_LT(steady_clock::now() - start, milliseconds(5000));
+}
+
+TEST(ThreadPoolShutdownTest, ConcurrentSubmittersDuringShutdownLoseNoWork) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> submitters;
+  submitters.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &ran, &go]() {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 50; ++i) {
+        pool.Submit([&ran]() { ran.fetch_add(1); }).get();
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::sleep_for(milliseconds(5));
+  pool.Shutdown(milliseconds(10000));
+  for (auto& t : submitters) t.join();
+  // Every Submit either ran on the pool (pre-drain) or inline (post-drain);
+  // .get() would have thrown had any been dropped.
+  EXPECT_EQ(ran.load(), 200);
+}
+
+}  // namespace
+}  // namespace probe::util
