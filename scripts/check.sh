@@ -145,7 +145,10 @@ if [ "${CHECK_SKIP_COVERAGE:-0}" != "1" ]; then
   scripts/coverage.sh "${BUILD}-cov" 80
 fi
 
-# clang-tidy gate (no-op with a notice when clang-tidy is unavailable).
-scripts/lint.sh "$BUILD"
+# Static-analysis gate: the invariant linter always runs; the clang-tidy
+# half soft-skips when clang-tidy is unavailable (the gcc-only container)
+# unless the caller overrides LINT_SOFT_SKIP. CI runs lint.sh directly
+# with the tools installed, where missing tools are a hard failure.
+LINT_SOFT_SKIP="${LINT_SOFT_SKIP:-1}" scripts/lint.sh "$BUILD"
 
 echo "ALL CHECKS PASSED"

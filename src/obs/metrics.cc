@@ -178,7 +178,7 @@ std::string RegistrySnapshot::RenderText() const {
 
 Counter* Registry::GetCounter(std::string_view name, const Labels& labels) {
   const Key key{std::string(name), Normalized(labels)};
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
     it = counters_.emplace(key, std::make_unique<Counter>()).first;
@@ -188,7 +188,7 @@ Counter* Registry::GetCounter(std::string_view name, const Labels& labels) {
 
 Gauge* Registry::GetGauge(std::string_view name, const Labels& labels) {
   const Key key{std::string(name), Normalized(labels)};
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
     it = gauges_.emplace(key, std::make_unique<Gauge>()).first;
@@ -199,7 +199,7 @@ Gauge* Registry::GetGauge(std::string_view name, const Labels& labels) {
 Histogram* Registry::GetHistogram(std::string_view name, const Labels& labels,
                                   std::vector<double> bounds) {
   const Key key{std::string(name), Normalized(labels)};
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
     it = histograms_
@@ -210,14 +210,14 @@ Histogram* Registry::GetHistogram(std::string_view name, const Labels& labels,
 }
 
 Registry::CollectorHandle Registry::AddCollector(Collector fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const uint64_t id = next_collector_id_++;
   collectors_.emplace(id, std::move(fn));
   return CollectorHandle(this, id);
 }
 
 void Registry::RemoveCollector(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   collectors_.erase(id);
 }
 
@@ -225,7 +225,7 @@ RegistrySnapshot Registry::Snapshot() const {
   RegistrySnapshot snap;
   std::vector<Collector> collectors;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     for (const auto& [key, counter] : counters_) {
       snap.counters.push_back(
           {key.first, key.second, static_cast<double>(counter->value())});

@@ -6,11 +6,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// \file
 /// Runtime metrics: lock-cheap counters for a serving system.
@@ -198,12 +200,15 @@ class Registry {
   using Key = std::pair<std::string, Labels>;
   void RemoveCollector(uint64_t id);
 
-  mutable std::mutex mutex_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
-  std::map<uint64_t, Collector> collectors_;
-  uint64_t next_collector_id_ = 1;
+  // Leaf lock: held only for map lookups/inserts; collector callbacks run
+  // outside it (they may take component locks and re-enter the registry).
+  mutable util::Mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ PROBE_GUARDED_BY(mutex_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ PROBE_GUARDED_BY(mutex_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_
+      PROBE_GUARDED_BY(mutex_);
+  std::map<uint64_t, Collector> collectors_ PROBE_GUARDED_BY(mutex_);
+  uint64_t next_collector_id_ PROBE_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace probe::obs

@@ -27,7 +27,7 @@ Trace::Span& Trace::Span::operator=(Span&& other) noexcept {
 
 void Trace::Span::Count(std::string_view name, uint64_t delta) {
   if (trace_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(trace_->mutex_);
+  util::MutexLock lock(&trace_->mutex_);
   auto& counters = trace_->spans_[index_].counters;
   for (auto& [n, v] : counters) {
     if (n == name) {
@@ -42,7 +42,7 @@ void Trace::Span::Finish() {
   if (trace_ == nullptr) return;
   const double end = trace_->SinceStartMs();
   {
-    std::lock_guard<std::mutex> lock(trace_->mutex_);
+    util::MutexLock lock(&trace_->mutex_);
     SpanRecord& record = trace_->spans_[index_];
     record.ms = end - record.start_ms;
   }
@@ -57,14 +57,14 @@ double Trace::SinceStartMs() const {
 
 Trace::Span Trace::StartSpan(std::string name) {
   const double at = SinceStartMs();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const size_t index = spans_.size();
   spans_.push_back({std::move(name), at, -1.0, {}});
   return Span(this, index);
 }
 
 void Trace::Count(std::string_view name, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -74,12 +74,12 @@ void Trace::Count(std::string_view name, uint64_t delta) {
 }
 
 std::vector<Trace::SpanRecord> Trace::Spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return spans_;
 }
 
 std::vector<std::pair<std::string, uint64_t>> Trace::Counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return {counters_.begin(), counters_.end()};
 }
 

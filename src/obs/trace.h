@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// \file
 /// Per-query tracing: what one execution did, stage by stage.
@@ -97,9 +99,11 @@ class Trace {
   double SinceStartMs() const;
 
   std::chrono::steady_clock::time_point start_;
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
-  std::map<std::string, uint64_t, std::less<>> counters_;
+  // Leaf lock: held for record bookkeeping only, never across user code.
+  mutable util::Mutex mutex_;
+  std::vector<SpanRecord> spans_ PROBE_GUARDED_BY(mutex_);
+  std::map<std::string, uint64_t, std::less<>> counters_
+      PROBE_GUARDED_BY(mutex_);
 };
 
 }  // namespace probe::obs

@@ -71,6 +71,7 @@ bool Server::Start() {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  // invariant-lint waiver(raw-thread): dedicated acceptor (see server.h).
   acceptor_ = std::thread([this]() { AcceptLoop(); });
   return true;
 }
@@ -493,12 +494,12 @@ bool Server::WriteAll(int fd, const uint8_t* data, size_t size) {
 }
 
 void Server::RegisterFd(int fd) {
-  std::lock_guard lock(fds_mutex_);
+  util::MutexLock lock(&fds_mutex_);
   open_fds_.insert(fd);
 }
 
 void Server::UnregisterFd(int fd) {
-  std::lock_guard lock(fds_mutex_);
+  util::MutexLock lock(&fds_mutex_);
   open_fds_.erase(fd);
 }
 
@@ -506,15 +507,18 @@ bool Server::Stop() {
   if (stopped_.exchange(true)) return true;
   stopping_.store(true);
   if (listen_fd_ >= 0) {
+    // shutdown+close wakes the acceptor's blocked accept(); the fd number
+    // itself stays untouched until the acceptor has joined, so the
+    // acceptor never reads listen_fd_ concurrently with a write.
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
-    listen_fd_ = -1;
   }
   if (acceptor_.joinable()) acceptor_.join();
+  listen_fd_ = -1;
   {
     // Wake every blocked read; handlers notice stopping_ and exit. The
     // handler (owner) does the close — shutdown only unblocks it.
-    std::lock_guard lock(fds_mutex_);
+    util::MutexLock lock(&fds_mutex_);
     for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   const bool drained = pool_.Shutdown(options_.shutdown_deadline);

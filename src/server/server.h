@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -14,6 +13,8 @@
 #include "server/protocol.h"
 #include "server/session.h"
 #include "server/sharded_engine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 /// \file
@@ -139,8 +140,14 @@ class Server {
   SessionManager sessions_;
   util::ThreadPool pool_;
 
+  // Written by Start() before the acceptor launches and by Stop() only
+  // after the acceptor has joined; the acceptor thread reads it in
+  // between. That ordering (not a lock) is the synchronization.
   int listen_fd_ = -1;
   int port_ = 0;
+  // invariant-lint waiver(raw-thread): the acceptor must block in
+  // accept() indefinitely; parking it on the bounded worker pool would
+  // steal a connection-handler slot for the server's whole lifetime.
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
@@ -148,8 +155,10 @@ class Server {
   std::atomic<int> active_connections_{0};
   std::atomic<int> inflight_{0};
 
-  std::mutex fds_mutex_;
-  std::set<int> open_fds_;
+  // Leaf lock: guards the open-connection fd set only. Lock hierarchy:
+  // never held while calling into sessions_ or the pool.
+  util::Mutex fds_mutex_;
+  std::set<int> open_fds_ PROBE_GUARDED_BY(fds_mutex_);
 
   // Liveness counters (mirrored into obs::Registry::Default()).
   std::atomic<uint64_t> connections_total_{0};

@@ -1,13 +1,12 @@
 #include "server/session.h"
 
 #include <utility>
-#include <vector>
 
 namespace probe::server {
 
 uint64_t SessionManager::Create(int32_t max_element_depth,
                                 std::string client_name) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const uint64_t id = next_id_++;
   sessions_.emplace(id, std::make_unique<Session>(id, max_element_depth,
                                                   std::move(client_name)));
@@ -15,7 +14,7 @@ uint64_t SessionManager::Create(int32_t max_element_depth,
 }
 
 Session* SessionManager::Touch(uint64_t id) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return nullptr;
   it->second->Touch();
@@ -23,12 +22,12 @@ Session* SessionManager::Touch(uint64_t id) {
 }
 
 bool SessionManager::Close(uint64_t id) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return sessions_.erase(id) != 0;
 }
 
 bool SessionManager::Expired(uint64_t id) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
   return std::chrono::steady_clock::now() - it->second->last_active() >
@@ -36,7 +35,7 @@ bool SessionManager::Expired(uint64_t id) const {
 }
 
 size_t SessionManager::ExpireIdle() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const auto now = std::chrono::steady_clock::now();
   size_t expired = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
@@ -51,7 +50,7 @@ size_t SessionManager::ExpireIdle() {
 }
 
 size_t SessionManager::active() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return sessions_.size();
 }
 

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// \file
 /// Per-connection session state.
@@ -94,9 +96,12 @@ class SessionManager {
 
  private:
   std::chrono::milliseconds idle_timeout_;
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
-  uint64_t next_id_ = 1;
+  // Leaf lock: guards the registry map only. Session *contents* are owned
+  // by the connection handler that created the session (see Touch()).
+  mutable util::Mutex mutex_;
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_
+      PROBE_GUARDED_BY(mutex_);
+  uint64_t next_id_ PROBE_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace probe::server

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <sstream>
 
 #include "index/cost_model.h"
@@ -58,7 +57,7 @@ std::string ShardedEngine::ShardPath(const std::string& prefix, int shard) {
 }
 
 uint64_t ShardedEngine::size() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(&mutex_);
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->index().size();
   return total;
@@ -123,7 +122,7 @@ bool ShardedEngine::ValidPoint(const geometry::GridPoint& point) const {
 }
 
 bool ShardedEngine::Apply(std::span<const index::DurableIndex::Op> ops) {
-  std::unique_lock lock(mutex_);
+  util::WriterMutexLock lock(&mutex_);
   if (!ok_) return false;
   // Route every op to its point's shard, preserving op order within each
   // shard (Apply semantics are order-sensitive for insert/delete pairs).
@@ -141,7 +140,7 @@ bool ShardedEngine::Apply(std::span<const index::DurableIndex::Op> ops) {
 }
 
 bool ShardedEngine::Checkpoint() {
-  std::unique_lock lock(mutex_);
+  util::WriterMutexLock lock(&mutex_);
   if (!ok_) return false;
   std::atomic<bool> all_ok{true};
   pool_->ParallelFor(shards_.size(), [&](size_t i) {
@@ -153,7 +152,7 @@ bool ShardedEngine::Checkpoint() {
 std::vector<uint64_t> ShardedEngine::RangeSearch(
     const geometry::GridBox& box, index::QueryStats* stats,
     const index::SearchOptions& options) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(&mutex_);
   const auto [first, last] = ShardSpan(box);
   const size_t n = static_cast<size_t>(last - first + 1);
   std::vector<std::vector<uint64_t>> partials(n);
@@ -183,7 +182,7 @@ std::vector<ShardedEngine::Row> ShardedEngine::RangeSearchRows(
   // Ids first (scatter-gathered), then the points re-derived per id would
   // cost a lookup each; instead run per-shard cursors that stream (id,
   // point) pairs directly.
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(&mutex_);
   const auto [first, last] = ShardSpan(box);
   const size_t n = static_cast<size_t>(last - first + 1);
   std::vector<std::vector<Row>> partials(n);
@@ -212,7 +211,7 @@ std::vector<ShardedEngine::Row> ShardedEngine::RangeSearchRows(
 uint64_t ShardedEngine::CountBox(const geometry::GridBox& box,
                                  index::QueryStats* stats,
                                  const index::SearchOptions& options) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(&mutex_);
   const auto [first, last] = ShardSpan(box);
   const size_t n = static_cast<size_t>(last - first + 1);
   std::vector<uint64_t> partials(n, 0);
@@ -231,7 +230,7 @@ uint64_t ShardedEngine::CountBox(const geometry::GridBox& box,
 
 std::vector<index::Neighbor> ShardedEngine::KNearest(
     const geometry::GridPoint& center, size_t k) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(&mutex_);
   std::vector<std::vector<index::Neighbor>> partials(shards_.size());
   pool_->ParallelFor(shards_.size(), [&](size_t i) {
     partials[i] = index::KNearest(shards_[i]->index(), center, k);
@@ -252,7 +251,7 @@ std::vector<index::Neighbor> ShardedEngine::KNearest(
 
 std::string ShardedEngine::Explain(const geometry::GridBox& box,
                                    bool count) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(&mutex_);
   const auto [first, last] = ShardSpan(box);
   std::ostringstream out;
   out << "scatter-gather " << (count ? "count" : "range") << " "

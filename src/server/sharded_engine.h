@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -14,6 +13,8 @@
 #include "index/durable_index.h"
 #include "index/nearest.h"
 #include "index/zkd_index.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "zorder/grid.h"
 
@@ -145,13 +146,20 @@ class ShardedEngine {
  private:
   zorder::GridSpec grid_;
   util::ThreadPool* pool_;
+  // Deliberately NOT PROBE_GUARDED_BY(mutex_): the scatter-gather fan-out
+  // touches shards_ inside ParallelFor lambdas, which clang's thread-safety
+  // analysis treats as separate functions without the caller's
+  // capabilities, so an annotation here would only produce false
+  // positives. The reader/writer discipline below is enforced by the TSan
+  // `concurrency` suite instead. (shards_ itself is immutable after
+  // construction; the lock orders reads against write *batches*.)
   std::vector<std::unique_ptr<index::DurableIndex>> shards_;
   bool ok_ = false;
 
   // Queries take the lock shared; Apply/Checkpoint take it exclusive. The
   // underlying engines support concurrent readers (sharded buffer pools)
   // but not reads overlapping a write batch.
-  mutable std::shared_mutex mutex_;
+  mutable util::SharedMutex mutex_;
 };
 
 }  // namespace probe::server

@@ -77,6 +77,10 @@ BufferPool::BufferPool(Pager* pager, size_t capacity, EvictionPolicy policy,
     shard->begin = next;
     next += base + (s < extra ? 1 : 0);
     shard->end = next;
+    // Construction is single-threaded, but the replacement state is
+    // lock-guarded; taking the (uncontended) lock here keeps the clang
+    // thread-safety proof total instead of carving out an init exception.
+    util::MutexLock lock(&shard->mutex);
     shard->clock_hand = shard->begin;
     shard->free_frames.reserve(shard->end - shard->begin);
     for (size_t i = shard->end; i-- > shard->begin;) {
@@ -113,12 +117,12 @@ PageRef BufferPool::Fetch(PageId id) {
   // `fetches >= hits + misses` true in every snapshot.
   std::atomic_thread_fence(std::memory_order_release);
   Shard& shard = ShardFor(id);
-  // Contention probe: a failed try_lock means this fetch waited to pin.
-  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  // Contention probe: a failed TryLock means this fetch waited to pin.
+  if (!shard.mutex.TryLock()) {
     pin_waits_.Increment();
-    lock.lock();
+    shard.mutex.Lock();
   }
+  util::MutexLock lock(&shard.mutex, util::kAlreadyLocked);
   if (auto it = shard.resident.find(id); it != shard.resident.end()) {
     hits_.Increment();
     Frame& frame = frames_[it->second];
@@ -145,7 +149,7 @@ PageRef BufferPool::Fetch(PageId id) {
   const size_t slot = AcquireFrame(shard);
   Frame& frame = frames_[slot];
   {
-    std::lock_guard<std::mutex> io_lock(io_mutex_);
+    util::MutexLock io_lock(&io_mutex_);
     pager_->Read(id, &frame.page);
   }
   frame.id = id;
@@ -165,12 +169,12 @@ PageRef BufferPool::Fetch(PageId id) {
 PageRef BufferPool::New(PageId* id_out) {
   PageId id;
   {
-    std::lock_guard<std::mutex> io_lock(io_mutex_);
+    util::MutexLock io_lock(&io_mutex_);
     id = pager_->Allocate();
   }
   if (id_out != nullptr) *id_out = id;
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::MutexLock lock(&shard.mutex);
   const size_t slot = AcquireFrame(shard);
   Frame& frame = frames_[slot];
   frame.page.Clear();
@@ -190,12 +194,12 @@ PageRef BufferPool::New(PageId* id_out) {
 
 void BufferPool::FlushAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    util::MutexLock lock(&shard->mutex);
     for (size_t i = shard->begin; i < shard->end; ++i) {
       Frame& frame = frames_[i];
       if (frame.id != kInvalidPageId &&
           frame.dirty.load(std::memory_order_acquire)) {
-        std::lock_guard<std::mutex> io_lock(io_mutex_);
+        util::MutexLock io_lock(&io_mutex_);
         pager_->Write(frame.id, frame.page);
         frame.dirty.store(false, std::memory_order_relaxed);
         writebacks_.Increment();
@@ -251,7 +255,7 @@ obs::Registry::CollectorHandle RegisterPoolMetrics(obs::Registry& registry,
 void BufferPool::Unpin(size_t slot) {
   Frame& frame = frames_[slot];
   Shard& shard = *shards_[frame.shard];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::MutexLock lock(&shard.mutex);
   assert(frame.pins > 0);
   --tls_pinned_pages;
   if (--frame.pins == 0) {
@@ -325,7 +329,7 @@ size_t BufferPool::AcquireFrame(Shard& shard) {
   const size_t slot = PickVictim(shard);
   Frame& frame = frames_[slot];
   if (frame.dirty.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> io_lock(io_mutex_);
+    util::MutexLock io_lock(&io_mutex_);
     pager_->Write(frame.id, frame.page);
     writebacks_.Increment();
   }

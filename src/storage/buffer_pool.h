@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +13,8 @@
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/pager.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// \file
 /// Buffer pool with pluggable replacement (LRU default), safe for
@@ -167,9 +168,15 @@ class BufferPool {
  private:
   friend class PageRef;
 
-  // Thread-safety contract (the TSan `concurrency` suite runs against it):
+  // Thread-safety contract (the TSan `concurrency` suite runs against it,
+  // and the clang thread-safety pass proves the helper plumbing below):
   // `id`, `pins`, `queue_pos`, `in_queue`, and `referenced` are guarded by
-  // the owning shard's mutex. `page` bytes are touched only while the frame
+  // the owning shard's mutex. Which shard owns a frame is decided at
+  // construction (`shard` is then immutable), so the guard relation is
+  // dynamic — PROBE_GUARDED_BY cannot name "my shard's mutex" — and the
+  // static proof instead runs through the PROBE_REQUIRES(shard.mutex)
+  // contracts on AcquireFrame/PickVictim plus lexical MutexLock scopes at
+  // every other touch point. `page` bytes are touched only while the frame
   // is pinned; concurrent access to one pinned page is the *caller's*
   // contract (readers may share, writers must be exclusive — the parallel
   // query paths only ever read shared pages). `dirty` is atomic because
@@ -193,33 +200,33 @@ class BufferPool {
 
   /// One slice of the frame table with its own lock and replacement state.
   struct Shard {
-    std::mutex mutex;
-    std::unordered_map<PageId, size_t> resident;
+    util::Mutex mutex;
+    std::unordered_map<PageId, size_t> resident PROBE_GUARDED_BY(mutex);
     // kLru: front = least recently unpinned. kFifo: front = oldest load.
     // kClock: ignored (the hand sweeps the shard's frame range directly).
-    std::list<size_t> queue;
-    std::vector<size_t> free_frames;
+    std::list<size_t> queue PROBE_GUARDED_BY(mutex);
+    std::vector<size_t> free_frames PROBE_GUARDED_BY(mutex);
     size_t begin = 0;  // first frame index owned by this shard
     size_t end = 0;    // one past the last
-    size_t clock_hand = 0;
+    size_t clock_hand PROBE_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(PageId id);
   void Unpin(size_t frame);
-  // A free or evictable frame of `shard`, detached from its maps. Called
-  // with the shard lock held.
-  size_t AcquireFrame(Shard& shard);
+  // A free or evictable frame of `shard`, detached from its maps.
+  size_t AcquireFrame(Shard& shard) PROBE_REQUIRES(shard.mutex);
   // Policy-specific choice among the shard's unpinned frames.
-  size_t PickVictim(Shard& shard);
+  size_t PickVictim(Shard& shard) PROBE_REQUIRES(shard.mutex);
 
   Pager* pager_;
   size_t capacity_;
   EvictionPolicy policy_;
   std::unique_ptr<Frame[]> frames_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  // Serializes pager access (Allocate/Read/Write). Always acquired after
-  // a shard lock, never before one.
-  std::mutex io_mutex_;
+  // Serializes pager access (Allocate/Read/Write). Lock hierarchy:
+  // shard.mutex → io_mutex_ — always acquired after a shard lock, never
+  // before one, and never while holding another shard's lock.
+  util::Mutex io_mutex_;
 
   // The stats are obs::Counters (wait-free relaxed atomics) so concurrent
   // snapshots — stats() from a monitoring thread, a registry collector —

@@ -70,6 +70,9 @@ void FilePager::Write(PageId id, const Page& page) {
 
 void FilePager::Sync() {
   assert(ok());
+  // invariant-lint waiver(raw-fsync): this is Pager::Sync's contract —
+  // the checkpoint force path syncs the *base* file here; WAL durability
+  // still flows exclusively through storage/wal.
   ::fsync(fd_);
   if (obs::Enabled()) obs::StorageMetrics::Default().pager_syncs->Increment();
 }

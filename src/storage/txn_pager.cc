@@ -11,6 +11,7 @@ TxnPager::TxnPager(Pager* base, Wal* wal)
     : base_(base), wal_(wal), count_(base->page_count()) {}
 
 PageId TxnPager::Allocate() {
+  util::SingleWriterScope writer(&writer_guard_, "TxnPager::Allocate");
   // The base file is not extended here: the allocation becomes durable
   // via the page count carried by the next commit record, and the page
   // itself via its logged image. An uncommitted allocation simply
@@ -38,6 +39,7 @@ void TxnPager::Read(PageId id, Page* out) {
 }
 
 void TxnPager::Write(PageId id, const Page& page) {
+  util::SingleWriterScope writer(&writer_guard_, "TxnPager::Write");
   assert(id < count_);
   ++stats_.writes;
   // A dead log is a crashed engine: nothing written now can ever become
@@ -49,6 +51,7 @@ void TxnPager::Write(PageId id, const Page& page) {
 }
 
 bool TxnPager::Commit(std::span<const uint8_t> meta) {
+  util::SingleWriterScope writer(&writer_guard_, "TxnPager::Commit");
   if (!ok()) return false;
   if (wal_->AppendCommit(count_, meta) == 0) return false;
   uncommitted_writes_ = 0;
@@ -56,6 +59,7 @@ bool TxnPager::Commit(std::span<const uint8_t> meta) {
 }
 
 bool TxnPager::Checkpoint(std::span<const uint8_t> meta) {
+  util::SingleWriterScope writer(&writer_guard_, "TxnPager::Checkpoint");
   if (!ok()) return false;
   // Forcing mid-batch would push uncommitted images into the base file —
   // exactly the torn state no-steal exists to prevent.

@@ -7,6 +7,7 @@
 
 #include "storage/pager.h"
 #include "storage/wal.h"
+#include "util/single_writer.h"
 
 /// \file
 /// Transactional pager: routes page writes through the write-ahead log.
@@ -86,6 +87,10 @@ class TxnPager final : public Pager {
   // Ordered so a checkpoint forces pages in file order.
   std::map<PageId, Page> pending_;
   PagerStats stats_;
+  // Audit-build proof of the class comment's "single-writer" contract:
+  // the mutating entry points (Allocate/Write/Commit/Checkpoint) claim
+  // this; overlapping claims abort. See util/single_writer.h.
+  util::SingleWriterGuard writer_guard_;
 };
 
 }  // namespace probe::storage

@@ -86,6 +86,7 @@ Wal::~Wal() {
 uint64_t Wal::AppendRecord(WalRecordType type,
                            std::span<const uint8_t> header_extra,
                            std::span<const uint8_t> payload) {
+  util::SingleWriterScope writer(&writer_guard_, "Wal::AppendRecord");
   assert(ok());
   if (dead_) return 0;
   const uint64_t lsn = next_lsn_;
@@ -145,6 +146,7 @@ uint64_t Wal::AppendCommit(uint32_t page_count,
 
 uint64_t Wal::RewriteWithCheckpoint(uint32_t page_count,
                                     std::span<const uint8_t> meta) {
+  util::SingleWriterScope writer(&writer_guard_, "Wal::RewriteWithCheckpoint");
   assert(ok());
   if (dead_) return 0;
   const uint64_t lsn = next_lsn_;
@@ -201,6 +203,7 @@ uint64_t Wal::RewriteWithCheckpoint(uint32_t page_count,
 }
 
 bool Wal::Sync() {
+  util::SingleWriterScope writer(&writer_guard_, "Wal::Sync");
   assert(ok());
   if (dead_) return false;
   ::fsync(fd_);

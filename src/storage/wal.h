@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/page.h"
+#include "util/single_writer.h"
 
 /// \file
 /// Write-ahead log: the durability substrate under the paged storage.
@@ -158,6 +159,10 @@ class Wal {
   bool dead_ = false;
   WalFaultPlan fault_;
   WalStats stats_;
+  // Audit-build proof of the "single-writer" line above: every mutating
+  // entry point claims this; overlapping claims abort. See single_writer.h
+  // for why this is a runtime check and not a mutex annotation.
+  util::SingleWriterGuard writer_guard_;
 };
 
 /// Forward scanner over a WAL file, stopping at the first record whose

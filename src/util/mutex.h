@@ -1,0 +1,169 @@
+#ifndef PROBE_UTIL_MUTEX_H_
+#define PROBE_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+/// \file
+/// Annotated lock primitives: the only mutexes this codebase uses.
+///
+/// util::Mutex and util::SharedMutex are thin wrappers over their std
+/// counterparts whose sole job is to carry the Clang Thread Safety
+/// Analysis capability annotations (util/thread_annotations.h). A clang
+/// build with `-Wthread-safety -Werror` then rejects, at compile time, any
+/// access to a PROBE_GUARDED_BY member without the lock, any double
+/// acquire, and any path that leaks a lock — on *every* path, not just the
+/// schedules the TSan tier happens to run.
+///
+/// Raw std::mutex / std::condition_variable / std::shared_mutex are banned
+/// outside this header by scripts/invariant_lint.py (rule `raw-mutex`),
+/// because a raw lock is invisible to the analysis: state it guards gets
+/// no proof. CondVar exists for the same reason — std::condition_variable
+/// wants a std::unique_lock, which would force callers back onto
+/// unannotated locking; CondVar::Wait instead takes the annotated Mutex
+/// the caller already holds.
+///
+/// Locking idioms, in the order you should reach for them:
+///
+///   MutexLock lock(&mu_);                 // RAII, scoped
+///   if (!mu_.TryLock()) { ...; mu_.Lock(); }
+///   MutexLock lock(&mu_, kAlreadyLocked);  // adopt (contention probes)
+///   ReaderMutexLock lock(&rw_mu_);         // shared
+///   WriterMutexLock lock(&rw_mu_);         // exclusive
+///
+/// Manual Lock()/Unlock() pairs are legal but the analysis makes you
+/// balance them on every path, which is exactly the point.
+
+namespace probe::util {
+
+/// Tag for adopting a mutex the caller already locked (e.g. after a
+/// TryLock-then-Lock contention probe).
+struct AlreadyLockedTag {};
+inline constexpr AlreadyLockedTag kAlreadyLocked{};
+
+/// Annotated exclusive mutex.
+class PROBE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PROBE_ACQUIRE() { mu_.lock(); }
+  void Unlock() PROBE_RELEASE() { mu_.unlock(); }
+  bool TryLock() PROBE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated reader/writer mutex.
+class PROBE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() PROBE_ACQUIRE() { mu_.lock(); }
+  void Unlock() PROBE_RELEASE() { mu_.unlock(); }
+  void LockShared() PROBE_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() PROBE_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex.
+class PROBE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) PROBE_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+
+  /// Adopts a mutex the caller locked itself (TryLock contention probe);
+  /// the destructor still releases it.
+  MutexLock(Mutex* mu, AlreadyLockedTag) PROBE_REQUIRES(mu) : mu_(mu) {}
+
+  ~MutexLock() PROBE_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex (the writer side).
+class PROBE_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) PROBE_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() PROBE_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII shared lock over a SharedMutex (the reader side).
+class PROBE_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) PROBE_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() PROBE_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Condition variable bound to util::Mutex.
+///
+/// Waits are deliberately predicate-free: spell the loop out at the call
+/// site (`while (!cond) cv_.Wait(&mu_);`). A predicate lambda would be
+/// analyzed as a separate function without the caller's capabilities, so
+/// reading guarded state inside it would (falsely) fail the clang proof —
+/// the explicit loop keeps every guarded access lexically under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires it. `mu` must be held.
+  void Wait(Mutex* mu) PROBE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller's scope still owns the relocked mutex
+  }
+
+  /// Wait with a deadline; returns std::cv_status::timeout when `deadline`
+  /// passed before a notification. `mu` is held again either way.
+  std::cv_status WaitUntil(Mutex* mu,
+                           std::chrono::steady_clock::time_point deadline)
+      PROBE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lk, deadline);
+    lk.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_MUTEX_H_

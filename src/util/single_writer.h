@@ -1,0 +1,82 @@
+#ifndef PROBE_UTIL_SINGLE_WRITER_H_
+#define PROBE_UTIL_SINGLE_WRITER_H_
+
+#include <atomic>
+
+#include "probe/check.h"
+
+/// \file
+/// Runtime proof of the single-writer contract.
+///
+/// Wal and TxnPager are documented "single-writer, like the B-tree": no
+/// lock, because exactly one thread mutates them at a time. That contract
+/// is upheld *above* them — DurableIndex::Apply batches run one per shard,
+/// serialized by ShardedEngine's writer lock — which also means there is
+/// no mutex here for the clang thread-safety analysis to reason about: the
+/// static proof covers everything that locks, and this checker covers the
+/// one discipline that deliberately doesn't.
+///
+/// SingleWriterGuard is an atomic occupancy flag embedded in the
+/// single-writer class; SingleWriterScope CASes it on entry and aborts if
+/// another scope is already inside — i.e. it detects *overlapping*
+/// mutations on any schedule, while correct hand-offs between threads
+/// (shard batches running on different pool workers in successive queries)
+/// pass. Unlike a same-thread checker it cannot false-positive on
+/// ownership transfer, and unlike TSan it costs one relaxed CAS, so it is
+/// compiled in whenever the audit layer is (PROBE_AUDIT_ENABLED) and
+/// vanishes entirely from Release.
+
+namespace probe::util {
+
+#if PROBE_AUDIT_ENABLED
+
+/// Occupancy flag; embed one per single-writer object.
+class SingleWriterGuard {
+ public:
+  SingleWriterGuard() = default;
+  SingleWriterGuard(const SingleWriterGuard&) = delete;
+  SingleWriterGuard& operator=(const SingleWriterGuard&) = delete;
+
+ private:
+  friend class SingleWriterScope;
+  std::atomic<bool> busy_{false};
+};
+
+/// RAII occupancy claim over one mutating call.
+class SingleWriterScope {
+ public:
+  explicit SingleWriterScope(SingleWriterGuard* guard, const char* where)
+      : guard_(guard) {
+    bool expected = false;
+    if (!guard_->busy_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acquire)) {
+      ::probe::check::AuditFailure(
+          __FILE__, __LINE__, "single-writer contract violated", where);
+    }
+  }
+
+  ~SingleWriterScope() {
+    guard_->busy_.store(false, std::memory_order_release);
+  }
+
+  SingleWriterScope(const SingleWriterScope&) = delete;
+  SingleWriterScope& operator=(const SingleWriterScope&) = delete;
+
+ private:
+  SingleWriterGuard* guard_;
+};
+
+#else  // !PROBE_AUDIT_ENABLED — both compile to empty objects.
+
+class SingleWriterGuard {};
+
+class SingleWriterScope {
+ public:
+  explicit SingleWriterScope(SingleWriterGuard*, const char*) {}
+};
+
+#endif  // PROBE_AUDIT_ENABLED
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_SINGLE_WRITER_H_

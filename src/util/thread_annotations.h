@@ -1,0 +1,113 @@
+#ifndef PROBE_UTIL_THREAD_ANNOTATIONS_H_
+#define PROBE_UTIL_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang Thread Safety Analysis annotations.
+///
+/// These macros attach lock-discipline facts to types, members, and
+/// functions so that a clang build with `-Wthread-safety -Werror` *proves*
+/// the discipline on every path at compile time — the static complement to
+/// the TSan tier, which can only observe the schedules the test box happens
+/// to run. Under any other compiler (the default container ships gcc) every
+/// macro expands to nothing, so the annotations are free documentation.
+///
+/// The vocabulary (mirroring the LLVM documentation's canonical set):
+///
+///   PROBE_CAPABILITY(name)       This type is a lockable capability (put it
+///                                on util::Mutex, not on users).
+///   PROBE_SCOPED_CAPABILITY      This type is an RAII lock holder whose
+///                                constructor acquires and destructor
+///                                releases (util::MutexLock).
+///   PROBE_GUARDED_BY(mu)        This member may only be read or written
+///                                while `mu` is held.
+///   PROBE_PT_GUARDED_BY(mu)     The *pointee* of this pointer member is
+///                                guarded by `mu` (the pointer itself is not).
+///   PROBE_REQUIRES(...)          Caller must hold the listed capabilities
+///                                exclusively before calling.
+///   PROBE_REQUIRES_SHARED(...)   Caller must hold them at least shared.
+///   PROBE_ACQUIRE(...)           This function acquires the capability and
+///                                does not release it (Mutex::Lock).
+///   PROBE_ACQUIRE_SHARED(...)    Shared-mode acquire (SharedMutex::LockShared).
+///   PROBE_RELEASE(...)           Releases (Mutex::Unlock).
+///   PROBE_RELEASE_SHARED(...)    Shared-mode release.
+///   PROBE_TRY_ACQUIRE(b, ...)    Acquires iff the function returns `b`.
+///   PROBE_EXCLUDES(...)          Caller must NOT already hold these (guards
+///                                against self-deadlock on non-reentrant
+///                                locks).
+///   PROBE_ASSERT_CAPABILITY(...) Runtime assertion that the capability is
+///                                held (tells the analysis to assume it).
+///   PROBE_RETURN_CAPABILITY(mu)  This function returns a reference to the
+///                                capability `mu`.
+///   PROBE_NO_THREAD_SAFETY_ANALYSIS
+///                                Escape hatch: skip analysis of this
+///                                function. Every use in this codebase must
+///                                carry an adjacent comment explaining why
+///                                the analysis cannot see the invariant —
+///                                scripts/invariant_lint.py enforces that.
+///
+/// Only `src/util/mutex.h` should apply the type-level annotations; the
+/// rest of the tree consumes them through util::Mutex and friends. The
+/// invariant linter keeps raw std::mutex from reappearing outside the
+/// wrapper, so the proof surface stays total.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PROBE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PROBE_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+#define PROBE_CAPABILITY(x) PROBE_THREAD_ANNOTATION_(capability(x))
+
+#define PROBE_SCOPED_CAPABILITY PROBE_THREAD_ANNOTATION_(scoped_lockable)
+
+#define PROBE_GUARDED_BY(x) PROBE_THREAD_ANNOTATION_(guarded_by(x))
+
+#define PROBE_PT_GUARDED_BY(x) PROBE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define PROBE_ACQUIRED_BEFORE(...) \
+  PROBE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define PROBE_ACQUIRED_AFTER(...) \
+  PROBE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define PROBE_REQUIRES(...) \
+  PROBE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define PROBE_REQUIRES_SHARED(...) \
+  PROBE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define PROBE_ACQUIRE(...) \
+  PROBE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define PROBE_ACQUIRE_SHARED(...) \
+  PROBE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define PROBE_RELEASE(...) \
+  PROBE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define PROBE_RELEASE_SHARED(...) \
+  PROBE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define PROBE_RELEASE_GENERIC(...) \
+  PROBE_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define PROBE_TRY_ACQUIRE(...) \
+  PROBE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define PROBE_TRY_ACQUIRE_SHARED(...) \
+  PROBE_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define PROBE_EXCLUDES(...) PROBE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define PROBE_ASSERT_CAPABILITY(x) \
+  PROBE_THREAD_ANNOTATION_(assert_capability(x))
+
+#define PROBE_ASSERT_SHARED_CAPABILITY(x) \
+  PROBE_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define PROBE_RETURN_CAPABILITY(x) PROBE_THREAD_ANNOTATION_(lock_returned(x))
+
+#define PROBE_NO_THREAD_SAFETY_ANALYSIS \
+  PROBE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // PROBE_UTIL_THREAD_ANNOTATIONS_H_

@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "obs/runtime_metrics.h"
+#include "util/mutex.h"
 
 namespace probe::util {
 
@@ -19,10 +20,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -30,17 +31,23 @@ bool ThreadPool::Shutdown(std::chrono::milliseconds deadline) {
   std::deque<std::function<void()>> dropped;
   bool drained = true;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (stopping_) return true;  // already shut down (or being destroyed)
     draining_ = true;
     const auto until = std::chrono::steady_clock::now() + deadline;
-    drained = idle_cv_.wait_until(lock, until, [this]() {
-      return queue_.empty() && in_flight_ == 0;
-    });
+    // Explicit wait loop (not a predicate lambda) so every guarded access
+    // stays lexically under the lock the analysis sees.
+    while (!(queue_.empty() && in_flight_ == 0)) {
+      if (idle_cv_.WaitUntil(&mutex_, until) == std::cv_status::timeout &&
+          !(queue_.empty() && in_flight_ == 0)) {
+        drained = false;
+        break;
+      }
+    }
     if (!drained) dropped.swap(queue_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   // Destroying the dropped tasks outside the lock breaks their futures
@@ -55,11 +62,11 @@ int ThreadPool::DefaultThreads() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
-  if (metrics_ != nullptr && obs::Enabled()) {
+  obs::ThreadPoolMetrics* m = metrics_.load(std::memory_order_acquire);
+  if (m != nullptr && obs::Enabled()) {
     // Wrap rather than instrument the queue itself: the wrapper runs on
     // whichever lane dequeues the task, so depth and latency cover the
     // caller-drain path (RunOneTask) too.
-    obs::ThreadPoolMetrics* m = metrics_;
     m->queue_depth->Add(1);
     const auto enqueued = std::chrono::steady_clock::now();
     task = [m, enqueued, inner = std::move(task)]() {
@@ -72,7 +79,7 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     };
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (!draining_) {
       queue_.push_back(std::move(task));
       task = nullptr;
@@ -84,15 +91,15 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     task();
     return;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -106,7 +113,7 @@ void ThreadPool::WorkerLoop() {
 bool ThreadPool::RunOneTask() {
   std::function<void()> task;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -118,9 +125,9 @@ bool ThreadPool::RunOneTask() {
 }
 
 void ThreadPool::FinishTask() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   --in_flight_;
-  if (draining_ && queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  if (draining_ && queue_.empty() && in_flight_ == 0) idle_cv_.NotifyAll();
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -146,10 +153,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    Mutex error_mutex;
+    std::exception_ptr error PROBE_GUARDED_BY(error_mutex);
+    Mutex done_mutex;
+    CondVar done_cv;
   };
   auto state = std::make_shared<State>();
 
@@ -161,13 +168,13 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
         fn(i);
       } catch (...) {
         if (!state->failed.exchange(true)) {
-          std::lock_guard<std::mutex> lock(state->error_mutex);
+          MutexLock lock(&state->error_mutex);
           state->error = std::current_exception();
         }
       }
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard<std::mutex> lock(state->done_mutex);
-        state->done_cv.notify_all();
+        MutexLock lock(&state->done_mutex);
+        state->done_cv.NotifyAll();
       }
     }
   };
@@ -178,13 +185,13 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
   // All indices are claimed; wait for in-flight iterations on workers.
   {
-    std::unique_lock<std::mutex> lock(state->done_mutex);
-    state->done_cv.wait(lock, [&]() {
-      return state->done.load(std::memory_order_acquire) == n;
-    });
+    MutexLock lock(&state->done_mutex);
+    while (state->done.load(std::memory_order_acquire) != n) {
+      state->done_cv.Wait(&state->done_mutex);
+    }
   }
   if (state->failed.load()) {
-    std::lock_guard<std::mutex> lock(state->error_mutex);
+    MutexLock lock(&state->error_mutex);
     std::rethrow_exception(state->error);
   }
 }

@@ -1,15 +1,17 @@
 #ifndef PROBE_UTIL_THREAD_POOL_H_
 #define PROBE_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// \file
 /// A fixed-size thread pool for the parallel query paths.
@@ -58,10 +60,13 @@ class ThreadPool {
 
   /// Publishes queue depth, task count, and enqueue-to-completion latency
   /// to `metrics` (e.g. obs::ThreadPoolMetrics::Default()). Opt-in: with
-  /// no metrics attached — the default — submission is untouched. Call
-  /// before tasks are in flight; the pointer must outlive the pool.
-  /// nullptr detaches.
-  void EnableMetrics(obs::ThreadPoolMetrics* metrics) { metrics_ = metrics; }
+  /// no metrics attached — the default — submission is untouched. The
+  /// pointer must outlive the pool; nullptr detaches. The pointer is
+  /// atomic, so enabling while submissions are in flight is safe (tasks
+  /// already wrapped keep their metrics; unwrapped ones stay unwrapped).
+  void EnableMetrics(obs::ThreadPoolMetrics* metrics) {
+    metrics_.store(metrics, std::memory_order_release);
+  }
 
   /// Enqueues `fn` and returns a future for its result. The future also
   /// carries any exception `fn` throws.
@@ -104,17 +109,21 @@ class ThreadPool {
   // in_flight_ and wakes Shutdown's drain wait at idle.
   void FinishTask();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  // Lock hierarchy: mutex_ is a leaf — no other lock in the system is
+  // acquired while it is held (tasks run outside it).
+  Mutex mutex_;
+  CondVar cv_;
   // Signalled when the pool goes idle (empty queue, nothing in flight);
   // Shutdown's drain wait sleeps on it.
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ PROBE_GUARDED_BY(mutex_);
+  bool stopping_ PROBE_GUARDED_BY(mutex_) = false;
+  bool draining_ PROBE_GUARDED_BY(mutex_) = false;
+  size_t in_flight_ PROBE_GUARDED_BY(mutex_) = 0;
+  // Written only in the constructor and (after every worker joined) in
+  // Shutdown; workers never touch it, so it needs no guard.
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
-  bool draining_ = false;
-  size_t in_flight_ = 0;
-  obs::ThreadPoolMetrics* metrics_ = nullptr;
+  std::atomic<obs::ThreadPoolMetrics*> metrics_{nullptr};
 };
 
 }  // namespace probe::util

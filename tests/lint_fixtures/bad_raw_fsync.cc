@@ -1,0 +1,12 @@
+// Lint fixture: fsync outside storage/wal.cc must trip the raw-fsync
+// rule. Never compiled; see README.md.
+#include <unistd.h>
+
+namespace fixture {
+
+void SneakySync(int fd) {
+  ::fsync(fd);  // durability decision outside the WAL
+  ::fdatasync(fd);
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Lint fixture: raw std::mutex outside src/util/mutex.h must trip the
+// raw-mutex rule. Never compiled; see README.md.
+#include <mutex>
+
+namespace fixture {
+
+class Registry {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mutex_);  // raw lock helper: also bad
+    ++touches_;
+  }
+
+ private:
+  std::mutex mutex_;  // the analysis can't see through this
+  int touches_ = 0;
+};
+
+}  // namespace fixture

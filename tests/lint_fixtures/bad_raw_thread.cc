@@ -1,0 +1,16 @@
+// Lint fixture: std::thread construction outside util::ThreadPool must
+// trip the raw-thread rule. Never compiled; see README.md.
+#include <thread>
+
+namespace fixture {
+
+void FireAndForget() {
+  // A loose thread: nothing drains or joins it at shutdown.
+  std::thread worker([] {});
+  worker.detach();
+}
+
+// Static member calls are allowed — this line must NOT fire:
+inline unsigned Cores() { return std::thread::hardware_concurrency(); }
+
+}  // namespace fixture

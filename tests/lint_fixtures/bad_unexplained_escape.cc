@@ -1,0 +1,18 @@
+// Lint fixture: a NO_THREAD_SAFETY_ANALYSIS escape hatch with no reason
+// comment must trip the unexplained-escape rule. Never compiled; see
+// README.md.
+#define PROBE_NO_THREAD_SAFETY_ANALYSIS
+
+namespace fixture {
+
+class Pool {
+ public:
+  int Size();
+
+  void Drain() PROBE_NO_THREAD_SAFETY_ANALYSIS;
+
+ private:
+  int size_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Lint fixture: a BufferPool pin outside the index interior, in a file
+// with no PinBalanceScope, must trip the unscoped-pin rule. Never
+// compiled; see README.md.
+
+namespace fixture {
+
+struct Pool {
+  int Fetch(int id);
+  int New(int* id);
+};
+
+int ReadPageZero(Pool* pool) {
+  return pool->Fetch(0);  // unaudited pin: a leak here is invisible
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Lint fixture: clean control — no rule may fire here. Mentions of the
+// banned names inside comments and strings must not count:
+// std::mutex, std::thread, fsync(fd).
+namespace fixture {
+
+inline const char* Banner() {
+  return "not a real std::mutex, fsync(2), or std::thread";
+}
+
+}  // namespace fixture

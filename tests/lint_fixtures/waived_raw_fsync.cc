@@ -1,0 +1,13 @@
+// Lint fixture: the waiver comment must suppress the rule it names.
+// Never compiled; see README.md.
+#include <unistd.h>
+
+namespace fixture {
+
+void CheckpointForce(int fd) {
+  // invariant-lint waiver(raw-fsync): fixture exercising the waiver
+  // mechanism itself — the scan must stay quiet here.
+  ::fsync(fd);
+}
+
+}  // namespace fixture

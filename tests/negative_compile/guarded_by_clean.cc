@@ -1,0 +1,34 @@
+// Positive control for guarded_by_violation.cc: the same class with the
+// lock held everywhere. This file MUST compile under -Wthread-safety
+// -Werror=thread-safety (and under gcc, where the annotations are
+// no-ops) — if it doesn't, the gate is rejecting correct code and the
+// negative result next door proves nothing.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    probe::util::MutexLock lock(&mutex_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    probe::util::MutexLock lock(&mutex_);
+    return balance_;
+  }
+
+ private:
+  mutable probe::util::Mutex mutex_;
+  int balance_ PROBE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

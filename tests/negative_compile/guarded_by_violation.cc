@@ -1,0 +1,32 @@
+// Negative-compile probe: reads and writes a PROBE_GUARDED_BY member
+// without holding its mutex. Under clang with -Wthread-safety
+// -Werror=thread-safety this file MUST NOT compile — if it ever does, the
+// thread-safety gate is dead (wrong flags, broken macros) and the
+// configure step in CMakeLists.txt aborts the build.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BUG on purpose: mutex_ not held
+  }
+
+  int balance() const {
+    return balance_;  // BUG on purpose: mutex_ not held
+  }
+
+ private:
+  mutable probe::util::Mutex mutex_;
+  int balance_ PROBE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance();
+}
