@@ -111,6 +111,30 @@ if [ -f BENCH_server.json ]; then
   fi
 fi
 
+# BENCH_commit.json: group commit must actually pay. The loaded writer row
+# keeps the WAL tax (durable time over the WAL-off force+fsync baseline)
+# under its 1.5x budget and shows real grouping (more than one commit per
+# fsync); and where the host has the cores to back concurrent writers at
+# all (rows not marked oversubscribed — not this 1-core container), K=4
+# writers must clear 2x the single-writer insert rate.
+if [ -f BENCH_commit.json ]; then
+  jq -e '.commit.tax_budget as $budget |
+         [.commit.rows[] | select(.writers == 4 and .readers == 0)
+          | .wal_tax <= $budget] | all' BENCH_commit.json > /dev/null \
+    || { echo "FAIL: loaded WAL tax above budget"; exit 1; }
+  jq -e '[.commit.rows[] | select(.writers > 1) | .group_size_avg > 1] | all' \
+    BENCH_commit.json > /dev/null \
+    || { echo "FAIL: concurrent commits are not grouping"; exit 1; }
+  jq -e '([.commit.rows[] | select(.writers == 1 and .readers == 0)
+           | .inserts_per_s] | max) as $single |
+         [.commit.rows[]
+          | select(.writers == 4 and .readers == 0 and
+                   (.oversubscribed | not))
+          | .inserts_per_s >= $single * 2] | all' BENCH_commit.json \
+    > /dev/null \
+    || { echo "FAIL: 4-writer scaling below 2x on a multi-core host"; exit 1; }
+fi
+
 if [ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]; then
   # ASan + UBSan over the full suite, with the invariant audits compiled in
   # so the sanitizers run over audited code paths. The fuzz drivers (ctest

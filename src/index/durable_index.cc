@@ -3,15 +3,22 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/runtime_metrics.h"
+#include "storage/snapshot_pager.h"
+#include "util/yieldpoint.h"
+
 namespace probe::index {
 
 namespace {
 
-// Metadata blob: magic (4) + dims (4) + bits (4) + reserved (4) + tree
-// state (16). Grid shape is stored so an attach with the wrong spec fails
-// loudly instead of misinterpreting every key.
-constexpr uint32_t kMetaMagic = 0x314B5A50u;  // "PZK1"
-constexpr size_t kMetaBytes = 16 + btree::BTree::PersistentState::kEncodedBytes;
+// Metadata blob: magic (4) + dims (4) + bits (4) + reserved (4) + epoch
+// (8) + tree state (16). Grid shape is stored so an attach with the wrong
+// spec fails loudly instead of misinterpreting every key; the epoch is
+// stored so a reopen resumes the epoch sequence where the durable prefix
+// ended.
+constexpr uint32_t kMetaMagic = 0x324B5A50u;  // "PZK2"
+constexpr size_t kMetaBytes =
+    24 + btree::BTree::PersistentState::kEncodedBytes;
 
 void PutU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
 uint32_t GetU32(const uint8_t* src) {
@@ -19,15 +26,45 @@ uint32_t GetU32(const uint8_t* src) {
   std::memcpy(&v, src, 4);
   return v;
 }
+void PutU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+uint64_t GetU64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
 
 }  // namespace
+
+// Owns one snapshot's whole read stack. Declaration order is teardown
+// order reversed: the index detaches before the pool dies, the pool
+// (flushing nothing — read-only views have no dirty frames) before the
+// pager, and the pin is released last, when nothing references the
+// pinned versions anymore.
+struct DurableIndex::SnapshotResources {
+  DurableIndex* owner = nullptr;
+  uint64_t epoch = 0;
+  std::unique_ptr<storage::SnapshotPager> pager;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::optional<ZkdIndex> index;
+
+  ~SnapshotResources() {
+    index.reset();
+    pool.reset();
+    pager.reset();
+    if (owner != nullptr) owner->ReleasePin(epoch);
+  }
+};
+
+uint64_t DurableIndex::Snapshot::epoch() const { return res_->epoch; }
+ZkdIndex& DurableIndex::Snapshot::index() const { return *res_->index; }
 
 DurableIndex::DurableIndex(const zorder::GridSpec& grid,
                            const std::string& path, const Options& options)
     : grid_(grid),
       config_(options.config),
       path_(path),
-      wal_path_(path + ".wal") {
+      wal_path_(path + ".wal"),
+      snapshot_pool_pages_(options.snapshot_pool_pages) {
   if (options.truncate) {
     std::remove(wal_path_.c_str());
     std::remove((wal_path_ + ".tmp").c_str());
@@ -55,9 +92,18 @@ DurableIndex::DurableIndex(const zorder::GridSpec& grid,
             static_cast<uint32_t>(grid_.bits_per_dim)) {
       return;  // corrupt or mismatched metadata: refuse to attach
     }
+    const uint64_t epoch = GetU64(recovery_.meta.data() + 16);
     const auto state =
-        btree::BTree::PersistentState::Decode(recovery_.meta.data() + 16);
+        btree::BTree::PersistentState::Decode(recovery_.meta.data() + 24);
     index_.emplace(ZkdIndex::Attach(grid_, pool_.get(), state, config_));
+    // Resume the epoch sequence at the recovered commit, which is by
+    // construction durable and hence immediately publishable.
+    txn_->RestoreEpoch(epoch);
+    {
+      util::MutexLock lock(&epoch_mutex_);
+      states_[epoch] = EpochState{state, txn_->page_count()};
+      published_epoch_ = epoch;
+    }
     ok_ = true;
     return;
   }
@@ -67,51 +113,194 @@ DurableIndex::DurableIndex(const zorder::GridSpec& grid,
     return;
   }
 
-  // Fresh database. Commit the empty tree immediately so a crash straight
-  // after creation recovers to "empty index", not "no database".
+  // Fresh database. Commit the empty tree immediately (as epoch 1) so a
+  // crash straight after creation recovers to "empty index", not "no
+  // database".
   index_.emplace(grid_, pool_.get(), config_);
   ok_ = true;
-  ok_ = CommitBatch();
+  ok_ = Apply({});
 }
 
-std::vector<uint8_t> DurableIndex::MetaBlob() const {
+std::vector<uint8_t> DurableIndex::MetaBlob(uint64_t epoch) const {
   std::vector<uint8_t> meta(kMetaBytes, 0);
   PutU32(meta.data(), kMetaMagic);
   PutU32(meta.data() + 4, static_cast<uint32_t>(grid_.dims));
   PutU32(meta.data() + 8, static_cast<uint32_t>(grid_.bits_per_dim));
-  index_->DetachState().EncodeTo(meta.data() + 16);
+  PutU64(meta.data() + 16, epoch);
+  index_->DetachState().EncodeTo(meta.data() + 24);
   return meta;
 }
 
-bool DurableIndex::CommitBatch() {
-  // FlushAll pushes every dirty frame through the TxnPager, which logs the
-  // after-images; the commit record then makes them the recoverable state.
-  pool_->FlushAll();
-  return txn_->Commit(MetaBlob());
+void DurableIndex::RegisterEpoch(uint64_t epoch) {
+  util::MutexLock lock(&epoch_mutex_);
+  states_[epoch] = EpochState{index_->DetachState(), txn_->page_count()};
 }
 
-bool DurableIndex::Apply(std::span<const Op> ops) {
-  if (!ok_ || !txn_->ok()) return false;
-  for (const Op& op : ops) {
-    if (op.kind == Op::Kind::kInsert) {
-      index_->Insert(op.point, op.id);
+void DurableIndex::Publish(uint64_t epoch) {
+  {
+    util::MutexLock lock(&epoch_mutex_);
+    // Group commits complete out of order across threads, but an LSN
+    // being durable makes every earlier commit durable too, so raising
+    // to the max is exactly "publish everything now durable".
+    if (epoch > published_epoch_) published_epoch_ = epoch;
+    PruneEpochsLocked();
+  }
+  util::SchedulePoint("epoch.publish");
+}
+
+bool DurableIndex::Apply(std::span<const Op> ops, uint64_t* epoch_out) {
+  if (!ok_) return false;
+  uint64_t lsn = 0;
+  uint64_t epoch = 0;
+  {
+    util::MutexLock lock(&apply_mutex_);
+    if (!txn_->ok()) return false;
+    for (const Op& op : ops) {
+      if (op.kind == Op::Kind::kInsert) {
+        index_->Insert(op.point, op.id);
+      } else {
+        index_->Delete(op.point, op.id);
+      }
+    }
+    // FlushAll pushes every dirty frame through the TxnPager, which logs
+    // the after-images; the commit record then covers them all as one
+    // epoch.
+    pool_->FlushAll();
+    epoch = txn_->next_epoch();
+    lsn = txn_->CommitDeferred(MetaBlob(epoch));
+    if (lsn == 0) return false;
+    RegisterEpoch(epoch);
+    util::SchedulePoint("epoch.prepublish");
+  }
+  // The slow part — waiting for the fsync — happens outside the apply
+  // lock, so concurrent batches pile into one group commit.
+  if (!wal_->GroupCommit(lsn)) return false;
+  Publish(epoch);
+  if (epoch_out != nullptr) *epoch_out = epoch;
+  return true;
+}
+
+DurableIndex::Snapshot DurableIndex::CreateSnapshot() {
+  std::shared_ptr<SnapshotResources> res;
+  {
+    util::MutexLock lock(&epoch_mutex_);
+    // A draining checkpoint is about to drop the page versions pins
+    // resolve through; new pins wait for the cut-over.
+    while (draining_) epoch_cv_.Wait(&epoch_mutex_);
+    const uint64_t epoch = published_epoch_;
+    if (auto cached = cached_.lock(); cached && cached->epoch == epoch) {
+      return Snapshot(std::move(cached));  // share the live view's pin
+    }
+    const auto it = states_.find(epoch);
+    if (it == states_.end()) return Snapshot();  // engine never opened
+    res = std::make_shared<SnapshotResources>();
+    res->owner = this;
+    res->epoch = epoch;
+    res->pager = std::make_unique<storage::SnapshotPager>(
+        txn_.get(), epoch, it->second.page_count);
+    res->pool = std::make_unique<storage::BufferPool>(
+        res->pager.get(), snapshot_pool_pages_);
+    res->index.emplace(
+        ZkdIndex::Attach(grid_, res->pool.get(), it->second.state, config_));
+    ++pins_[epoch];
+    ++pin_count_;
+    if (obs::Enabled()) {
+      obs::StorageMetrics::Default().snapshot_pins->Set(pin_count_);
+    }
+    cached_ = res;
+  }
+  util::SchedulePoint("snapshot.pin");
+  return Snapshot(std::move(res));
+}
+
+uint64_t DurableIndex::published_epoch() const {
+  util::MutexLock lock(&epoch_mutex_);
+  return published_epoch_;
+}
+
+uint64_t DurableIndex::published_size() const {
+  util::MutexLock lock(&epoch_mutex_);
+  const auto it = states_.find(published_epoch_);
+  return it == states_.end() ? 0 : it->second.state.size;
+}
+
+void DurableIndex::PruneEpochsLocked() {
+  // A future snapshot only ever pins the published epoch, so any older,
+  // unpinned state (including ones skipped over between two pins) is
+  // unreachable for good. States above the published epoch are commits
+  // still waiting on their group commit — never touched here.
+  for (auto it = states_.begin(); it != states_.end();) {
+    if (it->first < published_epoch_ && pins_.find(it->first) == pins_.end()) {
+      it = states_.erase(it);
     } else {
-      index_->Delete(op.point, op.id);
+      ++it;
     }
   }
-  return CommitBatch();
+}
+
+uint64_t DurableIndex::TrimFloorLocked() const {
+  if (pins_.empty()) return published_epoch_;
+  return std::min(pins_.begin()->first, published_epoch_);
+}
+
+void DurableIndex::ReleasePin(uint64_t epoch) {
+  uint64_t trim = 0;
+  uint64_t lag = 0;
+  int pins_now = 0;
+  {
+    util::MutexLock lock(&epoch_mutex_);
+    const auto it = pins_.find(epoch);
+    if (it != pins_.end() && --(it->second) == 0) pins_.erase(it);
+    --pin_count_;
+    pins_now = pin_count_;
+    lag = published_epoch_ - epoch;
+    PruneEpochsLocked();
+    trim = TrimFloorLocked();
+    epoch_cv_.NotifyAll();  // a draining checkpoint may be waiting
+  }
+  // Version GC outside the epoch lock: a concurrently raised floor just
+  // means this trim is conservative.
+  txn_->TrimVersions(trim);
+  if (obs::Enabled()) {
+    obs::StorageMetrics& m = obs::StorageMetrics::Default();
+    m.snapshot_pins->Set(pins_now);
+    m.snapshot_epoch_lag->Observe(static_cast<double>(lag));
+  }
 }
 
 bool DurableIndex::Checkpoint() {
-  if (!ok_ || !txn_->ok()) return false;
+  if (!ok_) return false;
+  util::MutexLock lock(&apply_mutex_);
+  if (!txn_->ok()) return false;
   // A checkpoint must sit on a commit boundary; flushing may surface dirty
   // pages (e.g. of a batch the caller never committed), which get a commit
   // of their own first.
   pool_->FlushAll();
-  if (txn_->uncommitted_writes() != 0 && !txn_->Commit(MetaBlob())) {
-    return false;
+  if (txn_->uncommitted_writes() != 0) {
+    const uint64_t epoch = txn_->next_epoch();
+    const uint64_t lsn = txn_->CommitDeferred(MetaBlob(epoch));
+    if (lsn == 0) return false;
+    RegisterEpoch(epoch);
+    if (!wal_->GroupCommit(lsn)) return false;
+    Publish(epoch);
   }
-  return txn_->Checkpoint(MetaBlob());
+  // The cut-over clears every parked page version, so every snapshot pin
+  // must be gone first. New snapshots queue behind draining_; Apply is
+  // excluded by apply_mutex_. A snapshot held across this call deadlocks
+  // by contract — release pins before checkpointing.
+  {
+    util::MutexLock epochs(&epoch_mutex_);
+    draining_ = true;
+    while (pin_count_ != 0) epoch_cv_.Wait(&epoch_mutex_);
+  }
+  const bool committed = txn_->Checkpoint(MetaBlob(txn_->committed_epoch()));
+  {
+    util::MutexLock epochs(&epoch_mutex_);
+    draining_ = false;
+    PruneEpochsLocked();
+    epoch_cv_.NotifyAll();  // wake snapshot creators queued on the drain
+  }
+  return committed;
 }
 
 }  // namespace probe::index

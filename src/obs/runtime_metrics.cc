@@ -61,6 +61,11 @@ StorageMetrics& StorageMetrics::Default() {
     m->checkpoints = r.GetCounter("probe_checkpoints_total");
     m->checkpoint_ms = r.GetHistogram("probe_checkpoint_ms", {},
                                       Histogram::LatencyBucketsMs());
+    m->wal_group_size = r.GetHistogram(
+        "probe_wal_group_size", {}, {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    m->snapshot_pins = r.GetGauge("probe_snapshot_pins");
+    m->snapshot_epoch_lag = r.GetHistogram(
+        "probe_snapshot_epoch_lag", {}, {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0});
     return m;
   }();
   return *metrics;

@@ -57,6 +57,14 @@ struct StorageMetrics {
   Counter* wal_commits;
   Counter* checkpoints;
   Histogram* checkpoint_ms;
+  /// Commit records covered per fsync (group commit batching; 1 = no
+  /// batching on that sync).
+  Histogram* wal_group_size;
+  /// Snapshot handles currently pinning an epoch, across all engines.
+  Gauge* snapshot_pins;
+  /// How many epochs behind the published epoch a snapshot was when it
+  /// released its pin (0 = released while still current).
+  Histogram* snapshot_epoch_lag;
 
   static StorageMetrics& Default();
 };

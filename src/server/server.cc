@@ -333,6 +333,10 @@ Frame Server::ExecuteQuery(Conn* conn, const Frame& frame) {
   if (conn->session_id == 0) return error(Status::kNoSession, "HELLO first");
   Session* session = sessions_.Touch(conn->session_id);
   if (session == nullptr) {
+    // Touch refuses expired sessions but leaves them registered; finish
+    // the job here so expiry is deterministic at the next query, not at
+    // whichever sweep runs first.
+    if (sessions_.Close(conn->session_id)) m_sessions_->Add(-1);
     conn->session_id = 0;
     return error(Status::kSessionExpired, "session expired");
   }

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -37,11 +38,12 @@ struct SessionStats {
 /// One HELLO'd connection.
 class Session {
  public:
-  Session(uint64_t id, int32_t max_element_depth, std::string client_name)
+  Session(uint64_t id, int32_t max_element_depth, std::string client_name,
+          std::chrono::steady_clock::time_point now)
       : id_(id),
         max_element_depth_(max_element_depth),
         client_name_(std::move(client_name)),
-        last_active_(std::chrono::steady_clock::now()) {}
+        last_active_(now) {}
 
   uint64_t id() const { return id_; }
   int32_t max_element_depth() const { return max_element_depth_; }
@@ -50,7 +52,7 @@ class Session {
   SessionStats& stats() { return stats_; }
   const SessionStats& stats() const { return stats_; }
 
-  void Touch() { last_active_ = std::chrono::steady_clock::now(); }
+  void Touch(std::chrono::steady_clock::time_point now) { last_active_ = now; }
   std::chrono::steady_clock::time_point last_active() const {
     return last_active_;
   }
@@ -75,10 +77,12 @@ class SessionManager {
   uint64_t Create(int32_t max_element_depth, std::string client_name);
 
   /// Looks up a session and touches it (resets the idle clock). Returns
-  /// nullptr for unknown/expired ids. The pointer stays valid until
-  /// Close(id) — each connection closes only its own session, and a
-  /// connection handler is single-threaded, so handing out the raw
-  /// pointer is safe.
+  /// nullptr for unknown ids — and for sessions already idle past the
+  /// timeout, which stay registered (touching an expired session must not
+  /// revive it); the caller answers kSessionExpired and Close()s it. The
+  /// pointer stays valid until Close(id) — each connection closes only
+  /// its own session, and a connection handler is single-threaded, so
+  /// handing out the raw pointer is safe.
   Session* Touch(uint64_t id);
 
   /// Removes the session; false if it did not exist.
@@ -94,7 +98,16 @@ class SessionManager {
   size_t active() const;
   std::chrono::milliseconds idle_timeout() const { return idle_timeout_; }
 
+  /// Replaces the idle clock with a harness-controlled one, so expiry
+  /// tests advance time instead of sleeping through it. The function is
+  /// called under the registry lock and must be safe to call from any
+  /// handler thread.
+  void SetClockForTest(
+      std::function<std::chrono::steady_clock::time_point()> clock);
+
  private:
+  std::chrono::steady_clock::time_point Now() const PROBE_REQUIRES(mutex_);
+
   std::chrono::milliseconds idle_timeout_;
   // Leaf lock: guards the registry map only. Session *contents* are owned
   // by the connection handler that created the session (see Touch()).
@@ -102,6 +115,8 @@ class SessionManager {
   std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_
       PROBE_GUARDED_BY(mutex_);
   uint64_t next_id_ PROBE_GUARDED_BY(mutex_) = 1;
+  std::function<std::chrono::steady_clock::time_point()> clock_
+      PROBE_GUARDED_BY(mutex_);
 };
 
 }  // namespace probe::server

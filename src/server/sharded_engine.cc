@@ -39,6 +39,7 @@ ShardedEngine::ShardedEngine(const zorder::GridSpec& grid,
   index::DurableIndex::Options shard_options;
   shard_options.config = options.config;
   shard_options.pool_pages = options.pool_pages_per_shard;
+  shard_options.snapshot_pool_pages = options.snapshot_pool_pages_per_shard;
   shard_options.policy = options.policy;
   shard_options.truncate = options.truncate;
   // Opening runs recovery, which is I/O-bound per shard and independent
@@ -57,9 +58,8 @@ std::string ShardedEngine::ShardPath(const std::string& prefix, int shard) {
 }
 
 uint64_t ShardedEngine::size() const {
-  util::ReaderMutexLock lock(&mutex_);
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->index().size();
+  for (const auto& shard : shards_) total += shard->published_size();
   return total;
 }
 
@@ -122,7 +122,6 @@ bool ShardedEngine::ValidPoint(const geometry::GridPoint& point) const {
 }
 
 bool ShardedEngine::Apply(std::span<const index::DurableIndex::Op> ops) {
-  util::WriterMutexLock lock(&mutex_);
   if (!ok_) return false;
   // Route every op to its point's shard, preserving op order within each
   // shard (Apply semantics are order-sensitive for insert/delete pairs).
@@ -140,7 +139,6 @@ bool ShardedEngine::Apply(std::span<const index::DurableIndex::Op> ops) {
 }
 
 bool ShardedEngine::Checkpoint() {
-  util::WriterMutexLock lock(&mutex_);
   if (!ok_) return false;
   std::atomic<bool> all_ok{true};
   pool_->ParallelFor(shards_.size(), [&](size_t i) {
@@ -149,16 +147,42 @@ bool ShardedEngine::Checkpoint() {
   return all_ok.load();
 }
 
-std::vector<uint64_t> ShardedEngine::RangeSearch(
+ShardedEngine::View ShardedEngine::CreateView() const {
+  View view;
+  view.engine_ = this;
+  view.snaps_.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    view.snaps_[i] = shards_[i]->CreateSnapshot();
+  }
+  return view;
+}
+
+uint64_t ShardedEngine::View::epoch(int i) const {
+  return snaps_[static_cast<size_t>(i)].epoch();
+}
+
+std::vector<uint64_t> ShardedEngine::View::epochs() const {
+  std::vector<uint64_t> out;
+  out.reserve(snaps_.size());
+  for (const auto& s : snaps_) out.push_back(s.epoch());
+  return out;
+}
+
+uint64_t ShardedEngine::View::size() const {
+  uint64_t total = 0;
+  for (const auto& s : snaps_) total += s.index().size();
+  return total;
+}
+
+std::vector<uint64_t> ShardedEngine::View::RangeSearch(
     const geometry::GridBox& box, index::QueryStats* stats,
     const index::SearchOptions& options) const {
-  util::ReaderMutexLock lock(&mutex_);
-  const auto [first, last] = ShardSpan(box);
+  const auto [first, last] = engine_->ShardSpan(box);
   const size_t n = static_cast<size_t>(last - first + 1);
   std::vector<std::vector<uint64_t>> partials(n);
   std::vector<index::QueryStats> partial_stats(n);
-  pool_->ParallelFor(n, [&](size_t i) {
-    partials[i] = shards_[static_cast<size_t>(first) + i]->index().RangeSearch(
+  engine_->pool_->ParallelFor(n, [&](size_t i) {
+    partials[i] = snaps_[static_cast<size_t>(first) + i].index().RangeSearch(
         box, stats != nullptr ? &partial_stats[i] : nullptr, options);
   });
   // Shard i's z interval wholly precedes shard i+1's and each shard
@@ -177,19 +201,18 @@ std::vector<uint64_t> ShardedEngine::RangeSearch(
   return results;
 }
 
-std::vector<ShardedEngine::Row> ShardedEngine::RangeSearchRows(
+std::vector<ShardedEngine::Row> ShardedEngine::View::RangeSearchRows(
     const geometry::GridBox& box, index::QueryStats* stats) const {
   // Ids first (scatter-gathered), then the points re-derived per id would
   // cost a lookup each; instead run per-shard cursors that stream (id,
   // point) pairs directly.
-  util::ReaderMutexLock lock(&mutex_);
-  const auto [first, last] = ShardSpan(box);
+  const auto [first, last] = engine_->ShardSpan(box);
   const size_t n = static_cast<size_t>(last - first + 1);
   std::vector<std::vector<Row>> partials(n);
   std::vector<index::QueryStats> partial_stats(n);
-  pool_->ParallelFor(n, [&](size_t i) {
+  engine_->pool_->ParallelFor(n, [&](size_t i) {
     const index::ZkdIndex& shard_index =
-        shards_[static_cast<size_t>(first) + i]->index();
+        snaps_[static_cast<size_t>(first) + i].index();
     index::ZkdIndex::RangeCursor cursor(shard_index, box);
     Row row;
     while (cursor.Next(&row.id, &row.point)) partials[i].push_back(row);
@@ -208,16 +231,15 @@ std::vector<ShardedEngine::Row> ShardedEngine::RangeSearchRows(
   return rows;
 }
 
-uint64_t ShardedEngine::CountBox(const geometry::GridBox& box,
-                                 index::QueryStats* stats,
-                                 const index::SearchOptions& options) const {
-  util::ReaderMutexLock lock(&mutex_);
-  const auto [first, last] = ShardSpan(box);
+uint64_t ShardedEngine::View::CountBox(const geometry::GridBox& box,
+                                       index::QueryStats* stats,
+                                       const index::SearchOptions& options) const {
+  const auto [first, last] = engine_->ShardSpan(box);
   const size_t n = static_cast<size_t>(last - first + 1);
   std::vector<uint64_t> partials(n, 0);
   std::vector<index::QueryStats> partial_stats(n);
-  pool_->ParallelFor(n, [&](size_t i) {
-    partials[i] = shards_[static_cast<size_t>(first) + i]->index().CountBox(
+  engine_->pool_->ParallelFor(n, [&](size_t i) {
+    partials[i] = snaps_[static_cast<size_t>(first) + i].index().CountBox(
         box, stats != nullptr ? &partial_stats[i] : nullptr, options);
   });
   uint64_t count = 0;
@@ -228,12 +250,11 @@ uint64_t ShardedEngine::CountBox(const geometry::GridBox& box,
   return count;
 }
 
-std::vector<index::Neighbor> ShardedEngine::KNearest(
+std::vector<index::Neighbor> ShardedEngine::View::KNearest(
     const geometry::GridPoint& center, size_t k) const {
-  util::ReaderMutexLock lock(&mutex_);
-  std::vector<std::vector<index::Neighbor>> partials(shards_.size());
-  pool_->ParallelFor(shards_.size(), [&](size_t i) {
-    partials[i] = index::KNearest(shards_[i]->index(), center, k);
+  std::vector<std::vector<index::Neighbor>> partials(snaps_.size());
+  engine_->pool_->ParallelFor(snaps_.size(), [&](size_t i) {
+    partials[i] = index::KNearest(snaps_[i].index(), center, k);
   });
   std::vector<index::Neighbor> all;
   for (auto& p : partials) {
@@ -249,26 +270,49 @@ std::vector<index::Neighbor> ShardedEngine::KNearest(
   return all;
 }
 
+std::vector<uint64_t> ShardedEngine::RangeSearch(
+    const geometry::GridBox& box, index::QueryStats* stats,
+    const index::SearchOptions& options) const {
+  return CreateView().RangeSearch(box, stats, options);
+}
+
+std::vector<ShardedEngine::Row> ShardedEngine::RangeSearchRows(
+    const geometry::GridBox& box, index::QueryStats* stats) const {
+  return CreateView().RangeSearchRows(box, stats);
+}
+
+uint64_t ShardedEngine::CountBox(const geometry::GridBox& box,
+                                 index::QueryStats* stats,
+                                 const index::SearchOptions& options) const {
+  return CreateView().CountBox(box, stats, options);
+}
+
+std::vector<index::Neighbor> ShardedEngine::KNearest(
+    const geometry::GridPoint& center, size_t k) const {
+  return CreateView().KNearest(center, k);
+}
+
 std::string ShardedEngine::Explain(const geometry::GridBox& box,
                                    bool count) const {
-  util::ReaderMutexLock lock(&mutex_);
+  const View view = CreateView();
   const auto [first, last] = ShardSpan(box);
   std::ostringstream out;
   out << "scatter-gather " << (count ? "count" : "range") << " "
       << box.ToString() << ": shards " << first << ".." << last << " of "
       << shards_.size() << "\n";
   for (int s = first; s <= last; ++s) {
-    const auto& shard = *shards_[static_cast<size_t>(s)];
+    const index::ZkdIndex& shard_index =
+        view.snaps_[static_cast<size_t>(s)].index();
     const auto [zlo, zhi] = ShardZRange(s);
-    const index::CostModel model = index::CostModel::FromIndex(shard.index());
+    const index::CostModel model = index::CostModel::FromIndex(shard_index);
     const query::Query q =
         count ? query::Query::Count(box) : query::Query::Range(box);
     query::PlannerContext ctx;
-    ctx.index = &shard.index();
+    ctx.index = &shard_index;
     ctx.cost_model = &model;
     const query::PlannedQuery planned = query::Plan(q, ctx);
     out << "  shard " << s << " z=[" << zlo << "," << zhi
-        << "] points=" << shard.index().size() << ": " << planned.summary
+        << "] points=" << shard_index.size() << ": " << planned.summary
         << "\n";
   }
   return out.str();

@@ -13,8 +13,6 @@
 #include "index/durable_index.h"
 #include "index/nearest.h"
 #include "index/zkd_index.h"
-#include "util/mutex.h"
-#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "zorder/grid.h"
 
@@ -39,11 +37,21 @@
 /// output, no merge or sort needed. This is the Zones-style scatter-gather
 /// (Gray et al.): partition by the sort key, fan out, concatenate.
 ///
-/// Writes route each op to its point's shard and commit per-shard batches
-/// in parallel. A batch is atomic within each shard (the DurableIndex
-/// guarantee); cross-shard atomicity is not promised — a kill between
-/// shard commits can surface a prefix of the batch, which the identity
-/// tests pin down by replaying the per-shard commit oracle.
+/// Concurrency: there is no engine-wide lock anymore. Writers route ops to
+/// shards and commit per-shard batches in parallel; within a shard,
+/// concurrent batches serialize on the shard's apply lock but share fsyncs
+/// through the WAL's group commit. Queries never block writers and never
+/// see a half-applied batch: each query pins a per-shard *snapshot* — the
+/// shard's newest published (durable) epoch — and runs against that frozen
+/// view (see DurableIndex::CreateSnapshot). A View makes the pinned state
+/// explicit when a caller wants several queries against one consistent
+/// per-shard state.
+///
+/// A batch is atomic within each shard (the DurableIndex guarantee);
+/// cross-shard atomicity is not promised — a kill between shard commits
+/// can surface a prefix of the batch, which the identity tests pin down by
+/// replaying the per-shard commit oracle. Likewise a View's shards are
+/// each internally consistent but pinned independently.
 
 namespace probe::server {
 
@@ -52,6 +60,7 @@ namespace probe::server {
 struct ShardedEngineOptions {
   int shards = 1;
   size_t pool_pages_per_shard = 256;
+  size_t snapshot_pool_pages_per_shard = 64;
   btree::BTreeConfig config;
   storage::EvictionPolicy policy = storage::EvictionPolicy::kLru;
   bool truncate = false;
@@ -60,6 +69,48 @@ struct ShardedEngineOptions {
 /// N DurableIndex shards behind one query facade.
 class ShardedEngine {
  public:
+  /// (id, point) rows of a box, in the same order as RangeSearch.
+  struct Row {
+    uint64_t id = 0;
+    geometry::GridPoint point;
+  };
+
+  /// A pinned per-shard read state: shard i's queries run against shard
+  /// i's newest published epoch as of CreateView(). Holding a View keeps
+  /// those epochs pinned (blocking checkpoints and version GC); drop it
+  /// when done. Copyable — copies share the pins.
+  class View {
+   public:
+    View() = default;
+
+    bool ok() const { return engine_ != nullptr; }
+
+    /// Epoch pinned on shard `i` / all pinned epochs in shard order.
+    uint64_t epoch(int i) const;
+    std::vector<uint64_t> epochs() const;
+
+    /// Total points across the pinned shard states.
+    uint64_t size() const;
+
+    /// The scatter-gather queries, frozen at the pinned epochs. Same
+    /// contracts as the engine-level methods.
+    std::vector<uint64_t> RangeSearch(
+        const geometry::GridBox& box, index::QueryStats* stats = nullptr,
+        const index::SearchOptions& options = {}) const;
+    std::vector<Row> RangeSearchRows(const geometry::GridBox& box,
+                                     index::QueryStats* stats = nullptr) const;
+    uint64_t CountBox(const geometry::GridBox& box,
+                      index::QueryStats* stats = nullptr,
+                      const index::SearchOptions& options = {}) const;
+    std::vector<index::Neighbor> KNearest(const geometry::GridPoint& center,
+                                          size_t k) const;
+
+   private:
+    friend class ShardedEngine;
+    const ShardedEngine* engine_ = nullptr;
+    std::vector<index::DurableIndex::Snapshot> snaps_;
+  };
+
   /// Opens (creating or recovering) shard files `prefix + ".shardK"`.
   /// `pool` drives the scatter-gather fan-out and the parallel per-shard
   /// commits; it must outlive the engine. Check ok().
@@ -75,28 +126,32 @@ class ShardedEngine {
   int shard_count() const { return static_cast<int>(shards_.size()); }
   const zorder::GridSpec& grid() const { return grid_; }
 
-  /// Total points across shards.
+  /// Total points across shards, as of each shard's published epoch.
   uint64_t size() const;
 
+  /// Pins every shard's newest published epoch. Thread-safe; cheap when
+  /// the shards haven't advanced since the last View (pinned views of an
+  /// unchanged epoch are shared, not rebuilt).
+  View CreateView() const;
+
   /// Routes each op to its point's shard and applies the per-shard batches
-  /// in parallel. True iff every involved shard committed.
+  /// in parallel. Thread-safe: concurrent callers group-commit within each
+  /// shard. True iff every involved shard committed.
   bool Apply(std::span<const index::DurableIndex::Op> ops);
 
-  /// Checkpoints every shard (bounding each shard's log).
+  /// Checkpoints every shard (bounding each shard's log). Blocks until
+  /// in-flight Views release their pins.
   bool Checkpoint();
 
   /// Scatter-gather range query: identical, element for element, to the
   /// same query on a single engine holding all the points. Only shards
-  /// whose z interval meets the box's z range participate.
+  /// whose z interval meets the box's z range participate. Runs against a
+  /// freshly pinned View — never blocks on, or sees a torn state from,
+  /// concurrent Apply batches.
   std::vector<uint64_t> RangeSearch(
       const geometry::GridBox& box, index::QueryStats* stats = nullptr,
       const index::SearchOptions& options = {}) const;
 
-  /// (id, point) rows of the box, in the same order as RangeSearch.
-  struct Row {
-    uint64_t id = 0;
-    geometry::GridPoint point;
-  };
   std::vector<Row> RangeSearchRows(const geometry::GridBox& box,
                                    index::QueryStats* stats = nullptr) const;
 
@@ -146,20 +201,11 @@ class ShardedEngine {
  private:
   zorder::GridSpec grid_;
   util::ThreadPool* pool_;
-  // Deliberately NOT PROBE_GUARDED_BY(mutex_): the scatter-gather fan-out
-  // touches shards_ inside ParallelFor lambdas, which clang's thread-safety
-  // analysis treats as separate functions without the caller's
-  // capabilities, so an annotation here would only produce false
-  // positives. The reader/writer discipline below is enforced by the TSan
-  // `concurrency` suite instead. (shards_ itself is immutable after
-  // construction; the lock orders reads against write *batches*.)
+  // Immutable after construction; each DurableIndex is internally
+  // synchronized (apply lock + group commit for writers, epoch-pinned
+  // snapshots for readers), so the engine needs no lock of its own.
   std::vector<std::unique_ptr<index::DurableIndex>> shards_;
   bool ok_ = false;
-
-  // Queries take the lock shared; Apply/Checkpoint take it exclusive. The
-  // underlying engines support concurrent readers (sharded buffer pools)
-  // but not reads overlapping a write batch.
-  mutable util::SharedMutex mutex_;
 };
 
 }  // namespace probe::server

@@ -16,17 +16,20 @@ PageId TxnPager::Allocate() {
   // via the page count carried by the next commit record, and the page
   // itself via its logged image. An uncommitted allocation simply
   // evaporates at recovery.
-  const PageId id = count_++;
+  const PageId id = count_.fetch_add(1, std::memory_order_acq_rel);
+  util::MutexLock lock(&versions_mutex_);
   ++stats_.allocations;
   return id;
 }
 
 void TxnPager::Read(PageId id, Page* out) {
-  assert(id < count_);
+  assert(id < page_count());
+  util::MutexLock lock(&versions_mutex_);
   ++stats_.reads;
-  const auto it = pending_.find(id);
-  if (it != pending_.end()) {
-    *out = it->second;
+  const auto it = versions_.find(id);
+  if (it != versions_.end()) {
+    // The writer's view: the newest parked image, committed or not.
+    *out = it->second.back().page;
     return;
   }
   if (id < base_->page_count()) {
@@ -38,24 +41,81 @@ void TxnPager::Read(PageId id, Page* out) {
   out->Clear();
 }
 
+void TxnPager::ReadAtEpoch(PageId id, uint64_t epoch, Page* out) {
+  util::MutexLock lock(&versions_mutex_);
+  ++stats_.reads;
+  const auto it = versions_.find(id);
+  if (it != versions_.end()) {
+    // Versions are in ascending epoch order: walk back to the newest one
+    // the pinned epoch covers. A handful of entries at most (one per
+    // un-trimmed commit that touched the page), so linear is fine.
+    const std::vector<PageVersion>& vec = it->second;
+    for (auto v = vec.rbegin(); v != vec.rend(); ++v) {
+      if (v->epoch <= epoch) {
+        *out = v->page;
+        return;
+      }
+    }
+    // Every parked version is newer than the pin: the page's bytes at
+    // this epoch are whatever the base file holds (or zeros below).
+  }
+  if (id < base_->page_count()) {
+    base_->Read(id, out);
+    return;
+  }
+  out->Clear();
+}
+
 void TxnPager::Write(PageId id, const Page& page) {
   util::SingleWriterScope writer(&writer_guard_, "TxnPager::Write");
-  assert(id < count_);
-  ++stats_.writes;
+  assert(id < page_count());
   // A dead log is a crashed engine: nothing written now can ever become
   // durable, so nothing is parked either — matching what a real crash
-  // leaves behind.
+  // leaves behind. The log append happens before versions_mutex_ is
+  // taken, keeping the WAL's lock and this leaf lock un-nested.
   if (wal_->AppendPageImage(id, page) == 0) return;
+  const uint64_t epoch = next_epoch();
+  util::MutexLock lock(&versions_mutex_);
+  ++stats_.writes;
   ++uncommitted_writes_;
-  pending_[id] = page;
+  std::vector<PageVersion>& vec = versions_[id];
+  if (!vec.empty() && vec.back().epoch == epoch) {
+    vec.back().page = page;  // rewrite within the same batch
+  } else {
+    vec.push_back(PageVersion{epoch, page});
+  }
+}
+
+uint64_t TxnPager::CommitDeferred(std::span<const uint8_t> meta) {
+  util::SingleWriterScope writer(&writer_guard_, "TxnPager::Commit");
+  if (!ok()) return 0;
+  const uint64_t lsn = wal_->AppendCommitDeferred(page_count(), meta);
+  if (lsn == 0) return 0;
+  // The parked versions tagged next_epoch() become committed state here;
+  // the store is ordered after the log append so ReadAtEpoch can never
+  // surface an epoch whose commit record was not at least buffered.
+  committed_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  uncommitted_writes_ = 0;
+  return lsn;
 }
 
 bool TxnPager::Commit(std::span<const uint8_t> meta) {
-  util::SingleWriterScope writer(&writer_guard_, "TxnPager::Commit");
-  if (!ok()) return false;
-  if (wal_->AppendCommit(count_, meta) == 0) return false;
-  uncommitted_writes_ = 0;
-  return true;
+  const uint64_t lsn = CommitDeferred(meta);
+  if (lsn == 0) return false;
+  return wal_->GroupCommit(lsn);
+}
+
+void TxnPager::TrimVersions(uint64_t min_epoch) {
+  util::MutexLock lock(&versions_mutex_);
+  for (auto& [id, vec] : versions_) {
+    // Keep the newest version with epoch <= min_epoch (the anchor every
+    // surviving pin resolves to) and everything after it.
+    size_t anchor = 0;
+    for (size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i].epoch <= min_epoch) anchor = i;
+    }
+    if (anchor > 0) vec.erase(vec.begin(), vec.begin() + anchor);
+  }
 }
 
 bool TxnPager::Checkpoint(std::span<const uint8_t> meta) {
@@ -70,17 +130,26 @@ bool TxnPager::Checkpoint(std::span<const uint8_t> meta) {
   // tears a page, recovery redoes it from these records.
   if (!wal_->Sync()) return false;
 
-  while (base_->page_count() < count_) base_->Allocate();
-  for (const auto& [id, page] : pending_) {
-    base_->Write(id, page);
+  const uint32_t count = page_count();
+  while (base_->page_count() < count) base_->Allocate();
+  {
+    // The owner drained every pinned snapshot before calling, so the
+    // older versions dropped with the table below have no readers left.
+    util::MutexLock lock(&versions_mutex_);
+    for (const auto& [id, vec] : versions_) {
+      base_->Write(id, vec.back().page);
+    }
   }
   base_->Sync();
   if (!base_->ok()) return false;  // injected crash mid-force
 
   // Atomic cut-over: after this the checkpoint record alone describes the
-  // database, and the pending table's job is done.
-  if (wal_->RewriteWithCheckpoint(count_, meta) == 0) return false;
-  pending_.clear();
+  // database, and the version table's job is done.
+  if (wal_->RewriteWithCheckpoint(count, meta) == 0) return false;
+  {
+    util::MutexLock lock(&versions_mutex_);
+    versions_.clear();
+  }
   if (obs::Enabled()) {
     obs::StorageMetrics& m = obs::StorageMetrics::Default();
     m.checkpoints->Increment();
@@ -90,6 +159,18 @@ bool TxnPager::Checkpoint(std::span<const uint8_t> meta) {
                                  .count());
   }
   return true;
+}
+
+size_t TxnPager::pending_pages() const {
+  util::MutexLock lock(&versions_mutex_);
+  return versions_.size();
+}
+
+size_t TxnPager::pending_versions() const {
+  util::MutexLock lock(&versions_mutex_);
+  size_t n = 0;
+  for (const auto& [id, vec] : versions_) n += vec.size();
+  return n;
 }
 
 }  // namespace probe::storage

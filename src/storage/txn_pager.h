@@ -1,13 +1,17 @@
 #ifndef PROBE_STORAGE_TXN_PAGER_H_
 #define PROBE_STORAGE_TXN_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <span>
+#include <vector>
 
 #include "storage/pager.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/single_writer.h"
+#include "util/thread_annotations.h"
 
 /// \file
 /// Transactional pager: routes page writes through the write-ahead log.
@@ -22,17 +26,32 @@
 ///     touched by ordinary traffic, so an uncommitted batch can't leak
 ///     half its pages to disk (no steal).
 ///   * `Commit` appends a commit record carrying the page count and the
-///     caller's metadata blob, then fsyncs the log. Everything logged so
-///     far is now the recoverable state.
+///     caller's metadata blob, then makes the log durable. Everything
+///     logged so far is now the recoverable state.
 ///   * `Checkpoint` — only at a commit boundary — forces the pending
 ///     pages into the base file, fsyncs it, and atomically replaces the
 ///     log with a single checkpoint record (force on checkpoint). The
 ///     pending table empties and the log length resets.
 ///
-/// Between checkpoints the pending table caches every page written since
-/// the last force, bounded by the working set of updates — the price of
-/// keeping the base file bytes exactly equal to the last checkpoint, which
-/// is what makes recovery pure redo.
+/// Epochs and snapshot reads. Each commit advances the pager's *epoch*;
+/// the pending table is multi-version, tagging every parked image with the
+/// epoch of the commit that (will) cover it. `ReadAtEpoch(id, E)` returns
+/// the page as of commit E — the newest parked version with epoch <= E,
+/// falling back to the base file (whose bytes are exactly the last
+/// checkpoint, i.e. older than every parked version). A reader that pins
+/// epoch E therefore sees a frozen, committed state while the writer keeps
+/// parking versions for E+1, E+2, ... on top — copy-on-write at page
+/// granularity, with the no-steal table doing double duty as the version
+/// store. `TrimVersions(min)` garbage-collects versions superseded for
+/// every epoch >= min (the oldest still-pinned epoch); the steady state
+/// with no pinned readers is one version per written page, the same
+/// footprint the single-version table had.
+///
+/// Concurrency contract: mutations (Allocate/Write/Commit/Checkpoint)
+/// remain single-writer, serialized by the owner (DurableIndex's apply
+/// lock) and audited by SingleWriterGuard. Reads — Read, ReadAtEpoch —
+/// may run concurrently with each other and with the writer; the version
+/// table has its own leaf mutex.
 ///
 /// Reads prefer the pending table (it holds the newest images), then the
 /// base file; pages allocated but never yet written read as zeros, the
@@ -40,8 +59,8 @@
 
 namespace probe::storage {
 
-/// Write-ahead-logging Pager wrapper (see file comment). Single-writer,
-/// like every mutating path of the engine.
+/// Write-ahead-logging Pager wrapper (see file comment). Single-writer
+/// mutations, concurrent epoch-pinned reads.
 class TxnPager final : public Pager {
  public:
   /// Both `base` and `wal` must outlive the pager. Existing base pages
@@ -51,7 +70,10 @@ class TxnPager final : public Pager {
   PageId Allocate() override;
   void Read(PageId id, Page* out) override;
   void Write(PageId id, const Page& page) override;
-  uint32_t page_count() const override { return count_; }
+  uint32_t page_count() const override {
+    return count_.load(std::memory_order_acquire);
+  }
+  /// Unlocked snapshot; exact only while no reader/writer runs.
   const PagerStats& stats() const override { return stats_; }
   void ResetStats() override { stats_.Reset(); }
   bool ok() const override { return base_->ok() && wal_->ok() && !wal_->dead(); }
@@ -60,18 +82,56 @@ class TxnPager final : public Pager {
   void Sync() override { wal_->Sync(); }
 
   /// Commits the batch written since the last Commit: logs a commit record
-  /// (with `meta`, the application's re-attach state) and fsyncs the log.
-  /// Returns false on a dead engine — the batch is then not recoverable.
+  /// (with `meta`, the application's re-attach state) and waits for it to
+  /// be durable. Returns false on a dead engine — the batch is then not
+  /// recoverable.
   bool Commit(std::span<const uint8_t> meta);
+
+  /// Appends the commit record and advances the epoch *without* waiting
+  /// for durability: returns the commit's LSN (to pass to
+  /// Wal::GroupCommit), or 0 on a dead engine. The new epoch must not be
+  /// acked or published until the group commit succeeds.
+  uint64_t CommitDeferred(std::span<const uint8_t> meta);
+
+  /// Reads page `id` as of commit epoch `epoch` (see file comment). The
+  /// caller guarantees `id` was allocated at that epoch (snapshots carry
+  /// their frozen page count).
+  void ReadAtEpoch(PageId id, uint64_t epoch, Page* out);
+
+  /// Epoch of the newest commit (0 until the first commit, or as restored
+  /// via RestoreEpoch after recovery).
+  uint64_t committed_epoch() const {
+    return committed_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Epoch the in-flight batch will commit as.
+  uint64_t next_epoch() const { return committed_epoch() + 1; }
+
+  /// Installs the epoch recovered from the last commit/checkpoint record's
+  /// metadata. Call once, before any Write.
+  void RestoreEpoch(uint64_t epoch) {
+    committed_epoch_.store(epoch, std::memory_order_release);
+  }
+
+  /// Drops parked versions superseded for every epoch >= `min_epoch` (the
+  /// oldest epoch any reader still pins; pass committed_epoch() when none
+  /// do). Never drops a page's newest version.
+  void TrimVersions(uint64_t min_epoch);
 
   /// Forces the committed state into the base file and resets the log to a
   /// single checkpoint record carrying `meta`. Requires a clean commit
-  /// boundary: returns false (and does nothing) if writes arrived since
-  /// the last Commit, or on a dead engine.
+  /// boundary — returns false (and does nothing) if writes arrived since
+  /// the last Commit, or on a dead engine — and no concurrently pinned
+  /// epochs (the owner drains snapshot readers first; parked versions are
+  /// all dropped here).
   bool Checkpoint(std::span<const uint8_t> meta);
 
-  /// Pages parked in memory awaiting the next checkpoint.
-  size_t pending_pages() const { return pending_.size(); }
+  /// Pages with at least one parked version awaiting the next checkpoint.
+  size_t pending_pages() const;
+
+  /// Parked versions across all pages (== pending_pages() when no reader
+  /// pins an old epoch).
+  size_t pending_versions() const;
 
   /// Writes since the last successful Commit (must be zero to checkpoint).
   uint64_t uncommitted_writes() const { return uncommitted_writes_; }
@@ -80,16 +140,37 @@ class TxnPager final : public Pager {
   Pager& base() { return *base_; }
 
  private:
+  // One parked after-image: the page as of commit `epoch` (the epoch is
+  // next_epoch() while the write is still uncommitted; CommitDeferred
+  // turns it committed by advancing the counter past it).
+  struct PageVersion {
+    uint64_t epoch;
+    Page page;
+  };
+
   Pager* base_;
   Wal* wal_;
-  uint32_t count_;
+  std::atomic<uint32_t> count_;
+  // Touched only on the single-writer mutation path.
   uint64_t uncommitted_writes_ = 0;
-  // Ordered so a checkpoint forces pages in file order.
-  std::map<PageId, Page> pending_;
+  std::atomic<uint64_t> committed_epoch_{0};
+
+  // Leaf lock: guards the version table and serializes base-file reads
+  // against the checkpoint force. Acquired after the buffer pool's locks
+  // and after the WAL's (Write appends to the log *before* parking);
+  // nothing is acquired while holding it.
+  mutable util::Mutex versions_mutex_;
+  // Ordered so a checkpoint forces pages in file order; versions within a
+  // page are in ascending epoch order.
+  std::map<PageId, std::vector<PageVersion>> versions_
+      PROBE_GUARDED_BY(versions_mutex_);
+
+  // I/O counters; bumped under versions_mutex_, read unlocked via the
+  // Pager interface (quiescent reads only — see stats()).
   PagerStats stats_;
-  // Audit-build proof of the class comment's "single-writer" contract:
-  // the mutating entry points (Allocate/Write/Commit/Checkpoint) claim
-  // this; overlapping claims abort. See util/single_writer.h.
+  // Audit-build proof of the single-writer mutation contract: the
+  // mutating entry points (Allocate/Write/Commit/Checkpoint) claim this;
+  // overlapping claims abort. See util/single_writer.h.
   util::SingleWriterGuard writer_guard_;
 };
 

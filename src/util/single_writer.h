@@ -8,13 +8,15 @@
 /// \file
 /// Runtime proof of the single-writer contract.
 ///
-/// Wal and TxnPager are documented "single-writer, like the B-tree": no
-/// lock, because exactly one thread mutates them at a time. That contract
-/// is upheld *above* them — DurableIndex::Apply batches run one per shard,
-/// serialized by ShardedEngine's writer lock — which also means there is
-/// no mutex here for the clang thread-safety analysis to reason about: the
-/// static proof covers everything that locks, and this checker covers the
-/// one discipline that deliberately doesn't.
+/// TxnPager's *mutating* entry points (Allocate/Write/Commit/Checkpoint)
+/// are documented "single-writer, like the B-tree": no lock of their own,
+/// because exactly one thread mutates them at a time. That contract is
+/// upheld *above* them — batch mutation serializes on DurableIndex's
+/// apply lock — which also means there is no mutex here for the clang
+/// thread-safety analysis to reason about: the static proof covers
+/// everything that locks (including the Wal, which since group commit is
+/// internally synchronized and takes concurrent appenders directly), and
+/// this checker covers the one discipline that deliberately doesn't.
 ///
 /// SingleWriterGuard is an atomic occupancy flag embedded in the
 /// single-writer class; SingleWriterScope CASes it on entry and aborts if

@@ -1,0 +1,141 @@
+#include "util/yieldpoint.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "probe/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace probe::util {
+
+namespace {
+
+// SplitMix64: enough avalanche that adjacent seeds / visit counts give
+// unrelated pause patterns.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over the point name: the point's identity is its *name*, stable
+// across runs, builds, and address-space layouts.
+uint64_t HashName(const char* name) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint8_t>(*p)) * 0x100000001B3ull;
+  }
+  return h;
+}
+
+constexpr uint32_t kNoOrdinal = 0xFFFFFFFFu;
+
+thread_local uint32_t t_ordinal = kNoOrdinal;
+thread_local uint64_t t_visits = 0;
+
+}  // namespace
+
+namespace internal {
+
+struct ScheduleImpl {
+  ScheduleOptions options;
+
+  Mutex mu;
+  CondVar cv;
+  // Every passage by any thread advances the step counter; a paused thread
+  // waits for it to move a hashed number of steps.
+  uint64_t step PROBE_GUARDED_BY(mu) = 0;
+  uint32_t waiters PROBE_GUARDED_BY(mu) = 0;
+  // Arrival-order fallback for threads that never called
+  // ScheduleThreadOrdinal.
+  uint32_t next_auto_ordinal PROBE_GUARDED_BY(mu) = 1000;
+
+  std::atomic<uint64_t> points{0};
+  std::atomic<uint64_t> pauses{0};
+  std::atomic<uint64_t> timeouts{0};
+};
+
+}  // namespace internal
+
+namespace {
+
+// The active harness. Installed/removed by ScheduleHarness; read by every
+// SchedulePoint. acquire/release so a point that observes the pointer also
+// observes the fully-constructed Impl.
+std::atomic<internal::ScheduleImpl*> g_active{nullptr};
+
+}  // namespace
+
+ScheduleHarness::ScheduleHarness(const ScheduleOptions& options)
+    : impl_(new internal::ScheduleImpl()) {
+  impl_->options = options;
+  internal::ScheduleImpl* expected = nullptr;
+  const bool installed =
+      g_active.compare_exchange_strong(expected, impl_,
+                                       std::memory_order_release);
+  PROBE_ASSERT(installed && "one ScheduleHarness at a time");
+}
+
+ScheduleHarness::~ScheduleHarness() {
+  g_active.store(nullptr, std::memory_order_release);
+  // Any thread still paused inside impl_ would dangle; the contract is
+  // that callers join first, and pauses are time-bounded anyway. Grabbing
+  // the mutex once ensures no pauser is mid-wakeup while we free.
+  {
+    MutexLock lock(&impl_->mu);
+    impl_->cv.NotifyAll();
+    while (impl_->waiters != 0) {
+      impl_->cv.Wait(&impl_->mu);
+    }
+  }
+  delete impl_;
+}
+
+ScheduleStats ScheduleHarness::stats() const {
+  ScheduleStats s;
+  s.points = impl_->points.load(std::memory_order_relaxed);
+  s.pauses = impl_->pauses.load(std::memory_order_relaxed);
+  s.timeouts = impl_->timeouts.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ScheduleThreadOrdinal(uint32_t ordinal) { t_ordinal = ordinal; }
+
+void SchedulePoint(const char* name) {
+  internal::ScheduleImpl* h = g_active.load(std::memory_order_acquire);
+  if (h == nullptr) return;  // the disabled cost: one load, one branch
+
+  const uint64_t visit = t_visits++;
+  h->points.fetch_add(1, std::memory_order_relaxed);
+
+  MutexLock lock(&h->mu);
+  if (t_ordinal == kNoOrdinal) t_ordinal = h->next_auto_ordinal++;
+  const ScheduleOptions& opt = h->options;
+  const uint64_t hash = Mix(opt.seed ^ Mix(t_ordinal) ^ HashName(name) ^
+                            Mix(visit * 0x9E3779B97F4A7C15ull));
+  // Every passage is a step other pausers may be waiting on.
+  ++h->step;
+  if (h->waiters != 0) h->cv.NotifyAll();
+
+  if (opt.pause_one_in == 0 || hash % opt.pause_one_in != 0) return;
+
+  h->pauses.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t target =
+      h->step + 1 +
+      (opt.max_wait_steps == 0 ? 0 : (hash >> 32) % opt.max_wait_steps);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(opt.max_wait_micros);
+  ++h->waiters;
+  while (h->step < target) {
+    if (h->cv.WaitUntil(&h->mu, deadline) == std::cv_status::timeout) {
+      h->timeouts.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  --h->waiters;
+  if (h->waiters == 0) h->cv.NotifyAll();  // unblock a tearing-down harness
+}
+
+}  // namespace probe::util

@@ -1,0 +1,93 @@
+#ifndef PROBE_UTIL_YIELDPOINT_H_
+#define PROBE_UTIL_YIELDPOINT_H_
+
+#include <cstdint>
+
+/// \file
+/// Deterministic schedule exploration at named yield points.
+///
+/// TSan finds the races a particular run happens to schedule; the crash
+/// matrix kills the WAL at every record boundary. This is the analogous
+/// tool for *interleavings*: concurrency-sensitive code marks its hand-off
+/// points with `util::SchedulePoint("wal.leader")`, and a test installs a
+/// ScheduleHarness that decides, at every passage, whether the calling
+/// thread pauses there — a pure function of (seed, thread ordinal, point
+/// name, per-thread visit count). Sweeping seeds sweeps pause patterns,
+/// which perturbs which thread wins leader election, whether a follower
+/// arrives before or after the sync, whether an epoch publishes before a
+/// reader pins — the schedules a free-running run almost never produces.
+///
+/// Determinism and liveness:
+///
+///   * The pause *decision* is deterministic given the seed and the
+///     thread's ordinal (tests assign ordinals explicitly via
+///     ScheduleThreadOrdinal; unregistered threads get arrival order).
+///     What the decision *causes* still depends on the OS scheduler — the
+///     harness makes rare orderings common and reproducible in
+///     distribution, not cycle-exact.
+///   * A paused thread waits until `max_wait_steps` other passages occur,
+///     bounded by `max_wait_micros` — so a pause can never deadlock, even
+///     at a point reached while holding a lock every other thread needs.
+///
+/// When no harness is installed (all production code, all other tests), a
+/// point costs one atomic load and a branch. Points therefore belong on
+/// commit/publish paths, not per-key hot loops.
+///
+/// Lifecycle: at most one harness at a time; join every thread that may
+/// touch a point before destroying it.
+
+namespace probe::util {
+
+namespace internal {
+struct ScheduleImpl;
+}  // namespace internal
+
+/// Knobs of one schedule exploration.
+struct ScheduleOptions {
+  /// Selects the pause pattern; sweep this.
+  uint64_t seed = 1;
+  /// A thread pauses at a point with probability 1/pause_one_in (0
+  /// disables pausing; the harness then only counts passages).
+  uint32_t pause_one_in = 4;
+  /// A pause ends after this many passages by other threads...
+  uint32_t max_wait_steps = 6;
+  /// ...or after this wall-clock bound, whichever comes first.
+  uint32_t max_wait_micros = 2000;
+};
+
+/// Passage counters of one harness session.
+struct ScheduleStats {
+  uint64_t points = 0;    ///< SchedulePoint passages observed.
+  uint64_t pauses = 0;    ///< Passages that paused.
+  uint64_t timeouts = 0;  ///< Pauses ended by the wall-clock bound.
+};
+
+/// RAII installation of the process-wide schedule harness.
+class ScheduleHarness {
+ public:
+  explicit ScheduleHarness(const ScheduleOptions& options);
+  ~ScheduleHarness();
+
+  ScheduleHarness(const ScheduleHarness&) = delete;
+  ScheduleHarness& operator=(const ScheduleHarness&) = delete;
+
+  ScheduleStats stats() const;
+
+ private:
+  internal::ScheduleImpl* impl_;
+};
+
+/// Marks a schedule-sensitive point. No-op (one atomic load) unless a
+/// ScheduleHarness is installed. `name` must be a literal or otherwise
+/// outlive the call; decisions hash its characters, so the same name means
+/// the same point across runs and builds.
+void SchedulePoint(const char* name);
+
+/// Fixes the calling thread's ordinal for pause decisions. Tests call this
+/// first thing in each spawned thread so decisions do not depend on which
+/// thread reaches its first point first.
+void ScheduleThreadOrdinal(uint32_t ordinal);
+
+}  // namespace probe::util
+
+#endif  // PROBE_UTIL_YIELDPOINT_H_

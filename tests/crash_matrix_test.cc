@@ -13,14 +13,21 @@
 //      committed before the crash — no lost batch, no resurrected one,
 //   3. the recovered database accepts new batches.
 //
-// The sweep covers 240 crash/recover cycles (WAL records 0..119 with
-// alternating torn tails, base writes 0..59 under both fault kinds), well
-// past every record boundary the script can produce. scripts/check.sh
-// runs this under ASan via the `recovery` ctest label.
+// The sweep covers 240 single-writer crash/recover cycles (WAL records
+// 0..119 with alternating torn tails, base writes 0..59 under both fault
+// kinds), well past every record boundary the script can produce — plus
+// 200 *concurrent-writer* cycles that kill the log mid-group-commit and
+// check recovery is a durable prefix of the commit order (see
+// ConcurrentWritersDieMidGroupCommit). scripts/check.sh runs this under
+// ASan via the `recovery` ctest label.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <functional>
+#include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,6 +35,7 @@
 
 #include "index/durable_index.h"
 #include "temp_file.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace probe {
@@ -187,6 +195,139 @@ TEST(CrashMatrixTest, BaseFileDiesAtEveryCheckpointWrite) {
                       .seed = 0x9E3779B9u ^ w});
                });
     }
+  }
+}
+
+// The concurrent-writer kill matrix: three writers race insert batches
+// through group commit while the log dies at record k, for 200 seeded
+// crash points — so the kill lands before, inside, and after group
+// formation (a linger delay keeps groups forming). Recovery must land on
+// a *durable prefix of the commit (epoch) order*:
+//
+//   1. every acked batch (Apply returned true) is recovered — acked means
+//      durable, no matter which thread's fsync covered it,
+//   2. every batch is all-or-nothing — no torn batches,
+//   3. each thread's recovered batches are a prefix of that thread's
+//      apply order — epochs are assigned in commit order and the log's
+//      durable prefix is LSN-closed,
+//   4. the recovered point count is exactly (published_epoch - 1) batches'
+//      worth — the prefix is dense, nothing skipped or resurrected.
+TEST(CrashMatrixTest, ConcurrentWritersDieMidGroupCommit) {
+  constexpr int kThreads = 3;
+  constexpr int kBatchesPerThread = 4;
+  constexpr int kPerBatch = 4;
+  const zorder::GridSpec grid{2, 6};
+
+  // Thread-unique id spaces keep every batch's footprint disjoint.
+  auto batch_ids = [](int t, int b) {
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < kPerBatch; ++i) {
+      ids.push_back(static_cast<uint64_t>(t) * 1000 +
+                    static_cast<uint64_t>(b) * 10 + static_cast<uint64_t>(i) +
+                    1);
+    }
+    return ids;
+  };
+  auto batch_ops = [&](int t, int b) {
+    std::vector<Op> ops;
+    for (uint64_t id : batch_ids(t, b)) {
+      ops.push_back(Op::Insert(
+          GridPoint({static_cast<uint32_t>((id * 37) % kSide),
+                     static_cast<uint32_t>((id * 13) % kSide)}),
+          id));
+    }
+    return ops;
+  };
+
+  for (uint64_t k = 0; k < 200; ++k) {
+    SCOPED_TRACE("wal record " + std::to_string(k));
+    testutil::TempFile tmp("crash_matrix_mt");
+    const uint64_t tear = (k % 2 == 0) ? 0 : 1 + (k * 53) % 4096;
+
+    util::Mutex log_mutex;
+    struct Acked {
+      uint64_t epoch;
+      int thread;
+      int batch;
+    };
+    std::vector<Acked> acked;
+    // applied[t] = how many batches thread t managed to ack, in order.
+    int applied[kThreads] = {0, 0, 0};
+
+    {
+      DurableIndex::Options options = SmallOptions();
+      options.truncate = true;
+      DurableIndex db(grid, tmp.path(), options);
+      ASSERT_TRUE(db.ok());
+      db.wal().SetFaultPlan({.fail_after_records = k, .tear_bytes = tear});
+      db.wal().SetGroupCommitDelay(std::chrono::microseconds(50));
+
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          for (int b = 0; b < kBatchesPerThread; ++b) {
+            const auto ops = batch_ops(t, b);
+            uint64_t epoch = 0;
+            if (!db.Apply(ops, &epoch)) break;  // engine died
+            util::MutexLock lock(&log_mutex);
+            acked.push_back({epoch, t, b});
+            applied[t] = b + 1;
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      // Die here: no shutdown, no flush.
+    }
+
+    DurableIndex db(grid, tmp.path(), SmallOptions());
+    ASSERT_TRUE(db.ok()) << "recovery must always produce a usable database";
+    EXPECT_TRUE(db.index().tree().CheckInvariants());
+
+    const uint64_t recovered_epoch = db.published_epoch();
+    auto got =
+        db.index().RangeSearch(GridBox::Make2D(0, kSide - 1, 0, kSide - 1));
+    const std::set<uint64_t> got_set(got.begin(), got.end());
+    ASSERT_EQ(got.size(), got_set.size());
+
+    // (4) dense prefix: epoch 1 is the empty commit, each later epoch one
+    // kPerBatch-sized batch.
+    ASSERT_GE(recovered_epoch, 1u);
+    EXPECT_EQ(got_set.size(), (recovered_epoch - 1) * kPerBatch);
+
+    // (1) acked ⊆ recovered.
+    for (const Acked& a : acked) {
+      EXPECT_LE(a.epoch, recovered_epoch)
+          << "thread " << a.thread << " batch " << a.batch
+          << " was acked but its epoch is beyond the recovered one";
+      for (uint64_t id : batch_ids(a.thread, a.batch)) {
+        EXPECT_TRUE(got_set.count(id))
+            << "acked batch lost id " << id << " (thread " << a.thread
+            << " batch " << a.batch << ")";
+      }
+    }
+
+    // (2) all-or-nothing, (3) per-thread prefix.
+    for (int t = 0; t < kThreads; ++t) {
+      bool prior_present = true;
+      for (int b = 0; b < kBatchesPerThread; ++b) {
+        const auto ids = batch_ids(t, b);
+        size_t present = 0;
+        for (uint64_t id : ids) present += got_set.count(id);
+        EXPECT_TRUE(present == 0 || present == ids.size())
+            << "torn batch: thread " << t << " batch " << b << " has "
+            << present << "/" << ids.size() << " ids";
+        if (present == ids.size()) {
+          EXPECT_TRUE(prior_present)
+              << "thread " << t << " batch " << b
+              << " recovered without its predecessor";
+        }
+        prior_present = present == ids.size();
+      }
+    }
+
+    // Recovered databases accept new writes.
+    EXPECT_TRUE(db.Insert(GridPoint({1, 1}), 999999));
+    EXPECT_TRUE(db.Delete(GridPoint({1, 1}), 999999));
   }
 }
 

@@ -3,7 +3,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -52,15 +54,32 @@ TEST(SessionManagerTest, CreateTouchCloseLifecycle) {
 }
 
 TEST(SessionManagerTest, IdleSessionsExpire) {
+  // Harness clock: the test advances `now` instead of sleeping, so expiry
+  // is exact at the timeout boundary and the test is sleep-free.
+  auto now = std::chrono::steady_clock::now();
   SessionManager manager(milliseconds(50));
+  manager.SetClockForTest([&now] { return now; });
+
   const uint64_t id = manager.Create(-1, "idler");
   EXPECT_FALSE(manager.Expired(id));
-  std::this_thread::sleep_for(milliseconds(120));
+  now += milliseconds(120);
   EXPECT_TRUE(manager.Expired(id));
-  // Touch resets the idle clock.
-  ASSERT_NE(manager.Touch(id), nullptr);
-  EXPECT_FALSE(manager.Expired(id));
-  std::this_thread::sleep_for(milliseconds(120));
+  // Touching an expired session refuses instead of reviving it; the
+  // session stays registered until closed or swept.
+  EXPECT_EQ(manager.Touch(id), nullptr);
+  EXPECT_EQ(manager.active(), 1u);
+  EXPECT_EQ(manager.ExpireIdle(), 1u);
+  EXPECT_EQ(manager.active(), 0u);
+
+  // A session touched inside the window keeps sliding: two 40ms idles
+  // never expire under a 50ms timeout, a 60ms one does.
+  const uint64_t fresh = manager.Create(-1, "fresh");
+  now += milliseconds(40);
+  ASSERT_NE(manager.Touch(fresh), nullptr);
+  now += milliseconds(40);
+  EXPECT_FALSE(manager.Expired(fresh));
+  EXPECT_EQ(manager.ExpireIdle(), 0u);
+  now += milliseconds(60);
   EXPECT_EQ(manager.ExpireIdle(), 1u);
   EXPECT_EQ(manager.active(), 0u);
 }
@@ -183,14 +202,26 @@ TEST_F(SessionProtocolTest, IdleSessionExpiresAndConnectionCloses) {
   ServerOptions options;
   options.idle_timeout = milliseconds(100);
   StartServer(options);
+
+  // Harness clock: real time plus a test-controlled offset. Advancing the
+  // offset leaps the session past its idle timeout with no real sleeping
+  // (the offset is atomic because handler threads read the clock
+  // concurrently).
+  auto offset = std::make_shared<std::atomic<int64_t>>(0);
+  server_->sessions().SetClockForTest([offset] {
+    return std::chrono::steady_clock::now() + milliseconds(offset->load());
+  });
+
   Client client = Connect();
   HelloResponse hello;
   ASSERT_TRUE(client.Hello(&hello));
+  EXPECT_EQ(server_->sessions().active(), 1u);
 
-  std::this_thread::sleep_for(milliseconds(400));
+  offset->store(250);  // idle for "250ms" against a 100ms timeout
 
-  // The server noticed the idle session on its tick: the client reads the
-  // kSessionExpired notice (or, if it raced the close, an I/O error).
+  // The next query finds the session expired — deterministically via the
+  // lookup itself, or via the server's idle tick if that raced ahead and
+  // closed the connection first.
   std::vector<uint64_t> ids;
   EXPECT_FALSE(client.Range(GridBox::Make2D(0, 50, 0, 50), &ids));
   EXPECT_TRUE(client.last_status() == Status::kSessionExpired ||

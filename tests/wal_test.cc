@@ -75,6 +75,8 @@ TEST(WalTest, PageImagesRoundTrip) {
   Wal wal(tmp.path(), /*truncate=*/true);
   wal.AppendPageImage(7, PageOf(0xAB));
   wal.AppendPageImage(3, PageOf(0xCD));
+  // Appends buffer in memory until a commit, sync, or explicit flush.
+  ASSERT_TRUE(wal.Flush());
 
   const auto records = ReadAll(tmp.path());
   ASSERT_EQ(records.size(), 2u);
@@ -173,6 +175,7 @@ TEST(WalTest, CheckpointRewriteLeavesSingleRecordWithContinuingLsn) {
 
   // The log keeps appending after the rewrite, LSNs still monotone.
   EXPECT_EQ(wal.AppendPageImage(0, PageOf(7)), 23u);
+  ASSERT_TRUE(wal.Flush());
   EXPECT_EQ(ReadAll(tmp.path()).size(), 2u);
 }
 
@@ -222,6 +225,7 @@ TEST(WalTest, FaultPlanTearsTheVictimRecord) {
   Wal wal(tmp.path());
   EXPECT_EQ(wal.next_lsn(), 3u);
   EXPECT_NE(wal.AppendPageImage(5, PageOf(5)), 0u);
+  ASSERT_TRUE(wal.Flush());
   ASSERT_EQ(ReadAll(tmp.path()).size(), 3u);
   EXPECT_EQ(ReadAll(tmp.path()).back().page_id, 5u);
 }
