@@ -182,14 +182,21 @@ bool DurableIndex::Apply(std::span<const Op> ops, uint64_t* epoch_out) {
 
 DurableIndex::Snapshot DurableIndex::CreateSnapshot() {
   std::shared_ptr<SnapshotResources> res;
+  // Holds a stale cached view so it outlives the lock scope below: if a
+  // concurrent reader dropped the last Snapshot after our cached_.lock(),
+  // this reference is the final one, and ~SnapshotResources re-enters
+  // epoch_mutex_ via ReleasePin — destroying it while still holding the
+  // lock would self-deadlock.
+  std::shared_ptr<SnapshotResources> stale;
   {
     util::MutexLock lock(&epoch_mutex_);
     // A draining checkpoint is about to drop the page versions pins
     // resolve through; new pins wait for the cut-over.
     while (draining_) epoch_cv_.Wait(&epoch_mutex_);
     const uint64_t epoch = published_epoch_;
-    if (auto cached = cached_.lock(); cached && cached->epoch == epoch) {
-      return Snapshot(std::move(cached));  // share the live view's pin
+    stale = cached_.lock();
+    if (stale && stale->epoch == epoch) {
+      return Snapshot(std::move(stale));  // share the live view's pin
     }
     const auto it = states_.find(epoch);
     if (it == states_.end()) return Snapshot();  // engine never opened

@@ -140,11 +140,20 @@ bool ShardedEngine::Apply(std::span<const index::DurableIndex::Op> ops) {
 
 bool ShardedEngine::Checkpoint() {
   if (!ok_) return false;
-  std::atomic<bool> all_ok{true};
-  pool_->ParallelFor(shards_.size(), [&](size_t i) {
-    if (!shards_[i]->Checkpoint()) all_ok.store(false);
-  });
-  return all_ok.load();
+  // Serial on the calling thread, one shard at a time — NOT ParallelFor.
+  // A shard's checkpoint blocks in its pin-drain for as long as queries
+  // hold that shard's snapshot pins, and CreateView pins shards in index
+  // order; draining two shards concurrently (whether via pool workers or
+  // two Checkpoint callers, hence the mutex) can therefore cycle: each
+  // drain waiting on a view that is itself blocked at the other draining
+  // shard. With one drain at a time every pin holder makes progress. See
+  // the header comment.
+  util::MutexLock lock(&checkpoint_mutex_);
+  bool all_ok = true;
+  for (auto& shard : shards_) {
+    if (!shard->Checkpoint()) all_ok = false;
+  }
+  return all_ok;
 }
 
 ShardedEngine::View ShardedEngine::CreateView() const {

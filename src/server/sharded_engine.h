@@ -13,6 +13,8 @@
 #include "index/durable_index.h"
 #include "index/nearest.h"
 #include "index/zkd_index.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "zorder/grid.h"
 
@@ -140,7 +142,16 @@ class ShardedEngine {
   bool Apply(std::span<const index::DurableIndex::Op> ops);
 
   /// Checkpoints every shard (bounding each shard's log). Blocks until
-  /// in-flight Views release their pins.
+  /// in-flight Views release their pins. Safe to overlap with queries and
+  /// Apply. Shards are checkpointed one at a time, on the calling thread:
+  /// a shard's checkpoint drains that shard's snapshot pins while
+  /// CreateView acquires pins shard by shard, so draining two shards at
+  /// once could deadlock in a cycle (view A pins shard 0 and waits on
+  /// shard 1's drain, view B pins shard 1 and waits on shard 0's drain,
+  /// each drain waits on the other view's pin). One drain at a time —
+  /// enforced across concurrent Checkpoint calls by checkpoint_mutex_ —
+  /// means a view blocked at the draining shard never holds that shard's
+  /// pin, so every pin holder can finish and the drain always completes.
   bool Checkpoint();
 
   /// Scatter-gather range query: identical, element for element, to the
@@ -203,8 +214,14 @@ class ShardedEngine {
   util::ThreadPool* pool_;
   // Immutable after construction; each DurableIndex is internally
   // synchronized (apply lock + group commit for writers, epoch-pinned
-  // snapshots for readers), so the engine needs no lock of its own.
+  // snapshots for readers), so the query and write paths need no engine
+  // lock.
   std::vector<std::unique_ptr<index::DurableIndex>> shards_;
+  // Serializes Checkpoint calls so at most one shard is ever draining its
+  // snapshot pins (see Checkpoint). Leaf: held across per-shard
+  // DurableIndex::Checkpoint calls but never while touching another
+  // engine-level lock.
+  util::Mutex checkpoint_mutex_;
   bool ok_ = false;
 };
 

@@ -263,9 +263,10 @@ bool Wal::GroupCommit(uint64_t lsn) {
     sync_active_ = true;
     if (group_delay_.count() > 0) {
       // Linger so more commits join the group; bounded, and cut short if
-      // the log dies underneath us.
+      // the log dies underneath us or an explicit Sync/checkpoint arrives
+      // (it wants durability now — lingering only adds latency).
       const auto deadline = std::chrono::steady_clock::now() + group_delay_;
-      while (!dead_.load(std::memory_order_relaxed) &&
+      while (!dead_.load(std::memory_order_relaxed) && sync_waiters_ == 0 &&
              commit_cv_.WaitUntil(&mu_, deadline) != std::cv_status::timeout) {
       }
     }
@@ -276,10 +277,16 @@ bool Wal::GroupCommit(uint64_t lsn) {
 bool Wal::Sync() {
   assert(ok());
   util::MutexLock lock(&mu_);
+  ++sync_waiters_;
+  commit_cv_.NotifyAll();  // a lingering leader ends its delay for us
   while (sync_active_ && !dead_.load(std::memory_order_relaxed)) {
     commit_cv_.Wait(&mu_);
   }
+  --sync_waiters_;
   if (dead_.load(std::memory_order_relaxed)) return false;
+  // The turn we waited out may already have made everything durable (the
+  // common case after cutting a linger short); don't pay a second fsync.
+  if (buffer_.empty() && durable_lsn_ >= next_lsn_ - 1) return true;
   sync_active_ = true;
   return LeaderSyncLocked();
 }
@@ -296,11 +303,15 @@ uint64_t Wal::RewriteWithCheckpoint(uint32_t page_count,
   util::MutexLock lock(&mu_);
   assert(ok());
   // Checkpoints run at a quiescent commit boundary, but a straggling
-  // GroupCommit turn may still be mid-fsync; drain it so nothing touches
-  // the file (or fd_) while it is replaced.
+  // GroupCommit turn may still be mid-fsync (or lingering — registering
+  // as a sync waiter ends the linger immediately); drain it so nothing
+  // touches the file (or fd_) while it is replaced.
+  ++sync_waiters_;
+  commit_cv_.NotifyAll();
   while (sync_active_ && !dead_.load(std::memory_order_relaxed)) {
     commit_cv_.Wait(&mu_);
   }
+  --sync_waiters_;
   if (dead_.load(std::memory_order_relaxed)) return 0;
   // Straggler appends go into the old log first, keeping LSNs continuous.
   // (Callers sync before checkpointing, so this is normally a no-op.)

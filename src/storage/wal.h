@@ -155,7 +155,9 @@ class Wal {
   /// Leader linger: how long a group-commit leader waits for more commits
   /// to join its fsync. 0 (the default) syncs immediately — single-writer
   /// behavior. Groups still form under concurrency even at 0, because
-  /// commits queued while a sync is in flight share the next one.
+  /// commits queued while a sync is in flight share the next one. An
+  /// explicit Sync() or RewriteWithCheckpoint() ends an in-progress
+  /// linger immediately — explicit syncs never pay the delay.
   void SetGroupCommitDelay(std::chrono::microseconds delay);
   std::chrono::microseconds group_commit_delay() const;
 
@@ -257,6 +259,11 @@ class Wal {
   uint64_t pending_commits_ PROBE_GUARDED_BY(mu_) = 0;
   // True while one thread owns the flush+fsync turn (the leader).
   bool sync_active_ PROBE_GUARDED_BY(mu_) = false;
+  // Threads blocked in Sync()/RewriteWithCheckpoint() waiting for the
+  // current turn to end. A lingering leader cuts its group-commit delay
+  // short when this is nonzero: an explicit sync wants durability *now*,
+  // so there is nothing to gain by waiting for more commits to join.
+  uint64_t sync_waiters_ PROBE_GUARDED_BY(mu_) = 0;
   std::chrono::microseconds group_delay_ PROBE_GUARDED_BY(mu_){0};
   WalStats stats_ PROBE_GUARDED_BY(mu_);
 };

@@ -65,8 +65,8 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   obs::ThreadPoolMetrics* m = metrics_.load(std::memory_order_acquire);
   if (m != nullptr && obs::Enabled()) {
     // Wrap rather than instrument the queue itself: the wrapper runs on
-    // whichever lane dequeues the task, so depth and latency cover the
-    // caller-drain path (RunOneTask) too.
+    // whichever worker dequeues the task, and also covers tasks run
+    // inline on the submitter during shutdown.
     m->queue_depth->Add(1);
     const auto enqueued = std::chrono::steady_clock::now();
     task = [m, enqueued, inner = std::move(task)]() {
@@ -108,20 +108,6 @@ void ThreadPool::WorkerLoop() {
     task();
     FinishTask();
   }
-}
-
-bool ThreadPool::RunOneTask() {
-  std::function<void()> task;
-  {
-    MutexLock lock(&mutex_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
-    ++in_flight_;
-  }
-  task();
-  FinishTask();
-  return true;
 }
 
 void ThreadPool::FinishTask() {

@@ -99,14 +99,18 @@ class ThreadPool {
 
  private:
   void Enqueue(std::function<void()> task);
+
+  // Pops queued tasks until stopping_. Deliberately the ONLY place queue
+  // tasks are popped: a ParallelFor caller drains its own batch via the
+  // shared iteration counter and never executes foreign queue tasks, so a
+  // lane that blocks inside fn (e.g. on a condition another thread will
+  // signal) can never have picked up an unrelated task that waits, in
+  // turn, on that lane — a caller-drain helper here would reintroduce
+  // that deadlock.
   void WorkerLoop();
 
-  // Pops one task and runs it; false when the queue is empty. Used by the
-  // calling thread to help drain its own ParallelFor.
-  bool RunOneTask();
-
-  // Completion bookkeeping shared by WorkerLoop and RunOneTask: decrements
-  // in_flight_ and wakes Shutdown's drain wait at idle.
+  // Completion bookkeeping for WorkerLoop: decrements in_flight_ and
+  // wakes Shutdown's drain wait at idle.
   void FinishTask();
 
   // Lock hierarchy: mutex_ is a leaf — no other lock in the system is

@@ -69,6 +69,33 @@ TEST(GroupCommitTest, DeferredCommitsShareOneSync) {
   EXPECT_EQ(wal.stats().syncs, 1u);
 }
 
+TEST(GroupCommitTest, ExplicitSyncCutsLeaderLingerShort) {
+  testutil::TempFile tmp("group_commit_linger_cut");
+  Wal wal(tmp.path(), /*truncate=*/true);
+  ASSERT_TRUE(wal.ok());
+  // A linger far longer than the test budget: if an explicit Sync had to
+  // sit it out, the elapsed-time bound below would trip.
+  wal.SetGroupCommitDelay(std::chrono::seconds(30));
+
+  std::thread committer([&wal] {
+    const uint64_t lsn = wal.AppendCommitDeferred(1, Meta(1));
+    ASSERT_NE(lsn, 0u);
+    EXPECT_TRUE(wal.GroupCommit(lsn));  // leads, and would linger 30s
+  });
+  // Wait for the commit record to exist so Sync has something to cover
+  // (whether the committer has claimed leadership yet or not — both
+  // orders must come in far under the linger).
+  while (wal.next_lsn() < 2) std::this_thread::yield();
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(wal.Sync());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(wal.durable_lsn(), 1u);
+  EXPECT_LT(elapsed, std::chrono::seconds(10))
+      << "Sync waited out the group-commit linger";
+  committer.join();
+}
+
 TEST(GroupCommitTest, CommitStormKeepsAckedWithinDurable) {
   constexpr int kThreads = 4;
   constexpr int kCommitsPerThread = 32;
