@@ -56,15 +56,15 @@ int main() {
         regions.Add(static_cast<double>(stats.regions_expanded));
         scans.Add(static_cast<double>(stats.range_scans));
         // Brute-force distance check of the reported k-th distance.
-        uint64_t kth = got.empty() ? 0 : got.back().distance2;
+        const index::Dist2 kth = got.empty() ? 0 : got.back().distance2;
         size_t within = 0;
         for (const auto& r : points) {
-          uint64_t d2 = 0;
+          index::Dist2 d2 = 0;
           for (int d = 0; d < 2; ++d) {
             const uint64_t delta = r.point[d] > query[d]
                                        ? r.point[d] - query[d]
                                        : query[d] - r.point[d];
-            d2 += delta * delta;
+            d2 += static_cast<index::Dist2>(delta) * delta;
           }
           if (d2 < kth) ++within;
         }

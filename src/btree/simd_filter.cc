@@ -42,6 +42,20 @@ int CountInRangeZScalar(const uint64_t* z, int n, uint64_t lo, uint64_t hi) {
   return count;
 }
 
+int CollectWithinDist2Scalar(const uint64_t* xs, const uint64_t* ys, int n,
+                             uint64_t qx, uint64_t qy, uint64_t r2,
+                             int32_t* out) {
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t dx = xs[i] > qx ? xs[i] - qx : qx - xs[i];
+    const uint64_t dy = ys[i] > qy ? ys[i] - qy : qy - ys[i];
+    // Coordinates are < 2^31 (see the header contract), so each square
+    // fits in 62 bits and the sum in 63 — no wrap.
+    if (dx * dx + dy * dy <= r2) out[count++] = i;
+  }
+  return count;
+}
+
 #if PROBE_HAVE_AVX2_TARGET
 
 namespace {
@@ -99,6 +113,43 @@ __attribute__((target("avx2"))) int CountInRangeZAvx2(const uint64_t* z, int n,
   return count;
 }
 
+__attribute__((target("avx2"))) int CollectWithinDist2Avx2(
+    const uint64_t* xs, const uint64_t* ys, int n, uint64_t qx, uint64_t qy,
+    uint64_t r2, int32_t* out) {
+  // All inputs are < 2^31 (header contract): deltas fit in signed 32 bits,
+  // so _mm256_mul_epi32 — which multiplies the sign-extended low 32 bits
+  // of each 64-bit lane — squares them exactly, and the 64-bit sums stay
+  // below 2^63, making the signed 64-bit compare correct without the
+  // sign-bias trick.
+  const __m256i vqx = _mm256_set1_epi64x(static_cast<int64_t>(qx));
+  const __m256i vqy = _mm256_set1_epi64x(static_cast<int64_t>(qy));
+  const __m256i vr2 = _mm256_set1_epi64x(static_cast<int64_t>(r2));
+  int count = 0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + i));
+    const __m256i vy =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ys + i));
+    const __m256i dx = _mm256_sub_epi64(vx, vqx);
+    const __m256i dy = _mm256_sub_epi64(vy, vqy);
+    const __m256i dx2 = _mm256_mul_epi32(dx, dx);
+    const __m256i dy2 = _mm256_mul_epi32(dy, dy);
+    const __m256i d2 = _mm256_add_epi64(dx2, dy2);
+    const __m256i over = _mm256_cmpgt_epi64(d2, vr2);
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(over));
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask & (1 << lane)) == 0) out[count++] = i + lane;
+    }
+  }
+  for (; i < n; ++i) {
+    const uint64_t dx = xs[i] > qx ? xs[i] - qx : qx - xs[i];
+    const uint64_t dy = ys[i] > qy ? ys[i] - qy : qy - ys[i];
+    if (dx * dx + dy * dy <= r2) out[count++] = i;
+  }
+  return count;
+}
+
 #else  // !PROBE_HAVE_AVX2_TARGET — keep the symbols linkable everywhere.
 
 int UpperBoundZAvx2(const uint64_t* z, int n, uint64_t bound) {
@@ -107,6 +158,12 @@ int UpperBoundZAvx2(const uint64_t* z, int n, uint64_t bound) {
 
 int CountInRangeZAvx2(const uint64_t* z, int n, uint64_t lo, uint64_t hi) {
   return CountInRangeZScalar(z, n, lo, hi);
+}
+
+int CollectWithinDist2Avx2(const uint64_t* xs, const uint64_t* ys, int n,
+                           uint64_t qx, uint64_t qy, uint64_t r2,
+                           int32_t* out) {
+  return CollectWithinDist2Scalar(xs, ys, n, qx, qy, r2, out);
 }
 
 #endif  // PROBE_HAVE_AVX2_TARGET
@@ -119,6 +176,13 @@ int UpperBoundZ(const uint64_t* z, int n, uint64_t bound) {
 int CountInRangeZ(const uint64_t* z, int n, uint64_t lo, uint64_t hi) {
   return (g_has_avx2 && !g_force_scalar) ? CountInRangeZAvx2(z, n, lo, hi)
                                          : CountInRangeZScalar(z, n, lo, hi);
+}
+
+int CollectWithinDist2(const uint64_t* xs, const uint64_t* ys, int n,
+                       uint64_t qx, uint64_t qy, uint64_t r2, int32_t* out) {
+  return (g_has_avx2 && !g_force_scalar)
+             ? CollectWithinDist2Avx2(xs, ys, n, qx, qy, r2, out)
+             : CollectWithinDist2Scalar(xs, ys, n, qx, qy, r2, out);
 }
 
 }  // namespace probe::btree

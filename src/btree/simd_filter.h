@@ -41,6 +41,26 @@ int CountInRangeZ(const uint64_t* z, int n, uint64_t lo, uint64_t hi);
 int CountInRangeZScalar(const uint64_t* z, int n, uint64_t lo, uint64_t hi);
 int CountInRangeZAvx2(const uint64_t* z, int n, uint64_t lo, uint64_t hi);
 
+/// Distance-join inner kernel: writes to `out` (capacity >= n) the indices
+/// i in [0, n) with (xs[i]-qx)^2 + (ys[i]-qy)^2 <= r2 and returns how many
+/// were written, in ascending order. This is the per-pair distance test of
+/// the zones-style join, run over one zone's x-window per probe point.
+///
+/// Preconditions (the caller — relational/distance_join — enforces them by
+/// falling back to 128-bit scalar arithmetic when they cannot hold): every
+/// coordinate and qx/qy below 2^31, so each squared axis delta fits in 63
+/// bits and the sum in 64 signed bits; r2 <= 2^63 - 1 (a larger radius is
+/// clamped by the caller — distances themselves cannot exceed 2^63 - 1
+/// under the coordinate bound, so the clamp loses nothing).
+int CollectWithinDist2(const uint64_t* xs, const uint64_t* ys, int n,
+                       uint64_t qx, uint64_t qy, uint64_t r2, int32_t* out);
+int CollectWithinDist2Scalar(const uint64_t* xs, const uint64_t* ys, int n,
+                             uint64_t qx, uint64_t qy, uint64_t r2,
+                             int32_t* out);
+int CollectWithinDist2Avx2(const uint64_t* xs, const uint64_t* ys, int n,
+                           uint64_t qx, uint64_t qy, uint64_t r2,
+                           int32_t* out);
+
 }  // namespace probe::btree
 
 #endif  // PROBE_BTREE_SIMD_FILTER_H_

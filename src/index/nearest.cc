@@ -16,9 +16,10 @@ using btree::ZKey;
 using zorder::ZValue;
 
 // Squared distance from the query cell to the closest cell of the region.
-uint64_t MinDistance2(const std::vector<zorder::DimRange>& region,
-                      const geometry::GridPoint& query) {
-  uint64_t dist2 = 0;
+// Accumulated in Dist2: two 32-bit deltas squared can sum past 2^64.
+Dist2 MinDistance2(const std::vector<zorder::DimRange>& region,
+                   const geometry::GridPoint& query) {
+  Dist2 dist2 = 0;
   for (size_t d = 0; d < region.size(); ++d) {
     const uint32_t q = query[static_cast<int>(d)];
     uint64_t delta = 0;
@@ -27,24 +28,24 @@ uint64_t MinDistance2(const std::vector<zorder::DimRange>& region,
     } else if (q > region[d].hi) {
       delta = q - region[d].hi;
     }
-    dist2 += delta * delta;
+    dist2 += static_cast<Dist2>(delta) * delta;
   }
   return dist2;
 }
 
-uint64_t PointDistance2(const geometry::GridPoint& a,
-                        const geometry::GridPoint& b) {
-  uint64_t dist2 = 0;
+Dist2 PointDistance2(const geometry::GridPoint& a,
+                     const geometry::GridPoint& b) {
+  Dist2 dist2 = 0;
   for (int d = 0; d < a.dims(); ++d) {
     const uint64_t delta = a[d] > b[d] ? a[d] - b[d] : b[d] - a[d];
-    dist2 += delta * delta;
+    dist2 += static_cast<Dist2>(delta) * delta;
   }
   return dist2;
 }
 
 // Priority-queue entry: a z-prefix region with its optimistic distance.
 struct Candidate {
-  uint64_t dist2;
+  Dist2 dist2;
   ZValue region;
   // Larger dist2 = lower priority; ties broken by z order for determinism.
   bool operator<(const Candidate& other) const {
@@ -65,11 +66,11 @@ std::vector<Neighbor> KNearest(const ZkdIndex& index,
   std::vector<Neighbor> best;  // kept sorted by (distance2, id), size <= k
   if (k == 0) return best;
 
-  auto worst_bound = [&]() -> uint64_t {
-    if (best.size() < k) return ~0ULL;
+  auto worst_bound = [&]() -> Dist2 {
+    if (best.size() < k) return ~static_cast<Dist2>(0);
     return best.back().distance2;
   };
-  auto offer = [&](uint64_t id, uint64_t dist2) {
+  auto offer = [&](uint64_t id, Dist2 dist2) {
     if (best.size() == k && dist2 > best.back().distance2) return;
     const Neighbor candidate{id, dist2};
     auto pos = std::lower_bound(best.begin(), best.end(), candidate,
@@ -98,8 +99,11 @@ std::vector<Neighbor> KNearest(const ZkdIndex& index,
     if (candidate.dist2 > worst_bound()) break;
     ++regions_expanded;
 
-    const uint64_t cells = 1ULL << (total - candidate.region.length());
-    if (cells <= options.scan_cell_threshold) {
+    // On a full 64-bit grid the root region has 2^64 cells; guard the
+    // shift (1 << 64 is undefined) by treating >= 2^63 as "never scan".
+    const int free_bits = total - candidate.region.length();
+    if (free_bits < 64 &&
+        (1ULL << free_bits) <= options.scan_cell_threshold) {
       // Scan the region's consecutive z range.
       ++range_scans;
       const uint64_t zlo = candidate.region.RangeLo(total);
@@ -119,7 +123,7 @@ std::vector<Neighbor> KNearest(const ZkdIndex& index,
     }
     for (int bit = 0; bit <= 1; ++bit) {
       const ZValue child = candidate.region.Child(bit);
-      const uint64_t dist2 = MinDistance2(UnshuffleRegion(grid, child), query);
+      const Dist2 dist2 = MinDistance2(UnshuffleRegion(grid, child), query);
       if (dist2 <= worst_bound()) frontier.push(Candidate{dist2, child});
     }
   }

@@ -26,11 +26,18 @@
 
 namespace probe::index {
 
+/// Squared-distance accumulator. A single-axis delta on a full-resolution
+/// 32-bit grid can reach 2^32 - 1, so its square approaches 2^64 and a
+/// 2-d squared distance approaches 2^65 — past uint64_t. All distance
+/// arithmetic runs in 128 bits so ordering stays correct at the corners
+/// of the deepest grid.
+using Dist2 = unsigned __int128;
+
 /// One k-NN result.
 struct Neighbor {
   uint64_t id = 0;
   /// Squared Euclidean distance between cell coordinates.
-  uint64_t distance2 = 0;
+  Dist2 distance2 = 0;
 };
 
 /// Work counters for one k-NN search.

@@ -7,6 +7,7 @@
 #include "index/nearest.h"
 #include "probe/check.h"
 #include "storage/buffer_pool.h"
+#include "relational/distance_join.h"
 #include "relational/operators.h"
 #include "relational/spatial_join.h"
 #include "zorder/zvalue.h"
@@ -307,7 +308,14 @@ class KNearestNode final : public MaterializedNode {
     for (const auto& n : neighbors) {
       Tuple t;
       t.emplace_back(static_cast<int64_t>(n.id));
-      t.emplace_back(static_cast<int64_t>(n.distance2));
+      // The tuple column is int64 but distances are 128-bit; saturate so
+      // an extreme-corner distance renders as "huge", never wraps
+      // negative. Row order is decided before this cast.
+      constexpr index::Dist2 kMaxInt64 =
+          static_cast<index::Dist2>(~0ULL >> 1);
+      t.emplace_back(n.distance2 > kMaxInt64
+                         ? static_cast<int64_t>(~0ULL >> 1)
+                         : static_cast<int64_t>(n.distance2));
       result_.Add(std::move(t));
     }
     stats_.actual_pages = nstats.leaf_pages;
@@ -473,6 +481,69 @@ class MergeJoinNode final : public MaterializedNode {
  private:
   std::string left_z_;
   std::string right_z_;
+  util::ThreadPool* pool_;
+  int partitions_;
+};
+
+// ----------------------------------------------------------- DistanceJoin
+
+class DistanceJoinNode final : public MaterializedNode {
+ public:
+  DistanceJoinNode(std::span<const index::PointRecord> r,
+                   std::span<const index::PointRecord> s,
+                   const zorder::GridSpec& grid, uint64_t radius,
+                   uint64_t zone_height, util::ThreadPool* pool,
+                   int partitions)
+      : MaterializedNode(Schema(
+            {{"r_id", ValueType::kInt}, {"s_id", ValueType::kInt}})),
+        r_(r),
+        s_(s),
+        grid_(grid),
+        radius_(radius),
+        zone_height_(zone_height),
+        pool_(pool),
+        partitions_(partitions) {
+    stats_.op = pool_ != nullptr ? "ParallelDistanceJoin" : "DistanceJoin";
+  }
+
+ protected:
+  void DoOpen() override {
+    ScopedTimer timer(&stats_.ms);
+    ResetResult();
+    relational::DistanceJoinOptions options;
+    options.zone_height = zone_height_;
+    options.pool = pool_;
+    options.partitions = partitions_;
+    relational::DistanceJoinStats jstats;
+    relational::DistanceJoin(
+        r_, s_, grid_, radius_,
+        [this](const relational::IdPair& p) {
+          Tuple t;
+          t.emplace_back(static_cast<int64_t>(p.r_id));
+          t.emplace_back(static_cast<int64_t>(p.s_id));
+          result_.Add(std::move(t));
+        },
+        &jstats, options);
+    // EXPLAIN's est-vs-actual pages: what the zone sort actually spilled.
+    stats_.actual_pages = jstats.sort_pages;
+    stats_.actual_elements = jstats.candidate_pairs;
+    PROBE_ASSERT_MSG(jstats.pairs == result_.size(),
+                     "distance-join pair count disagrees with output size");
+    stats_.detail += (stats_.detail.empty() ? "" : " ");
+    stats_.detail +=
+        "zones=" + std::to_string(jstats.r_zones) + "/" +
+        std::to_string(jstats.s_zones) +
+        " candidates=" + std::to_string(jstats.candidate_pairs) +
+        " pairs=" + std::to_string(jstats.pairs) +
+        " merge_partitions=" + std::to_string(jstats.partitions);
+  }
+
+ private:
+  std::span<const index::PointRecord> r_;
+  std::span<const index::PointRecord> s_;
+  zorder::GridSpec grid_;
+  uint64_t radius_;
+  uint64_t zone_height_;
   util::ThreadPool* pool_;
   int partitions_;
 };
@@ -674,6 +745,15 @@ std::unique_ptr<PlanNode> MakeMergeJoin(std::unique_ptr<PlanNode> left,
                                         int partitions) {
   return std::make_unique<MergeJoinNode>(std::move(left), std::move(right),
                                          left_z, right_z, pool, partitions);
+}
+
+std::unique_ptr<PlanNode> MakeDistanceJoin(
+    std::span<const index::PointRecord> r,
+    std::span<const index::PointRecord> s, const zorder::GridSpec& grid,
+    uint64_t radius, uint64_t zone_height, util::ThreadPool* pool,
+    int partitions) {
+  return std::make_unique<DistanceJoinNode>(r, s, grid, radius, zone_height,
+                                            pool, partitions);
 }
 
 std::unique_ptr<PlanNode> MakeFilter(

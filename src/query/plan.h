@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -224,6 +225,17 @@ std::unique_ptr<PlanNode> MakeMergeJoin(std::unique_ptr<PlanNode> left,
                                         const std::string& right_z,
                                         util::ThreadPool* pool = nullptr,
                                         int partitions = 0);
+
+/// The zones-style distance join over two borrowed point sets (leaf node —
+/// the inputs are not plan children). Output schema (r_id: int, s_id: int)
+/// in the join's deterministic order; with a pool the merge is partitioned
+/// but the output is bitwise-identical. `zone_height` 0 means
+/// max(1, radius).
+std::unique_ptr<PlanNode> MakeDistanceJoin(
+    std::span<const index::PointRecord> r,
+    std::span<const index::PointRecord> s, const zorder::GridSpec& grid,
+    uint64_t radius, uint64_t zone_height = 0,
+    util::ThreadPool* pool = nullptr, int partitions = 0);
 
 /// Refinement: keeps tuples satisfying `predicate`.
 std::unique_ptr<PlanNode> MakeFilter(

@@ -377,11 +377,63 @@ PlannedQuery PlanSpatialJoin(const Query& query, const PlannerContext& ctx,
   return planned;
 }
 
+// ---------------------------------------------------------- distance join
+
+PlannedQuery PlanDistanceJoin(const Query& query, const PlannerContext& ctx,
+                              const PlannerOptions& options) {
+  assert(query.dj_grid.has_value());
+  const zorder::GridSpec& grid = *query.dj_grid;
+
+  // Parallelize like the merge join: enough combined input rows and a
+  // pool. The chunked merge reproduces the serial output bitwise, so the
+  // only planning question is whether the fan-out pays for itself.
+  const uint64_t input_rows = query.dj_r.size() + query.dj_s.size();
+  int partitions = 0;
+  if (ctx.pool != nullptr && ctx.pool->lanes() > 1 &&
+      input_rows >= options.join_parallel_row_threshold) {
+    partitions = ctx.pool->lanes();
+  }
+  util::ThreadPool* pool = partitions > 0 ? ctx.pool : nullptr;
+
+  const CostModel::DistanceJoinEstimate estimate =
+      CostModel::EstimateDistanceJoinPages(grid, query.dj_r.size(),
+                                           query.dj_s.size(), query.dj_radius,
+                                           query.dj_zone_height);
+
+  PlannedQuery planned;
+  planned.root =
+      MakeDistanceJoin(query.dj_r, query.dj_s, grid, query.dj_radius,
+                       query.dj_zone_height, pool, partitions);
+  NodeStats& stats = planned.root->stats();
+  stats.has_estimate = true;
+  stats.est_pages = estimate.pages;
+  stats.est_elements = estimate.candidate_pairs;
+  stats.detail = "radius=" + std::to_string(query.dj_radius) +
+                 " est_zones=" + std::to_string(estimate.zones);
+  if (query.dj_zone_height != 0) {
+    stats.detail += " zone_h=" + std::to_string(query.dj_zone_height);
+  }
+  if (partitions > 0) {
+    stats.detail += " partitions=" + std::to_string(partitions);
+  }
+  planned.summary = "distance-join: " + stats.op +
+                    " radius=" + std::to_string(query.dj_radius) +
+                    " est_pages=" + std::to_string(estimate.pages) +
+                    " est_candidates=" +
+                    std::to_string(estimate.candidate_pairs);
+  if (partitions > 0) {
+    planned.summary += " partitions=" + std::to_string(partitions);
+  }
+  planned.root = Decorate(std::move(planned.root), query);
+  return planned;
+}
+
 }  // namespace
 
 PlannedQuery Plan(const Query& query, const PlannerContext& ctx,
                   const PlannerOptions& options) {
-  assert(ctx.index != nullptr || query.kind == QueryKind::kSpatialJoin);
+  assert(ctx.index != nullptr || query.kind == QueryKind::kSpatialJoin ||
+         query.kind == QueryKind::kDistanceJoin);
   switch (query.kind) {
     case QueryKind::kRange:
       return PlanRange(query, ctx, options);
@@ -393,6 +445,8 @@ PlannedQuery Plan(const Query& query, const PlannerContext& ctx,
       return PlanKNearest(query, ctx);
     case QueryKind::kSpatialJoin:
       return PlanSpatialJoin(query, ctx, options);
+    case QueryKind::kDistanceJoin:
+      return PlanDistanceJoin(query, ctx, options);
     case QueryKind::kAggregateCount:
       return PlanAggregateCount(query, ctx, options);
   }

@@ -14,6 +14,8 @@ const char* QueryKindName(QueryKind kind) {
       return "k-nearest";
     case QueryKind::kSpatialJoin:
       return "spatial-join";
+    case QueryKind::kDistanceJoin:
+      return "distance-join";
     case QueryKind::kAggregateCount:
       return "aggregate-count";
   }

@@ -4,14 +4,17 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "geometry/box.h"
 #include "geometry/object.h"
 #include "geometry/point.h"
+#include "index/zkd_index.h"
 #include "relational/catalog.h"
 #include "relational/relation.h"
+#include "zorder/grid.h"
 
 /// \file
 /// The logical query description the planner consumes.
@@ -41,6 +44,9 @@ enum class QueryKind {
   kKNearest,
   /// The spatial join R[zr <> zs]S of Section 4 between two relations.
   kSpatialJoin,
+  /// The zones-style distance join DistanceJoin(R, S, r) between two
+  /// point sets: every pair within Euclidean distance r.
+  kDistanceJoin,
   /// COUNT(*) of points inside a box, answered by aggregate pushdown:
   /// elements fully contained in the box are counted from leaf headers
   /// without materializing rows.
@@ -89,6 +95,15 @@ struct Query {
   std::string s_z_out = "zs";
   std::optional<geometry::GridBox> r_bound;
   std::optional<geometry::GridBox> s_bound;
+
+  /// kDistanceJoin: the two point sets (borrowed; must outlive the plan),
+  /// the grid they live on, the integer radius in cells, and an optional
+  /// zone-height override (0 = the planner's max(1, radius) default).
+  std::span<const index::PointRecord> dj_r;
+  std::span<const index::PointRecord> dj_s;
+  std::optional<zorder::GridSpec> dj_grid;
+  uint64_t dj_radius = 0;
+  uint64_t dj_zone_height = 0;
 
   /// Optional refinement predicate applied to every output tuple (the
   /// "attribute filter" of a mixed spatial/non-spatial query).
@@ -144,6 +159,19 @@ struct Query {
     q.kind = QueryKind::kSpatialJoin;
     q.r = std::move(r_side);
     q.s = std::move(s_side);
+    return q;
+  }
+
+  static Query DistanceJoin(std::span<const index::PointRecord> r_points,
+                            std::span<const index::PointRecord> s_points,
+                            const zorder::GridSpec& join_grid,
+                            uint64_t join_radius) {
+    Query q;
+    q.kind = QueryKind::kDistanceJoin;
+    q.dj_r = r_points;
+    q.dj_s = s_points;
+    q.dj_grid = join_grid;
+    q.dj_radius = join_radius;
     return q;
   }
 

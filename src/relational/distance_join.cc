@@ -1,0 +1,258 @@
+#include "relational/distance_join.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "btree/external_sort.h"
+#include "btree/node.h"
+#include "btree/simd_filter.h"
+#include "btree/zkey.h"
+#include "probe/check.h"
+#include "storage/pager.h"
+
+namespace probe::relational {
+
+namespace {
+
+/// One side of the join after zoning and sorting: a CSR layout over the
+/// non-empty zones, with parallel coordinate/id arrays in (zone, x,
+/// tie-break) order. uint64_t coordinate arrays feed the SIMD kernel
+/// directly.
+struct ZonedSide {
+  std::vector<uint64_t> zone_ids;  // sorted, non-empty zones only
+  std::vector<size_t> offsets;     // zone_ids.size() + 1 row offsets
+  std::vector<uint64_t> xs;        // sorted ascending within each zone
+  std::vector<uint64_t> ys;
+  std::vector<uint64_t> ids;
+
+  size_t rows() const { return xs.size(); }
+};
+
+/// Streams `points` through the external sorter in (zone, x) order and
+/// materializes the CSR side. The sort key packs (zone << d) | x — integer
+/// order on the packed key is exactly (zone, x) order because both halves
+/// are below 2^d — and the payload packs (id << d) | y so ties in (zone, x)
+/// still sort deterministically (by id, then y). `sort` accumulates the
+/// spill statistics across both sides.
+ZonedSide BuildSide(std::span<const index::PointRecord> points, int d,
+                    uint64_t h, size_t budget,
+                    btree::ExternalSortStats* sort) {
+  const uint64_t mask = (1ULL << d) - 1;  // d <= 32 < 64
+  storage::MemPager scratch;
+  btree::ExternalSorter sorter(&scratch, budget);
+  for (const auto& p : points) {
+    const uint64_t x = p.point[0];
+    const uint64_t y = p.point[1];
+    PROBE_ASSERT_MSG(x <= mask && y <= mask,
+                     "distance join point off the grid");
+    if (p.id >> (64 - d)) {
+      check::AuditFailure(__FILE__, __LINE__, "id < 2^(64 - bits_per_dim)",
+                          "distance join id too wide to zone-sort");
+    }
+    const uint64_t zone = y / h;
+    sorter.Add(btree::LeafEntry{
+        btree::ZKey{(zone << d) | x, 64},
+        (p.id << d) | y,
+    });
+  }
+
+  ZonedSide side;
+  side.xs.reserve(points.size());
+  side.ys.reserve(points.size());
+  side.ids.reserve(points.size());
+  sorter.Drain([&](const btree::LeafEntry& e) {
+    const uint64_t zone = e.key.raw >> d;
+    if (side.zone_ids.empty() || side.zone_ids.back() != zone) {
+      side.zone_ids.push_back(zone);
+      side.offsets.push_back(side.xs.size());
+    }
+    side.xs.push_back(e.key.raw & mask);
+    side.ys.push_back(e.payload & mask);
+    side.ids.push_back(e.payload >> d);
+  });
+  side.offsets.push_back(side.xs.size());
+
+  sort->runs += sorter.stats().runs;
+  sort->pages_written += sorter.stats().pages_written;
+  sort->pages_read += sorter.stats().pages_read;
+  sort->records += sorter.stats().records;
+  sort->spilled_records += sorter.stats().spilled_records;
+  return side;
+}
+
+/// Probes rows [begin, end) of `r` against `s`, accumulating into
+/// `candidates`/`pairs` and emitting matches — for each R row in CSR
+/// order, its partner zones ascending, partners within a zone in the
+/// zone's sorted order. Serial execution calls this once over all rows;
+/// the parallel path calls it per contiguous chunk, which partitions both
+/// the row range and the emission sequence, so replaying chunks in order
+/// reproduces the serial output exactly.
+void ProbeRows(const ZonedSide& r, size_t begin, size_t end,
+               const ZonedSide& s, int d, uint64_t radius, uint64_t h,
+               const std::function<void(const IdPair&)>& sink,
+               uint64_t* candidates, uint64_t* pairs) {
+  const uint64_t side_max = (1ULL << d) - 1;
+  // Coordinates below 2^31 keep every squared distance under 2^63, so the
+  // 64-bit SIMD kernel is exact and clamping r^2 to int64 max loses
+  // nothing; a full 32-bit grid needs the 128-bit scalar test.
+  const bool simd_ok = d <= 31;
+  const unsigned __int128 r2_wide =
+      static_cast<unsigned __int128>(radius) * radius;
+  const uint64_t r2_clamped = static_cast<uint64_t>(
+      std::min(r2_wide, static_cast<unsigned __int128>(
+                            std::numeric_limits<int64_t>::max())));
+  constexpr int kChunk = 4096;
+  int32_t hits[kChunk];
+
+  for (size_t i = begin; i < end; ++i) {
+    const uint64_t qx = r.xs[i];
+    const uint64_t qy = r.ys[i];
+    const uint64_t rid = r.ids[i];
+    const uint64_t zlo = qy > radius ? (qy - radius) / h : 0;
+    uint64_t ymax = qy + radius;
+    if (ymax < qy || ymax > side_max) ymax = side_max;
+    const uint64_t zhi = ymax / h;
+    uint64_t xmax = qx + radius;
+    if (xmax < qx) xmax = side_max;
+
+    auto zi = std::lower_bound(s.zone_ids.begin(), s.zone_ids.end(), zlo) -
+              s.zone_ids.begin();
+    for (; static_cast<size_t>(zi) < s.zone_ids.size() &&
+           s.zone_ids[static_cast<size_t>(zi)] <= zhi;
+         ++zi) {
+      const size_t off = s.offsets[static_cast<size_t>(zi)];
+      const size_t zone_end = s.offsets[static_cast<size_t>(zi) + 1];
+      const auto first = s.xs.begin() + static_cast<ptrdiff_t>(off);
+      const auto last = s.xs.begin() + static_cast<ptrdiff_t>(zone_end);
+      // The x-window [qx - radius, qx + radius] inside this zone.
+      const size_t lo = qx > radius
+                            ? static_cast<size_t>(
+                                  std::lower_bound(first, last, qx - radius) -
+                                  s.xs.begin())
+                            : off;
+      const size_t hi = static_cast<size_t>(
+          std::upper_bound(first + static_cast<ptrdiff_t>(lo - off), last,
+                           xmax) -
+          s.xs.begin());
+      *candidates += hi - lo;
+
+      if (simd_ok) {
+        for (size_t pos = lo; pos < hi; pos += kChunk) {
+          const int len = static_cast<int>(
+              std::min(hi - pos, static_cast<size_t>(kChunk)));
+          const int m = btree::CollectWithinDist2(
+              s.xs.data() + pos, s.ys.data() + pos, len, qx, qy, r2_clamped,
+              hits);
+          for (int j = 0; j < m; ++j) {
+            ++*pairs;
+            sink(IdPair{rid, s.ids[pos + static_cast<size_t>(hits[j])]});
+          }
+        }
+      } else {
+        for (size_t pos = lo; pos < hi; ++pos) {
+          const uint64_t dx =
+              s.xs[pos] > qx ? s.xs[pos] - qx : qx - s.xs[pos];
+          const uint64_t dy =
+              s.ys[pos] > qy ? s.ys[pos] - qy : qy - s.ys[pos];
+          const unsigned __int128 d2 =
+              static_cast<unsigned __int128>(dx) * dx +
+              static_cast<unsigned __int128>(dy) * dy;
+          if (d2 <= r2_wide) {
+            ++*pairs;
+            sink(IdPair{rid, s.ids[pos]});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void DistanceJoin(std::span<const index::PointRecord> r,
+                  std::span<const index::PointRecord> s,
+                  const zorder::GridSpec& grid, uint64_t radius,
+                  const std::function<void(const IdPair&)>& sink,
+                  DistanceJoinStats* stats,
+                  const DistanceJoinOptions& options) {
+  if (grid.dims != 2 || !grid.Valid()) {
+    check::AuditFailure(__FILE__, __LINE__, "grid.dims == 2 && grid.Valid()",
+                        "distance join requires a valid 2-d grid");
+  }
+  const int d = grid.bits_per_dim;
+  const uint64_t h =
+      options.zone_height != 0 ? options.zone_height
+                               : std::max<uint64_t>(1, radius);
+  const size_t budget = std::max<size_t>(1, options.sort_budget_entries);
+
+  btree::ExternalSortStats sort;
+  const ZonedSide rs = BuildSide(r, d, h, budget, &sort);
+  const ZonedSide ss = BuildSide(s, d, h, budget, &sort);
+
+  uint64_t candidates = 0;
+  uint64_t pairs = 0;
+  size_t partitions = 1;
+
+  const size_t rows = rs.rows();
+  int want = options.partitions;
+  if (options.pool != nullptr && want <= 0) want = options.pool->lanes();
+  if (options.pool != nullptr && want > 1 && rows > 1) {
+    // Contiguous chunks of R's sorted order: each chunk's emissions are a
+    // contiguous slice of the serial output, so replaying the per-chunk
+    // buffers in chunk order is bitwise-identical to the serial join.
+    const size_t nchunks =
+        std::min(static_cast<size_t>(want), rows);
+    const size_t chunk = (rows + nchunks - 1) / nchunks;
+    struct ChunkOut {
+      std::vector<IdPair> out;
+      uint64_t candidates = 0;
+      uint64_t pairs = 0;
+    };
+    std::vector<ChunkOut> results(nchunks);
+    options.pool->ParallelFor(nchunks, [&](size_t c) {
+      const size_t begin = c * chunk;
+      const size_t end = std::min(rows, begin + chunk);
+      auto& mine = results[c];
+      ProbeRows(
+          rs, begin, end, ss, d, radius, h,
+          [&mine](const IdPair& p) { mine.out.push_back(p); },
+          &mine.candidates, &mine.pairs);
+    });
+    for (const auto& res : results) {
+      candidates += res.candidates;
+      pairs += res.pairs;
+      for (const auto& p : res.out) sink(p);
+    }
+    partitions = nchunks;
+  } else {
+    ProbeRows(rs, 0, rows, ss, d, radius, h, sink, &candidates, &pairs);
+  }
+
+  if (stats != nullptr) {
+    stats->r_rows = rs.rows();
+    stats->s_rows = ss.rows();
+    stats->zone_height = h;
+    stats->r_zones = rs.zone_ids.size();
+    stats->s_zones = ss.zone_ids.size();
+    stats->candidate_pairs = candidates;
+    stats->pairs = pairs;
+    stats->sort_pages = sort.pages_written + sort.pages_read;
+    stats->sort_runs = sort.runs;
+    stats->partitions = partitions;
+  }
+}
+
+std::vector<IdPair> DistanceJoinPairs(std::span<const index::PointRecord> r,
+                                      std::span<const index::PointRecord> s,
+                                      const zorder::GridSpec& grid,
+                                      uint64_t radius,
+                                      DistanceJoinStats* stats,
+                                      const DistanceJoinOptions& options) {
+  std::vector<IdPair> out;
+  DistanceJoin(
+      r, s, grid, radius, [&out](const IdPair& p) { out.push_back(p); },
+      stats, options);
+  return out;
+}
+
+}  // namespace probe::relational

@@ -399,7 +399,13 @@ Frame KnnResponse::ToFrame(uint32_t request_id) const {
   w.U32(static_cast<uint32_t>(neighbors.size()));
   for (const index::Neighbor& n : neighbors) {
     w.U64(n.id);
-    w.U64(n.distance2);
+    // The wire field is 64 bits but distances are computed in 128 (a
+    // full-resolution 2-d distance can pass 2^64). Saturate: a clamped
+    // distance still sorts after every representable one, and result
+    // *order* is fixed server-side before encoding.
+    constexpr index::Dist2 kMax64 = ~static_cast<uint64_t>(0);
+    w.U64(n.distance2 > kMax64 ? ~static_cast<uint64_t>(0)
+                               : static_cast<uint64_t>(n.distance2));
   }
   return MakeFrame(FrameType::kKnnResult, request_id, std::move(w));
 }
@@ -412,9 +418,11 @@ bool KnnResponse::FromPayload(std::span<const uint8_t> payload,
   if (static_cast<uint64_t>(n) * 16 > payload.size()) return false;
   out->neighbors.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
-    if (!r.U64(&out->neighbors[i].id) || !r.U64(&out->neighbors[i].distance2)) {
+    uint64_t distance2 = 0;
+    if (!r.U64(&out->neighbors[i].id) || !r.U64(&distance2)) {
       return false;
     }
+    out->neighbors[i].distance2 = distance2;
   }
   return r.AtEnd();
 }

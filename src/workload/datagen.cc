@@ -168,4 +168,42 @@ std::vector<index::PointRecord> GeneratePoints(const zorder::GridSpec& grid,
   return points;
 }
 
+PairedPoints GeneratePairedPoints(const zorder::GridSpec& grid,
+                                  const PairedDataGenConfig& config) {
+  assert(grid.Valid());
+  PairedPoints out;
+  out.r = GeneratePoints(grid, config.base);
+
+  const size_t s_count =
+      config.s_count != 0 ? config.s_count : config.base.count;
+  const uint64_t side = grid.side();
+  const int k = grid.dims;
+
+  // The unmatched portion of S follows the base distribution with its own
+  // seed; matched points then overwrite a deterministic subset, so the
+  // match fraction is exact rather than expected.
+  DataGenConfig s_config = config.base;
+  s_config.count = s_count;
+  s_config.seed = config.base.seed + config.seed_offset;
+  out.s = GeneratePoints(grid, s_config);
+
+  util::Rng rng(s_config.seed ^ 0x9e3779b97f4a7c15ULL);
+  const size_t matched = out.r.empty()
+                             ? 0
+                             : static_cast<size_t>(
+                                   config.match_fraction *
+                                   static_cast<double>(s_count));
+  for (size_t i = 0; i < matched && i < out.s.size(); ++i) {
+    const auto& partner = out.r[rng.NextBelow(out.r.size())].point;
+    std::vector<uint32_t> coords(k);
+    for (int d = 0; d < k; ++d) {
+      coords[d] = ClampToGrid(static_cast<double>(partner[d]) +
+                                  rng.NextGaussian() * config.match_sigma,
+                              side);
+    }
+    out.s[i].point = geometry::GridPoint(std::span<const uint32_t>(coords));
+  }
+  return out;
+}
+
 }  // namespace probe::workload

@@ -59,6 +59,37 @@ struct DataGenConfig {
 std::vector<index::PointRecord> GeneratePoints(const zorder::GridSpec& grid,
                                                const DataGenConfig& config);
 
+/// Parameters for a correlated catalog pair (the distance-join workload:
+/// two surveys of overlapping sky, where some fraction of the second
+/// catalog re-observes objects of the first).
+struct PairedDataGenConfig {
+  /// Shape, count, and seed of the first catalog (R).
+  DataGenConfig base;
+  /// Points in the second catalog (S); 0 means base.count.
+  size_t s_count = 0;
+  /// Fraction of S points placed near a random R point (the rest follow
+  /// base.distribution independently).
+  double match_fraction = 0.5;
+  /// Gaussian sigma, in cells, of a matched S point's offset from its R
+  /// partner — set it at or below the join radius for those points to pair.
+  double match_sigma = 4.0;
+  /// S's random stream is base.seed + seed_offset, so R is bit-identical
+  /// to GeneratePoints(grid, base) alone.
+  uint64_t seed_offset = 1;
+};
+
+/// A correlated catalog pair; ids in each catalog are independent
+/// (0..count-1 per side).
+struct PairedPoints {
+  std::vector<index::PointRecord> r;
+  std::vector<index::PointRecord> s;
+};
+
+/// Generates the pair. Deterministic in base.seed/seed_offset; `r` equals
+/// GeneratePoints(grid, config.base).
+PairedPoints GeneratePairedPoints(const zorder::GridSpec& grid,
+                                  const PairedDataGenConfig& config);
+
 }  // namespace probe::workload
 
 #endif  // PROBE_WORKLOAD_DATAGEN_H_

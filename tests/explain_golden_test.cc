@@ -149,6 +149,35 @@ TEST(ExplainGoldenTest, KNearest) {
   CheckGolden("k_nearest", ExplainJsonPretty(*planned.root));
 }
 
+TEST(ExplainGoldenTest, DistanceJoin) {
+  const GoldenFixture fx;
+  // A second seeded catalog joined against the fixture's points; the
+  // distance join plans standalone (no index), so only the analytic
+  // estimate and the operator shape land in the snapshot.
+  workload::DataGenConfig s_config;
+  s_config.count = 3000;
+  s_config.seed = 7200;
+  const auto s_points = GeneratePoints(fx.grid, s_config);
+  PlannedQuery planned = Plan(
+      Query::DistanceJoin(fx.points, s_points, fx.grid, 8), fx.Context());
+  CheckGolden("distance_join", ExplainJsonPretty(*planned.root));
+}
+
+TEST(ExplainGoldenTest, ParallelDistanceJoin) {
+  const GoldenFixture fx;
+  workload::DataGenConfig s_config;
+  s_config.count = 3000;
+  s_config.seed = 7200;
+  const auto s_points = GeneratePoints(fx.grid, s_config);
+  util::ThreadPool pool(3);
+  PlannerOptions options;
+  options.join_parallel_row_threshold = 1;
+  PlannedQuery planned =
+      Plan(Query::DistanceJoin(fx.points, s_points, fx.grid, 8),
+           fx.Context(&pool), options);
+  CheckGolden("distance_join_parallel", ExplainJsonPretty(*planned.root));
+}
+
 }  // namespace
 }  // namespace probe::query
 

@@ -1,0 +1,149 @@
+// Seeded k-NN fuzzer: ten thousand queries against an O(n) brute-force
+// oracle with the same ties-by-id rule. The sweep crosses the paper's
+// U/C/D distributions with duplicate-heavy data, degenerate k (0, 1, n,
+// n+5), random query points on and off the data, and scan-threshold
+// extremes that force both the region-splitting and the range-scanning
+// paths of the best-first search.
+
+#include "index/nearest.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/datagen.h"
+#include "workload/experiment.h"
+
+namespace probe::index {
+namespace {
+
+using geometry::GridPoint;
+using workload::DataGenConfig;
+using workload::Distribution;
+using zorder::GridSpec;
+
+Dist2 Distance2(const GridPoint& a, const GridPoint& b) {
+  Dist2 d2 = 0;
+  for (int i = 0; i < a.dims(); ++i) {
+    const uint64_t d = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    d2 += static_cast<Dist2>(d) * d;
+  }
+  return d2;
+}
+
+/// The oracle: full scan, sort by (distance, id) — the library's
+/// documented tie rule — cut to k.
+std::vector<Neighbor> BruteForceKnn(const std::vector<PointRecord>& points,
+                                    const GridPoint& query, size_t k) {
+  std::vector<Neighbor> all;
+  all.reserve(points.size());
+  for (const auto& r : points) {
+    all.push_back(Neighbor{r.id, Distance2(r.point, query)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance2 != b.distance2) return a.distance2 < b.distance2;
+    return a.id < b.id;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void ExpectExactMatch(const std::vector<Neighbor>& got,
+                      const std::vector<Neighbor>& expect, uint64_t seed,
+                      size_t k) {
+  ASSERT_EQ(got.size(), expect.size()) << "seed=" << seed << " k=" << k;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].id, expect[i].id) << "seed=" << seed << " k=" << k
+                                       << " i=" << i;
+    ASSERT_TRUE(got[i].distance2 == expect[i].distance2)
+        << "seed=" << seed << " k=" << k << " i=" << i;
+  }
+}
+
+/// One fuzz round: build a dataset from `round`, fire `queries_per_round`
+/// randomized queries at it. Returns how many queries ran.
+size_t FuzzRound(uint64_t round, size_t queries_per_round) {
+  util::Rng rng(0xfeed0000 + round);
+
+  // Dataset shape: distribution, size, resolution, and duplication all
+  // driven by the round seed. Low-resolution grids plus duplicated points
+  // make distance ties common, exercising the id tie-break everywhere.
+  const int bits = 4 + static_cast<int>(rng.NextBelow(5));  // 4..8
+  const GridSpec grid{2, bits};
+  DataGenConfig config;
+  config.distribution = static_cast<Distribution>(round % 3);  // U, C, D
+  config.count = 50 + rng.NextBelow(500);
+  config.seed = 0xdada + round;
+  auto points = GeneratePoints(grid, config);
+  // Duplicate a slice of the points under fresh ids: exact coordinate
+  // collisions, resolved only by the tie rule.
+  const size_t dupes = rng.NextBelow(points.size() / 2 + 1);
+  for (size_t i = 0; i < dupes; ++i) {
+    PointRecord copy = points[rng.NextBelow(points.size())];
+    copy.id = points.size() + i;
+    points.push_back(copy);
+  }
+  auto built = workload::BuildZkdIndex(
+      grid, points, 4 + static_cast<int>(rng.NextBelow(20)), 64);
+
+  const uint64_t side = grid.side();
+  const size_t n = points.size();
+  size_t ran = 0;
+  for (size_t q = 0; q < queries_per_round; ++q) {
+    // Query point: uniform, or exactly on a data point (distance-zero
+    // ties), or on the grid boundary.
+    GridPoint query({static_cast<uint32_t>(rng.NextBelow(side)),
+                     static_cast<uint32_t>(rng.NextBelow(side))});
+    switch (rng.NextBelow(4)) {
+      case 0:
+        query = points[rng.NextBelow(n)].point;
+        break;
+      case 1:
+        query.at(rng.NextBelow(2) == 0 ? 0 : 1) =
+            static_cast<uint32_t>(side - 1);
+        break;
+      default:
+        break;
+    }
+
+    // k: the degenerate set plus random values past both ends.
+    size_t k;
+    switch (q % 5) {
+      case 0: k = 0; break;
+      case 1: k = 1; break;
+      case 2: k = n; break;
+      case 3: k = n + 5; break;
+      default: k = 1 + rng.NextBelow(n + 3); break;
+    }
+
+    // Threshold sweep: tiny forces deep region splitting, huge forces
+    // immediate range scans; default exercises the tuned balance.
+    NearestOptions options;
+    switch (q % 3) {
+      case 0: options.scan_cell_threshold = 1; break;
+      case 1: options.scan_cell_threshold = 1ULL << 62; break;
+      default: break;
+    }
+
+    const auto got = KNearest(*built.index, query, k, nullptr, options);
+    const auto expect = BruteForceKnn(points, query, k);
+    ExpectExactMatch(got, expect, 0xfeed0000 + round, k);
+    ++ran;
+  }
+  return ran;
+}
+
+TEST(FuzzNearestTest, TenThousandQueriesMatchBruteForce) {
+  // 100 datasets x 100 queries = 10,000 oracle-checked k-NN searches
+  // across all three distributions (round % 3 cycles U, C, D).
+  size_t total = 0;
+  for (uint64_t round = 0; round < 100; ++round) {
+    total += FuzzRound(round, 100);
+  }
+  EXPECT_EQ(total, 10000u);
+}
+
+}  // namespace
+}  // namespace probe::index

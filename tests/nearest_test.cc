@@ -15,11 +15,11 @@ namespace {
 using geometry::GridPoint;
 using zorder::GridSpec;
 
-uint64_t Distance2(const GridPoint& a, const GridPoint& b) {
-  uint64_t d2 = 0;
+Dist2 Distance2(const GridPoint& a, const GridPoint& b) {
+  Dist2 d2 = 0;
   for (int i = 0; i < a.dims(); ++i) {
     const uint64_t d = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
-    d2 += d * d;
+    d2 += static_cast<Dist2>(d) * d;
   }
   return d2;
 }
@@ -126,6 +126,56 @@ TEST(KNearestTest, PruningBeatsFullScan) {
   // A 5-NN query must not read most of the 250 data pages.
   EXPECT_LT(stats.leaf_pages, 40u);
   EXPECT_LT(stats.points_examined, 1000u);
+}
+
+TEST(KNearestTest, FullResolutionGridCornersDoNotOverflow) {
+  // On a 2 x 32-bit grid the corner-to-corner squared distance is
+  // 2 * (2^32 - 1)^2 ≈ 2^65 — past uint64_t. With 64-bit accumulation the
+  // far corner's distance wrapped *below* the 1-axis corners' (~2^64)
+  // distances, corrupting the reported order; Dist2 (128-bit) keeps it
+  // straight. A huge scan threshold makes the search scan the grid's two
+  // halves directly: with so few points there is no distance bound to
+  // prune a 2^64-cell region tree with, and this test is about the
+  // distance arithmetic, not the traversal.
+  const GridSpec grid{2, 32};
+  constexpr uint32_t kMax = ~static_cast<uint32_t>(0);
+  std::vector<PointRecord> points;
+  points.push_back({GridPoint({kMax, kMax}), 0});        // true d2 ~ 2^65
+  points.push_back({GridPoint({kMax, 0}), 1});           // true d2 ~ 2^64
+  points.push_back({GridPoint({0, kMax}), 2});           // true d2 ~ 2^64
+  points.push_back({GridPoint({5, 7}), 3});              // truly near
+  points.push_back({GridPoint({1u << 20, 1u << 20}), 4});  // mid-near
+  storage::MemPager pager;
+  storage::BufferPool pool(&pager, 32);
+  auto index = ZkdIndex::Build(grid, &pool, points);
+
+  NearestOptions options;
+  options.scan_cell_threshold = 1ULL << 63;
+  const GridPoint query({0, 0});
+  const auto got =
+      KNearest(index, query, points.size(), nullptr, options);
+  const auto expect = BruteForceKnn(points, query, points.size());
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, expect[i].id) << "i=" << i;
+    EXPECT_TRUE(got[i].distance2 == expect[i].distance2) << "i=" << i;
+  }
+  // The ordering the overflow used to corrupt: near points first, the
+  // one-axis corners next, the far corner last — its distance really is
+  // past 64 bits.
+  EXPECT_EQ(got[0].id, 3u);
+  EXPECT_EQ(got[1].id, 4u);
+  EXPECT_EQ(got.back().id, 0u);
+  EXPECT_TRUE(got.back().distance2 >
+              static_cast<Dist2>(~static_cast<uint64_t>(0)));
+
+  // Best-first pruning at the same resolution: a query beside the far
+  // corner must find it without the threshold crutch — MinDistance2 on
+  // deep regions must not wrap either.
+  const auto nearest = KNearest(index, GridPoint({kMax - 3, kMax - 5}), 1);
+  ASSERT_EQ(nearest.size(), 1u);
+  EXPECT_EQ(nearest[0].id, 0u);
+  EXPECT_TRUE(nearest[0].distance2 == static_cast<Dist2>(9 + 25));
 }
 
 TEST(WithinDistanceTest, MatchesBruteForce) {

@@ -82,6 +82,107 @@ TEST_F(SimdFilterTest, CountInRangeMatchesScalar) {
   }
 }
 
+std::vector<int32_t> OracleWithinDist2(const std::vector<uint64_t>& xs,
+                                       const std::vector<uint64_t>& ys,
+                                       uint64_t qx, uint64_t qy, uint64_t r2) {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const uint64_t dx = xs[i] > qx ? xs[i] - qx : qx - xs[i];
+    const uint64_t dy = ys[i] > qy ? ys[i] - qy : qy - ys[i];
+    const unsigned __int128 d2 = static_cast<unsigned __int128>(dx) * dx +
+                                 static_cast<unsigned __int128>(dy) * dy;
+    if (d2 <= r2) out.push_back(static_cast<int32_t>(i));
+  }
+  return out;
+}
+
+TEST_F(SimdFilterTest, CollectWithinDist2MatchesScalarAndOracle) {
+  util::Rng rng(0x54ed);
+  constexpr uint64_t kCoordMax = 1ULL << 31;  // the kernel's contract
+  for (int trial = 0; trial < 400; ++trial) {
+    const size_t n = rng.NextBelow(130);  // sub-width, multi-lane, tails
+    std::vector<uint64_t> xs(n), ys(n);
+    // Mix a tight cluster with full-range scatter so r2 selects a
+    // nontrivial subset in most trials.
+    const uint64_t cx = rng.NextBelow(kCoordMax);
+    const uint64_t cy = rng.NextBelow(kCoordMax);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBelow(2) == 0) {
+        xs[i] = std::min(cx + rng.NextBelow(1000), kCoordMax - 1);
+        ys[i] = std::min(cy + rng.NextBelow(1000), kCoordMax - 1);
+      } else {
+        xs[i] = rng.NextBelow(kCoordMax);
+        ys[i] = rng.NextBelow(kCoordMax);
+      }
+    }
+    const uint64_t qx = rng.NextBelow(2) ? cx : rng.NextBelow(kCoordMax);
+    const uint64_t qy = rng.NextBelow(2) ? cy : rng.NextBelow(kCoordMax);
+    uint64_t r2;
+    switch (rng.NextBelow(4)) {
+      case 0: r2 = 0; break;                                // exact hits only
+      case 1: r2 = ~0ULL >> 1; break;                       // int64 max: all in
+      case 2: r2 = rng.NextBelow(1000000); break;           // cluster scale
+      default: {
+        const uint64_t r = rng.NextBelow(kCoordMax);
+        r2 = r * r;  // < 2^62
+        break;
+      }
+    }
+    const auto expect = OracleWithinDist2(xs, ys, qx, qy, r2);
+
+    std::vector<int32_t> got(n + 1);
+    SetForceScalarFilter(true);
+    int m = CollectWithinDist2(xs.data(), ys.data(), static_cast<int>(n), qx,
+                               qy, r2, got.data());
+    ASSERT_EQ(static_cast<size_t>(m), expect.size()) << "trial " << trial;
+    for (int i = 0; i < m; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], expect[static_cast<size_t>(i)]);
+
+    SetForceScalarFilter(false);
+    m = CollectWithinDist2(xs.data(), ys.data(), static_cast<int>(n), qx, qy,
+                           r2, got.data());
+    ASSERT_EQ(static_cast<size_t>(m), expect.size())
+        << "trial " << trial << " n " << n << " r2 " << r2;
+    for (int i = 0; i < m; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], expect[static_cast<size_t>(i)]);
+
+    m = CollectWithinDist2Scalar(xs.data(), ys.data(), static_cast<int>(n),
+                                 qx, qy, r2, got.data());
+    ASSERT_EQ(static_cast<size_t>(m), expect.size());
+  }
+}
+
+TEST_F(SimdFilterTest, CollectWithinDist2UnalignedAndBoundary) {
+  // Walk offsets so the AVX2 loads hit every alignment; exercise deltas at
+  // the contract's edge (coordinates just below 2^31, so a squared delta
+  // approaches 2^62 and the lane sums approach 2^63).
+  constexpr uint64_t kEdge = (1ULL << 31) - 1;
+  std::vector<uint64_t> xs, ys;
+  for (uint64_t i = 0; i < 40; ++i) {
+    xs.push_back(i % 2 == 0 ? i : kEdge - i);
+    ys.push_back(i % 3 == 0 ? i : kEdge - i);
+  }
+  const uint64_t r2 = ~0ULL >> 1;  // int64 max admits everything
+  for (size_t off = 0; off < 12; ++off) {
+    const int n = static_cast<int>(xs.size() - off);
+    std::vector<int32_t> got(xs.size());
+    const int m = CollectWithinDist2(xs.data() + off, ys.data() + off, n, 0,
+                                     kEdge, r2, got.data());
+    // Max possible d2 is 2*(2^31-1)^2 = 2^63 - 2^33 + 2, still <= int64
+    // max — the contract's whole point — so every index must come back.
+    EXPECT_EQ(m, n) << off;
+    for (int i = 0; i < m; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+  }
+  // And a radius that admits nothing.
+  std::vector<int32_t> got(xs.size());
+  const int m = CollectWithinDist2(xs.data(), ys.data(),
+                                   static_cast<int>(xs.size()), 12345, 54321,
+                                   0, got.data());
+  int expect = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] == 12345 && ys[i] == 54321) ++expect;
+  }
+  EXPECT_EQ(m, expect);
+}
+
 TEST_F(SimdFilterTest, UnalignedBasePointers) {
   // The kernels use unaligned loads; walk every offset of a bigger array.
   util::Rng rng(0x53ed);
